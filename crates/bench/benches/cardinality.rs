@@ -1,0 +1,31 @@
+//! Cardinality estimation throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hfqo_query::RelSet;
+use hfqo_stats::{CardinalitySource, EstimatedCardinality};
+use hfqo_workload::synth::{Shape, SynthConfig, SynthDb};
+
+fn bench_cardinality(c: &mut Criterion) {
+    let db = SynthDb::build(SynthConfig {
+        tables: 17,
+        rows: 2_000,
+        seed: 5,
+    });
+    let graph = db.query(Shape::Chain, 17, 2, 0);
+    let est = EstimatedCardinality::new(&db.stats);
+    let mut group = c.benchmark_group("cardinality");
+    group.bench_function("set_rows_17rel", |b| {
+        b.iter(|| est.set_rows(&graph, RelSet::full(17)))
+    });
+    group.bench_function("edge_selectivity", |b| {
+        b.iter(|| {
+            (0..graph.joins().len())
+                .map(|i| est.edge_selectivity(&graph, i))
+                .sum::<f64>()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_cardinality);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Executor operator throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hfqo_exec::{execute, ExecConfig};
+use hfqo_query::{AccessPath, JoinAlgo, PhysicalPlan, PlanNode, RelId};
+use hfqo_workload::synth::{Shape, SynthConfig, SynthDb};
+
+fn bench_executor(c: &mut Criterion) {
+    let db = SynthDb::build(SynthConfig {
+        tables: 3,
+        rows: 20_000,
+        seed: 11,
+    });
+    let graph = db.query(Shape::Chain, 2, 1, 0);
+    let scan = |rel: u32| PlanNode::Scan {
+        rel: RelId(rel),
+        path: AccessPath::SeqScan,
+    };
+    let mut group = c.benchmark_group("executor");
+    group.sample_size(10);
+    group.bench_function("seq_scan_20k", |b| {
+        let single = db.query(Shape::Chain, 1, 1, 0);
+        let plan = PhysicalPlan::new(scan(0));
+        b.iter(|| {
+            execute(&db.db, &single, &plan, ExecConfig::default())
+                .expect("fits budget")
+                .rows
+                .len()
+        })
+    });
+    for algo in [JoinAlgo::Hash, JoinAlgo::Merge] {
+        group.bench_function(format!("{}_20k_x_20k", algo.name()), |b| {
+            let plan = PhysicalPlan::new(PlanNode::Join {
+                algo,
+                conds: vec![0],
+                left: Box::new(scan(0)),
+                right: Box::new(scan(1)),
+            });
+            b.iter(|| {
+                execute(&db.db, &graph, &plan, ExecConfig::default())
+                    .expect("fits budget")
+                    .rows
+                    .len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_executor);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! State featurisation throughput (the per-step cost of the RL loop).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hfqo_query::Forest;
+use hfqo_rejoin::Featurizer;
+use hfqo_stats::EstimatedCardinality;
+use hfqo_workload::synth::{Shape, SynthConfig, SynthDb};
+
+fn bench_featurize(c: &mut Criterion) {
+    let db = SynthDb::build(SynthConfig {
+        tables: 17,
+        rows: 500,
+        seed: 9,
+    });
+    let graph = db.query(Shape::Chain, 17, 2, 0);
+    let est = EstimatedCardinality::new(&db.stats);
+    let featurizer = Featurizer::new(17);
+    let mut forest = Forest::initial(17);
+    forest.merge(0, 1);
+    forest.merge(0, 1);
+    let mut out = Vec::new();
+    let mut mask = Vec::new();
+    let mut group = c.benchmark_group("featurize");
+    group.bench_function("state_17rel", |b| {
+        b.iter(|| {
+            featurizer.featurize(&graph, &forest, &est, &mut out);
+            out.len()
+        })
+    });
+    group.bench_function("mask_17rel", |b| {
+        b.iter(|| {
+            featurizer.action_mask(&graph, &forest, false, &mut mask);
+            mask.len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_featurize);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Join enumeration strategies: DP vs greedy vs random.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hfqo_cost::{CostModel, CostParams};
+use hfqo_opt::{dp::dp_plan, greedy::greedy_plan, random_plan};
+use hfqo_stats::EstimatedCardinality;
+use hfqo_workload::synth::{Shape, SynthConfig, SynthDb};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_enumerators(c: &mut Criterion) {
+    let db = SynthDb::build(SynthConfig {
+        tables: 9,
+        rows: 500,
+        seed: 7,
+    });
+    let graph = db.query(Shape::Chain, 8, 2, 0);
+    let params = CostParams::default();
+    let model = CostModel::new(&params, &db.stats);
+    let cards = EstimatedCardinality::new(&db.stats);
+    let mut group = c.benchmark_group("join_enum_8rel");
+    group.bench_function("dp", |b| {
+        b.iter(|| dp_plan(&graph, db.db.catalog(), &model, &cards))
+    });
+    group.bench_function("greedy", |b| {
+        b.iter(|| greedy_plan(&graph, db.db.catalog(), &model, &cards))
+    });
+    let mut rng = StdRng::seed_from_u64(1);
+    group.bench_function("random", |b| {
+        b.iter(|| random_plan(&graph, db.db.catalog(), &mut rng))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_enumerators);
+criterion_main!(benches);

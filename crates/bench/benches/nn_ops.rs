@@ -1,0 +1,25 @@
+//! Neural-network forward/backward at ReJOIN scale (612 → 128 → 128 → 289).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hfqo_nn::{Activation, Matrix, Mlp};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_nn(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let mlp = Mlp::new(&[612, 128, 128, 289], Activation::ReLU, &mut rng);
+    let x = Matrix::from_vec(1, 612, (0..612).map(|i| (i % 7) as f32 * 0.1).collect());
+    let mut group = c.benchmark_group("nn");
+    group.bench_function("forward_1x612", |b| b.iter(|| mlp.predict(&x).rows()));
+    group.bench_function("forward_backward_1x612", |b| {
+        b.iter(|| {
+            let cache = mlp.forward(&x);
+            let grad = Matrix::from_vec(1, 289, vec![0.01; 289]);
+            mlp.backward(&cache, grad).l2_norm()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_nn);
+criterion_main!(benches);

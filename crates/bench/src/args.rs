@@ -1,0 +1,91 @@
+//! Minimal command-line handling shared by the experiment binaries.
+
+/// Common run arguments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunArgs {
+    /// Master seed.
+    pub seed: u64,
+    /// Paper-scale run (`--full`) vs quick run (default).
+    pub full: bool,
+}
+
+impl Default for RunArgs {
+    fn default() -> Self {
+        Self {
+            seed: 42,
+            full: false,
+        }
+    }
+}
+
+impl RunArgs {
+    /// Parses `--seed N` and `--quick`/`--full` from an argument
+    /// iterator; unknown arguments abort with a usage message.
+    pub fn parse(args: impl Iterator<Item = String>) -> Result<Self, String> {
+        let mut out = Self::default();
+        let mut args = args.peekable();
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--seed" => {
+                    let v = args
+                        .next()
+                        .ok_or_else(|| "--seed requires a value".to_string())?;
+                    out.seed = v
+                        .parse()
+                        .map_err(|_| format!("invalid seed `{v}`"))?;
+                }
+                "--full" => out.full = true,
+                "--quick" => out.full = false,
+                "--help" | "-h" => {
+                    return Err("usage: [--seed N] [--quick|--full]".to_string())
+                }
+                other => return Err(format!("unknown argument `{other}`")),
+            }
+        }
+        Ok(out)
+    }
+
+    /// Parses from the process environment (skipping argv[0]).
+    pub fn from_env() -> Self {
+        match Self::parse(std::env::args().skip(1)) {
+            Ok(args) => args,
+            Err(msg) => {
+                eprintln!("{msg}");
+                std::process::exit(2);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(words: &[&str]) -> Result<RunArgs, String> {
+        RunArgs::parse(words.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults() {
+        let a = parse(&[]).unwrap();
+        assert_eq!(a.seed, 42);
+        assert!(!a.full);
+    }
+
+    #[test]
+    fn seed_and_full() {
+        let a = parse(&["--seed", "7", "--full"]).unwrap();
+        assert_eq!(a.seed, 7);
+        assert!(a.full);
+        let b = parse(&["--full", "--quick"]).unwrap();
+        assert!(!b.full);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse(&["--seed"]).is_err());
+        assert!(parse(&["--seed", "x"]).is_err());
+        assert!(parse(&["--wat"]).is_err());
+        assert!(parse(&["--help"]).is_err());
+    }
+}

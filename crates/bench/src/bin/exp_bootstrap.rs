@@ -1,0 +1,41 @@
+//! §5.2 cost-model bootstrapping experiment (+ scaling ablation).
+
+use hfqo_bench::experiments::{common, bootstrap_exp};
+use hfqo_bench::report::{render_table, write_json};
+use hfqo_bench::RunArgs;
+
+fn main() {
+    let args = RunArgs::from_env();
+    let scale = common::Scale::from_args(args);
+    eprintln!("exp_bootstrap: two bootstrapped runs (scaled / unscaled) ...");
+    let bundle = common::imdb_bundle(scale, args.seed);
+    // Latency simulation is the bottleneck; cap query size in quick mode.
+    let bundle = if args.full {
+        bundle
+    } else {
+        common::cap_query_size(bundle, 8)
+    };
+    let result = bootstrap_exp::run(&bundle, scale, args.seed);
+
+    println!("# §5.2 Cost-Model Bootstrapping — phase switch at episode {}", result.phase1_episodes);
+    let row = |r: &bootstrap_exp::BootstrapRun| {
+        vec![
+            if r.scaled { "scaled (r_l formula)" } else { "raw latency" }.to_string(),
+            format!("{:.2}", r.ratio_before_switch),
+            format!("{:.2}", r.worst_ratio_after_switch),
+            format!("{:.2}", r.final_ratio),
+        ]
+    };
+    let rows = vec![row(&result.scaled), row(&result.unscaled)];
+    println!(
+        "{}",
+        render_table(
+            &["phase-2 reward", "ratio_before", "worst_after_switch", "final"],
+            &rows
+        )
+    );
+    let (c_min, c_max) = result.scaled.cost_range;
+    let (l_min, l_max) = result.scaled.latency_range;
+    println!("observed phase-1 ranges: cost {c_min:.1}..{c_max:.1}, latency {l_min:.2}..{l_max:.2} ms");
+    write_json("exp_bootstrap", &result);
+}

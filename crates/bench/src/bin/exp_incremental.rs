@@ -1,0 +1,28 @@
+//! §5.3 incremental-learning curricula experiment.
+
+use hfqo_bench::experiments::{common, incremental_exp};
+use hfqo_bench::report::{render_table, write_json};
+use hfqo_bench::RunArgs;
+
+fn main() {
+    let args = RunArgs::from_env();
+    let scale = common::Scale::from_args(args);
+    eprintln!("exp_incremental: four curricula × {} episodes ...", scale.episodes);
+    let result = incremental_exp::run(scale, args.seed);
+
+    println!("# §5.3 Incremental Learning — full-task cost ratio after equal budgets");
+    let rows: Vec<Vec<String>> = result
+        .rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.curriculum.clone(),
+                r.phases.to_string(),
+                format!("{:.2}", r.full_task_ratio),
+            ]
+        })
+        .collect();
+    println!("{}", render_table(&["curriculum", "phases", "full_task_ratio"], &rows));
+    println!("({} queries, {} episodes per curriculum)", result.queries, result.total_episodes);
+    write_json("exp_incremental", &result);
+}

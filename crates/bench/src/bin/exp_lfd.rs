@@ -1,0 +1,31 @@
+//! §5.1 learning-from-demonstration experiment.
+
+use hfqo_bench::experiments::{common, lfd};
+use hfqo_bench::report::{render_table, write_json};
+use hfqo_bench::RunArgs;
+
+fn main() {
+    let args = RunArgs::from_env();
+    let scale = common::Scale::from_args(args);
+    eprintln!("exp_lfd: demonstration vs tabula rasa ...");
+    let bundle = common::imdb_bundle(scale, args.seed);
+    // Latency simulation is the bottleneck; cap query size in quick mode.
+    let bundle = if args.full {
+        bundle
+    } else {
+        common::cap_query_size(bundle, 8)
+    };
+    let result = lfd::run(&bundle, scale, args.seed);
+
+    println!("# §5.1 Learning from Demonstration — {} fine-tuning episodes", result.lfd_episodes);
+    let rows = vec![
+        vec!["LfD final cost ratio".into(), format!("{:.2}", result.lfd_final_ratio)],
+        vec!["tabula-rasa final cost ratio".into(), format!("{:.2}", result.tabula_final_ratio)],
+        vec!["LfD worst latency".into(), format!("{:.1} ms", result.lfd_worst_ms)],
+        vec!["tabula-rasa worst latency".into(), format!("{:.1} ms", result.tabula_worst_ms)],
+        vec!["LfD slip re-trainings".into(), result.lfd_retrains.to_string()],
+        vec!["expert mean latency".into(), format!("{:.2} ms", result.expert_mean_ms)],
+    ];
+    println!("{}", render_table(&["metric", "value"], &rows));
+    write_json("exp_lfd", &result);
+}

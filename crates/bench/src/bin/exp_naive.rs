@@ -1,0 +1,22 @@
+//! §4 search-space experiment: naive full-space DRL vs random vs join-order-only.
+
+use hfqo_bench::experiments::{common, naive};
+use hfqo_bench::report::{pct, render_table, write_json};
+use hfqo_bench::RunArgs;
+
+fn main() {
+    let args = RunArgs::from_env();
+    let scale = common::Scale::from_args(args);
+    eprintln!("exp_naive: training two agents for {} episodes each ...", scale.episodes);
+    let bundle = common::imdb_bundle(scale, args.seed);
+    let result = naive::run(&bundle, scale, args.seed);
+
+    println!("# §4 Search Space Size — final cost relative to expert after {} episodes", result.episodes);
+    let rows = vec![
+        vec!["join-order only (ReJOIN)".to_string(), pct(result.join_order_ratio)],
+        vec!["full plan space (naive)".to_string(), pct(result.full_space_ratio)],
+        vec!["random plans".to_string(), pct(result.random_ratio)],
+    ];
+    println!("{}", render_table(&["approach", "cost_rel_expert"], &rows));
+    write_json("exp_naive", &result);
+}

@@ -1,0 +1,31 @@
+//! Regenerates Figure 3b — cost of generated plans (10 JOB-like queries).
+
+use hfqo_bench::experiments::{common, fig3a, fig3b};
+use hfqo_bench::report::{render_table, write_json};
+use hfqo_bench::RunArgs;
+
+fn main() {
+    let args = RunArgs::from_env();
+    let scale = common::Scale::from_args(args);
+    eprintln!("fig3b: building workload + training (fig3a protocol) ...");
+    let bundle = common::imdb_bundle(scale, args.seed);
+    let (_conv, agent) = fig3a::run(&bundle, scale, args.seed);
+    let result = fig3b::run(&bundle, &agent, args.seed);
+
+    println!("# Figure 3b — optimizer cost of final plans (expert vs trained ReJOIN)");
+    let rows: Vec<Vec<String>> = result
+        .rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.label.clone(),
+                format!("{:.1}", r.expert_cost),
+                format!("{:.1}", r.rejoin_cost),
+                format!("{:.3}", r.rejoin_cost / r.expert_cost),
+            ]
+        })
+        .collect();
+    println!("{}", render_table(&["query", "expert_cost", "rejoin_cost", "ratio"], &rows));
+    println!("ReJOIN at-or-below expert on {}/{} queries", result.wins_or_ties, result.rows.len());
+    write_json("fig3b", &result);
+}

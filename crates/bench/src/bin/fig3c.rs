@@ -1,0 +1,30 @@
+//! Regenerates Figure 3c — planning time vs number of relations.
+
+use hfqo_bench::report::{render_table, write_json};
+use hfqo_bench::{experiments::fig3c, RunArgs};
+
+fn main() {
+    let args = RunArgs::from_env();
+    let (rows_per_table, train_episodes) = if args.full { (2_000, 3_000) } else { (500, 600) };
+    eprintln!("fig3c: sweep over 4..=17 relations (rows/table {rows_per_table}) ...");
+    let result = fig3c::run(rows_per_table, train_episodes, args.seed);
+
+    println!("# Figure 3c — planning time (µs) vs number of relations");
+    let rows: Vec<Vec<String>> = result
+        .rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.relations.to_string(),
+                format!("{:.1}", r.expert_us),
+                format!("{:.1}", r.rejoin_us),
+            ]
+        })
+        .collect();
+    println!("{}", render_table(&["relations", "expert_us", "rejoin_us"], &rows));
+    match result.crossover {
+        Some(n) => println!("ReJOIN plans faster than the expert from {n} relations on"),
+        None => println!("no crossover observed in this range"),
+    }
+    write_json("fig3c", &result);
+}

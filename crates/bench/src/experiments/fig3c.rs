@@ -1,0 +1,151 @@
+//! Figure 3c — optimization (planning) time vs relation count.
+//!
+//! For each query size 4–17, measures the traditional optimizer's
+//! planning time (DP below its threshold, greedy above — like
+//! PostgreSQL's exhaustive search switching to GEQO at 12) against a
+//! trained ReJOIN agent's inference time (one greedy episode, including
+//! featurisation and the operator-selection hand-off). The paper's
+//! counter-intuitive shape: the learned enumerator's O(n) episodes beat
+//! the optimizer's super-linear search once queries grow past a
+//! crossover.
+
+use super::common::{agent_for, default_policy};
+use hfqo_opt::TraditionalOptimizer;
+use hfqo_rejoin::{train, EnvContext, JoinOrderEnv, QueryOrder, RewardMode, TrainerConfig};
+use hfqo_workload::synth::SynthConfig;
+use hfqo_workload::WorkloadBundle;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::Serialize;
+use std::time::Instant;
+
+/// One row of Figure 3c.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig3cRow {
+    /// Relation count.
+    pub relations: usize,
+    /// Expert planning time, microseconds (mean over repeats).
+    pub expert_us: f64,
+    /// Trained-ReJOIN planning time, microseconds (mean over repeats).
+    pub rejoin_us: f64,
+}
+
+/// Figure 3c result.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig3cResult {
+    /// One row per relation count.
+    pub rows: Vec<Fig3cRow>,
+    /// First relation count where ReJOIN plans faster than the expert.
+    pub crossover: Option<usize>,
+}
+
+/// Runs the sweep. `train_episodes` warms the policy first (planning
+/// time is independent of policy quality, but the protocol measures a
+/// *trained* agent, as the paper does).
+pub fn run(rows_per_table: usize, train_episodes: usize, seed: u64) -> Fig3cResult {
+    let sizes: Vec<usize> = (4..=17).collect();
+    let bundle = WorkloadBundle::synthetic(
+        SynthConfig {
+            tables: 17,
+            rows: rows_per_table,
+            seed,
+        },
+        &sizes,
+        3,
+    );
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x3C);
+    let ctx = EnvContext::new(&bundle.db, &bundle.stats);
+    let mut env = JoinOrderEnv::new(
+        ctx,
+        &bundle.queries,
+        17,
+        QueryOrder::Shuffle,
+        RewardMode::LogRelative,
+    );
+    env.require_connected = true;
+    let mut agent = agent_for(&env, default_policy(), &mut rng);
+    let _ = train(
+        &mut env,
+        &mut agent,
+        TrainerConfig::new(train_episodes),
+        &mut rng,
+    );
+
+    let optimizer = TraditionalOptimizer::new(bundle.db.catalog(), &bundle.stats);
+    const REPEATS: usize = 15;
+    let mut out_rows = Vec::new();
+    for &n in &sizes {
+        // All workload queries of this size.
+        let indices: Vec<usize> = bundle
+            .queries
+            .iter()
+            .enumerate()
+            .filter(|(_, q)| q.relation_count() == n)
+            .map(|(i, _)| i)
+            .collect();
+        // Expert planning time.
+        let mut expert_total = 0.0f64;
+        let mut expert_count = 0usize;
+        for &qi in &indices {
+            for _ in 0..REPEATS {
+                let start = Instant::now();
+                let planned = optimizer.plan(&bundle.queries[qi]).expect("plannable");
+                expert_total += start.elapsed().as_secs_f64() * 1e6;
+                expert_count += 1;
+                std::hint::black_box(planned.cost);
+            }
+        }
+        // ReJOIN inference time: one greedy episode per repeat. Warm the
+        // expert-cost cache first so the timed episodes measure only the
+        // agent's own planning work.
+        let mut rejoin_total = 0.0f64;
+        let mut rejoin_count = 0usize;
+        for &qi in &indices {
+            env.set_order(QueryOrder::Fixed(qi));
+            let _ = agent.run_episode(&mut env, &mut rng, true); // warm-up
+            for _ in 0..REPEATS {
+                let start = Instant::now();
+                let ep = agent.run_episode(&mut env, &mut rng, true);
+                rejoin_total += start.elapsed().as_secs_f64() * 1e6;
+                rejoin_count += 1;
+                std::hint::black_box(ep.len());
+            }
+        }
+        out_rows.push(Fig3cRow {
+            relations: n,
+            expert_us: expert_total / expert_count.max(1) as f64,
+            rejoin_us: rejoin_total / rejoin_count.max(1) as f64,
+        });
+    }
+    let crossover = out_rows
+        .iter()
+        .find(|r| r.rejoin_us < r.expert_us)
+        .map(|r| r.relations);
+    Fig3cResult {
+        rows: out_rows,
+        crossover,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_produces_all_sizes_and_superlinear_expert() {
+        let result = run(300, 40, 3);
+        assert_eq!(result.rows.len(), 14);
+        assert_eq!(result.rows[0].relations, 4);
+        assert_eq!(result.rows[13].relations, 17);
+        assert!(result.rows.iter().all(|r| r.expert_us > 0.0));
+        assert!(result.rows.iter().all(|r| r.rejoin_us > 0.0));
+        // The expert's planning time must grow clearly with query size
+        // (Figure 3c's PostgreSQL curve).
+        let small = result.rows[0].expert_us;
+        let large = result.rows[13].expert_us;
+        assert!(
+            large > 2.0 * small,
+            "expert time not growing: {small:.1}µs → {large:.1}µs"
+        );
+    }
+}

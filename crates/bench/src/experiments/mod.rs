@@ -1,0 +1,13 @@
+//! Experiment implementations, one module per paper artifact.
+
+pub mod bootstrap_exp;
+pub mod common;
+pub mod fig3a;
+pub mod fig3b;
+pub mod fig3c;
+pub mod incremental_exp;
+pub mod latency_overhead;
+pub mod lfd;
+pub mod naive;
+
+pub use common::Scale;

@@ -1,0 +1,25 @@
+//! # hfqo-bench
+//!
+//! The experiment harness: one module (and one binary) per figure or
+//! experimental claim of the paper, plus Criterion micro-benchmarks.
+//!
+//! | Binary | Paper artifact |
+//! |---|---|
+//! | `fig3a` | Figure 3a — ReJOIN convergence vs episodes |
+//! | `fig3b` | Figure 3b — per-query plan cost, expert vs trained ReJOIN |
+//! | `fig3c` | Figure 3c — planning time vs relation count |
+//! | `exp_naive` | §4 "Search Space Size" — full-space tabula rasa ≈ random |
+//! | `exp_latency_overhead` | §4 "Performance Evaluation Overhead" |
+//! | `exp_lfd` | §5.1 learning from demonstration |
+//! | `exp_bootstrap` | §5.2 cost-model bootstrapping (+ scaling ablation) |
+//! | `exp_incremental` | §5.3 pipeline / relations / hybrid curricula |
+//!
+//! Every binary accepts `--seed N`, `--quick` (small workload, short
+//! training; the default) or `--full` (paper-scale), and writes a JSON
+//! result next to its stdout table into `results/`.
+
+pub mod args;
+pub mod experiments;
+pub mod report;
+
+pub use args::RunArgs;

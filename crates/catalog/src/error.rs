@@ -1,0 +1,73 @@
+//! Catalog error types.
+
+use std::fmt;
+
+/// Errors raised by catalog operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CatalogError {
+    /// A table with the given name already exists.
+    DuplicateTable(String),
+    /// An index with the given name already exists.
+    DuplicateIndex(String),
+    /// No table with the given name.
+    UnknownTable(String),
+    /// No table with the given id.
+    UnknownTableId(u32),
+    /// No column with the given name in the named table.
+    UnknownColumn {
+        /// Table searched.
+        table: String,
+        /// Column that was not found.
+        column: String,
+    },
+    /// A column id was out of range for its table.
+    UnknownColumnId {
+        /// Table searched.
+        table: String,
+        /// Out-of-range column position.
+        column: u32,
+    },
+    /// No index with the given id.
+    UnknownIndexId(u32),
+}
+
+impl fmt::Display for CatalogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::DuplicateTable(name) => write!(f, "table `{name}` already exists"),
+            Self::DuplicateIndex(name) => write!(f, "index `{name}` already exists"),
+            Self::UnknownTable(name) => write!(f, "unknown table `{name}`"),
+            Self::UnknownTableId(id) => write!(f, "unknown table id {id}"),
+            Self::UnknownColumn { table, column } => {
+                write!(f, "unknown column `{column}` in table `{table}`")
+            }
+            Self::UnknownColumnId { table, column } => {
+                write!(f, "column position {column} out of range for table `{table}`")
+            }
+            Self::UnknownIndexId(id) => write!(f, "unknown index id {id}"),
+        }
+    }
+}
+
+impl std::error::Error for CatalogError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            CatalogError::UnknownTable("foo".into()).to_string(),
+            "unknown table `foo`"
+        );
+        assert_eq!(
+            CatalogError::UnknownColumn {
+                table: "t".into(),
+                column: "c".into()
+            }
+            .to_string(),
+            "unknown column `c` in table `t`"
+        );
+    }
+}

@@ -1,0 +1,122 @@
+//! Lightweight statistics metadata containers.
+//!
+//! The full statistics machinery (histograms, selectivity estimation) lives
+//! in the `hfqo-stats` crate; this module only defines the plain-old-data
+//! summaries that both the statistics builder and the cost model agree on.
+
+use crate::schema::{ColumnType, TableSchema};
+
+/// Assumed on-disk page size, matching PostgreSQL's 8 KiB blocks.
+pub const PAGE_SIZE_BYTES: f64 = 8192.0;
+
+/// Per-column summary statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnStatsMeta {
+    /// Number of distinct non-null values.
+    pub ndv: f64,
+    /// Minimum value, coerced to `f64` (strings use their length ordering
+    /// proxy; see the stats builder).
+    pub min: f64,
+    /// Maximum value, coerced to `f64`.
+    pub max: f64,
+    /// Fraction of rows that are NULL in this column, in `[0, 1]`.
+    pub null_frac: f64,
+}
+
+impl ColumnStatsMeta {
+    /// Statistics for a column nothing is known about: one distinct value,
+    /// degenerate range, no NULLs. Estimators treat this conservatively.
+    pub fn unknown() -> Self {
+        Self {
+            ndv: 1.0,
+            min: 0.0,
+            max: 0.0,
+            null_frac: 0.0,
+        }
+    }
+}
+
+/// Per-table summary statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableStatsMeta {
+    /// Number of rows in the table.
+    pub row_count: f64,
+    /// Per-column summaries, indexed by column position.
+    pub columns: Vec<ColumnStatsMeta>,
+    /// Estimated width of one row in bytes.
+    pub row_width: f64,
+}
+
+impl TableStatsMeta {
+    /// Builds empty-table statistics shaped to the given schema.
+    pub fn empty_for(schema: &TableSchema) -> Self {
+        Self {
+            row_count: 0.0,
+            columns: vec![ColumnStatsMeta::unknown(); schema.arity()],
+            row_width: estimated_row_width(schema),
+        }
+    }
+
+    /// Number of pages the table occupies at [`PAGE_SIZE_BYTES`].
+    ///
+    /// Never returns less than 1: even an empty table costs one page to
+    /// scan, which keeps the cost model's seq-scan floor positive.
+    pub fn pages(&self) -> f64 {
+        ((self.row_count * self.row_width) / PAGE_SIZE_BYTES).ceil().max(1.0)
+    }
+}
+
+/// Estimated width in bytes of one row of the given schema.
+///
+/// Uses fixed widths per type (text uses a representative average); the cost
+/// model only needs relative magnitudes.
+pub fn estimated_row_width(schema: &TableSchema) -> f64 {
+    schema
+        .columns()
+        .iter()
+        .map(|c| match c.ty() {
+            ColumnType::Int => 8.0,
+            ColumnType::Float => 8.0,
+            ColumnType::Text => 32.0,
+        })
+        .sum::<f64>()
+        .max(8.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Column;
+
+    fn schema() -> TableSchema {
+        TableSchema::new(
+            "t",
+            vec![
+                Column::new("a", ColumnType::Int),
+                Column::new("b", ColumnType::Text),
+            ],
+        )
+    }
+
+    #[test]
+    fn row_width_by_type() {
+        assert_eq!(estimated_row_width(&schema()), 40.0);
+        let empty = TableSchema::new("e", vec![]);
+        assert_eq!(estimated_row_width(&empty), 8.0);
+    }
+
+    #[test]
+    fn pages_floor_is_one() {
+        let mut s = TableStatsMeta::empty_for(&schema());
+        assert_eq!(s.pages(), 1.0);
+        s.row_count = 1_000_000.0;
+        assert!(s.pages() > 1000.0);
+    }
+
+    #[test]
+    fn empty_for_shapes_columns() {
+        let s = TableStatsMeta::empty_for(&schema());
+        assert_eq!(s.columns.len(), 2);
+        assert_eq!(s.columns[0], ColumnStatsMeta::unknown());
+    }
+}

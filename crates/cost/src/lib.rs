@@ -1,0 +1,21 @@
+//! # hfqo-cost
+//!
+//! The cost model `M(t)` of the paper: a PostgreSQL-style analytic model
+//! over physical plans, generic over a [`CardinalitySource`]. Driven by the
+//! histogram estimator it plays the role of the traditional optimizer's
+//! cost model (ReJOIN's reward signal, §3); driven by the true-cardinality
+//! oracle plus a latency parameter set and noise it becomes the *latency
+//! simulator* used wherever the paper executes plans (§4's evaluation
+//! overhead, §5's fine-tuning phases).
+//!
+//! [`CardinalitySource`]: hfqo_stats::CardinalitySource
+
+pub mod latency;
+pub mod model;
+pub mod params;
+pub mod scaling;
+
+pub use latency::LatencyModel;
+pub use model::{CostEstimate, CostModel};
+pub use params::CostParams;
+pub use scaling::RewardScaler;

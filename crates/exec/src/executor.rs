@@ -1,0 +1,303 @@
+//! The plan executor.
+
+use crate::error::ExecError;
+use crate::ops::{agg, join, scan, Budget};
+use crate::row::{Layout, Row};
+use hfqo_query::{PhysicalPlan, PlanNode, QueryGraph};
+use hfqo_storage::Database;
+use std::time::{Duration, Instant};
+
+/// Execution configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecConfig {
+    /// Maximum units of work (row visits + comparisons + emitted rows)
+    /// before the execution aborts. This is the "timeout" that makes
+    /// catastrophic plans cheap to observe instead of hour-long runs.
+    pub work_budget: u64,
+}
+
+impl Default for ExecConfig {
+    fn default() -> Self {
+        // Emitted rows count against the budget, so this also bounds
+        // materialised memory (a few hundred MB worst case at typical row
+        // widths) — large enough for every legitimate workload plan,
+        // small enough that runaway cross joins abort quickly.
+        Self {
+            work_budget: 5_000_000,
+        }
+    }
+}
+
+impl ExecConfig {
+    /// A configuration with the given budget.
+    pub fn with_budget(work_budget: u64) -> Self {
+        Self { work_budget }
+    }
+}
+
+/// Statistics of one execution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExecStats {
+    /// Total units of work performed.
+    pub work: u64,
+    /// Wall-clock time.
+    pub elapsed: Duration,
+}
+
+/// The result of executing a plan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecOutcome {
+    /// Output rows.
+    pub rows: Vec<Row>,
+    /// Output layout (empty/meaningless after aggregation, which reshapes
+    /// rows to group keys + aggregate values).
+    pub layout: Layout,
+    /// Work and timing statistics.
+    pub stats: ExecStats,
+}
+
+/// Executes a physical plan against a database.
+///
+/// The plan is validated first; execution then either completes within the
+/// work budget or aborts with [`ExecError::BudgetExceeded`].
+pub fn execute(
+    db: &Database,
+    graph: &QueryGraph,
+    plan: &PhysicalPlan,
+    config: ExecConfig,
+) -> Result<ExecOutcome, ExecError> {
+    plan.validate(graph)?;
+    let start = Instant::now();
+    let mut budget = Budget::new(config.work_budget);
+    let (rows, layout) = run_node(db, graph, &plan.root, &mut budget)?;
+    Ok(ExecOutcome {
+        rows,
+        layout,
+        stats: ExecStats {
+            work: budget.work,
+            elapsed: start.elapsed(),
+        },
+    })
+}
+
+fn run_node(
+    db: &Database,
+    graph: &QueryGraph,
+    node: &PlanNode,
+    budget: &mut Budget,
+) -> Result<(Vec<Row>, Layout), ExecError> {
+    match node {
+        PlanNode::Scan { rel, path } => scan::scan(db, graph, *rel, path, budget),
+        PlanNode::Join {
+            algo,
+            conds,
+            left,
+            right,
+        } => {
+            let (l_rows, l_layout) = run_node(db, graph, left, budget)?;
+            let (r_rows, r_layout) = run_node(db, graph, right, budget)?;
+            join::join(
+                graph, *algo, conds, &l_rows, &l_layout, &r_rows, &r_layout, budget,
+            )
+        }
+        PlanNode::Aggregate { algo, input } => {
+            let (rows, layout) = run_node(db, graph, input, budget)?;
+            let out = agg::aggregate(graph, *algo, &rows, &layout, budget)?;
+            Ok((out, layout))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hfqo_catalog::{Catalog, Column, ColumnId, ColumnType, IndexKind, TableSchema};
+    use hfqo_query::{
+        AccessPath, AggAlgo, AggExpr, BoundColumn, JoinAlgo, JoinEdge, Lit, RelId, Relation,
+        Selection,
+    };
+    use hfqo_sql::{AggFunc, CompareOp};
+    use hfqo_storage::Value;
+
+    /// Two tables: dim (20 rows, pk) and fact (200 rows, fk = i % 20).
+    fn setup() -> (Database, QueryGraph) {
+        let mut cat = Catalog::new();
+        let dim = cat
+            .add_table(TableSchema::new(
+                "dim",
+                vec![
+                    Column::new("id", ColumnType::Int),
+                    Column::new("attr", ColumnType::Int),
+                ],
+            ))
+            .unwrap();
+        let fact = cat
+            .add_table(TableSchema::new(
+                "fact",
+                vec![
+                    Column::new("id", ColumnType::Int),
+                    Column::new("dim_id", ColumnType::Int),
+                    Column::new("val", ColumnType::Int),
+                ],
+            ))
+            .unwrap();
+        cat.add_index("dim_id_idx", dim, ColumnId(0), IndexKind::BTree, true)
+            .unwrap();
+        let mut db = Database::new(cat);
+        for i in 0..20i64 {
+            db.table_mut(dim)
+                .unwrap()
+                .append_row(&[Value::Int(i), Value::Int(i % 5)])
+                .unwrap();
+        }
+        for i in 0..200i64 {
+            db.table_mut(fact)
+                .unwrap()
+                .append_row(&[Value::Int(i), Value::Int(i % 20), Value::Int(i)])
+                .unwrap();
+        }
+        db.build_indexes().unwrap();
+        let graph = QueryGraph::new(
+            vec![
+                Relation {
+                    table: dim,
+                    alias: "d".into(),
+                },
+                Relation {
+                    table: fact,
+                    alias: "f".into(),
+                },
+            ],
+            vec![JoinEdge {
+                left: BoundColumn::new(RelId(0), ColumnId(0)),
+                op: CompareOp::Eq,
+                right: BoundColumn::new(RelId(1), ColumnId(1)),
+            }],
+            vec![Selection {
+                column: BoundColumn::new(RelId(0), ColumnId(1)),
+                op: CompareOp::Eq,
+                value: Lit::Int(0),
+            }],
+            vec![AggExpr {
+                func: AggFunc::Count,
+                column: None,
+            }],
+            vec![],
+        );
+        (db, graph)
+    }
+
+    fn scan_node(rel: u32) -> PlanNode {
+        PlanNode::Scan {
+            rel: RelId(rel),
+            path: AccessPath::SeqScan,
+        }
+    }
+
+    #[test]
+    fn join_then_aggregate_counts_correctly() {
+        let (db, graph) = setup();
+        // dim.attr = 0 matches ids {0, 5, 10, 15}; each id has 10 fact rows.
+        let plan = PhysicalPlan::new(PlanNode::Aggregate {
+            algo: AggAlgo::Hash,
+            input: Box::new(PlanNode::Join {
+                algo: JoinAlgo::Hash,
+                conds: vec![0],
+                left: Box::new(scan_node(1)),
+                right: Box::new(scan_node(0)),
+            }),
+        });
+        let out = execute(&db, &graph, &plan, ExecConfig::default()).unwrap();
+        assert_eq!(out.rows.len(), 1);
+        assert_eq!(out.rows[0][0], Value::Int(40));
+        assert!(out.stats.work > 0);
+    }
+
+    #[test]
+    fn all_join_algorithms_give_same_count() {
+        let (db, graph) = setup();
+        let mut counts = Vec::new();
+        for algo in [JoinAlgo::NestedLoop, JoinAlgo::Hash, JoinAlgo::Merge] {
+            let plan = PhysicalPlan::new(PlanNode::Join {
+                algo,
+                conds: vec![0],
+                left: Box::new(scan_node(0)),
+                right: Box::new(scan_node(1)),
+            });
+            let out = execute(&db, &graph, &plan, ExecConfig::default()).unwrap();
+            counts.push(out.rows.len());
+        }
+        assert_eq!(counts, vec![40, 40, 40]);
+    }
+
+    #[test]
+    fn budget_aborts_bad_plans_quickly() {
+        let (db, graph) = setup();
+        let cross = PhysicalPlan::new(PlanNode::Join {
+            algo: JoinAlgo::NestedLoop,
+            conds: vec![],
+            left: Box::new(scan_node(0)),
+            right: Box::new(scan_node(1)),
+        });
+        // Cross product would need 4 * 200 = 800 comparisons at minimum.
+        let err = execute(&db, &graph, &cross, ExecConfig::with_budget(300)).unwrap_err();
+        assert!(matches!(err, ExecError::BudgetExceeded { .. }));
+    }
+
+    #[test]
+    fn invalid_plans_rejected_before_running() {
+        let (db, graph) = setup();
+        let incomplete = PhysicalPlan::new(scan_node(0));
+        assert!(matches!(
+            execute(&db, &graph, &incomplete, ExecConfig::default()),
+            Err(ExecError::Plan(_))
+        ));
+    }
+
+    #[test]
+    fn index_scan_plan_executes() {
+        let (db, mut graph) = setup();
+        // Add a pk selection so the index has a driving predicate.
+        graph = QueryGraph::new(
+            graph.relations().to_vec(),
+            graph.joins().to_vec(),
+            vec![Selection {
+                column: BoundColumn::new(RelId(0), ColumnId(0)),
+                op: CompareOp::Lt,
+                value: Lit::Int(10),
+            }],
+            graph.aggregates().to_vec(),
+            vec![],
+        );
+        let plan = PhysicalPlan::new(PlanNode::Join {
+            algo: JoinAlgo::Hash,
+            conds: vec![0],
+            left: Box::new(PlanNode::Scan {
+                rel: RelId(0),
+                path: AccessPath::IndexScan {
+                    index: hfqo_catalog::IndexId(0),
+                    driving_selection: 0,
+                },
+            }),
+            right: Box::new(scan_node(1)),
+        });
+        let out = execute(&db, &graph, &plan, ExecConfig::default()).unwrap();
+        // 10 dim rows × 10 fact rows each.
+        assert_eq!(out.rows.len(), 100);
+    }
+
+    #[test]
+    fn execution_is_deterministic() {
+        let (db, graph) = setup();
+        let plan = PhysicalPlan::new(PlanNode::Join {
+            algo: JoinAlgo::Merge,
+            conds: vec![0],
+            left: Box::new(scan_node(0)),
+            right: Box::new(scan_node(1)),
+        });
+        let a = execute(&db, &graph, &plan, ExecConfig::default()).unwrap();
+        let b = execute(&db, &graph, &plan, ExecConfig::default()).unwrap();
+        assert_eq!(a.rows, b.rows);
+        assert_eq!(a.stats.work, b.stats.work);
+    }
+}

@@ -1,0 +1,29 @@
+//! # hfqo-exec
+//!
+//! A materialising (operator-at-a-time) execution engine for physical
+//! plans: sequential and index scans, nested-loop / hash / merge joins,
+//! and hash / sort aggregation — plus the two facilities the paper's
+//! experiments need from an executor:
+//!
+//! * **Row budgets.** Every operator counts the work it performs against a
+//!   budget; catastrophic plans (the cross-join orders an untrained agent
+//!   emits) abort with [`ExecError::BudgetExceeded`] instead of running for
+//!   hours. This is the mechanism behind reproducing the paper's footnote 2
+//!   ("the initial query plans produced could not be executed in any
+//!   reasonable amount of time").
+//! * **A true-cardinality oracle.** [`TrueCardinality`] executes and
+//!   memoises sub-join counts, implementing `hfqo_stats::CardinalitySource`
+//!   so the cost model can be driven by *actual* intermediate sizes — the
+//!   ingredient the analytic latency model needs to disagree with the
+//!   estimate-driven cost model in a realistic way.
+
+pub mod error;
+pub mod executor;
+pub mod ops;
+pub mod row;
+pub mod truecard;
+
+pub use error::ExecError;
+pub use executor::{execute, ExecConfig, ExecOutcome, ExecStats};
+pub use row::{lit_to_value, Layout, Row};
+pub use truecard::TrueCardinality;

@@ -1,0 +1,310 @@
+//! Aggregation operators.
+
+use crate::error::ExecError;
+use crate::ops::Budget;
+use crate::row::{Layout, Row};
+use hfqo_query::{AggAlgo, QueryError, QueryGraph};
+use hfqo_sql::AggFunc;
+use hfqo_storage::Value;
+use std::collections::HashMap;
+
+/// One aggregate accumulator.
+#[derive(Debug, Clone)]
+enum Acc {
+    Count(u64),
+    Sum(f64),
+    Min(Option<Value>),
+    Max(Option<Value>),
+    Avg { sum: f64, n: u64 },
+}
+
+impl Acc {
+    fn new(func: AggFunc) -> Self {
+        match func {
+            AggFunc::Count => Acc::Count(0),
+            AggFunc::Sum => Acc::Sum(0.0),
+            AggFunc::Min => Acc::Min(None),
+            AggFunc::Max => Acc::Max(None),
+            AggFunc::Avg => Acc::Avg { sum: 0.0, n: 0 },
+        }
+    }
+
+    fn update(&mut self, v: Option<&Value>) -> Result<(), ExecError> {
+        match self {
+            Acc::Count(c) => {
+                // COUNT(*) (v = None) counts rows; COUNT(col) counts
+                // non-null values.
+                match v {
+                    None => *c += 1,
+                    Some(val) if !val.is_null() => *c += 1,
+                    Some(_) => {}
+                }
+            }
+            Acc::Sum(s) => {
+                if let Some(val) = v {
+                    if !val.is_null() {
+                        *s += val.as_float().ok_or_else(|| {
+                            ExecError::BadAggregate(format!("SUM over non-numeric value {val}"))
+                        })?;
+                    }
+                }
+            }
+            Acc::Min(m) => {
+                if let Some(val) = v {
+                    if !val.is_null()
+                        && m.as_ref().is_none_or(|cur| val.total_cmp(cur).is_lt())
+                    {
+                        *m = Some(val.clone());
+                    }
+                }
+            }
+            Acc::Max(m) => {
+                if let Some(val) = v {
+                    if !val.is_null()
+                        && m.as_ref().is_none_or(|cur| val.total_cmp(cur).is_gt())
+                    {
+                        *m = Some(val.clone());
+                    }
+                }
+            }
+            Acc::Avg { sum, n } => {
+                if let Some(val) = v {
+                    if !val.is_null() {
+                        *sum += val.as_float().ok_or_else(|| {
+                            ExecError::BadAggregate(format!("AVG over non-numeric value {val}"))
+                        })?;
+                        *n += 1;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn finish(self) -> Value {
+        match self {
+            Acc::Count(c) => Value::Int(c as i64),
+            Acc::Sum(s) => Value::Float(s),
+            Acc::Min(m) => m.unwrap_or(Value::Null),
+            Acc::Max(m) => m.unwrap_or(Value::Null),
+            Acc::Avg { sum, n } => {
+                if n == 0 {
+                    Value::Null
+                } else {
+                    Value::Float(sum / n as f64)
+                }
+            }
+        }
+    }
+}
+
+/// Executes the aggregation at the plan root: output rows are the GROUP BY
+/// key columns followed by one value per aggregate expression.
+///
+/// Hash and sort aggregation produce the same groups; sort aggregation
+/// additionally emits them in key order (and charges the sort).
+pub fn aggregate(
+    graph: &QueryGraph,
+    algo: AggAlgo,
+    input: &[Row],
+    layout: &Layout,
+    budget: &mut Budget,
+) -> Result<Vec<Row>, ExecError> {
+    let key_slots: Vec<usize> = graph
+        .group_by()
+        .iter()
+        .map(|c| {
+            layout.slot(*c).ok_or_else(|| {
+                QueryError::InvalidPlan(format!("group-by column {c} not in input")).into()
+            })
+        })
+        .collect::<Result<_, ExecError>>()?;
+    let agg_slots: Vec<Option<usize>> = graph
+        .aggregates()
+        .iter()
+        .map(|a| match a.column {
+            None => Ok(None),
+            Some(c) => layout
+                .slot(c)
+                .map(Some)
+                .ok_or_else(|| -> ExecError {
+                    QueryError::InvalidPlan(format!("aggregate column {c} not in input")).into()
+                }),
+        })
+        .collect::<Result<_, ExecError>>()?;
+
+    if algo == AggAlgo::Sort {
+        // Model the sort's cost; grouping itself then proceeds hash-style
+        // over the sorted input (same result, ordered output).
+        budget.charge(input.len() as u64)?;
+    }
+
+    let mut groups: HashMap<Vec<Value>, Vec<Acc>> = HashMap::new();
+    for row in input {
+        budget.charge(1)?;
+        let key: Vec<Value> = key_slots.iter().map(|&s| row[s].clone()).collect();
+        let accs = groups.entry(key).or_insert_with(|| {
+            graph
+                .aggregates()
+                .iter()
+                .map(|a| Acc::new(a.func))
+                .collect()
+        });
+        for (acc, slot) in accs.iter_mut().zip(&agg_slots) {
+            acc.update(slot.map(|s| &row[s]))?;
+        }
+    }
+    // An aggregate over zero rows with no GROUP BY still yields one row
+    // (SQL semantics: COUNT(*) = 0).
+    if groups.is_empty() && key_slots.is_empty() {
+        groups.insert(
+            Vec::new(),
+            graph
+                .aggregates()
+                .iter()
+                .map(|a| Acc::new(a.func))
+                .collect(),
+        );
+    }
+
+    let mut out: Vec<Row> = groups
+        .into_iter()
+        .map(|(mut key, accs)| {
+            key.extend(accs.into_iter().map(Acc::finish));
+            key
+        })
+        .collect();
+    if algo == AggAlgo::Sort {
+        out.sort();
+    }
+    budget.charge(out.len() as u64)?;
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hfqo_catalog::{Catalog, Column, ColumnId, ColumnType, TableId, TableSchema};
+    use hfqo_query::{AggExpr, BoundColumn, RelId, Relation};
+
+    fn setup(group: bool) -> (QueryGraph, Layout) {
+        let mut cat = Catalog::new();
+        cat.add_table(TableSchema::new(
+            "t",
+            vec![
+                Column::new("g", ColumnType::Int),
+                Column::nullable("v", ColumnType::Int),
+            ],
+        ))
+        .unwrap();
+        let graph = QueryGraph::new(
+            vec![Relation {
+                table: TableId(0),
+                alias: "t".into(),
+            }],
+            vec![],
+            vec![],
+            vec![
+                AggExpr {
+                    func: AggFunc::Count,
+                    column: None,
+                },
+                AggExpr {
+                    func: AggFunc::Sum,
+                    column: Some(BoundColumn::new(RelId(0), ColumnId(1))),
+                },
+                AggExpr {
+                    func: AggFunc::Min,
+                    column: Some(BoundColumn::new(RelId(0), ColumnId(1))),
+                },
+                AggExpr {
+                    func: AggFunc::Avg,
+                    column: Some(BoundColumn::new(RelId(0), ColumnId(1))),
+                },
+            ],
+            if group {
+                vec![BoundColumn::new(RelId(0), ColumnId(0))]
+            } else {
+                vec![]
+            },
+        );
+        let layout = Layout::for_rel(RelId(0), &graph, &cat);
+        (graph, layout)
+    }
+
+    fn input() -> Vec<Row> {
+        vec![
+            vec![Value::Int(1), Value::Int(10)],
+            vec![Value::Int(1), Value::Null],
+            vec![Value::Int(2), Value::Int(5)],
+            vec![Value::Int(2), Value::Int(7)],
+        ]
+    }
+
+    #[test]
+    fn global_aggregate() {
+        let (graph, layout) = setup(false);
+        let mut budget = Budget::new(1000);
+        let out = aggregate(&graph, AggAlgo::Hash, &input(), &layout, &mut budget).unwrap();
+        assert_eq!(out.len(), 1);
+        // COUNT(*) = 4, SUM = 22, MIN = 5, AVG = 22/3.
+        assert_eq!(out[0][0], Value::Int(4));
+        assert_eq!(out[0][1], Value::Float(22.0));
+        assert_eq!(out[0][2], Value::Int(5));
+        assert!(matches!(out[0][3], Value::Float(f) if (f - 22.0/3.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn grouped_aggregate_sorted() {
+        let (graph, layout) = setup(true);
+        let mut budget = Budget::new(1000);
+        let out = aggregate(&graph, AggAlgo::Sort, &input(), &layout, &mut budget).unwrap();
+        assert_eq!(out.len(), 2);
+        // Sorted by group key.
+        assert_eq!(out[0][0], Value::Int(1));
+        assert_eq!(out[0][1], Value::Int(2)); // COUNT(*) includes the NULL row
+        assert_eq!(out[1][0], Value::Int(2));
+        assert_eq!(out[1][2], Value::Float(12.0)); // SUM for group 2
+    }
+
+    #[test]
+    fn hash_and_sort_agree() {
+        let (graph, layout) = setup(true);
+        let mut b1 = Budget::new(1000);
+        let mut h = aggregate(&graph, AggAlgo::Hash, &input(), &layout, &mut b1).unwrap();
+        let mut b2 = Budget::new(1000);
+        let s = aggregate(&graph, AggAlgo::Sort, &input(), &layout, &mut b2).unwrap();
+        h.sort();
+        assert_eq!(h, s);
+    }
+
+    #[test]
+    fn empty_input_global_yields_zero_count() {
+        let (graph, layout) = setup(false);
+        let mut budget = Budget::new(1000);
+        let out = aggregate(&graph, AggAlgo::Hash, &[], &layout, &mut budget).unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0][0], Value::Int(0));
+        assert!(out[0][2].is_null()); // MIN of nothing
+        assert!(out[0][3].is_null()); // AVG of nothing
+    }
+
+    #[test]
+    fn empty_input_grouped_yields_no_rows() {
+        let (graph, layout) = setup(true);
+        let mut budget = Budget::new(1000);
+        let out = aggregate(&graph, AggAlgo::Sort, &[], &layout, &mut budget).unwrap();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn sum_over_text_errors() {
+        let (graph, layout) = setup(false);
+        let rows = vec![vec![Value::Int(1), Value::str("oops")]];
+        let mut budget = Budget::new(1000);
+        // Build a layout-compatible row with a string where SUM expects a
+        // number; the executor reports BadAggregate.
+        let err = aggregate(&graph, AggAlgo::Hash, &rows, &layout, &mut budget).unwrap_err();
+        assert!(matches!(err, ExecError::BadAggregate(_)));
+    }
+}

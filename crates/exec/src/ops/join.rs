@@ -1,0 +1,341 @@
+//! Join operators: nested loops, hash, and sort-merge.
+
+use crate::error::ExecError;
+use crate::ops::{eval_cmp, Budget};
+use crate::row::{Layout, Row};
+use hfqo_query::{JoinAlgo, QueryError, QueryGraph};
+use hfqo_sql::CompareOp;
+use hfqo_storage::Value;
+use std::collections::HashMap;
+
+/// A join condition resolved to row slots: `left_rows[l_slot] <op>
+/// right_rows[r_slot]`.
+#[derive(Debug, Clone, Copy)]
+struct SlotCond {
+    l_slot: usize,
+    r_slot: usize,
+    op: CompareOp,
+}
+
+fn resolve_conds(
+    graph: &QueryGraph,
+    conds: &[usize],
+    left: &Layout,
+    right: &Layout,
+) -> Result<Vec<SlotCond>, ExecError> {
+    conds
+        .iter()
+        .map(|&c| {
+            let edge = graph
+                .joins()
+                .get(c)
+                .ok_or_else(|| QueryError::InvalidPlan(format!("join cond #{c} out of range")))?;
+            if let (Some(l), Some(r)) = (left.slot(edge.left), right.slot(edge.right)) {
+                Ok(SlotCond {
+                    l_slot: l,
+                    r_slot: r,
+                    op: edge.op,
+                })
+            } else if let (Some(l), Some(r)) = (left.slot(edge.right), right.slot(edge.left)) {
+                Ok(SlotCond {
+                    l_slot: l,
+                    r_slot: r,
+                    op: edge.op.flipped(),
+                })
+            } else {
+                Err(QueryError::InvalidPlan(format!(
+                    "join cond #{c} does not span the two inputs"
+                ))
+                .into())
+            }
+        })
+        .collect()
+}
+
+/// Executes a join of two materialised inputs.
+#[allow(clippy::too_many_arguments)]
+pub fn join(
+    graph: &QueryGraph,
+    algo: JoinAlgo,
+    conds: &[usize],
+    left_rows: &[Row],
+    left_layout: &Layout,
+    right_rows: &[Row],
+    right_layout: &Layout,
+    budget: &mut Budget,
+) -> Result<(Vec<Row>, Layout), ExecError> {
+    let out_layout = left_layout.concat(right_layout);
+    let slot_conds = resolve_conds(graph, conds, left_layout, right_layout)?;
+    let mut out: Vec<Row> = Vec::new();
+
+    let emit = |l: &Row, r: &Row, out: &mut Vec<Row>| {
+        let mut row = Vec::with_capacity(l.len() + r.len());
+        row.extend_from_slice(l);
+        row.extend_from_slice(r);
+        out.push(row);
+    };
+
+    match algo {
+        JoinAlgo::NestedLoop => {
+            for l in left_rows {
+                for r in right_rows {
+                    budget.charge(1)?;
+                    if slot_conds
+                        .iter()
+                        .all(|c| eval_cmp(c.op, &l[c.l_slot], &r[c.r_slot]))
+                    {
+                        emit(l, r, &mut out);
+                    }
+                }
+            }
+        }
+        JoinAlgo::Hash => {
+            let key = first_eq(&slot_conds).ok_or_else(|| {
+                QueryError::InvalidPlan("hash join requires an equality condition".into())
+            })?;
+            // Build on the right input.
+            let mut table: HashMap<&Value, Vec<usize>> = HashMap::new();
+            for (i, r) in right_rows.iter().enumerate() {
+                budget.charge(1)?;
+                let k = &r[key.r_slot];
+                if !k.is_null() {
+                    table.entry(k).or_default().push(i);
+                }
+            }
+            // Probe with the left input.
+            for l in left_rows {
+                budget.charge(1)?;
+                let k = &l[key.l_slot];
+                if k.is_null() {
+                    continue;
+                }
+                if let Some(matches) = table.get(k) {
+                    for &i in matches {
+                        budget.charge(1)?;
+                        let r = &right_rows[i];
+                        if slot_conds
+                            .iter()
+                            .all(|c| eval_cmp(c.op, &l[c.l_slot], &r[c.r_slot]))
+                        {
+                            emit(l, r, &mut out);
+                        }
+                    }
+                }
+            }
+        }
+        JoinAlgo::Merge => {
+            let key = first_eq(&slot_conds).ok_or_else(|| {
+                QueryError::InvalidPlan("merge join requires an equality condition".into())
+            })?;
+            // Sort index vectors by key (non-null keys only; NULL never
+            // matches an equality).
+            let mut li: Vec<usize> = (0..left_rows.len())
+                .filter(|&i| !left_rows[i][key.l_slot].is_null())
+                .collect();
+            let mut ri: Vec<usize> = (0..right_rows.len())
+                .filter(|&i| !right_rows[i][key.r_slot].is_null())
+                .collect();
+            let sort_work = (li.len() + ri.len()) as u64;
+            budget.charge(sort_work.max(1))?;
+            li.sort_by(|&a, &b| left_rows[a][key.l_slot].total_cmp(&left_rows[b][key.l_slot]));
+            ri.sort_by(|&a, &b| right_rows[a][key.r_slot].total_cmp(&right_rows[b][key.r_slot]));
+            let (mut i, mut j) = (0usize, 0usize);
+            while i < li.len() && j < ri.len() {
+                budget.charge(1)?;
+                let lv = &left_rows[li[i]][key.l_slot];
+                let rv = &right_rows[ri[j]][key.r_slot];
+                match lv.total_cmp(rv) {
+                    std::cmp::Ordering::Less => i += 1,
+                    std::cmp::Ordering::Greater => j += 1,
+                    std::cmp::Ordering::Equal => {
+                        // Find the equal blocks on both sides.
+                        let i_end = (i..li.len())
+                            .take_while(|&x| left_rows[li[x]][key.l_slot] == *lv)
+                            .last()
+                            .unwrap_or(i)
+                            + 1;
+                        let j_end = (j..ri.len())
+                            .take_while(|&x| right_rows[ri[x]][key.r_slot] == *rv)
+                            .last()
+                            .unwrap_or(j)
+                            + 1;
+                        for &lx in &li[i..i_end] {
+                            for &rx in &ri[j..j_end] {
+                                budget.charge(1)?;
+                                let l = &left_rows[lx];
+                                let r = &right_rows[rx];
+                                if slot_conds
+                                    .iter()
+                                    .all(|c| eval_cmp(c.op, &l[c.l_slot], &r[c.r_slot]))
+                                {
+                                    emit(l, r, &mut out);
+                                }
+                            }
+                        }
+                        i = i_end;
+                        j = j_end;
+                    }
+                }
+            }
+        }
+    }
+    budget.charge(out.len() as u64)?;
+    Ok((out, out_layout))
+}
+
+fn first_eq(conds: &[SlotCond]) -> Option<SlotCond> {
+    conds.iter().copied().find(|c| c.op == CompareOp::Eq)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hfqo_catalog::{Catalog, Column, ColumnId, ColumnType, TableId, TableSchema};
+    use hfqo_query::{BoundColumn, JoinEdge, RelId, Relation};
+
+    fn setup() -> (QueryGraph, Layout, Layout) {
+        let mut cat = Catalog::new();
+        for n in ["a", "b"] {
+            cat.add_table(TableSchema::new(
+                n,
+                vec![
+                    Column::new("k", ColumnType::Int),
+                    Column::new("v", ColumnType::Int),
+                ],
+            ))
+            .unwrap();
+        }
+        let graph = QueryGraph::new(
+            vec![
+                Relation {
+                    table: TableId(0),
+                    alias: "a".into(),
+                },
+                Relation {
+                    table: TableId(1),
+                    alias: "b".into(),
+                },
+            ],
+            vec![JoinEdge {
+                left: BoundColumn::new(RelId(0), ColumnId(0)),
+                op: CompareOp::Eq,
+                right: BoundColumn::new(RelId(1), ColumnId(0)),
+            }],
+            vec![],
+            vec![],
+            vec![],
+        );
+        let la = Layout::for_rel(RelId(0), &graph, &cat);
+        let lb = Layout::for_rel(RelId(1), &graph, &cat);
+        (graph, la, lb)
+    }
+
+    fn rows(pairs: &[(i64, i64)]) -> Vec<Row> {
+        pairs
+            .iter()
+            .map(|&(k, v)| vec![Value::Int(k), Value::Int(v)])
+            .collect()
+    }
+
+    fn run(algo: JoinAlgo, conds: Vec<usize>) -> Vec<Row> {
+        let (graph, la, lb) = setup();
+        let left = rows(&[(1, 10), (2, 20), (2, 21), (3, 30)]);
+        let right = rows(&[(2, 200), (3, 300), (3, 301), (4, 400)]);
+        let mut budget = Budget::new(1_000_000);
+        let (mut out, layout) =
+            join(&graph, algo, &conds, &left, &la, &right, &lb, &mut budget).unwrap();
+        assert_eq!(layout.width(), 4);
+        out.sort();
+        out
+    }
+
+    #[test]
+    fn all_algorithms_agree() {
+        let nl = run(JoinAlgo::NestedLoop, vec![0]);
+        let hash = run(JoinAlgo::Hash, vec![0]);
+        let merge = run(JoinAlgo::Merge, vec![0]);
+        // k=2 matches 2 left × 1 right, k=3 matches 1 × 2 → 4 rows.
+        assert_eq!(nl.len(), 4);
+        assert_eq!(nl, hash);
+        assert_eq!(nl, merge);
+    }
+
+    #[test]
+    fn cross_join_via_nested_loop() {
+        let out = run(JoinAlgo::NestedLoop, vec![]);
+        assert_eq!(out.len(), 16);
+    }
+
+    #[test]
+    fn hash_without_equality_errors() {
+        let (graph, la, lb) = setup();
+        let mut budget = Budget::new(1000);
+        let err = join(
+            &graph,
+            JoinAlgo::Hash,
+            &[],
+            &rows(&[(1, 1)]),
+            &la,
+            &rows(&[(1, 1)]),
+            &lb,
+            &mut budget,
+        )
+        .unwrap_err();
+        assert!(matches!(err, ExecError::Plan(_)));
+    }
+
+    #[test]
+    fn nulls_never_match() {
+        let (graph, la, lb) = setup();
+        let left = vec![vec![Value::Null, Value::Int(1)], vec![Value::Int(2), Value::Int(2)]];
+        let right = vec![vec![Value::Null, Value::Int(9)], vec![Value::Int(2), Value::Int(8)]];
+        for algo in [JoinAlgo::NestedLoop, JoinAlgo::Hash, JoinAlgo::Merge] {
+            let mut budget = Budget::new(100_000);
+            let (out, _) =
+                join(&graph, algo, &[0], &left, &la, &right, &lb, &mut budget).unwrap();
+            assert_eq!(out.len(), 1, "{algo:?}");
+            assert_eq!(out[0][0], Value::Int(2));
+        }
+    }
+
+    #[test]
+    fn budget_aborts_cross_join() {
+        let (graph, la, lb) = setup();
+        let left = rows(&(0..100).map(|i| (i, i)).collect::<Vec<_>>());
+        let right = rows(&(0..100).map(|i| (i, i)).collect::<Vec<_>>());
+        let mut budget = Budget::new(500);
+        let err = join(
+            &graph,
+            JoinAlgo::NestedLoop,
+            &[],
+            &left,
+            &la,
+            &right,
+            &lb,
+            &mut budget,
+        )
+        .unwrap_err();
+        assert!(matches!(err, ExecError::BudgetExceeded { .. }));
+    }
+
+    #[test]
+    fn reversed_layout_flips_condition() {
+        // Join with b as the left input: the condition must flip.
+        let (graph, la, lb) = setup();
+        let left = rows(&[(2, 200)]);
+        let right = rows(&[(2, 20)]);
+        let mut budget = Budget::new(1000);
+        let (out, _) = join(
+            &graph,
+            JoinAlgo::Hash,
+            &[0],
+            &left,
+            &lb,
+            &right,
+            &la,
+            &mut budget,
+        )
+        .unwrap();
+        assert_eq!(out.len(), 1);
+    }
+}

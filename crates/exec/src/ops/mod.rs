@@ -1,0 +1,86 @@
+//! Physical operators.
+//!
+//! All operators are materialising: they consume whole input row vectors
+//! and produce whole output row vectors, charging every unit of work
+//! against the executor's budget. Blocking operators keep the engine small
+//! and make work accounting exact, which the budget semantics rely on.
+
+pub mod agg;
+pub mod join;
+pub mod scan;
+
+use crate::error::ExecError;
+use hfqo_sql::CompareOp;
+use hfqo_storage::Value;
+use std::cmp::Ordering;
+
+/// Evaluates a SQL comparison with three-valued logic collapsed to a
+/// boolean (NULL comparisons are false, as in a WHERE clause).
+#[inline]
+pub fn eval_cmp(op: CompareOp, a: &Value, b: &Value) -> bool {
+    match a.sql_cmp(b) {
+        None => false,
+        Some(ord) => match op {
+            CompareOp::Eq => ord == Ordering::Equal,
+            CompareOp::Neq => ord != Ordering::Equal,
+            CompareOp::Lt => ord == Ordering::Less,
+            CompareOp::Le => ord != Ordering::Greater,
+            CompareOp::Gt => ord == Ordering::Greater,
+            CompareOp::Ge => ord != Ordering::Less,
+        },
+    }
+}
+
+/// Work-budget accountant shared by all operators.
+#[derive(Debug)]
+pub struct Budget {
+    /// Work performed so far (row visits, comparisons, emitted rows).
+    pub work: u64,
+    /// Maximum allowed work.
+    pub limit: u64,
+}
+
+impl Budget {
+    /// A budget with the given limit.
+    pub fn new(limit: u64) -> Self {
+        Self { work: 0, limit }
+    }
+
+    /// Charges `n` units, failing when the budget is exhausted.
+    #[inline]
+    pub fn charge(&mut self, n: u64) -> Result<(), ExecError> {
+        self.work += n;
+        if self.work > self.limit {
+            Err(ExecError::BudgetExceeded {
+                work_done: self.work,
+                budget: self.limit,
+            })
+        } else {
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cmp_semantics() {
+        assert!(eval_cmp(CompareOp::Eq, &Value::Int(1), &Value::Int(1)));
+        assert!(eval_cmp(CompareOp::Lt, &Value::Int(1), &Value::Int(2)));
+        assert!(eval_cmp(CompareOp::Ge, &Value::Int(2), &Value::Int(2)));
+        assert!(!eval_cmp(CompareOp::Eq, &Value::Null, &Value::Null));
+        assert!(!eval_cmp(CompareOp::Neq, &Value::Null, &Value::Int(1)));
+        assert!(eval_cmp(CompareOp::Neq, &Value::str("a"), &Value::str("b")));
+    }
+
+    #[test]
+    fn budget_charges_and_trips() {
+        let mut b = Budget::new(10);
+        assert!(b.charge(5).is_ok());
+        assert!(b.charge(5).is_ok());
+        let err = b.charge(1).unwrap_err();
+        assert!(matches!(err, ExecError::BudgetExceeded { work_done: 11, budget: 10 }));
+    }
+}

@@ -1,0 +1,289 @@
+//! Execution-backed true cardinalities.
+
+use crate::error::ExecError;
+use crate::executor::ExecConfig;
+use hfqo_query::{
+    AccessPath, JoinAlgo, PhysicalPlan, PlanNode, QueryGraph, RelId, RelSet,
+};
+use hfqo_sql::CompareOp;
+use hfqo_stats::CardinalitySource;
+use hfqo_storage::Database;
+use std::cell::RefCell;
+use std::collections::HashMap;
+
+/// A [`CardinalitySource`] that *executes* sub-joins to count their true
+/// output sizes, memoising per relation subset.
+///
+/// One oracle is bound to one query: construct it per [`QueryGraph`] (the
+/// memo is keyed by [`RelSet`], which is only meaningful within a single
+/// query). Counting plans are built greedily along join edges and run with
+/// a work budget; a subset whose true size busts the budget reports the
+/// budget itself — a deliberate floor that keeps catastrophic plans
+/// looking catastrophic without unbounded counting work.
+pub struct TrueCardinality<'a> {
+    db: &'a Database,
+    config: ExecConfig,
+    cache: RefCell<HashMap<RelSet, f64>>,
+}
+
+impl<'a> TrueCardinality<'a> {
+    /// Creates an oracle for queries against `db`.
+    ///
+    /// Uses a 1M-unit counting budget: tight enough that a catastrophic
+    /// subset aborts in milliseconds (reporting the budget as a floor),
+    /// generous enough that every sane sub-join at experiment scales
+    /// counts exactly.
+    pub fn new(db: &'a Database) -> Self {
+        Self {
+            db,
+            config: ExecConfig::with_budget(1_000_000),
+            cache: RefCell::new(HashMap::new()),
+        }
+    }
+
+    /// Overrides the counting budget.
+    pub fn with_config(db: &'a Database, config: ExecConfig) -> Self {
+        Self {
+            db,
+            config,
+            cache: RefCell::new(HashMap::new()),
+        }
+    }
+
+    /// Number of memoised subsets.
+    pub fn cached_subsets(&self) -> usize {
+        self.cache.borrow().len()
+    }
+
+    /// Builds a counting plan for `set`: a left-deep tree joined greedily
+    /// along join edges (hash joins where an equality edge exists, nested
+    /// loops otherwise).
+    fn counting_plan(&self, graph: &QueryGraph, set: RelSet) -> PhysicalPlan {
+        let mut remaining: Vec<RelId> = set.iter().collect();
+        // Start from the relation with the most selections (cheap side).
+        let first = remaining[0];
+        let mut covered = RelSet::single(first);
+        remaining.retain(|&r| r != first);
+        let mut node = PlanNode::Scan {
+            rel: first,
+            path: AccessPath::SeqScan,
+        };
+        while !remaining.is_empty() {
+            // Prefer a relation connected to the covered set.
+            let pos = remaining
+                .iter()
+                .position(|&r| graph.sets_connected(covered, RelSet::single(r)))
+                .unwrap_or(0);
+            let next = remaining.remove(pos);
+            let conds = graph.joins_between(covered, RelSet::single(next));
+            let has_eq = conds
+                .iter()
+                .any(|&c| graph.joins()[c].op == CompareOp::Eq);
+            let algo = if has_eq { JoinAlgo::Hash } else { JoinAlgo::NestedLoop };
+            node = PlanNode::Join {
+                algo,
+                conds,
+                left: Box::new(node),
+                right: Box::new(PlanNode::Scan {
+                    rel: next,
+                    path: AccessPath::SeqScan,
+                }),
+            };
+            covered.insert(next);
+        }
+        PhysicalPlan::new(node)
+    }
+
+    fn count(&self, graph: &QueryGraph, set: RelSet) -> f64 {
+        if let Some(&v) = self.cache.borrow().get(&set) {
+            return v;
+        }
+        let plan = self.counting_plan(graph, set);
+        // The counting plan covers only `set`; validate against a full
+        // graph would fail, so run the node directly via a sub-execution:
+        // we temporarily treat the subset plan as complete by skipping
+        // validation through the public API. Instead, count with the same
+        // machinery `execute` uses but tolerate partial coverage.
+        let rows = match self.count_unvalidated(graph, &plan) {
+            Ok(n) => n,
+            Err(ExecError::BudgetExceeded { budget, .. }) => budget as f64,
+            Err(_) => 0.0,
+        };
+        self.cache.borrow_mut().insert(set, rows);
+        rows
+    }
+
+    fn count_unvalidated(
+        &self,
+        graph: &QueryGraph,
+        plan: &PhysicalPlan,
+    ) -> Result<f64, ExecError> {
+        // Subset plans are structurally valid by construction (each
+        // relation scanned once, conditions span inputs), so bypass the
+        // full-coverage validation `execute` performs by wrapping the
+        // query graph check: run the node tree directly.
+        let out = execute_subset(self.db, graph, plan, self.config)?;
+        Ok(out as f64)
+    }
+}
+
+/// Executes a plan that may cover only a subset of the graph's relations,
+/// returning the output row count.
+fn execute_subset(
+    db: &Database,
+    graph: &QueryGraph,
+    plan: &PhysicalPlan,
+    config: ExecConfig,
+) -> Result<usize, ExecError> {
+    // `execute` validates full coverage; replicate its machinery on the
+    // node level for subset counting.
+    use crate::ops::Budget;
+    fn run(
+        db: &Database,
+        graph: &QueryGraph,
+        node: &PlanNode,
+        budget: &mut Budget,
+    ) -> Result<(Vec<crate::row::Row>, crate::row::Layout), ExecError> {
+        match node {
+            PlanNode::Scan { rel, path } => crate::ops::scan::scan(db, graph, *rel, path, budget),
+            PlanNode::Join {
+                algo,
+                conds,
+                left,
+                right,
+            } => {
+                let (l_rows, l_layout) = run(db, graph, left, budget)?;
+                let (r_rows, r_layout) = run(db, graph, right, budget)?;
+                crate::ops::join::join(
+                    graph, *algo, conds, &l_rows, &l_layout, &r_rows, &r_layout, budget,
+                )
+            }
+            PlanNode::Aggregate { algo, input } => {
+                let (rows, layout) = run(db, graph, input, budget)?;
+                let out = crate::ops::agg::aggregate(graph, *algo, &rows, &layout, budget)?;
+                Ok((out, layout))
+            }
+        }
+    }
+    let mut budget = Budget::new(config.work_budget);
+    let (rows, _) = run(db, graph, &plan.root, &mut budget)?;
+    Ok(rows.len())
+}
+
+impl CardinalitySource for TrueCardinality<'_> {
+    fn base_rows(&self, graph: &QueryGraph, rel: RelId) -> f64 {
+        self.count(graph, RelSet::single(rel)).max(0.0)
+    }
+
+    fn set_rows(&self, graph: &QueryGraph, set: RelSet) -> f64 {
+        if set.is_empty() {
+            return 0.0;
+        }
+        self.count(graph, set)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hfqo_catalog::{Catalog, Column, ColumnId, ColumnType, TableSchema};
+    use hfqo_query::{BoundColumn, JoinEdge, Lit, Relation, Selection};
+    use hfqo_storage::Value;
+
+    /// dim: 10 rows; fact: 100 rows, fk = i % 10; selection keeps half of
+    /// dim.
+    fn setup() -> (Database, QueryGraph) {
+        let mut cat = Catalog::new();
+        let dim = cat
+            .add_table(TableSchema::new(
+                "dim",
+                vec![Column::new("id", ColumnType::Int)],
+            ))
+            .unwrap();
+        let fact = cat
+            .add_table(TableSchema::new(
+                "fact",
+                vec![
+                    Column::new("id", ColumnType::Int),
+                    Column::new("dim_id", ColumnType::Int),
+                ],
+            ))
+            .unwrap();
+        let mut db = Database::new(cat);
+        for i in 0..10i64 {
+            db.table_mut(dim).unwrap().append_row(&[Value::Int(i)]).unwrap();
+        }
+        for i in 0..100i64 {
+            db.table_mut(fact)
+                .unwrap()
+                .append_row(&[Value::Int(i), Value::Int(i % 10)])
+                .unwrap();
+        }
+        let graph = QueryGraph::new(
+            vec![
+                Relation {
+                    table: dim,
+                    alias: "d".into(),
+                },
+                Relation {
+                    table: fact,
+                    alias: "f".into(),
+                },
+            ],
+            vec![JoinEdge {
+                left: BoundColumn::new(RelId(0), ColumnId(0)),
+                op: CompareOp::Eq,
+                right: BoundColumn::new(RelId(1), ColumnId(1)),
+            }],
+            vec![Selection {
+                column: BoundColumn::new(RelId(0), ColumnId(0)),
+                op: CompareOp::Lt,
+                value: Lit::Int(5),
+            }],
+            vec![],
+            vec![],
+        );
+        (db, graph)
+    }
+
+    #[test]
+    fn base_rows_are_exact() {
+        let (db, graph) = setup();
+        let oracle = TrueCardinality::new(&db);
+        assert_eq!(oracle.base_rows(&graph, RelId(0)), 5.0);
+        assert_eq!(oracle.base_rows(&graph, RelId(1)), 100.0);
+    }
+
+    #[test]
+    fn join_rows_are_exact() {
+        let (db, graph) = setup();
+        let oracle = TrueCardinality::new(&db);
+        // 5 dims × 10 fact rows each.
+        assert_eq!(oracle.set_rows(&graph, RelSet::full(2)), 50.0);
+    }
+
+    #[test]
+    fn results_are_memoised() {
+        let (db, graph) = setup();
+        let oracle = TrueCardinality::new(&db);
+        let _ = oracle.set_rows(&graph, RelSet::full(2));
+        let n = oracle.cached_subsets();
+        let _ = oracle.set_rows(&graph, RelSet::full(2));
+        assert_eq!(oracle.cached_subsets(), n);
+    }
+
+    #[test]
+    fn budget_caps_runaway_counts() {
+        let (db, graph) = setup();
+        let oracle = TrueCardinality::with_config(&db, ExecConfig::with_budget(20));
+        let capped = oracle.set_rows(&graph, RelSet::full(2));
+        assert_eq!(capped, 20.0);
+    }
+
+    #[test]
+    fn empty_set_is_zero() {
+        let (db, graph) = setup();
+        let oracle = TrueCardinality::new(&db);
+        assert_eq!(oracle.set_rows(&graph, RelSet::EMPTY), 0.0);
+    }
+}

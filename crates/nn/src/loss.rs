@@ -1,0 +1,181 @@
+//! Losses and policy heads.
+
+use crate::matrix::Matrix;
+
+/// Numerically-stable softmax over one logits row, restricted to the
+/// positions where `mask` is `true`. Masked positions get probability 0.
+///
+/// Action masking is how the agents keep the fixed-width `n_max²` action
+/// layer valid for smaller queries: invalid pair actions are masked out
+/// before sampling.
+pub fn masked_softmax(logits: &[f32], mask: &[bool]) -> Vec<f32> {
+    debug_assert_eq!(logits.len(), mask.len());
+    let mut max = f32::NEG_INFINITY;
+    for (l, &m) in logits.iter().zip(mask) {
+        if m && *l > max {
+            max = *l;
+        }
+    }
+    if max == f32::NEG_INFINITY {
+        // Nothing valid: return all zeros; callers treat this as a bug in
+        // the mask (environments always expose at least one action).
+        return vec![0.0; logits.len()];
+    }
+    let mut out = vec![0.0f32; logits.len()];
+    let mut sum = 0.0f32;
+    for i in 0..logits.len() {
+        if mask[i] {
+            let e = (logits[i] - max).exp();
+            out[i] = e;
+            sum += e;
+        }
+    }
+    if sum > 0.0 {
+        for x in &mut out {
+            *x /= sum;
+        }
+    }
+    out
+}
+
+/// Gradient of `-log π(action)` w.r.t. the logits row, scaled by
+/// `advantage`: the REINFORCE policy-gradient contribution
+/// `(π − onehot(action)) · advantage`, with masked positions zeroed.
+pub fn policy_gradient(
+    logits: &[f32],
+    mask: &[bool],
+    action: usize,
+    advantage: f32,
+) -> Vec<f32> {
+    let probs = masked_softmax(logits, mask);
+    let mut grad = probs;
+    grad[action] -= 1.0;
+    for (g, &m) in grad.iter_mut().zip(mask) {
+        if m {
+            *g *= advantage;
+        } else {
+            *g = 0.0;
+        }
+    }
+    grad
+}
+
+/// Cross-entropy loss and logits gradient against a target action
+/// (imitation learning): returns `(loss, grad)` where
+/// `loss = −log π(target)`.
+pub fn cross_entropy_grad(logits: &[f32], mask: &[bool], target: usize) -> (f32, Vec<f32>) {
+    let probs = masked_softmax(logits, mask);
+    let p = probs[target].max(1e-12);
+    let loss = -p.ln();
+    let mut grad = probs;
+    grad[target] -= 1.0;
+    for (g, &m) in grad.iter_mut().zip(mask) {
+        if !m {
+            *g = 0.0;
+        }
+    }
+    (loss, grad)
+}
+
+/// Mean-squared-error loss and gradient for a batch of scalar predictions:
+/// returns `(loss, grad_matrix)` with `grad = 2 (pred − target) / n`.
+pub fn mse_grad(predictions: &Matrix, targets: &[f32]) -> (f32, Matrix) {
+    debug_assert_eq!(predictions.rows(), targets.len());
+    debug_assert_eq!(predictions.cols(), 1);
+    let n = targets.len().max(1) as f32;
+    let mut grad = Matrix::zeros(predictions.rows(), 1);
+    let mut loss = 0.0f32;
+    for i in 0..predictions.rows() {
+        let diff = predictions.get(i, 0) - targets[i];
+        loss += diff * diff;
+        grad.set(i, 0, 2.0 * diff / n);
+    }
+    (loss / n, grad)
+}
+
+/// Entropy of a (masked) probability distribution, in nats. Used for
+/// exploration bonuses.
+pub fn entropy(probs: &[f32]) -> f32 {
+    probs
+        .iter()
+        .filter(|&&p| p > 0.0)
+        .map(|&p| -p * p.ln())
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn softmax_sums_to_one_over_mask() {
+        let logits = vec![1.0, 2.0, 3.0, 4.0];
+        let mask = vec![true, false, true, true];
+        let p = masked_softmax(&logits, &mask);
+        assert_eq!(p[1], 0.0);
+        let sum: f32 = p.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-6);
+        // Higher logits → higher probability.
+        assert!(p[3] > p[2] && p[2] > p[0]);
+    }
+
+    #[test]
+    fn softmax_handles_extreme_logits() {
+        let logits = vec![1000.0, -1000.0];
+        let mask = vec![true, true];
+        let p = masked_softmax(&logits, &mask);
+        assert!((p[0] - 1.0).abs() < 1e-6);
+        assert!(p[1] < 1e-6);
+        assert!(p.iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn softmax_all_masked_is_zero() {
+        let p = masked_softmax(&[1.0, 2.0], &[false, false]);
+        assert_eq!(p, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn policy_gradient_direction() {
+        let logits = vec![0.0, 0.0, 0.0];
+        let mask = vec![true, true, true];
+        // Positive advantage: chosen action's gradient is negative
+        // (gradient descent increases its logit).
+        let g = policy_gradient(&logits, &mask, 1, 1.0);
+        assert!(g[1] < 0.0);
+        assert!(g[0] > 0.0 && g[2] > 0.0);
+        // Negative advantage flips the direction.
+        let g = policy_gradient(&logits, &mask, 1, -1.0);
+        assert!(g[1] > 0.0);
+    }
+
+    #[test]
+    fn cross_entropy_decreases_with_confidence() {
+        let mask = vec![true, true];
+        let (hi_loss, _) = cross_entropy_grad(&[0.0, 0.0], &mask, 0);
+        let (lo_loss, _) = cross_entropy_grad(&[5.0, 0.0], &mask, 0);
+        assert!(lo_loss < hi_loss);
+        // Gradient pushes the target logit up.
+        let (_, g) = cross_entropy_grad(&[0.0, 0.0], &mask, 0);
+        assert!(g[0] < 0.0 && g[1] > 0.0);
+    }
+
+    #[test]
+    fn mse_on_perfect_prediction_is_zero() {
+        let preds = Matrix::from_vec(3, 1, vec![1.0, 2.0, 3.0]);
+        let (loss, grad) = mse_grad(&preds, &[1.0, 2.0, 3.0]);
+        assert_eq!(loss, 0.0);
+        assert!(grad.data().iter().all(|&g| g == 0.0));
+        let (loss2, grad2) = mse_grad(&preds, &[0.0, 2.0, 3.0]);
+        assert!(loss2 > 0.0);
+        assert!(grad2.get(0, 0) > 0.0);
+    }
+
+    #[test]
+    fn entropy_maximal_for_uniform() {
+        let uniform = vec![0.25; 4];
+        let peaked = vec![0.97, 0.01, 0.01, 0.01];
+        assert!(entropy(&uniform) > entropy(&peaked));
+        assert!((entropy(&uniform) - (4.0f32).ln()).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,231 @@
+//! Row-major `f32` matrices.
+
+/// A dense row-major matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Matrix {
+    /// A zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// A matrix from row-major data.
+    ///
+    /// Panics if `data.len() != rows * cols` (constructor misuse is a
+    /// programming error, not a runtime condition).
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), rows * cols, "matrix data length mismatch");
+        Self { rows, cols, data }
+    }
+
+    /// A 1×n row vector.
+    pub fn row_vector(data: Vec<f32>) -> Self {
+        let cols = data.len();
+        Self {
+            rows: 1,
+            cols,
+            data,
+        }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// The underlying row-major slice.
+    #[inline]
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable access to the underlying slice.
+    #[inline]
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Element access.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    /// Element write.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// One row as a slice.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f32] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// `self @ other` (`[m×k] @ [k×n] → [m×n]`).
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.rows, "matmul shape mismatch");
+        let (m, k, n) = (self.rows, self.cols, other.cols);
+        let mut out = Matrix::zeros(m, n);
+        // ikj loop order: the inner loop walks both `other` and `out`
+        // contiguously, which is the cache-friendly ordering for row-major
+        // data.
+        for i in 0..m {
+            for p in 0..k {
+                let a = self.data[i * k + p];
+                if a == 0.0 {
+                    continue;
+                }
+                let other_row = &other.data[p * n..(p + 1) * n];
+                let out_row = &mut out.data[i * n..(i + 1) * n];
+                for j in 0..n {
+                    out_row[j] += a * other_row[j];
+                }
+            }
+        }
+        out
+    }
+
+    /// `selfᵀ @ other` (`[k×m]ᵀ @ [k×n] → [m×n]`) without materialising
+    /// the transpose.
+    pub fn matmul_tn(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.rows, other.rows, "matmul_tn shape mismatch");
+        let (k, m, n) = (self.rows, self.cols, other.cols);
+        let mut out = Matrix::zeros(m, n);
+        for p in 0..k {
+            let self_row = &self.data[p * m..(p + 1) * m];
+            let other_row = &other.data[p * n..(p + 1) * n];
+            for i in 0..m {
+                let a = self_row[i];
+                if a == 0.0 {
+                    continue;
+                }
+                let out_row = &mut out.data[i * n..(i + 1) * n];
+                for j in 0..n {
+                    out_row[j] += a * other_row[j];
+                }
+            }
+        }
+        out
+    }
+
+    /// `self @ otherᵀ` (`[m×k] @ [n×k]ᵀ → [m×n]`) without materialising
+    /// the transpose.
+    pub fn matmul_nt(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.cols, "matmul_nt shape mismatch");
+        let (m, k, n) = (self.rows, self.cols, other.rows);
+        let mut out = Matrix::zeros(m, n);
+        for i in 0..m {
+            let self_row = &self.data[i * k..(i + 1) * k];
+            for j in 0..n {
+                let other_row = &other.data[j * k..(j + 1) * k];
+                let mut acc = 0.0;
+                for p in 0..k {
+                    acc += self_row[p] * other_row[p];
+                }
+                out.data[i * n + j] = acc;
+            }
+        }
+        out
+    }
+
+    /// Adds a bias row vector to every row in place.
+    pub fn add_row_bias(&mut self, bias: &[f32]) {
+        assert_eq!(bias.len(), self.cols, "bias length mismatch");
+        for r in 0..self.rows {
+            let row = &mut self.data[r * self.cols..(r + 1) * self.cols];
+            for (x, b) in row.iter_mut().zip(bias) {
+                *x += b;
+            }
+        }
+    }
+
+    /// Column sums (used for bias gradients).
+    pub fn col_sums(&self) -> Vec<f32> {
+        let mut out = vec![0.0; self.cols];
+        for r in 0..self.rows {
+            for (o, x) in out.iter_mut().zip(self.row(r)) {
+                *o += x;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_known_result() {
+        let a = Matrix::from_vec(2, 3, vec![1., 2., 3., 4., 5., 6.]);
+        let b = Matrix::from_vec(3, 2, vec![7., 8., 9., 10., 11., 12.]);
+        let c = a.matmul(&b);
+        assert_eq!(c.data(), &[58., 64., 139., 154.]);
+    }
+
+    #[test]
+    fn transposed_variants_match_explicit_transpose() {
+        let a = Matrix::from_vec(3, 2, vec![1., 2., 3., 4., 5., 6.]);
+        let b = Matrix::from_vec(3, 4, (0..12).map(|i| i as f32).collect());
+        // aᵀ @ b via matmul_tn.
+        let tn = a.matmul_tn(&b);
+        // Explicit transpose for reference.
+        let at = Matrix::from_vec(2, 3, vec![1., 3., 5., 2., 4., 6.]);
+        assert_eq!(tn, at.matmul(&b));
+
+        let c = Matrix::from_vec(4, 2, (0..8).map(|i| i as f32).collect());
+        // a @ cᵀ via matmul_nt (a is 3×2, cᵀ is 2×4).
+        let nt = a.matmul_nt(&c);
+        let ct = Matrix::from_vec(2, 4, vec![0., 2., 4., 6., 1., 3., 5., 7.]);
+        assert_eq!(nt, a.matmul(&ct));
+    }
+
+    #[test]
+    fn bias_and_col_sums() {
+        let mut m = Matrix::from_vec(2, 2, vec![1., 2., 3., 4.]);
+        m.add_row_bias(&[10., 20.]);
+        assert_eq!(m.data(), &[11., 22., 13., 24.]);
+        assert_eq!(m.col_sums(), vec![24., 46.]);
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul shape mismatch")]
+    fn shape_mismatch_panics() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn accessors() {
+        let mut m = Matrix::zeros(2, 3);
+        m.set(1, 2, 5.0);
+        assert_eq!(m.get(1, 2), 5.0);
+        assert_eq!(m.row(1), &[0.0, 0.0, 5.0]);
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.cols(), 3);
+        let rv = Matrix::row_vector(vec![1., 2.]);
+        assert_eq!(rv.rows(), 1);
+        assert_eq!(rv.cols(), 2);
+    }
+}

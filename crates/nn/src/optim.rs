@@ -1,0 +1,192 @@
+//! Gradient-descent optimizers.
+
+use crate::mlp::{Mlp, MlpGradients};
+
+/// An optimizer that applies [`MlpGradients`] to an [`Mlp`].
+pub trait Optimizer {
+    /// Applies one update step (gradient *descent*: parameters move
+    /// against the gradient).
+    fn step(&mut self, mlp: &mut Mlp, grads: &MlpGradients);
+
+    /// The current learning rate.
+    fn learning_rate(&self) -> f32;
+
+    /// Overrides the learning rate (schedules).
+    fn set_learning_rate(&mut self, lr: f32);
+}
+
+/// Plain stochastic gradient descent.
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    lr: f32,
+}
+
+impl Sgd {
+    /// SGD with the given learning rate.
+    pub fn new(lr: f32) -> Self {
+        Self { lr }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, mlp: &mut Mlp, grads: &MlpGradients) {
+        for (layer, (gw, gb)) in mlp.layers_mut().iter_mut().zip(&grads.layers) {
+            for (w, g) in layer.w.data_mut().iter_mut().zip(gw.data()) {
+                *w -= self.lr * g;
+            }
+            for (b, g) in layer.b.iter_mut().zip(gb) {
+                *b -= self.lr * g;
+            }
+        }
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+/// Adam (Kingma & Ba) with bias correction.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    t: u64,
+    /// First/second moment estimates per layer: `(m_w, v_w, m_b, v_b)`.
+    state: Vec<(Vec<f32>, Vec<f32>, Vec<f32>, Vec<f32>)>,
+}
+
+impl Adam {
+    /// Adam with standard betas (0.9, 0.999).
+    pub fn new(lr: f32) -> Self {
+        Self {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+            state: Vec::new(),
+        }
+    }
+
+    fn ensure_state(&mut self, mlp: &Mlp) {
+        if self.state.len() != mlp.layers().len() {
+            self.state = mlp
+                .layers()
+                .iter()
+                .map(|l| {
+                    (
+                        vec![0.0; l.w.data().len()],
+                        vec![0.0; l.w.data().len()],
+                        vec![0.0; l.b.len()],
+                        vec![0.0; l.b.len()],
+                    )
+                })
+                .collect();
+        }
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, mlp: &mut Mlp, grads: &MlpGradients) {
+        self.ensure_state(mlp);
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for (li, layer) in mlp.layers_mut().iter_mut().enumerate() {
+            let (gw, gb) = &grads.layers[li];
+            let (mw, vw, mb, vb) = &mut self.state[li];
+            for (i, w) in layer.w.data_mut().iter_mut().enumerate() {
+                let g = gw.data()[i];
+                mw[i] = self.beta1 * mw[i] + (1.0 - self.beta1) * g;
+                vw[i] = self.beta2 * vw[i] + (1.0 - self.beta2) * g * g;
+                let m_hat = mw[i] / bc1;
+                let v_hat = vw[i] / bc2;
+                *w -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
+            }
+            for (i, b) in layer.b.iter_mut().enumerate() {
+                let g = gb[i];
+                mb[i] = self.beta1 * mb[i] + (1.0 - self.beta1) * g;
+                vb[i] = self.beta2 * vb[i] + (1.0 - self.beta2) * g * g;
+                let m_hat = mb[i] / bc1;
+                let v_hat = vb[i] / bc2;
+                *b -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
+            }
+        }
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::Activation;
+    use crate::loss::mse_grad;
+    use crate::matrix::Matrix;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Trains y = 2x − 1 on a tiny MLP; both optimizers must fit it.
+    fn train_linear<O: Optimizer>(mut opt: O, epochs: usize) -> f32 {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut mlp = Mlp::new(&[1, 8, 1], Activation::Tanh, &mut rng);
+        let xs: Vec<f32> = (0..20).map(|i| (i as f32) / 10.0 - 1.0).collect();
+        let ys: Vec<f32> = xs.iter().map(|x| 2.0 * x - 1.0).collect();
+        let x = Matrix::from_vec(xs.len(), 1, xs.clone());
+        let mut final_loss = f32::MAX;
+        for _ in 0..epochs {
+            let cache = mlp.forward(&x);
+            let (loss, grad) = mse_grad(cache.output(), &ys);
+            final_loss = loss;
+            let grads = mlp.backward(&cache, grad);
+            opt.step(&mut mlp, &grads);
+        }
+        final_loss
+    }
+
+    #[test]
+    fn sgd_fits_linear_function() {
+        let loss = train_linear(Sgd::new(0.05), 2000);
+        assert!(loss < 0.01, "sgd final loss {loss}");
+    }
+
+    #[test]
+    fn adam_fits_linear_function_faster() {
+        let loss = train_linear(Adam::new(0.01), 500);
+        assert!(loss < 0.01, "adam final loss {loss}");
+    }
+
+    #[test]
+    fn learning_rate_accessors() {
+        let mut s = Sgd::new(0.1);
+        s.set_learning_rate(0.2);
+        assert_eq!(s.learning_rate(), 0.2);
+        let mut a = Adam::new(0.001);
+        a.set_learning_rate(0.01);
+        assert_eq!(a.learning_rate(), 0.01);
+    }
+
+    #[test]
+    fn adam_state_matches_network_shape() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut mlp = Mlp::new(&[2, 3, 1], Activation::ReLU, &mut rng);
+        let mut adam = Adam::new(0.01);
+        let grads = crate::mlp::MlpGradients::zeros_like(&mlp);
+        adam.step(&mut mlp, &grads);
+        assert_eq!(adam.state.len(), 2);
+        assert_eq!(adam.state[0].0.len(), 6);
+        assert_eq!(adam.state[1].2.len(), 1);
+    }
+}

@@ -1,0 +1,201 @@
+//! Selinger-style bottom-up dynamic programming (DPsize, bushy).
+
+use crate::physical::{best_access_path, best_join};
+use hfqo_catalog::Catalog;
+use hfqo_cost::CostModel;
+use hfqo_query::{PlanNode, QueryGraph, RelSet};
+use hfqo_stats::CardinalitySource;
+use std::collections::HashMap;
+
+/// Finds the cheapest (bushy) join plan by dynamic programming over
+/// connected subgraphs, in the style of System R / PostgreSQL's standard
+/// join search.
+///
+/// Cross products are only considered when the query graph is
+/// disconnected (the leftover components are combined at the end), which
+/// matches PostgreSQL's behaviour and keeps the table size manageable.
+///
+/// Complexity is exponential in the number of relations; callers switch to
+/// [`greedy`](crate::greedy) beyond a threshold exactly like PostgreSQL
+/// switches to GEQO.
+pub fn dp_plan<C: CardinalitySource>(
+    graph: &QueryGraph,
+    catalog: &Catalog,
+    model: &CostModel<'_>,
+    cards: &C,
+) -> PlanNode {
+    let n = graph.relation_count();
+    debug_assert!(n >= 1);
+    let mut table: HashMap<RelSet, (PlanNode, f64)> = HashMap::new();
+    // Size-1: best access paths.
+    let mut by_size: Vec<Vec<RelSet>> = vec![Vec::new(); n + 1];
+    for rel in graph.all_rels().iter() {
+        let set = RelSet::single(rel);
+        let (node, cost) = best_access_path(graph, rel, catalog, model, cards);
+        table.insert(set, (node, cost.total));
+        by_size[1].push(set);
+    }
+    // Sizes 2..=n: combine connected disjoint pairs.
+    for size in 2..=n {
+        let mut found: Vec<RelSet> = Vec::new();
+        for l_size in 1..=(size / 2) {
+            let r_size = size - l_size;
+            for li in 0..by_size[l_size].len() {
+                let lset = by_size[l_size][li];
+                for ri in 0..by_size[r_size].len() {
+                    let rset = by_size[r_size][ri];
+                    if lset == rset || !lset.is_disjoint(rset) {
+                        continue;
+                    }
+                    if !graph.sets_connected(lset, rset) {
+                        continue;
+                    }
+                    let union = lset.union(rset);
+                    let (lplan, _) = &table[&lset];
+                    let (rplan, _) = &table[&rset];
+                    let (cand, cost) = best_join(graph, lplan, rplan, model, cards);
+                    match table.get(&union) {
+                        Some((_, existing)) if *existing <= cost.total => {}
+                        Some(_) => {
+                            table.insert(union, (cand, cost.total));
+                        }
+                        None => {
+                            table.insert(union, (cand, cost.total));
+                            found.push(union);
+                        }
+                    }
+                }
+            }
+        }
+        by_size[size] = found;
+    }
+    let full = graph.all_rels();
+    if let Some((plan, _)) = table.remove(&full) {
+        return plan;
+    }
+    // Disconnected query graph: combine the best plans of the maximal
+    // connected components with cross joins, largest first.
+    combine_components(graph, table, model, cards)
+}
+
+fn combine_components<C: CardinalitySource>(
+    graph: &QueryGraph,
+    table: HashMap<RelSet, (PlanNode, f64)>,
+    model: &CostModel<'_>,
+    cards: &C,
+) -> PlanNode {
+    // Greedily grow components: find the largest entries that partition
+    // the full set.
+    let mut remaining = graph.all_rels();
+    let mut parts: Vec<PlanNode> = Vec::new();
+    let mut entries: Vec<(RelSet, PlanNode)> = table
+        .into_iter()
+        .map(|(set, (plan, _))| (set, plan))
+        .collect();
+    entries.sort_by_key(|(set, _)| std::cmp::Reverse(set.len()));
+    for (set, plan) in entries {
+        if remaining.is_superset(set) && !set.is_empty() {
+            parts.push(plan);
+            remaining = remaining.minus(set);
+            if remaining.is_empty() {
+                break;
+            }
+        }
+    }
+    debug_assert!(remaining.is_empty(), "singletons always cover the rest");
+    let mut iter = parts.into_iter();
+    let mut acc = iter.next().expect("at least one component");
+    for part in iter {
+        let (joined, _) = best_join(graph, &acc, &part, model, cards);
+        acc = joined;
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::random::random_plan;
+    use crate::test_support::{chain_query, star_query, TestDb};
+    use hfqo_cost::CostParams;
+    use hfqo_query::PhysicalPlan;
+    use hfqo_stats::EstimatedCardinality;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn dp_plan_is_valid_on_chains() {
+        for n in 1..=6 {
+            let db = TestDb::chain(n, 1000);
+            let graph = chain_query(&db, n);
+            let params = CostParams::default();
+            let model = CostModel::new(&params, &db.stats);
+            let cards = EstimatedCardinality::new(&db.stats);
+            let plan = dp_plan(&graph, db.db.catalog(), &model, &cards);
+            PhysicalPlan::new(plan).validate(&graph).unwrap();
+        }
+    }
+
+    #[test]
+    fn dp_beats_random_plans() {
+        let db = TestDb::chain(6, 2000);
+        let graph = chain_query(&db, 6);
+        let params = CostParams::default();
+        let model = CostModel::new(&params, &db.stats);
+        let cards = EstimatedCardinality::new(&db.stats);
+        let dp = dp_plan(&graph, db.db.catalog(), &model, &cards);
+        let dp_cost = model
+            .plan_cost(&graph, &PhysicalPlan::new(dp), &cards)
+            .total;
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..20 {
+            let rnd = random_plan(&graph, db.db.catalog(), &mut rng);
+            let rnd_cost = model.plan_cost(&graph, &rnd, &cards).total;
+            assert!(
+                dp_cost <= rnd_cost * 1.0001,
+                "dp {dp_cost} worse than random {rnd_cost}"
+            );
+        }
+    }
+
+    #[test]
+    fn dp_handles_star_queries() {
+        let db = TestDb::star(5, 1000);
+        let graph = star_query(&db, 5);
+        let params = CostParams::default();
+        let model = CostModel::new(&params, &db.stats);
+        let cards = EstimatedCardinality::new(&db.stats);
+        let plan = dp_plan(&graph, db.db.catalog(), &model, &cards);
+        PhysicalPlan::new(plan).validate(&graph).unwrap();
+    }
+
+    #[test]
+    fn dp_handles_disconnected_graph() {
+        // Two relations, no join edge: must produce a cross join.
+        let db = TestDb::chain(2, 100);
+        let mut graph = chain_query(&db, 2);
+        graph = hfqo_query::QueryGraph::new(
+            graph.relations().to_vec(),
+            vec![],
+            vec![],
+            vec![],
+            vec![],
+        );
+        let params = CostParams::default();
+        let model = CostModel::new(&params, &db.stats);
+        let cards = EstimatedCardinality::new(&db.stats);
+        let plan = dp_plan(&graph, db.db.catalog(), &model, &cards);
+        PhysicalPlan::new(plan).validate(&graph).unwrap();
+    }
+
+    #[test]
+    fn single_relation_query() {
+        let db = TestDb::chain(1, 100);
+        let graph = chain_query(&db, 1);
+        let params = CostParams::default();
+        let model = CostModel::new(&params, &db.stats);
+        let cards = EstimatedCardinality::new(&db.stats);
+        let plan = dp_plan(&graph, db.db.catalog(), &model, &cards);
+        assert!(matches!(plan, PlanNode::Scan { .. }));
+    }
+}

@@ -1,0 +1,33 @@
+//! # hfqo-opt
+//!
+//! The "traditional query optimizer" of the paper: the expert that
+//! learning-from-demonstration imitates, the baseline every figure compares
+//! against, and the provider of the cost model ReJOIN uses as its reward.
+//!
+//! Architecture mirrors PostgreSQL's planner:
+//!
+//! * cardinality estimation from histograms (`hfqo-stats`),
+//! * a cost model with per-operator formulas (`hfqo-cost`),
+//! * **exhaustive bottom-up dynamic programming** ([`dp`]) over connected
+//!   subgraphs for small queries (PostgreSQL: `geqo_threshold = 12`),
+//! * a **greedy bottom-up** fallback ([`greedy`]) beyond the threshold
+//!   (standing in for GEQO; the paper's §3 notes PostgreSQL's greedy
+//!   bottom-up behaviour),
+//! * access-path and physical-operator selection ([`physical`]),
+//! * plus a **random planner** ([`random`]) used as the floor baseline in
+//!   the §4 experiments and **expert traces** ([`trace`]) consumed by
+//!   learning-from-demonstration (§5.1).
+
+pub mod dp;
+pub mod greedy;
+pub mod optimizer;
+pub mod physical;
+pub mod random;
+pub mod trace;
+
+#[doc(hidden)]
+pub mod test_support;
+
+pub use optimizer::{OptError, PlannedQuery, PlannerMethod, TraditionalOptimizer};
+pub use random::random_plan;
+pub use trace::{expert_actions, ExpertEpisode};

@@ -1,0 +1,302 @@
+//! Access-path and physical-operator selection.
+
+use hfqo_catalog::Catalog;
+use hfqo_cost::{CostEstimate, CostModel};
+use hfqo_query::{
+    AccessPath, AggAlgo, JoinAlgo, PlanNode, QueryGraph, RelId,
+};
+use hfqo_sql::CompareOp;
+use hfqo_stats::CardinalitySource;
+
+/// Chooses the cheapest access path for `rel`: a sequential scan, or an
+/// index scan driven by any selection predicate that has a matching index
+/// (B-trees serve all comparison shapes except `<>`; hash indexes serve
+/// only equality).
+pub fn best_access_path<C: CardinalitySource>(
+    graph: &QueryGraph,
+    rel: RelId,
+    catalog: &Catalog,
+    model: &CostModel<'_>,
+    cards: &C,
+) -> (PlanNode, CostEstimate) {
+    let mut best = PlanNode::Scan {
+        rel,
+        path: AccessPath::SeqScan,
+    };
+    let mut best_cost = model.node_cost(graph, &best, cards);
+    for sel_idx in graph.selections_on(rel) {
+        let sel = &graph.selections()[sel_idx];
+        if sel.op == CompareOp::Neq {
+            continue; // no index serves <>
+        }
+        let col_ref = hfqo_catalog::ColumnRef::new(graph.relation(rel).table, sel.column.column);
+        for (index_id, def) in catalog.indexes_on(col_ref) {
+            let range_op = !matches!(sel.op, CompareOp::Eq);
+            if range_op && !def.kind().supports_range() {
+                continue;
+            }
+            let cand = PlanNode::Scan {
+                rel,
+                path: AccessPath::IndexScan {
+                    index: index_id,
+                    driving_selection: sel_idx,
+                },
+            };
+            let cost = model.node_cost(graph, &cand, cards);
+            if cost.total < best_cost.total {
+                best = cand;
+                best_cost = cost;
+            }
+        }
+    }
+    (best, best_cost)
+}
+
+/// Builds the cheapest join of two subplans: tries every algorithm (hash
+/// and merge only when an equality condition spans the inputs) and both
+/// input orders, returning the winner.
+pub fn best_join<C: CardinalitySource>(
+    graph: &QueryGraph,
+    left: &PlanNode,
+    right: &PlanNode,
+    model: &CostModel<'_>,
+    cards: &C,
+) -> (PlanNode, CostEstimate) {
+    let conds = graph.joins_between(left.rel_set(), right.rel_set());
+    let has_eq = conds
+        .iter()
+        .any(|&c| graph.joins()[c].op == CompareOp::Eq);
+    let mut best: Option<(PlanNode, CostEstimate)> = None;
+    for algo in JoinAlgo::ALL {
+        if matches!(algo, JoinAlgo::Hash | JoinAlgo::Merge) && !has_eq {
+            continue;
+        }
+        for flipped in [false, true] {
+            let (l, r) = if flipped { (right, left) } else { (left, right) };
+            let cand = PlanNode::Join {
+                algo,
+                conds: conds.clone(),
+                left: Box::new(l.clone()),
+                right: Box::new(r.clone()),
+            };
+            let cost = model.node_cost(graph, &cand, cards);
+            if best.as_ref().is_none_or(|(_, c)| cost.total < c.total) {
+                best = Some((cand, cost));
+            }
+        }
+    }
+    best.expect("nested loop join is always a candidate")
+}
+
+/// Wraps `input` in the cheaper aggregation operator when the query has
+/// aggregates; otherwise returns it unchanged.
+pub fn add_aggregate_if_needed<C: CardinalitySource>(
+    graph: &QueryGraph,
+    input: PlanNode,
+    model: &CostModel<'_>,
+    cards: &C,
+) -> PlanNode {
+    if graph.aggregates().is_empty() && graph.group_by().is_empty() {
+        return input;
+    }
+    let mut best: Option<(PlanNode, f64)> = None;
+    for algo in AggAlgo::ALL {
+        let cand = PlanNode::Aggregate {
+            algo,
+            input: Box::new(input.clone()),
+        };
+        let cost = model.node_cost(graph, &cand, cards).total;
+        if best.as_ref().is_none_or(|(_, c)| cost < *c) {
+            best = Some((cand, cost));
+        }
+    }
+    best.expect("both aggregate algorithms are candidates").0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hfqo_catalog::{Column, ColumnId, ColumnStatsMeta, ColumnType, IndexKind, TableSchema};
+    use hfqo_cost::CostParams;
+    use hfqo_query::{BoundColumn, JoinEdge, Lit, Relation, Selection};
+    use hfqo_stats::{ColumnStats, EstimatedCardinality, Histogram, StatsCatalog, TableStats};
+
+    fn setup() -> (Catalog, StatsCatalog, QueryGraph) {
+        let mut cat = Catalog::new();
+        let a = cat
+            .add_table(TableSchema::new(
+                "a",
+                vec![
+                    Column::new("id", ColumnType::Int),
+                    Column::new("v", ColumnType::Int),
+                ],
+            ))
+            .unwrap();
+        let b = cat
+            .add_table(TableSchema::new(
+                "b",
+                vec![Column::new("a_id", ColumnType::Int)],
+            ))
+            .unwrap();
+        cat.add_index("a_id_idx", a, ColumnId(0), IndexKind::BTree, true)
+            .unwrap();
+        let col = |ndv: f64, max: f64| ColumnStats {
+            meta: ColumnStatsMeta {
+                ndv,
+                min: 0.0,
+                max,
+                null_frac: 0.0,
+            },
+            histogram: Histogram::build(
+                (0..200).map(|i| max * (i as f64) / 199.0).collect(),
+                20,
+            ),
+            mcvs: vec![],
+        };
+        let stats = StatsCatalog::new(vec![
+            TableStats {
+                row_count: 100_000.0,
+                row_width: 16.0,
+                columns: vec![col(100_000.0, 99_999.0), col(100.0, 99.0)],
+            },
+            TableStats {
+                row_count: 1_000.0,
+                row_width: 8.0,
+                columns: vec![col(1_000.0, 99_999.0)],
+            },
+        ]);
+        let graph = QueryGraph::new(
+            vec![
+                Relation {
+                    table: a,
+                    alias: "a".into(),
+                },
+                Relation {
+                    table: b,
+                    alias: "b".into(),
+                },
+            ],
+            vec![JoinEdge {
+                left: BoundColumn::new(RelId(0), ColumnId(0)),
+                op: CompareOp::Eq,
+                right: BoundColumn::new(RelId(1), ColumnId(0)),
+            }],
+            vec![Selection {
+                column: BoundColumn::new(RelId(0), ColumnId(0)),
+                op: CompareOp::Eq,
+                value: Lit::Int(42),
+            }],
+            vec![],
+            vec![],
+        );
+        (cat, stats, graph)
+    }
+
+    #[test]
+    fn selective_predicate_picks_index_scan() {
+        let (cat, stats, graph) = setup();
+        let params = CostParams::default();
+        let model = CostModel::new(&params, &stats);
+        let cards = EstimatedCardinality::new(&stats);
+        let (node, _) = best_access_path(&graph, RelId(0), &cat, &model, &cards);
+        assert!(
+            matches!(
+                node,
+                PlanNode::Scan {
+                    path: AccessPath::IndexScan { .. },
+                    ..
+                }
+            ),
+            "expected index scan, got {node:?}"
+        );
+    }
+
+    #[test]
+    fn relation_without_index_uses_seq_scan() {
+        let (cat, stats, graph) = setup();
+        let params = CostParams::default();
+        let model = CostModel::new(&params, &stats);
+        let cards = EstimatedCardinality::new(&stats);
+        let (node, _) = best_access_path(&graph, RelId(1), &cat, &model, &cards);
+        assert!(matches!(
+            node,
+            PlanNode::Scan {
+                path: AccessPath::SeqScan,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn best_join_picks_an_equality_algorithm_on_large_inputs() {
+        let (cat, stats, graph) = setup();
+        // Drop the pk selection: both inputs stay large, so the quadratic
+        // nested loop must lose to hash/merge.
+        let graph = QueryGraph::new(
+            graph.relations().to_vec(),
+            graph.joins().to_vec(),
+            vec![],
+            vec![],
+            vec![],
+        );
+        let params = CostParams::default();
+        let model = CostModel::new(&params, &stats);
+        let cards = EstimatedCardinality::new(&stats);
+        let (l, _) = best_access_path(&graph, RelId(0), &cat, &model, &cards);
+        let (r, _) = best_access_path(&graph, RelId(1), &cat, &model, &cards);
+        let (join, cost) = best_join(&graph, &l, &r, &model, &cards);
+        match &join {
+            PlanNode::Join { algo, conds, .. } => {
+                assert_ne!(*algo, JoinAlgo::NestedLoop);
+                assert_eq!(conds, &vec![0]);
+            }
+            other => panic!("expected join, got {other:?}"),
+        }
+        assert!(cost.total > 0.0);
+    }
+
+    #[test]
+    fn tiny_outer_prefers_nested_loop() {
+        // With the pk equality selection, relation a shrinks to ~1 row and
+        // the nested loop becomes the cheapest strategy — the classic
+        // reason real optimizers keep NLJ around.
+        let (cat, stats, graph) = setup();
+        let params = CostParams::default();
+        let model = CostModel::new(&params, &stats);
+        let cards = EstimatedCardinality::new(&stats);
+        let (l, _) = best_access_path(&graph, RelId(0), &cat, &model, &cards);
+        let (r, _) = best_access_path(&graph, RelId(1), &cat, &model, &cards);
+        let (join, _) = best_join(&graph, &l, &r, &model, &cards);
+        assert!(matches!(
+            join,
+            PlanNode::Join {
+                algo: JoinAlgo::NestedLoop,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn aggregate_added_only_when_needed() {
+        let (cat, stats, graph) = setup();
+        let params = CostParams::default();
+        let model = CostModel::new(&params, &stats);
+        let cards = EstimatedCardinality::new(&stats);
+        let (l, _) = best_access_path(&graph, RelId(0), &cat, &model, &cards);
+        let unchanged = add_aggregate_if_needed(&graph, l.clone(), &model, &cards);
+        assert_eq!(unchanged, l);
+
+        let agg_graph = QueryGraph::new(
+            graph.relations().to_vec(),
+            graph.joins().to_vec(),
+            graph.selections().to_vec(),
+            vec![hfqo_query::AggExpr {
+                func: hfqo_sql::AggFunc::Count,
+                column: None,
+            }],
+            vec![],
+        );
+        let wrapped = add_aggregate_if_needed(&agg_graph, l, &model, &cards);
+        assert!(matches!(wrapped, PlanNode::Aggregate { .. }));
+    }
+}

@@ -1,0 +1,147 @@
+//! The ReJOIN agent: a policy-gradient learner over the environments.
+
+use hfqo_rl::{
+    Environment, Episode, PpoAgent, PpoConfig, ReinforceAgent, ReinforceConfig,
+};
+use rand::rngs::StdRng;
+
+/// Which policy-gradient algorithm backs the agent.
+#[derive(Debug, Clone)]
+pub enum PolicyKind {
+    /// REINFORCE with an EMA baseline.
+    Reinforce(ReinforceConfig),
+    /// PPO-style clipped surrogate (what ReJOIN's implementation used).
+    Ppo(PpoConfig),
+}
+
+impl PolicyKind {
+    /// REINFORCE with default hyperparameters.
+    pub fn default_reinforce() -> Self {
+        PolicyKind::Reinforce(ReinforceConfig::default())
+    }
+
+    /// PPO with default hyperparameters.
+    pub fn default_ppo() -> Self {
+        PolicyKind::Ppo(PpoConfig::default())
+    }
+}
+
+enum Inner {
+    Reinforce(ReinforceAgent),
+    Ppo(PpoAgent),
+}
+
+/// The ReJOIN agent.
+pub struct ReJoinAgent {
+    inner: Inner,
+}
+
+impl ReJoinAgent {
+    /// Creates an agent for the given state/action dimensions.
+    pub fn new(state_dim: usize, action_dim: usize, kind: PolicyKind, rng: &mut StdRng) -> Self {
+        let inner = match kind {
+            PolicyKind::Reinforce(config) => {
+                Inner::Reinforce(ReinforceAgent::new(state_dim, action_dim, config, rng))
+            }
+            PolicyKind::Ppo(config) => {
+                Inner::Ppo(PpoAgent::new(state_dim, action_dim, config, rng))
+            }
+        };
+        Self { inner }
+    }
+
+    /// Samples (or greedily selects) an action.
+    pub fn select_action(
+        &self,
+        features: &[f32],
+        mask: &[bool],
+        rng: &mut StdRng,
+        greedy: bool,
+    ) -> (usize, f32) {
+        match &self.inner {
+            Inner::Reinforce(a) => a.select_action(features, mask, rng, greedy),
+            Inner::Ppo(a) => a.select_action(features, mask, rng, greedy),
+        }
+    }
+
+    /// Rolls out one episode.
+    pub fn run_episode<E: Environment>(
+        &self,
+        env: &mut E,
+        rng: &mut StdRng,
+        greedy: bool,
+    ) -> Episode {
+        match &self.inner {
+            Inner::Reinforce(a) => a.run_episode(env, rng, greedy),
+            Inner::Ppo(a) => a.run_episode(env, rng, greedy),
+        }
+    }
+
+    /// Buffers a finished episode; returns `true` when a policy update
+    /// ran.
+    pub fn observe(&mut self, episode: Episode) -> bool {
+        match &mut self.inner {
+            Inner::Reinforce(a) => a.observe(episode),
+            Inner::Ppo(a) => a.observe(episode),
+        }
+    }
+
+    /// Forces an update on whatever episodes are buffered.
+    pub fn flush(&mut self) {
+        match &mut self.inner {
+            Inner::Reinforce(a) => a.update(),
+            Inner::Ppo(a) => a.update(),
+        }
+    }
+
+    /// Episodes observed so far.
+    pub fn episodes_seen(&self) -> usize {
+        match &self.inner {
+            Inner::Reinforce(a) => a.episodes_seen(),
+            Inner::Ppo(a) => a.episodes_seen(),
+        }
+    }
+
+    /// One supervised imitation step (cross-entropy toward expert
+    /// actions). Supported by the REINFORCE backend; returns `None` for
+    /// PPO (whose surrogate objective has no imitation analogue here).
+    pub fn imitate_step(&mut self, batch: &[(Vec<f32>, Vec<bool>, usize)]) -> Option<f32> {
+        match &mut self.inner {
+            Inner::Reinforce(a) => Some(a.imitate_step(batch)),
+            Inner::Ppo(_) => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn both_backends_construct_and_act() {
+        let mut rng = StdRng::seed_from_u64(0);
+        for kind in [PolicyKind::default_reinforce(), PolicyKind::default_ppo()] {
+            let agent = ReJoinAgent::new(4, 9, kind, &mut rng);
+            let (a, p) = agent.select_action(
+                &[0.0, 1.0, 0.0, 1.0],
+                &[true, false, true, false, false, false, false, false, false],
+                &mut rng,
+                false,
+            );
+            assert!(a == 0 || a == 2);
+            assert!(p > 0.0);
+            assert_eq!(agent.episodes_seen(), 0);
+        }
+    }
+
+    #[test]
+    fn imitation_only_on_reinforce() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut r = ReJoinAgent::new(2, 4, PolicyKind::default_reinforce(), &mut rng);
+        let batch = vec![(vec![1.0, 0.0], vec![true; 4], 2usize)];
+        assert!(r.imitate_step(&batch).is_some());
+        let mut p = ReJoinAgent::new(2, 4, PolicyKind::default_ppo(), &mut rng);
+        assert!(p.imitate_step(&batch).is_none());
+    }
+}

@@ -1,0 +1,618 @@
+//! The full execution-plan environment (§4 / §5.3).
+//!
+//! Extends the join-order episode with the remaining decisions of the
+//! simplified pipeline in the paper's Figure 8 — index (access-path)
+//! selection, join operator selection, and aggregate operator selection —
+//! each gated by a [`StageSet`] flag. Disabled stages are decided by the
+//! traditional machinery, exactly as in the pipeline-based incremental
+//! learning proposal (§5.3.1): ReJOIN is "essentially this first phase".
+//!
+//! The action space stays one fixed-width head of `max_rels²` outputs;
+//! non-pair phases reuse the low action ids under a phase-specific mask,
+//! and the state carries a phase one-hot plus the relation under decision
+//! so the network can tell the overloaded ids apart.
+
+use crate::env_join::{EnvContext, EpisodeOutcome, QueryOrder};
+use crate::featurize::Featurizer;
+use crate::incremental::StageSet;
+use crate::planfix::best_algo_fixed_sides;
+use crate::reward::RewardMode;
+use hfqo_exec::TrueCardinality;
+use hfqo_opt::physical::{add_aggregate_if_needed, best_access_path};
+use hfqo_opt::TraditionalOptimizer;
+use hfqo_query::{
+    AccessPath, AggAlgo, Forest, JoinAlgo, PhysicalPlan, PlanNode, QueryGraph, RelId,
+};
+use hfqo_rl::{Environment, StepResult};
+use hfqo_sql::CompareOp;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Episode phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Choosing the access path of one relation.
+    AccessPath {
+        /// The relation currently under decision.
+        rel: usize,
+    },
+    /// Choosing the next subtree pair to join.
+    PairSelection,
+    /// Choosing the join algorithm for the pair just merged.
+    JoinOperator,
+    /// Choosing the aggregate operator.
+    Aggregate,
+    /// Episode finished.
+    Done,
+}
+
+impl Phase {
+    fn one_hot_index(self) -> usize {
+        match self {
+            Phase::AccessPath { .. } => 0,
+            Phase::PairSelection => 1,
+            Phase::JoinOperator => 2,
+            Phase::Aggregate => 3,
+            Phase::Done => 1, // terminal states are never featurised
+        }
+    }
+}
+
+/// The full-plan environment.
+pub struct FullPlanEnv<'a> {
+    ctx: EnvContext<'a>,
+    queries: &'a [QueryGraph],
+    featurizer: Featurizer,
+    order: QueryOrder,
+    reward_mode: RewardMode,
+    stages: StageSet,
+    /// Disallow cross-join pair actions via masking.
+    pub require_connected: bool,
+    cursor: usize,
+    current: usize,
+    forest: Forest,
+    nodes: Vec<PlanNode>,
+    phase: Phase,
+    scan_candidates: Vec<AccessPath>,
+    pending_pair: Option<(PlanNode, PlanNode, Vec<usize>)>,
+    expert_costs: Vec<Option<f64>>,
+    oracles: Vec<Option<TrueCardinality<'a>>>,
+    last_outcome: Option<EpisodeOutcome>,
+}
+
+impl<'a> FullPlanEnv<'a> {
+    /// Creates a full-plan environment.
+    pub fn new(
+        ctx: EnvContext<'a>,
+        queries: &'a [QueryGraph],
+        max_rels: usize,
+        order: QueryOrder,
+        reward_mode: RewardMode,
+        stages: StageSet,
+    ) -> Self {
+        assert!(!queries.is_empty(), "workload must not be empty");
+        let max_in_workload = queries
+            .iter()
+            .map(QueryGraph::relation_count)
+            .max()
+            .unwrap_or(0);
+        assert!(
+            max_rels >= max_in_workload,
+            "max_rels {max_rels} below workload maximum {max_in_workload}"
+        );
+        let n = queries.len();
+        Self {
+            ctx,
+            queries,
+            featurizer: Featurizer::new(max_rels),
+            order,
+            reward_mode,
+            stages,
+            require_connected: false,
+            cursor: 0,
+            current: 0,
+            forest: Forest::initial(queries[0].relation_count()),
+            nodes: Vec::new(),
+            phase: Phase::Done,
+            scan_candidates: Vec::new(),
+            pending_pair: None,
+            expert_costs: vec![None; n],
+            oracles: std::iter::repeat_with(|| None).take(n).collect(),
+            last_outcome: None,
+        }
+    }
+
+    /// The featurizer.
+    pub fn featurizer(&self) -> Featurizer {
+        self.featurizer
+    }
+
+    /// Current phase.
+    pub fn phase(&self) -> Phase {
+        self.phase
+    }
+
+    /// The stage configuration.
+    pub fn stages(&self) -> StageSet {
+        self.stages
+    }
+
+    /// Replaces the stage configuration (used by pipeline curricula; the
+    /// change applies from the next reset).
+    pub fn set_stages(&mut self, stages: StageSet) {
+        self.stages = stages;
+    }
+
+    /// Changes the query ordering policy.
+    pub fn set_order(&mut self, order: QueryOrder) {
+        self.order = order;
+    }
+
+    /// The outcome of the most recently finished episode.
+    pub fn last_outcome(&self) -> Option<&EpisodeOutcome> {
+        self.last_outcome.as_ref()
+    }
+
+    /// The workload.
+    pub fn queries(&self) -> &'a [QueryGraph] {
+        self.queries
+    }
+
+    fn graph(&self) -> &'a QueryGraph {
+        &self.queries[self.current]
+    }
+
+    /// Access-path candidates for a relation: sequential scan plus every
+    /// index scan applicable to one of its selections.
+    fn compute_scan_candidates(&self, rel: usize) -> Vec<AccessPath> {
+        let graph = self.graph();
+        let mut cands = vec![AccessPath::SeqScan];
+        let rel_id = RelId(rel as u32);
+        for sel_idx in graph.selections_on(rel_id) {
+            let sel = &graph.selections()[sel_idx];
+            if sel.op == CompareOp::Neq {
+                continue;
+            }
+            let col_ref = hfqo_catalog::ColumnRef::new(
+                graph.relation(rel_id).table,
+                sel.column.column,
+            );
+            for (index_id, def) in self.ctx.catalog().indexes_on(col_ref) {
+                let range_op = !matches!(sel.op, CompareOp::Eq);
+                if range_op && !def.kind().supports_range() {
+                    continue;
+                }
+                cands.push(AccessPath::IndexScan {
+                    index: index_id,
+                    driving_selection: sel_idx,
+                });
+            }
+        }
+        cands
+    }
+
+    fn enter_access_phase(&mut self, rel: usize) {
+        let n = self.graph().relation_count();
+        if rel >= n {
+            self.phase = Phase::PairSelection;
+            return;
+        }
+        self.scan_candidates = self.compute_scan_candidates(rel);
+        self.phase = Phase::AccessPath { rel };
+    }
+
+    fn after_join_completed(&mut self, rng: &mut StdRng) -> StepResult {
+        if !self.forest.is_terminal() {
+            self.phase = Phase::PairSelection;
+            return StepResult {
+                reward: 0.0,
+                done: false,
+            };
+        }
+        let graph = self.graph();
+        let needs_agg = !graph.aggregates().is_empty() || !graph.group_by().is_empty();
+        if needs_agg && self.stages.agg_operators {
+            self.phase = Phase::Aggregate;
+            StepResult {
+                reward: 0.0,
+                done: false,
+            }
+        } else {
+            let model = self.ctx.cost_model();
+            let est = self.ctx.estimator();
+            let root = self.nodes.pop().expect("terminal forest has one node");
+            let root = add_aggregate_if_needed(graph, root, &model, &est);
+            self.finish(root, rng)
+        }
+    }
+
+    fn finish(&mut self, root: PlanNode, rng: &mut StdRng) -> StepResult {
+        let plan = PhysicalPlan::new(root);
+        let model = self.ctx.cost_model();
+        let est = self.ctx.estimator();
+        let agent_cost = model.plan_cost(self.graph(), &plan, &est).total;
+        let expert_cost = self.expert_cost(self.current);
+        let latency_ms = if self.reward_mode.needs_latency() {
+            if self.oracles[self.current].is_none() {
+                self.oracles[self.current] = Some(TrueCardinality::new(self.ctx.db));
+            }
+            let oracle = self.oracles[self.current].as_ref().expect("initialised");
+            Some(
+                self.ctx
+                    .latency_model
+                    .simulate(self.graph(), &plan, self.ctx.stats, oracle, rng)
+                    .millis,
+            )
+        } else {
+            None
+        };
+        let reward = self
+            .reward_mode
+            .terminal_reward(agent_cost, expert_cost, latency_ms);
+        self.last_outcome = Some(EpisodeOutcome {
+            query_idx: self.current,
+            label: self.graph().label.clone(),
+            plan,
+            agent_cost,
+            expert_cost,
+            latency_ms,
+            reward,
+        });
+        self.phase = Phase::Done;
+        StepResult { reward, done: true }
+    }
+
+    /// The expert's plan cost for query `idx` (computed once, cached).
+    pub fn expert_cost(&mut self, idx: usize) -> f64 {
+        if let Some(c) = self.expert_costs[idx] {
+            return c;
+        }
+        let optimizer = TraditionalOptimizer::new(self.ctx.catalog(), self.ctx.stats)
+            .with_params(self.ctx.cost_params.clone());
+        let cost = optimizer
+            .plan(&self.queries[idx])
+            .map(|p| p.cost)
+            .unwrap_or(f64::INFINITY);
+        self.expert_costs[idx] = Some(cost);
+        cost
+    }
+
+    fn legal_join_algos(&self, conds: &[usize]) -> [bool; 3] {
+        let has_eq = conds
+            .iter()
+            .any(|&c| self.graph().joins()[c].op == CompareOp::Eq);
+        // Order matches JoinAlgo::ALL: NestedLoop, Hash, Merge.
+        [true, has_eq, has_eq]
+    }
+}
+
+impl Environment for FullPlanEnv<'_> {
+    fn state_dim(&self) -> usize {
+        // Base features + phase one-hot + relation-under-decision one-hot.
+        self.featurizer.state_dim() + 4 + self.featurizer.max_rels()
+    }
+
+    fn action_dim(&self) -> usize {
+        self.featurizer.action_dim()
+    }
+
+    fn reset(&mut self, rng: &mut StdRng) {
+        self.current = match self.order {
+            QueryOrder::Cycle => {
+                let q = self.cursor % self.queries.len();
+                self.cursor += 1;
+                q
+            }
+            QueryOrder::Shuffle => rng.gen_range(0..self.queries.len()),
+            QueryOrder::Fixed(idx) => idx.min(self.queries.len() - 1),
+        };
+        let n = self.graph().relation_count();
+        self.forest = Forest::initial(n);
+        self.pending_pair = None;
+        self.last_outcome = None;
+        if self.stages.index_selection {
+            self.nodes = Vec::with_capacity(n);
+            self.enter_access_phase(0);
+        } else {
+            // The traditional machinery picks access paths.
+            let model = self.ctx.cost_model();
+            let est = self.ctx.estimator();
+            self.nodes = (0..n)
+                .map(|r| {
+                    best_access_path(
+                        self.graph(),
+                        RelId(r as u32),
+                        self.ctx.catalog(),
+                        &model,
+                        &est,
+                    )
+                    .0
+                })
+                .collect();
+            self.phase = Phase::PairSelection;
+        }
+    }
+
+    fn state_features(&self, out: &mut Vec<f32>) {
+        self.featurizer.featurize(
+            self.graph(),
+            &self.forest,
+            &self.ctx.estimator(),
+            out,
+        );
+        let mut phase_hot = [0.0f32; 4];
+        phase_hot[self.phase.one_hot_index()] = 1.0;
+        out.extend_from_slice(&phase_hot);
+        let mut rel_hot = vec![0.0f32; self.featurizer.max_rels()];
+        if let Phase::AccessPath { rel } = self.phase {
+            if rel < rel_hot.len() {
+                rel_hot[rel] = 1.0;
+            }
+        }
+        out.extend_from_slice(&rel_hot);
+    }
+
+    fn action_mask(&self, out: &mut Vec<bool>) {
+        match self.phase {
+            Phase::AccessPath { .. } => {
+                out.clear();
+                out.resize(self.featurizer.action_dim(), false);
+                for i in 0..self.scan_candidates.len().min(out.len()) {
+                    out[i] = true;
+                }
+            }
+            Phase::PairSelection => {
+                self.featurizer.action_mask(
+                    self.graph(),
+                    &self.forest,
+                    self.require_connected,
+                    out,
+                );
+            }
+            Phase::JoinOperator => {
+                out.clear();
+                out.resize(self.featurizer.action_dim(), false);
+                let conds = self
+                    .pending_pair
+                    .as_ref()
+                    .map(|(_, _, c)| c.clone())
+                    .unwrap_or_default();
+                let legal = self.legal_join_algos(&conds);
+                out[..3].copy_from_slice(&legal);
+            }
+            Phase::Aggregate => {
+                out.clear();
+                out.resize(self.featurizer.action_dim(), false);
+                out[0] = true;
+                out[1] = true;
+            }
+            Phase::Done => {
+                out.clear();
+                out.resize(self.featurizer.action_dim(), false);
+            }
+        }
+    }
+
+    fn step(&mut self, action: usize, rng: &mut StdRng) -> StepResult {
+        match self.phase {
+            Phase::AccessPath { rel } => {
+                let path = self.scan_candidates[action.min(self.scan_candidates.len() - 1)];
+                self.nodes.push(PlanNode::Scan {
+                    rel: RelId(rel as u32),
+                    path,
+                });
+                self.enter_access_phase(rel + 1);
+                StepResult {
+                    reward: 0.0,
+                    done: false,
+                }
+            }
+            Phase::PairSelection => {
+                let (x, y) = self.featurizer.decode_pair(action);
+                let conds = self
+                    .graph()
+                    .joins_between(self.nodes[x].rel_set(), self.nodes[y].rel_set());
+                let (hi, lo) = if x > y { (x, y) } else { (y, x) };
+                let hi_node = self.nodes.remove(hi);
+                let lo_node = self.nodes.remove(lo);
+                let (left, right) = if x < y {
+                    (lo_node, hi_node)
+                } else {
+                    (hi_node, lo_node)
+                };
+                let merged = self.forest.merge(x, y);
+                debug_assert!(merged, "masked actions must be valid merges");
+                if self.stages.join_operators {
+                    self.pending_pair = Some((left, right, conds));
+                    self.phase = Phase::JoinOperator;
+                    StepResult {
+                        reward: 0.0,
+                        done: false,
+                    }
+                } else {
+                    let model = self.ctx.cost_model();
+                    let est = self.ctx.estimator();
+                    let node =
+                        best_algo_fixed_sides(self.graph(), left, right, &model, &est);
+                    self.nodes.push(node);
+                    self.after_join_completed(rng)
+                }
+            }
+            Phase::JoinOperator => {
+                let (left, right, conds) =
+                    self.pending_pair.take().expect("pair pending");
+                let algo = JoinAlgo::ALL[action.min(2)];
+                self.nodes.push(PlanNode::Join {
+                    algo,
+                    conds,
+                    left: Box::new(left),
+                    right: Box::new(right),
+                });
+                self.after_join_completed(rng)
+            }
+            Phase::Aggregate => {
+                let algo = AggAlgo::ALL[action.min(1)];
+                let input = self.nodes.pop().expect("terminal forest has one node");
+                let root = PlanNode::Aggregate {
+                    algo,
+                    input: Box::new(input),
+                };
+                self.finish(root, rng)
+            }
+            Phase::Done => StepResult {
+                reward: 0.0,
+                done: true,
+            },
+        }
+    }
+
+    fn is_terminal(&self) -> bool {
+        self.phase == Phase::Done
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hfqo_opt::test_support::{chain_query, TestDb};
+    use hfqo_query::AggExpr;
+    use hfqo_sql::AggFunc;
+    use rand::SeedableRng;
+
+    fn fixtures(with_agg: bool) -> (TestDb, Vec<QueryGraph>) {
+        let db = TestDb::chain(3, 200);
+        let mut q = chain_query(&db, 3);
+        if with_agg {
+            q = QueryGraph::new(
+                q.relations().to_vec(),
+                q.joins().to_vec(),
+                q.selections().to_vec(),
+                vec![AggExpr {
+                    func: AggFunc::Count,
+                    column: None,
+                }],
+                vec![],
+            );
+        }
+        (db, vec![q])
+    }
+
+    fn run_random_episode(env: &mut FullPlanEnv<'_>, rng: &mut StdRng) -> usize {
+        env.reset(rng);
+        let mut mask = Vec::new();
+        let mut steps = 0;
+        while !env.is_terminal() {
+            env.action_mask(&mut mask);
+            let valid: Vec<usize> = mask
+                .iter()
+                .enumerate()
+                .filter(|(_, &m)| m)
+                .map(|(i, _)| i)
+                .collect();
+            assert!(!valid.is_empty(), "no valid action in phase {:?}", env.phase());
+            let action = valid[rng.gen_range(0..valid.len())];
+            env.step(action, rng);
+            steps += 1;
+        }
+        steps
+    }
+
+    #[test]
+    fn join_order_only_matches_rejoin_step_count() {
+        let (db, queries) = fixtures(false);
+        let ctx = EnvContext::new(&db.db, &db.stats);
+        let mut env = FullPlanEnv::new(
+            ctx,
+            &queries,
+            4,
+            QueryOrder::Cycle,
+            RewardMode::RelativeToExpert,
+            StageSet::join_order_only(),
+        );
+        let mut rng = StdRng::seed_from_u64(0);
+        let steps = run_random_episode(&mut env, &mut rng);
+        assert_eq!(steps, 2); // n − 1 pair actions only
+        let outcome = env.last_outcome().expect("finished");
+        outcome.plan.validate(&queries[0]).unwrap();
+    }
+
+    #[test]
+    fn full_stage_set_lengthens_episodes() {
+        let (db, queries) = fixtures(true);
+        let ctx = EnvContext::new(&db.db, &db.stats);
+        let mut env = FullPlanEnv::new(
+            ctx,
+            &queries,
+            4,
+            QueryOrder::Cycle,
+            RewardMode::RelativeToExpert,
+            StageSet::full(),
+        );
+        let mut rng = StdRng::seed_from_u64(1);
+        let steps = run_random_episode(&mut env, &mut rng);
+        // 3 access paths + 2 pairs + 2 join ops + 1 aggregate.
+        assert_eq!(steps, 8);
+        let outcome = env.last_outcome().expect("finished");
+        outcome.plan.validate(&queries[0]).unwrap();
+        assert!(matches!(outcome.plan.root, PlanNode::Aggregate { .. }));
+    }
+
+    #[test]
+    fn random_full_episodes_always_produce_valid_plans() {
+        let (db, queries) = fixtures(true);
+        let ctx = EnvContext::new(&db.db, &db.stats);
+        let mut env = FullPlanEnv::new(
+            ctx,
+            &queries,
+            4,
+            QueryOrder::Cycle,
+            RewardMode::InverseCost,
+            StageSet::full(),
+        );
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..25 {
+            run_random_episode(&mut env, &mut rng);
+            let outcome = env.last_outcome().expect("finished");
+            outcome.plan.validate(&queries[0]).unwrap();
+            assert!(outcome.agent_cost > 0.0);
+        }
+    }
+
+    #[test]
+    fn state_dim_includes_phase_and_rel_markers() {
+        let (db, queries) = fixtures(false);
+        let ctx = EnvContext::new(&db.db, &db.stats);
+        let env = FullPlanEnv::new(
+            ctx,
+            &queries,
+            4,
+            QueryOrder::Cycle,
+            RewardMode::InverseCost,
+            StageSet::full(),
+        );
+        assert_eq!(
+            env.state_dim(),
+            env.featurizer().state_dim() + 4 + 4
+        );
+    }
+
+    #[test]
+    fn stage_growth_changes_episode_shape() {
+        let (db, queries) = fixtures(false);
+        let ctx = EnvContext::new(&db.db, &db.stats);
+        let mut env = FullPlanEnv::new(
+            ctx,
+            &queries,
+            4,
+            QueryOrder::Cycle,
+            RewardMode::InverseCost,
+            StageSet::join_order_only(),
+        );
+        let mut rng = StdRng::seed_from_u64(3);
+        assert_eq!(run_random_episode(&mut env, &mut rng), 2);
+        env.set_stages(StageSet::through_index());
+        assert_eq!(run_random_episode(&mut env, &mut rng), 5); // +3 scans
+        env.set_stages(StageSet::through_join_ops());
+        assert_eq!(run_random_episode(&mut env, &mut rng), 7); // +2 algos
+    }
+}

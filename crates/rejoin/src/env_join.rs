@@ -1,0 +1,460 @@
+//! The ReJOIN join-ordering environment (§3).
+//!
+//! *Episode = query.* The state is a forest of join subtrees; each action
+//! merges an ordered pair of subtrees; after `n − 1` merges the episode
+//! terminates, the finished ordering is handed to the traditional
+//! machinery for operator and access-path selection
+//! ([`crate::planfix`]), and the terminal reward is computed from the
+//! resulting plan (cost model or latency, per [`RewardMode`]). All
+//! intermediate rewards are zero — the sparse-reward structure §4
+//! discusses.
+
+use crate::featurize::Featurizer;
+use crate::planfix::plan_from_tree;
+use crate::reward::RewardMode;
+use hfqo_catalog::Catalog;
+use hfqo_cost::{CostModel, CostParams, LatencyModel};
+use hfqo_exec::TrueCardinality;
+use hfqo_opt::TraditionalOptimizer;
+use hfqo_query::{Forest, PhysicalPlan, QueryGraph};
+use hfqo_rl::{Environment, StepResult};
+use hfqo_stats::{EstimatedCardinality, StatsCatalog};
+use hfqo_storage::Database;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Shared, read-only context the environments cost and simulate against.
+pub struct EnvContext<'a> {
+    /// The database (data + catalog).
+    pub db: &'a Database,
+    /// Table statistics.
+    pub stats: &'a StatsCatalog,
+    /// Cost-model parameters (the `M(t)` the reward uses).
+    pub cost_params: CostParams,
+    /// Latency simulation model (for latency-based rewards and logging).
+    pub latency_model: LatencyModel,
+}
+
+impl<'a> EnvContext<'a> {
+    /// A context with PostgreSQL-like costing and the default latency
+    /// model.
+    pub fn new(db: &'a Database, stats: &'a StatsCatalog) -> Self {
+        Self {
+            db,
+            stats,
+            cost_params: CostParams::postgres_like(),
+            latency_model: LatencyModel::default(),
+        }
+    }
+
+    /// The catalog.
+    pub fn catalog(&self) -> &'a Catalog {
+        self.db.catalog()
+    }
+
+    /// A cost model over this context.
+    pub fn cost_model(&self) -> CostModel<'_> {
+        CostModel::new(&self.cost_params, self.stats)
+    }
+
+    /// The estimated-cardinality source.
+    pub fn estimator(&self) -> EstimatedCardinality<'a> {
+        EstimatedCardinality::new(self.stats)
+    }
+}
+
+/// How the environment walks its workload across episodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryOrder {
+    /// Round-robin in workload order.
+    Cycle,
+    /// Uniformly random query per episode.
+    Shuffle,
+    /// Always the same query (used for evaluation).
+    Fixed(usize),
+}
+
+/// Everything known about a finished episode.
+#[derive(Debug, Clone)]
+pub struct EpisodeOutcome {
+    /// Index of the query in the workload.
+    pub query_idx: usize,
+    /// The query's label, when set.
+    pub label: Option<String>,
+    /// The agent's finished physical plan.
+    pub plan: PhysicalPlan,
+    /// `M(t)` of the agent's plan (estimated cardinalities).
+    pub agent_cost: f64,
+    /// The expert's cost for the same query.
+    pub expert_cost: f64,
+    /// Simulated latency of the agent's plan, when the reward needed it.
+    pub latency_ms: Option<f64>,
+    /// The terminal reward granted.
+    pub reward: f32,
+}
+
+/// The join-order environment.
+pub struct JoinOrderEnv<'a> {
+    ctx: EnvContext<'a>,
+    queries: &'a [QueryGraph],
+    featurizer: Featurizer,
+    order: QueryOrder,
+    reward_mode: RewardMode,
+    /// Disallow cross-join pair actions via masking (ReJOIN allowed them;
+    /// default `false`).
+    pub require_connected: bool,
+    cursor: usize,
+    current: usize,
+    forest: Forest,
+    expert_costs: Vec<Option<f64>>,
+    oracles: Vec<Option<TrueCardinality<'a>>>,
+    last_outcome: Option<EpisodeOutcome>,
+}
+
+impl<'a> JoinOrderEnv<'a> {
+    /// Creates an environment over a workload.
+    ///
+    /// `max_rels` must be at least the largest relation count in
+    /// `queries`.
+    pub fn new(
+        ctx: EnvContext<'a>,
+        queries: &'a [QueryGraph],
+        max_rels: usize,
+        order: QueryOrder,
+        reward_mode: RewardMode,
+    ) -> Self {
+        assert!(!queries.is_empty(), "workload must not be empty");
+        let max_in_workload = queries
+            .iter()
+            .map(QueryGraph::relation_count)
+            .max()
+            .unwrap_or(0);
+        assert!(
+            max_rels >= max_in_workload,
+            "max_rels {max_rels} below workload maximum {max_in_workload}"
+        );
+        let n = queries.len();
+        Self {
+            ctx,
+            queries,
+            featurizer: Featurizer::new(max_rels),
+            order,
+            reward_mode,
+            require_connected: false,
+            cursor: 0,
+            current: 0,
+            forest: Forest::initial(queries[0].relation_count()),
+            expert_costs: vec![None; n],
+            oracles: std::iter::repeat_with(|| None).take(n).collect(),
+            last_outcome: None,
+        }
+    }
+
+    /// The featurizer (shared with agents for shape information).
+    pub fn featurizer(&self) -> Featurizer {
+        self.featurizer
+    }
+
+    /// The workload.
+    pub fn queries(&self) -> &'a [QueryGraph] {
+        self.queries
+    }
+
+    /// The context.
+    pub fn context(&self) -> &EnvContext<'a> {
+        &self.ctx
+    }
+
+    /// Changes the query ordering policy.
+    pub fn set_order(&mut self, order: QueryOrder) {
+        self.order = order;
+    }
+
+    /// Swaps the reward mode (used by the bootstrap trainer's phase
+    /// switch).
+    pub fn set_reward_mode(&mut self, mode: RewardMode) {
+        self.reward_mode = mode;
+    }
+
+    /// The current reward mode.
+    pub fn reward_mode(&self) -> &RewardMode {
+        &self.reward_mode
+    }
+
+    /// The outcome of the most recently finished episode.
+    pub fn last_outcome(&self) -> Option<&EpisodeOutcome> {
+        self.last_outcome.as_ref()
+    }
+
+    /// The expert's plan cost for query `idx` (computed once, cached).
+    pub fn expert_cost(&mut self, idx: usize) -> f64 {
+        if let Some(c) = self.expert_costs[idx] {
+            return c;
+        }
+        let optimizer = TraditionalOptimizer::new(self.ctx.catalog(), self.ctx.stats)
+            .with_params(self.ctx.cost_params.clone());
+        let cost = optimizer
+            .plan(&self.queries[idx])
+            .map(|p| p.cost)
+            .unwrap_or(f64::INFINITY);
+        self.expert_costs[idx] = Some(cost);
+        cost
+    }
+
+    /// Simulated latency of `plan` for query `idx` via the
+    /// true-cardinality oracle.
+    pub fn simulate_latency(
+        &mut self,
+        idx: usize,
+        plan: &PhysicalPlan,
+        rng: &mut StdRng,
+    ) -> f64 {
+        if self.oracles[idx].is_none() {
+            self.oracles[idx] = Some(TrueCardinality::new(self.ctx.db));
+        }
+        let oracle = self.oracles[idx].as_ref().expect("just initialised");
+        self.ctx
+            .latency_model
+            .simulate(&self.queries[idx], plan, self.ctx.stats, oracle, rng)
+            .millis
+    }
+
+    fn finish_episode(&mut self, rng: &mut StdRng) -> f32 {
+        let tree = self
+            .forest
+            .clone()
+            .into_tree()
+            .expect("terminal forest has one tree");
+        let model = self.ctx.cost_model();
+        let est = self.ctx.estimator();
+        let plan = plan_from_tree(
+            &self.queries[self.current],
+            &tree,
+            self.ctx.catalog(),
+            &model,
+            &est,
+        );
+        let agent_cost = model
+            .plan_cost(&self.queries[self.current], &plan, &est)
+            .total;
+        let expert_cost = self.expert_cost(self.current);
+        let latency_ms = if self.reward_mode.needs_latency() {
+            Some(self.simulate_latency(self.current, &plan, rng))
+        } else {
+            None
+        };
+        let reward = self
+            .reward_mode
+            .terminal_reward(agent_cost, expert_cost, latency_ms);
+        self.last_outcome = Some(EpisodeOutcome {
+            query_idx: self.current,
+            label: self.queries[self.current].label.clone(),
+            plan,
+            agent_cost,
+            expert_cost,
+            latency_ms,
+            reward,
+        });
+        reward
+    }
+}
+
+impl Environment for JoinOrderEnv<'_> {
+    fn state_dim(&self) -> usize {
+        self.featurizer.state_dim()
+    }
+
+    fn action_dim(&self) -> usize {
+        self.featurizer.action_dim()
+    }
+
+    fn reset(&mut self, rng: &mut StdRng) {
+        self.current = match self.order {
+            QueryOrder::Cycle => {
+                let q = self.cursor % self.queries.len();
+                self.cursor += 1;
+                q
+            }
+            QueryOrder::Shuffle => rng.gen_range(0..self.queries.len()),
+            QueryOrder::Fixed(idx) => idx.min(self.queries.len() - 1),
+        };
+        self.forest = Forest::initial(self.queries[self.current].relation_count());
+    }
+
+    fn state_features(&self, out: &mut Vec<f32>) {
+        self.featurizer.featurize(
+            &self.queries[self.current],
+            &self.forest,
+            &self.ctx.estimator(),
+            out,
+        );
+    }
+
+    fn action_mask(&self, out: &mut Vec<bool>) {
+        self.featurizer.action_mask(
+            &self.queries[self.current],
+            &self.forest,
+            self.require_connected,
+            out,
+        );
+    }
+
+    fn step(&mut self, action: usize, rng: &mut StdRng) -> StepResult {
+        let (x, y) = self.featurizer.decode_pair(action);
+        let merged = self.forest.merge(x, y);
+        debug_assert!(merged, "masked actions must be valid merges");
+        if self.forest.is_terminal() {
+            let reward = self.finish_episode(rng);
+            StepResult { reward, done: true }
+        } else {
+            StepResult {
+                reward: 0.0,
+                done: false,
+            }
+        }
+    }
+
+    fn is_terminal(&self) -> bool {
+        self.forest.is_terminal()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hfqo_opt::test_support::{chain_query, TestDb};
+    use rand::SeedableRng;
+
+    fn env_fixtures() -> (TestDb, Vec<QueryGraph>) {
+        let db = TestDb::chain(4, 300);
+        let queries = vec![chain_query(&db, 4).with_label("q0")];
+        (db, queries)
+    }
+
+    #[test]
+    fn episode_runs_n_minus_one_steps() {
+        let (db, queries) = env_fixtures();
+        let ctx = EnvContext::new(&db.db, &db.stats);
+        let mut env = JoinOrderEnv::new(
+            ctx,
+            &queries,
+            6,
+            QueryOrder::Cycle,
+            RewardMode::RelativeToExpert,
+        );
+        let mut rng = StdRng::seed_from_u64(0);
+        env.reset(&mut rng);
+        let mut steps = 0;
+        let mut mask = Vec::new();
+        while !env.is_terminal() {
+            env.action_mask(&mut mask);
+            let action = mask.iter().position(|&m| m).expect("valid action");
+            let result = env.step(action, &mut rng);
+            steps += 1;
+            if result.done {
+                assert!(result.reward > 0.0);
+            } else {
+                assert_eq!(result.reward, 0.0, "non-terminal rewards are zero");
+            }
+        }
+        assert_eq!(steps, 3);
+        let outcome = env.last_outcome().expect("episode finished");
+        assert_eq!(outcome.query_idx, 0);
+        assert_eq!(outcome.label.as_deref(), Some("q0"));
+        outcome.plan.validate(&queries[0]).unwrap();
+        assert!(outcome.agent_cost > 0.0);
+        assert!(outcome.expert_cost > 0.0);
+        assert!(outcome.latency_ms.is_none());
+    }
+
+    #[test]
+    fn figure2_episode_replay() {
+        // Actions (0,2), (0,1), (0,1) — the paper's Figure 2 — must
+        // produce ((A ⋈ C) ⋈ (B ⋈ D)).
+        let (db, queries) = env_fixtures();
+        let ctx = EnvContext::new(&db.db, &db.stats);
+        let mut env = JoinOrderEnv::new(
+            ctx,
+            &queries,
+            6,
+            QueryOrder::Fixed(0),
+            RewardMode::InverseCost,
+        );
+        let mut rng = StdRng::seed_from_u64(0);
+        env.reset(&mut rng);
+        let f = env.featurizer();
+        env.step(f.encode_pair(0, 2), &mut rng);
+        env.step(f.encode_pair(0, 1), &mut rng);
+        let last = env.step(f.encode_pair(0, 1), &mut rng);
+        assert!(last.done);
+        let outcome = env.last_outcome().expect("finished");
+        assert_eq!(
+            outcome.plan.root.join_tree().compact(),
+            "((0 ⋈ 2) ⋈ (1 ⋈ 3))"
+        );
+    }
+
+    #[test]
+    fn latency_reward_populates_latency() {
+        let (db, queries) = env_fixtures();
+        let ctx = EnvContext::new(&db.db, &db.stats);
+        let mut env = JoinOrderEnv::new(
+            ctx,
+            &queries,
+            6,
+            QueryOrder::Cycle,
+            RewardMode::InverseLatency,
+        );
+        let mut rng = StdRng::seed_from_u64(1);
+        env.reset(&mut rng);
+        let mut mask = Vec::new();
+        while !env.is_terminal() {
+            env.action_mask(&mut mask);
+            let action = mask.iter().position(|&m| m).expect("valid action");
+            env.step(action, &mut rng);
+        }
+        let outcome = env.last_outcome().expect("finished");
+        assert!(outcome.latency_ms.expect("latency simulated") > 0.0);
+    }
+
+    #[test]
+    fn expert_cost_is_cached() {
+        let (db, queries) = env_fixtures();
+        let ctx = EnvContext::new(&db.db, &db.stats);
+        let mut env = JoinOrderEnv::new(
+            ctx,
+            &queries,
+            6,
+            QueryOrder::Cycle,
+            RewardMode::RelativeToExpert,
+        );
+        let a = env.expert_cost(0);
+        let b = env.expert_cost(0);
+        assert_eq!(a, b);
+        assert!(a.is_finite());
+    }
+
+    #[test]
+    fn query_order_modes() {
+        let db = TestDb::chain(3, 100);
+        let queries = vec![chain_query(&db, 3), chain_query(&db, 2)];
+        let ctx = EnvContext::new(&db.db, &db.stats);
+        let mut env = JoinOrderEnv::new(
+            ctx,
+            &queries,
+            4,
+            QueryOrder::Cycle,
+            RewardMode::InverseCost,
+        );
+        let mut rng = StdRng::seed_from_u64(2);
+        env.reset(&mut rng);
+        assert_eq!(env.current, 0);
+        env.reset(&mut rng);
+        assert_eq!(env.current, 1);
+        env.reset(&mut rng);
+        assert_eq!(env.current, 0);
+        env.set_order(QueryOrder::Fixed(1));
+        env.reset(&mut rng);
+        assert_eq!(env.current, 1);
+    }
+}

@@ -1,0 +1,351 @@
+//! ReJOIN state vectorisation.
+//!
+//! Following the case study (§3, with details from the ReJOIN paper it
+//! summarises), a state is the current forest of join subtrees plus static
+//! information about the query's join and selection predicates:
+//!
+//! * **Tree structure** — one row per forest slot; the entry for base
+//!   relation `r` is `1/2^depth(r)` within that subtree (0 when absent).
+//!   The root-level weighting lets the network see *how* relations have
+//!   been combined, not just which.
+//! * **Join adjacency** — a symmetric 0/1 matrix marking which relation
+//!   pairs are connected by a join predicate.
+//! * **Selections** — per relation, a flag and the estimated combined
+//!   selectivity of its selection predicates.
+//!
+//! Everything is laid out at a fixed `max_rels` width so one network
+//! serves queries of any size, with invalid actions masked.
+
+use hfqo_query::{Forest, QueryGraph, RelId};
+use hfqo_stats::EstimatedCardinality;
+
+/// Fixed-width featurizer for forests over at most `max_rels` relations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Featurizer {
+    max_rels: usize,
+}
+
+impl Featurizer {
+    /// A featurizer for queries of up to `max_rels` relations.
+    pub fn new(max_rels: usize) -> Self {
+        assert!(max_rels >= 2, "need at least two relations to join");
+        Self { max_rels }
+    }
+
+    /// The configured maximum relation count.
+    pub fn max_rels(&self) -> usize {
+        self.max_rels
+    }
+
+    /// Width of the base state vector: `max² (tree) + max² (adjacency) +
+    /// 2·max (selections) + max (subtree sizes) + max (relation sizes)`.
+    ///
+    /// The two cardinality sections carry the information ReJOIN's
+    /// database-wide one-hot rows carried implicitly (its tree vectors
+    /// spanned *all* database relations, so relation identity — and thus
+    /// size — was learnable). Our slots are query-relative, so sizes are
+    /// provided explicitly: log-scaled estimated rows of each current
+    /// subtree, and log-scaled raw rows of each base relation.
+    pub fn state_dim(&self) -> usize {
+        2 * self.max_rels * self.max_rels + 4 * self.max_rels
+    }
+
+    /// Size of the ordered-pair action space (`max²`; the diagonal is
+    /// never valid).
+    pub fn action_dim(&self) -> usize {
+        self.max_rels * self.max_rels
+    }
+
+    /// Encodes `(x, y)` as an action id.
+    #[inline]
+    pub fn encode_pair(&self, x: usize, y: usize) -> usize {
+        x * self.max_rels + y
+    }
+
+    /// Decodes an action id back to `(x, y)`.
+    #[inline]
+    pub fn decode_pair(&self, action: usize) -> (usize, usize) {
+        (action / self.max_rels, action % self.max_rels)
+    }
+
+    /// Writes the state features for `forest` over `graph` into `out`
+    /// (cleared first; always `state_dim` long).
+    pub fn featurize(
+        &self,
+        graph: &QueryGraph,
+        forest: &Forest,
+        est: &EstimatedCardinality<'_>,
+        out: &mut Vec<f32>,
+    ) {
+        let m = self.max_rels;
+        out.clear();
+        out.resize(self.state_dim(), 0.0);
+        // Tree-structure rows.
+        for (slot, tree) in forest.trees().iter().enumerate().take(m) {
+            for rel in tree.rel_set().iter() {
+                if rel.index() >= m {
+                    continue;
+                }
+                let depth = tree.depth_of(rel).unwrap_or(0);
+                out[slot * m + rel.index()] = 0.5f32.powi(depth as i32);
+            }
+        }
+        // Join adjacency (symmetric).
+        let adj_base = m * m;
+        for edge in graph.joins() {
+            let (i, j) = (edge.left.rel.index(), edge.right.rel.index());
+            if i < m && j < m {
+                out[adj_base + i * m + j] = 1.0;
+                out[adj_base + j * m + i] = 1.0;
+            }
+        }
+        // Selection features.
+        let sel_base = 2 * m * m;
+        for rel_idx in 0..graph.relation_count().min(m) {
+            let rel = RelId(rel_idx as u32);
+            let has_sel = graph.selections_on(rel).next().is_some();
+            if has_sel {
+                out[sel_base + 2 * rel_idx] = 1.0;
+                let sel = est.selection_selectivity_of(graph, rel);
+                out[sel_base + 2 * rel_idx + 1] = sel as f32;
+            } else {
+                out[sel_base + 2 * rel_idx + 1] = 1.0;
+            }
+        }
+        // Estimated size of each current subtree, log-scaled into [0, 1].
+        use hfqo_stats::CardinalitySource as _;
+        let size_base = 2 * m * m + 2 * m;
+        for (slot, tree) in forest.trees().iter().enumerate().take(m) {
+            let rows = est.set_rows(graph, tree.rel_set()).max(1.0);
+            out[size_base + slot] = ((rows.ln() / 20.0) as f32).clamp(0.0, 1.0);
+        }
+        // Raw size of each base relation, log-scaled into [0, 1].
+        let raw_base = 2 * m * m + 3 * m;
+        for rel_idx in 0..graph.relation_count().min(m) {
+            let table = graph.relation(RelId(rel_idx as u32)).table;
+            let raw = est.stats().table(table).row_count.max(1.0);
+            out[raw_base + rel_idx] = (((raw + 1.0).ln() / 20.0) as f32).clamp(0.0, 1.0);
+        }
+    }
+
+    /// Writes the valid-action mask for `forest` into `out` (cleared
+    /// first; always `action_dim` long). A pair `(x, y)` is valid when
+    /// both index live subtrees and `x ≠ y`; with `require_connected`,
+    /// the two subtrees must additionally share a join predicate (no
+    /// cross joins — ReJOIN itself allowed them, so the default in the
+    /// environments is `false`).
+    pub fn action_mask(
+        &self,
+        graph: &QueryGraph,
+        forest: &Forest,
+        require_connected: bool,
+        out: &mut Vec<bool>,
+    ) {
+        let m = self.max_rels;
+        out.clear();
+        out.resize(self.action_dim(), false);
+        let len = forest.len().min(m);
+        let mut any = false;
+        for x in 0..len {
+            for y in 0..len {
+                if x == y {
+                    continue;
+                }
+                let valid = if require_connected {
+                    graph.sets_connected(
+                        forest.trees()[x].rel_set(),
+                        forest.trees()[y].rel_set(),
+                    )
+                } else {
+                    true
+                };
+                if valid {
+                    out[self.encode_pair(x, y)] = true;
+                    any = true;
+                }
+            }
+        }
+        // A disconnected remainder with `require_connected` would deadlock
+        // the episode; fall back to allowing all pairs (the paper's
+        // cross-join-permitting space).
+        if !any && len >= 2 {
+            for x in 0..len {
+                for y in 0..len {
+                    if x != y {
+                        out[self.encode_pair(x, y)] = true;
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hfqo_catalog::{ColumnId, ColumnStatsMeta, TableId};
+    use hfqo_query::{BoundColumn, JoinEdge, Lit, Relation, Selection};
+    use hfqo_sql::CompareOp;
+    use hfqo_stats::{ColumnStats, StatsCatalog, TableStats};
+
+    fn graph4() -> (QueryGraph, StatsCatalog) {
+        // Chain 0-1-2-3 with a selection on r1.
+        let relations = (0..4)
+            .map(|i| Relation {
+                table: TableId(i),
+                alias: format!("t{i}"),
+            })
+            .collect();
+        let joins = (1..4)
+            .map(|i| JoinEdge {
+                left: BoundColumn::new(RelId(i - 1), ColumnId(0)),
+                op: CompareOp::Eq,
+                right: BoundColumn::new(RelId(i), ColumnId(0)),
+            })
+            .collect();
+        let selections = vec![Selection {
+            column: BoundColumn::new(RelId(1), ColumnId(0)),
+            op: CompareOp::Lt,
+            value: Lit::Int(50),
+        }];
+        let graph = QueryGraph::new(relations, joins, selections, vec![], vec![]);
+        let stats = StatsCatalog::new(
+            (0..4)
+                .map(|_| TableStats {
+                    row_count: 100.0,
+                    row_width: 8.0,
+                    columns: vec![ColumnStats {
+                        meta: ColumnStatsMeta {
+                            ndv: 100.0,
+                            min: 0.0,
+                            max: 99.0,
+                            null_frac: 0.0,
+                        },
+                        histogram: hfqo_stats::Histogram::build(
+                            (0..100).map(|i| i as f64).collect(),
+                            10,
+                        ),
+                        mcvs: vec![],
+                    }],
+                })
+                .collect(),
+        );
+        (graph, stats)
+    }
+
+    #[test]
+    fn dimensions() {
+        let f = Featurizer::new(10);
+        assert_eq!(f.state_dim(), 2 * 100 + 40);
+        assert_eq!(f.action_dim(), 100);
+        assert_eq!(f.max_rels(), 10);
+        let (x, y) = f.decode_pair(f.encode_pair(3, 7));
+        assert_eq!((x, y), (3, 7));
+    }
+
+    #[test]
+    fn initial_state_features() {
+        let (graph, stats) = graph4();
+        let est = EstimatedCardinality::new(&stats);
+        let f = Featurizer::new(6);
+        let forest = Forest::initial(4);
+        let mut out = Vec::new();
+        f.featurize(&graph, &forest, &est, &mut out);
+        assert_eq!(out.len(), f.state_dim());
+        // Each initial subtree is a leaf at depth 0 → weight 1.0 on its
+        // own relation.
+        for slot in 0..4 {
+            assert_eq!(out[slot * 6 + slot], 1.0);
+        }
+        // Unused slots are empty.
+        assert!(out[4 * 6..6 * 6].iter().all(|&v| v == 0.0));
+        // Adjacency marks the chain edges symmetrically.
+        let adj = 36;
+        assert_eq!(out[adj + 1], 1.0); // 0-1
+        assert_eq!(out[adj + 6], 1.0); // 1-0
+        assert_eq!(out[adj + 3], 0.0); // 0-3 absent
+        // Selection features: r1 flagged with selectivity < 1.
+        let sel = 72;
+        assert_eq!(out[sel + 2], 1.0);
+        assert!(out[sel + 3] < 0.9);
+        // r0 has no selection → flag 0, selectivity 1.
+        assert_eq!(out[sel], 0.0);
+        assert_eq!(out[sel + 1], 1.0);
+        // Subtree-size features: live slots get positive log-sizes,
+        // dead slots stay zero.
+        let size_base = 72 + 12;
+        for slot in 0..4 {
+            assert!(out[size_base + slot] > 0.0, "slot {slot}");
+        }
+        assert_eq!(out[size_base + 4], 0.0);
+        // Raw relation sizes present for every query relation.
+        let raw_base = 72 + 18;
+        for r in 0..4 {
+            assert!(out[raw_base + r] > 0.0, "rel {r}");
+        }
+    }
+
+    #[test]
+    fn merged_subtree_weights_halve() {
+        let (graph, stats) = graph4();
+        let est = EstimatedCardinality::new(&stats);
+        let f = Featurizer::new(6);
+        let mut forest = Forest::initial(4);
+        forest.merge(0, 1); // forest: [t2, t3, (t0 ⋈ t1)]
+        let mut out = Vec::new();
+        f.featurize(&graph, &forest, &est, &mut out);
+        // Slot 2 holds the merged tree: both rels at depth 1 → 0.5.
+        assert_eq!(out[2 * 6], 0.5);
+        assert_eq!(out[2 * 6 + 1], 0.5);
+        // Slot 0 now holds t2.
+        assert_eq!(out[2], 1.0);
+    }
+
+    #[test]
+    fn mask_excludes_diagonal_and_dead_slots() {
+        let (graph, _) = graph4();
+        let f = Featurizer::new(6);
+        let forest = Forest::initial(4);
+        let mut mask = Vec::new();
+        f.action_mask(&graph, &forest, false, &mut mask);
+        assert_eq!(mask.len(), 36);
+        assert!(!mask[f.encode_pair(2, 2)]);
+        assert!(mask[f.encode_pair(0, 3)]);
+        assert!(mask[f.encode_pair(3, 0)]);
+        assert!(!mask[f.encode_pair(0, 4)]); // slot 4 empty
+        assert!(!mask[f.encode_pair(5, 1)]);
+        assert_eq!(mask.iter().filter(|&&m| m).count(), 4 * 3);
+    }
+
+    #[test]
+    fn connected_mask_follows_join_graph() {
+        let (graph, _) = graph4();
+        let f = Featurizer::new(6);
+        let forest = Forest::initial(4);
+        let mut mask = Vec::new();
+        f.action_mask(&graph, &forest, true, &mut mask);
+        // Chain 0-1-2-3: (0,1) ok, (0,2) not.
+        assert!(mask[f.encode_pair(0, 1)]);
+        assert!(!mask[f.encode_pair(0, 2)]);
+        assert_eq!(mask.iter().filter(|&&m| m).count(), 6);
+    }
+
+    #[test]
+    fn disconnected_fallback_unmasks() {
+        // No join edges at all: require_connected would mask everything,
+        // so the fallback must re-open all pairs.
+        let (graph, _) = graph4();
+        let no_joins = QueryGraph::new(
+            graph.relations().to_vec(),
+            vec![],
+            vec![],
+            vec![],
+            vec![],
+        );
+        let f = Featurizer::new(6);
+        let forest = Forest::initial(4);
+        let mut mask = Vec::new();
+        f.action_mask(&no_joins, &forest, true, &mut mask);
+        assert_eq!(mask.iter().filter(|&&m| m).count(), 12);
+    }
+}

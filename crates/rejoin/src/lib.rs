@@ -1,0 +1,49 @@
+//! # hfqo-rejoin
+//!
+//! The paper's contribution: **ReJOIN**, a deep-reinforcement-learning
+//! join order enumerator (§3), extended with the full execution-plan
+//! action space (§4's search-space experiment) and the three proposed
+//! research directions — **learning from demonstration** (§5.1),
+//! **cost-model bootstrapping** (§5.2), and **incremental learning**
+//! (§5.3, pipeline / relations / hybrid curricula).
+//!
+//! The moving pieces:
+//!
+//! * [`featurize`] — ReJOIN's state vectorisation: per-subtree
+//!   `1/2^depth` tree-structure rows plus join-predicate and
+//!   selection-predicate features, fixed-width for a configurable maximum
+//!   relation count with masked pair actions.
+//! * [`env_join`] — the episodic join-ordering environment (episode =
+//!   query, action = ordered subtree pair, terminal reward from the cost
+//!   model / latency source).
+//! * [`env_full`] — the full-plan environment adding access-path, join
+//!   operator, and aggregate operator decisions, gated by a
+//!   [`incremental::StageSet`] so curricula can grow the action space.
+//! * [`reward`] — the reward signals: `1/M(t)`, expert-relative cost,
+//!   (scaled) simulated latency.
+//! * [`trainer`] — the episode loop with per-episode logging, the data
+//!   behind Figures 3a/3b.
+//! * [`demonstration`], [`bootstrap`], [`incremental`] — the §5 methods.
+
+pub mod agent;
+pub mod bootstrap;
+pub mod demonstration;
+pub mod env_full;
+pub mod env_join;
+pub mod featurize;
+pub mod incremental;
+pub mod metrics;
+pub mod planfix;
+pub mod reward;
+pub mod trainer;
+
+pub use agent::{PolicyKind, ReJoinAgent};
+pub use bootstrap::{cost_bootstrap, BootstrapConfig, BootstrapOutcome};
+pub use demonstration::{learn_from_demonstration, DemonstrationConfig, DemonstrationOutcome};
+pub use env_full::{FullPlanEnv, Phase};
+pub use env_join::{EnvContext, EpisodeOutcome, JoinOrderEnv, QueryOrder};
+pub use featurize::Featurizer;
+pub use incremental::{Curriculum, StageSet};
+pub use metrics::{MovingAverage, TrainingLog};
+pub use reward::RewardMode;
+pub use trainer::{evaluate_per_query, train, OutcomeEnv, TrainerConfig};

@@ -1,0 +1,214 @@
+//! The environment abstraction.
+
+use rand::rngs::StdRng;
+
+/// Result of applying one action.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StepResult {
+    /// Reward for the transition (0 for non-terminal query-optimization
+    /// steps — the sparse-reward property §4 discusses).
+    pub reward: f32,
+    /// Whether the episode reached a terminal state.
+    pub done: bool,
+}
+
+/// An episodic environment with a *fixed-width* action space and
+/// per-state action masks.
+///
+/// Fixed width plus masking is how ReJOIN handles the shrinking pair
+/// action set: the network always has `action_dim` outputs, and the mask
+/// marks which are valid in the current state.
+pub trait Environment {
+    /// Dimensionality of state feature vectors.
+    fn state_dim(&self) -> usize;
+
+    /// Total number of actions (valid and invalid).
+    fn action_dim(&self) -> usize;
+
+    /// Starts a new episode. Environments that iterate over a workload
+    /// advance to the next query here.
+    fn reset(&mut self, rng: &mut StdRng);
+
+    /// Writes the current state's features into `out` (cleared first,
+    /// always `state_dim` long).
+    fn state_features(&self, out: &mut Vec<f32>);
+
+    /// Writes the current valid-action mask into `out` (cleared first,
+    /// always `action_dim` long, at least one `true` in non-terminal
+    /// states).
+    fn action_mask(&self, out: &mut Vec<bool>);
+
+    /// Applies an action. Must only be called with a currently-valid
+    /// action on a non-terminal state.
+    fn step(&mut self, action: usize, rng: &mut StdRng) -> StepResult;
+
+    /// Whether the current state is terminal.
+    fn is_terminal(&self) -> bool;
+}
+
+#[cfg(test)]
+pub(crate) mod toy {
+    //! Small test environments used across this crate's unit tests.
+
+    use super::*;
+    use rand::Rng;
+
+    /// A k-armed bandit: one step per episode, arm `i` pays
+    /// `means[i] + noise`.
+    pub struct Bandit {
+        /// Expected payout per arm.
+        pub means: Vec<f32>,
+        done: bool,
+    }
+
+    impl Bandit {
+        pub fn new(means: Vec<f32>) -> Self {
+            Self { means, done: false }
+        }
+    }
+
+    impl Environment for Bandit {
+        fn state_dim(&self) -> usize {
+            1
+        }
+
+        fn action_dim(&self) -> usize {
+            self.means.len()
+        }
+
+        fn reset(&mut self, _rng: &mut StdRng) {
+            self.done = false;
+        }
+
+        fn state_features(&self, out: &mut Vec<f32>) {
+            out.clear();
+            out.push(1.0);
+        }
+
+        fn action_mask(&self, out: &mut Vec<bool>) {
+            out.clear();
+            out.resize(self.means.len(), true);
+        }
+
+        fn step(&mut self, action: usize, rng: &mut StdRng) -> StepResult {
+            self.done = true;
+            let noise: f32 = rng.gen_range(-0.05..0.05);
+            StepResult {
+                reward: self.means[action] + noise,
+                done: true,
+            }
+        }
+
+        fn is_terminal(&self) -> bool {
+            self.done
+        }
+    }
+
+    /// A corridor of `len` cells; the agent starts at 0, action 0 moves
+    /// left, action 1 moves right; reaching the right end pays 1.0, every
+    /// step costs 0.01, episodes cap at `3 * len` steps. Tests multi-step
+    /// credit assignment.
+    pub struct Corridor {
+        pub len: usize,
+        pos: usize,
+        steps: usize,
+    }
+
+    impl Corridor {
+        pub fn new(len: usize) -> Self {
+            Self {
+                len,
+                pos: 0,
+                steps: 0,
+            }
+        }
+    }
+
+    impl Environment for Corridor {
+        fn state_dim(&self) -> usize {
+            self.len + 1
+        }
+
+        fn action_dim(&self) -> usize {
+            2
+        }
+
+        fn reset(&mut self, _rng: &mut StdRng) {
+            self.pos = 0;
+            self.steps = 0;
+        }
+
+        fn state_features(&self, out: &mut Vec<f32>) {
+            out.clear();
+            out.resize(self.len + 1, 0.0);
+            out[self.pos] = 1.0;
+        }
+
+        fn action_mask(&self, out: &mut Vec<bool>) {
+            out.clear();
+            out.push(self.pos > 0); // left only when not at the start
+            out.push(true);
+        }
+
+        fn step(&mut self, action: usize, _rng: &mut StdRng) -> StepResult {
+            self.steps += 1;
+            if action == 1 {
+                self.pos += 1;
+            } else {
+                self.pos = self.pos.saturating_sub(1);
+            }
+            if self.pos == self.len {
+                StepResult {
+                    reward: 1.0,
+                    done: true,
+                }
+            } else {
+                StepResult {
+                    reward: -0.01,
+                    done: self.steps >= 3 * self.len,
+                }
+            }
+        }
+
+        fn is_terminal(&self) -> bool {
+            self.pos == self.len || self.steps >= 3 * self.len
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::toy::*;
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn bandit_shapes() {
+        let mut env = Bandit::new(vec![0.0, 1.0, 0.5]);
+        let mut rng = StdRng::seed_from_u64(0);
+        env.reset(&mut rng);
+        assert_eq!(env.action_dim(), 3);
+        let mut mask = Vec::new();
+        env.action_mask(&mut mask);
+        assert_eq!(mask, vec![true; 3]);
+        let r = env.step(1, &mut rng);
+        assert!(r.done);
+        assert!((r.reward - 1.0).abs() < 0.1);
+        assert!(env.is_terminal());
+    }
+
+    #[test]
+    fn corridor_walk() {
+        let mut env = Corridor::new(3);
+        let mut rng = StdRng::seed_from_u64(0);
+        env.reset(&mut rng);
+        let mut mask = Vec::new();
+        env.action_mask(&mut mask);
+        assert_eq!(mask, vec![false, true]); // cannot move left at start
+        assert!(!env.step(1, &mut rng).done);
+        assert!(!env.step(1, &mut rng).done);
+        let last = env.step(1, &mut rng);
+        assert!(last.done);
+        assert_eq!(last.reward, 1.0);
+    }
+}

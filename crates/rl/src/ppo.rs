@@ -1,0 +1,288 @@
+//! A PPO-style clipped-surrogate policy-gradient agent.
+//!
+//! ReJOIN's published implementation used Proximal Policy Optimization;
+//! this is the single-worker variant: batches of episodes are replayed for
+//! several epochs with importance ratios clipped to `[1−ε, 1+ε]`, which
+//! permits multiple gradient steps per batch without the policy running
+//! away — the "smooth policy change" requirement §2 describes.
+
+use crate::env::Environment;
+use crate::episode::Episode;
+use hfqo_nn::{loss, Activation, Adam, Matrix, Mlp, MlpGradients, Optimizer};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// PPO hyperparameters.
+#[derive(Debug, Clone)]
+pub struct PpoConfig {
+    /// Hidden layer widths.
+    pub hidden: Vec<usize>,
+    /// Discount factor.
+    pub gamma: f32,
+    /// Adam learning rate.
+    pub lr: f32,
+    /// Clip range ε.
+    pub clip: f32,
+    /// Replay epochs per batch.
+    pub epochs: usize,
+    /// Episodes per batch.
+    pub batch_episodes: usize,
+    /// EMA decay for the scalar baseline.
+    pub baseline_decay: f32,
+    /// Global gradient-norm clip.
+    pub grad_clip: f32,
+}
+
+impl Default for PpoConfig {
+    fn default() -> Self {
+        Self {
+            hidden: vec![128, 128],
+            gamma: 1.0,
+            lr: 3e-4,
+            clip: 0.2,
+            epochs: 4,
+            batch_episodes: 8,
+            baseline_decay: 0.95,
+            grad_clip: 5.0,
+        }
+    }
+}
+
+/// The PPO agent.
+pub struct PpoAgent {
+    policy: Mlp,
+    optimizer: Adam,
+    config: PpoConfig,
+    baseline: f32,
+    baseline_ready: bool,
+    pending: Vec<Episode>,
+    episodes_seen: usize,
+}
+
+impl PpoAgent {
+    /// Creates an agent for the given dimensions.
+    pub fn new(state_dim: usize, action_dim: usize, config: PpoConfig, rng: &mut StdRng) -> Self {
+        let mut sizes = vec![state_dim];
+        sizes.extend_from_slice(&config.hidden);
+        sizes.push(action_dim);
+        Self {
+            policy: Mlp::new(&sizes, Activation::ReLU, rng),
+            optimizer: Adam::new(config.lr),
+            config,
+            baseline: 0.0,
+            baseline_ready: false,
+            pending: Vec::new(),
+            episodes_seen: 0,
+        }
+    }
+
+    /// The policy network.
+    pub fn policy(&self) -> &Mlp {
+        &self.policy
+    }
+
+    /// Episodes observed.
+    pub fn episodes_seen(&self) -> usize {
+        self.episodes_seen
+    }
+
+    /// Samples an action; returns `(action, probability)`.
+    pub fn select_action(
+        &self,
+        features: &[f32],
+        mask: &[bool],
+        rng: &mut StdRng,
+        greedy: bool,
+    ) -> (usize, f32) {
+        let logits = self.policy.predict(&Matrix::row_vector(features.to_vec()));
+        let probs = loss::masked_softmax(logits.row(0), mask);
+        if greedy {
+            let (best, p) = probs
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+                .expect("non-empty action space");
+            return (best, *p);
+        }
+        let draw: f32 = rng.gen();
+        let mut acc = 0.0;
+        for (i, &p) in probs.iter().enumerate() {
+            if p <= 0.0 {
+                continue;
+            }
+            acc += p;
+            if draw <= acc {
+                return (i, p);
+            }
+        }
+        let a = probs
+            .iter()
+            .rposition(|&p| p > 0.0)
+            .expect("mask has a valid action");
+        (a, probs[a])
+    }
+
+    /// Rolls out one episode.
+    pub fn run_episode<E: Environment>(
+        &self,
+        env: &mut E,
+        rng: &mut StdRng,
+        greedy: bool,
+    ) -> Episode {
+        env.reset(rng);
+        let mut episode = Episode::new();
+        let mut features = Vec::new();
+        let mut mask = Vec::new();
+        while !env.is_terminal() {
+            env.state_features(&mut features);
+            env.action_mask(&mut mask);
+            let (action, prob) = self.select_action(&features, &mask, rng, greedy);
+            let result = env.step(action, rng);
+            episode.transitions.push(crate::episode::Transition {
+                features: features.clone(),
+                mask: mask.clone(),
+                action,
+                action_prob: prob,
+                reward: result.reward,
+            });
+            if result.done {
+                break;
+            }
+        }
+        episode
+    }
+
+    /// Buffers an episode; updates when the batch fills. Returns `true`
+    /// when an update ran.
+    pub fn observe(&mut self, episode: Episode) -> bool {
+        self.episodes_seen += 1;
+        self.pending.push(episode);
+        if self.pending.len() >= self.config.batch_episodes {
+            self.update();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Clipped-surrogate update over the pending batch.
+    pub fn update(&mut self) {
+        if self.pending.is_empty() {
+            return;
+        }
+        let episodes = std::mem::take(&mut self.pending);
+        // Flatten to (features, mask, action, old_prob, advantage).
+        let mut steps: Vec<(&Vec<f32>, &Vec<bool>, usize, f32, f32)> = Vec::new();
+        for ep in &episodes {
+            let returns = ep.returns(self.config.gamma);
+            for (t, g) in ep.transitions.iter().zip(returns) {
+                let adv = if self.baseline_ready {
+                    g - self.baseline
+                } else {
+                    g
+                };
+                steps.push((&t.features, &t.mask, t.action, t.action_prob.max(1e-8), adv));
+            }
+        }
+        // Normalise advantages.
+        if steps.len() > 1 {
+            let mean = steps.iter().map(|s| s.4).sum::<f32>() / steps.len() as f32;
+            let var = steps.iter().map(|s| (s.4 - mean) * (s.4 - mean)).sum::<f32>()
+                / steps.len() as f32;
+            let std = var.sqrt().max(1e-6);
+            for s in &mut steps {
+                s.4 = (s.4 - mean) / std;
+            }
+        }
+        for _ in 0..self.config.epochs {
+            let mut grads = MlpGradients::zeros_like(&self.policy);
+            for (features, mask, action, old_prob, adv) in &steps {
+                let x = Matrix::row_vector((*features).clone());
+                let cache = self.policy.forward(&x);
+                let probs = loss::masked_softmax(cache.output().row(0), mask);
+                let new_prob = probs[*action].max(1e-8);
+                let ratio = new_prob / old_prob;
+                // Clipped-objective gradient: zero where the min() selects
+                // the clipped (constant) branch.
+                let clipped_out = (*adv >= 0.0 && ratio > 1.0 + self.config.clip)
+                    || (*adv < 0.0 && ratio < 1.0 - self.config.clip);
+                if clipped_out {
+                    continue;
+                }
+                let grad_row = loss::policy_gradient(
+                    cache.output().row(0),
+                    mask,
+                    *action,
+                    adv * ratio,
+                );
+                let g = self.policy.backward(&cache, Matrix::row_vector(grad_row));
+                grads.add(&g);
+            }
+            grads.scale(1.0 / steps.len().max(1) as f32);
+            grads.clip_global_norm(self.config.grad_clip);
+            self.optimizer.step(&mut self.policy, &grads);
+        }
+        for ep in &episodes {
+            let g0 = ep.returns(self.config.gamma).first().copied().unwrap_or(0.0);
+            if self.baseline_ready {
+                self.baseline = self.config.baseline_decay * self.baseline
+                    + (1.0 - self.config.baseline_decay) * g0;
+            } else {
+                self.baseline = g0;
+                self.baseline_ready = true;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::toy::Bandit;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ppo_learns_bandit() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let mut env = Bandit::new(vec![0.2, 0.4, 1.0, 0.1]);
+        let config = PpoConfig {
+            hidden: vec![16],
+            lr: 0.02,
+            batch_episodes: 8,
+            epochs: 3,
+            ..Default::default()
+        };
+        let mut agent = PpoAgent::new(1, 4, config, &mut rng);
+        for _ in 0..600 {
+            let ep = agent.run_episode(&mut env, &mut rng, false);
+            agent.observe(ep);
+        }
+        let (action, p) = agent.select_action(&[1.0], &[true; 4], &mut rng, true);
+        assert_eq!(action, 2, "picked {action} at {p}");
+        assert!(agent.episodes_seen() == 600);
+    }
+
+    #[test]
+    fn clipping_bounds_policy_shift() {
+        // After a single batch of extreme advantages, the policy must not
+        // have collapsed to a deterministic distribution (the clip keeps
+        // steps bounded).
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut env = Bandit::new(vec![0.0, 10.0]);
+        let config = PpoConfig {
+            hidden: vec![8],
+            lr: 0.05,
+            batch_episodes: 4,
+            epochs: 8,
+            ..Default::default()
+        };
+        let mut agent = PpoAgent::new(1, 2, config, &mut rng);
+        for _ in 0..4 {
+            let ep = agent.run_episode(&mut env, &mut rng, false);
+            agent.observe(ep);
+        }
+        let logits = agent.policy().predict(&Matrix::row_vector(vec![1.0]));
+        let probs = loss::masked_softmax(logits.row(0), &[true, true]);
+        assert!(probs[0] > 0.01, "policy collapsed: {probs:?}");
+    }
+}

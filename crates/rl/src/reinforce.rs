@@ -1,0 +1,378 @@
+//! REINFORCE with a moving-average baseline.
+
+use crate::env::Environment;
+use crate::episode::{Episode, Transition};
+use hfqo_nn::{loss, Activation, Adam, Matrix, Mlp, MlpGradients, Optimizer};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// REINFORCE hyperparameters.
+#[derive(Debug, Clone)]
+pub struct ReinforceConfig {
+    /// Hidden layer widths (ReJOIN used two 128-unit layers).
+    pub hidden: Vec<usize>,
+    /// Discount factor (1.0 suits the short, sparse-reward episodes of
+    /// join ordering).
+    pub gamma: f32,
+    /// Adam learning rate.
+    pub lr: f32,
+    /// Entropy bonus coefficient (exploration pressure).
+    pub entropy_coef: f32,
+    /// EMA decay for the scalar return baseline.
+    pub baseline_decay: f32,
+    /// Global gradient-norm clip.
+    pub grad_clip: f32,
+    /// Episodes accumulated per policy update.
+    pub batch_episodes: usize,
+    /// Whether to normalise advantages within each batch.
+    pub normalize_advantages: bool,
+}
+
+impl Default for ReinforceConfig {
+    fn default() -> Self {
+        Self {
+            hidden: vec![128, 128],
+            gamma: 1.0,
+            lr: 3e-4,
+            entropy_coef: 0.01,
+            baseline_decay: 0.95,
+            grad_clip: 5.0,
+            batch_episodes: 8,
+            normalize_advantages: true,
+        }
+    }
+}
+
+/// A policy-gradient agent: MLP policy over a masked discrete action
+/// space, trained by REINFORCE with an EMA baseline.
+pub struct ReinforceAgent {
+    policy: Mlp,
+    optimizer: Adam,
+    config: ReinforceConfig,
+    baseline: f32,
+    baseline_ready: bool,
+    pending: Vec<Episode>,
+    episodes_seen: usize,
+    updates: usize,
+}
+
+impl ReinforceAgent {
+    /// Creates an agent for the given state/action dimensions.
+    pub fn new(
+        state_dim: usize,
+        action_dim: usize,
+        config: ReinforceConfig,
+        rng: &mut StdRng,
+    ) -> Self {
+        let mut sizes = vec![state_dim];
+        sizes.extend_from_slice(&config.hidden);
+        sizes.push(action_dim);
+        let policy = Mlp::new(&sizes, Activation::ReLU, rng);
+        let optimizer = Adam::new(config.lr);
+        Self {
+            policy,
+            optimizer,
+            config,
+            baseline: 0.0,
+            baseline_ready: false,
+            pending: Vec::new(),
+            episodes_seen: 0,
+            updates: 0,
+        }
+    }
+
+    /// The policy network.
+    pub fn policy(&self) -> &Mlp {
+        &self.policy
+    }
+
+    /// Mutable access to the policy network (used when transplanting
+    /// weights between training phases).
+    pub fn policy_mut(&mut self) -> &mut Mlp {
+        &mut self.policy
+    }
+
+    /// Episodes observed so far.
+    pub fn episodes_seen(&self) -> usize {
+        self.episodes_seen
+    }
+
+    /// Policy updates applied so far.
+    pub fn updates(&self) -> usize {
+        self.updates
+    }
+
+    /// Samples an action (or takes the mode when `greedy`). Returns the
+    /// action and its probability under the current policy.
+    pub fn select_action(
+        &self,
+        features: &[f32],
+        mask: &[bool],
+        rng: &mut StdRng,
+        greedy: bool,
+    ) -> (usize, f32) {
+        let x = Matrix::row_vector(features.to_vec());
+        let logits = self.policy.predict(&x);
+        let probs = loss::masked_softmax(logits.row(0), mask);
+        if greedy {
+            let (best, p) = probs
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+                .expect("non-empty action space");
+            return (best, *p);
+        }
+        let draw: f32 = rng.gen();
+        let mut acc = 0.0;
+        let mut chosen = None;
+        for (i, &p) in probs.iter().enumerate() {
+            if p <= 0.0 {
+                continue;
+            }
+            acc += p;
+            if draw <= acc {
+                chosen = Some(i);
+                break;
+            }
+        }
+        // Floating-point round-off can leave acc slightly below 1.
+        let action = chosen.unwrap_or_else(|| {
+            probs
+                .iter()
+                .rposition(|&p| p > 0.0)
+                .expect("mask has a valid action")
+        });
+        (action, probs[action])
+    }
+
+    /// Rolls out one episode in `env` with the current policy.
+    pub fn run_episode<E: Environment>(
+        &self,
+        env: &mut E,
+        rng: &mut StdRng,
+        greedy: bool,
+    ) -> Episode {
+        env.reset(rng);
+        let mut episode = Episode::new();
+        let mut features = Vec::with_capacity(env.state_dim());
+        let mut mask = Vec::with_capacity(env.action_dim());
+        while !env.is_terminal() {
+            env.state_features(&mut features);
+            env.action_mask(&mut mask);
+            let (action, prob) = self.select_action(&features, &mask, rng, greedy);
+            let result = env.step(action, rng);
+            episode.transitions.push(Transition {
+                features: features.clone(),
+                mask: mask.clone(),
+                action,
+                action_prob: prob,
+                reward: result.reward,
+            });
+            if result.done {
+                break;
+            }
+        }
+        episode
+    }
+
+    /// Buffers a finished episode; triggers an update every
+    /// `batch_episodes`. Returns `true` when an update ran.
+    pub fn observe(&mut self, episode: Episode) -> bool {
+        self.episodes_seen += 1;
+        self.pending.push(episode);
+        if self.pending.len() >= self.config.batch_episodes {
+            self.update();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Applies one REINFORCE update over the buffered episodes.
+    pub fn update(&mut self) {
+        if self.pending.is_empty() {
+            return;
+        }
+        let episodes = std::mem::take(&mut self.pending);
+        // Advantages: per-step discounted return minus the EMA baseline.
+        let mut all: Vec<(&Transition, f32)> = Vec::new();
+        for ep in &episodes {
+            let returns = ep.returns(self.config.gamma);
+            for (t, g) in ep.transitions.iter().zip(returns) {
+                let adv = if self.baseline_ready {
+                    g - self.baseline
+                } else {
+                    g
+                };
+                all.push((t, adv));
+            }
+        }
+        if self.config.normalize_advantages && all.len() > 1 {
+            let mean = all.iter().map(|(_, a)| a).sum::<f32>() / all.len() as f32;
+            let var = all
+                .iter()
+                .map(|(_, a)| (a - mean) * (a - mean))
+                .sum::<f32>()
+                / all.len() as f32;
+            let std = var.sqrt().max(1e-6);
+            for (_, a) in &mut all {
+                *a = (*a - mean) / std;
+            }
+        }
+        let mut grads = MlpGradients::zeros_like(&self.policy);
+        for (t, adv) in &all {
+            let x = Matrix::row_vector(t.features.clone());
+            let cache = self.policy.forward(&x);
+            let logits = cache.output().row(0);
+            let mut grad_row = loss::policy_gradient(logits, &t.mask, t.action, *adv);
+            if self.config.entropy_coef > 0.0 {
+                let probs = loss::masked_softmax(logits, &t.mask);
+                let h = loss::entropy(&probs);
+                for (j, g) in grad_row.iter_mut().enumerate() {
+                    if t.mask[j] && probs[j] > 0.0 {
+                        // Gradient of −entropy_coef · H w.r.t. logits.
+                        *g += self.config.entropy_coef * probs[j] * (probs[j].ln() + h);
+                    }
+                }
+            }
+            let g = self
+                .policy
+                .backward(&cache, Matrix::row_vector(grad_row));
+            grads.add(&g);
+        }
+        grads.scale(1.0 / all.len().max(1) as f32);
+        grads.clip_global_norm(self.config.grad_clip);
+        self.optimizer.step(&mut self.policy, &grads);
+        self.updates += 1;
+        // Refresh the baseline from the observed undiscounted returns.
+        for ep in &episodes {
+            let g0 = ep.returns(self.config.gamma).first().copied().unwrap_or(0.0);
+            if self.baseline_ready {
+                self.baseline = self.config.baseline_decay * self.baseline
+                    + (1.0 - self.config.baseline_decay) * g0;
+            } else {
+                self.baseline = g0;
+                self.baseline_ready = true;
+            }
+        }
+    }
+
+    /// One supervised (cross-entropy) imitation step over demonstration
+    /// tuples `(features, mask, expert_action)`. Returns the mean loss.
+    /// This is the Phase-1 mechanism of learning from demonstration.
+    pub fn imitate_step(&mut self, batch: &[(Vec<f32>, Vec<bool>, usize)]) -> f32 {
+        if batch.is_empty() {
+            return 0.0;
+        }
+        let mut grads = MlpGradients::zeros_like(&self.policy);
+        let mut total_loss = 0.0f32;
+        for (features, mask, action) in batch {
+            let x = Matrix::row_vector(features.clone());
+            let cache = self.policy.forward(&x);
+            let (l, grad_row) = loss::cross_entropy_grad(cache.output().row(0), mask, *action);
+            total_loss += l;
+            let g = self
+                .policy
+                .backward(&cache, Matrix::row_vector(grad_row));
+            grads.add(&g);
+        }
+        grads.scale(1.0 / batch.len() as f32);
+        grads.clip_global_norm(self.config.grad_clip);
+        self.optimizer.step(&mut self.policy, &grads);
+        total_loss / batch.len() as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::toy::{Bandit, Corridor};
+    use rand::SeedableRng;
+
+    fn small_config() -> ReinforceConfig {
+        ReinforceConfig {
+            hidden: vec![16],
+            lr: 0.02,
+            entropy_coef: 0.005,
+            batch_episodes: 8,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn learns_best_bandit_arm() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut env = Bandit::new(vec![0.1, 0.9, 0.3]);
+        let mut agent = ReinforceAgent::new(1, 3, small_config(), &mut rng);
+        for _ in 0..600 {
+            let ep = agent.run_episode(&mut env, &mut rng, false);
+            agent.observe(ep);
+        }
+        let (action, p) = agent.select_action(&[1.0], &[true; 3], &mut rng, true);
+        assert_eq!(action, 1, "agent picked arm {action} with prob {p}");
+        assert!(p > 0.5, "confidence too low: {p}");
+        assert!(agent.updates() > 0);
+        assert_eq!(agent.episodes_seen(), 600);
+    }
+
+    #[test]
+    fn learns_corridor_with_multi_step_credit() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut env = Corridor::new(4);
+        let config = ReinforceConfig {
+            gamma: 0.95,
+            ..small_config()
+        };
+        let mut agent = ReinforceAgent::new(5, 2, config, &mut rng);
+        for _ in 0..400 {
+            let ep = agent.run_episode(&mut env, &mut rng, false);
+            agent.observe(ep);
+        }
+        // Greedy rollout should walk straight to the goal.
+        let ep = agent.run_episode(&mut env, &mut rng, true);
+        assert_eq!(ep.len(), 4, "greedy path length {}", ep.len());
+        assert!(ep.total_reward() > 0.9);
+    }
+
+    #[test]
+    fn respects_action_masks() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let agent = ReinforceAgent::new(2, 4, small_config(), &mut rng);
+        let mask = vec![false, true, false, false];
+        for _ in 0..20 {
+            let (a, p) = agent.select_action(&[0.5, -0.5], &mask, &mut rng, false);
+            assert_eq!(a, 1);
+            assert!((p - 1.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn imitation_converges_to_expert_action() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut agent = ReinforceAgent::new(2, 3, small_config(), &mut rng);
+        // Expert: state [1,0] → action 0; state [0,1] → action 2.
+        let batch = vec![
+            (vec![1.0, 0.0], vec![true; 3], 0usize),
+            (vec![0.0, 1.0], vec![true; 3], 2usize),
+        ];
+        let first_loss = agent.imitate_step(&batch);
+        for _ in 0..200 {
+            agent.imitate_step(&batch);
+        }
+        let last_loss = agent.imitate_step(&batch);
+        assert!(last_loss < first_loss * 0.2, "{first_loss} → {last_loss}");
+        let (a, _) = agent.select_action(&[1.0, 0.0], &[true; 3], &mut rng, true);
+        assert_eq!(a, 0);
+        let (a, _) = agent.select_action(&[0.0, 1.0], &[true; 3], &mut rng, true);
+        assert_eq!(a, 2);
+    }
+
+    #[test]
+    fn update_with_no_pending_is_noop() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut agent = ReinforceAgent::new(1, 2, small_config(), &mut rng);
+        let before = agent.policy().clone();
+        agent.update();
+        assert_eq!(&before, agent.policy());
+    }
+}

@@ -1,0 +1,110 @@
+//! A bounded replay buffer.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A fixed-capacity ring buffer with uniform random sampling. Used to mix
+/// expert demonstrations with fresh experience during learning from
+/// demonstration (re-training on slips, §5.1 step 5).
+#[derive(Debug, Clone)]
+pub struct ReplayBuffer<T> {
+    items: Vec<T>,
+    capacity: usize,
+    next: usize,
+}
+
+impl<T: Clone> ReplayBuffer<T> {
+    /// A buffer holding at most `capacity` items.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        Self {
+            items: Vec::with_capacity(capacity),
+            capacity,
+            next: 0,
+        }
+    }
+
+    /// Current item count.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the buffer holds no items.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Maximum item count.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Inserts an item, evicting the oldest once full.
+    pub fn push(&mut self, item: T) {
+        if self.items.len() < self.capacity {
+            self.items.push(item);
+        } else {
+            self.items[self.next] = item;
+            self.next = (self.next + 1) % self.capacity;
+        }
+    }
+
+    /// Samples `n` items uniformly with replacement (empty result when
+    /// the buffer is empty).
+    pub fn sample(&self, n: usize, rng: &mut StdRng) -> Vec<T> {
+        if self.items.is_empty() {
+            return Vec::new();
+        }
+        (0..n)
+            .map(|_| self.items[rng.gen_range(0..self.items.len())].clone())
+            .collect()
+    }
+
+    /// All items, oldest eviction order not guaranteed.
+    pub fn items(&self) -> &[T] {
+        &self.items
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn push_and_evict() {
+        let mut buf = ReplayBuffer::new(3);
+        for i in 0..5 {
+            buf.push(i);
+        }
+        assert_eq!(buf.len(), 3);
+        assert_eq!(buf.capacity(), 3);
+        // 0 and 1 were evicted.
+        assert!(!buf.items().contains(&0));
+        assert!(!buf.items().contains(&1));
+        assert!(buf.items().contains(&4));
+    }
+
+    #[test]
+    fn sampling() {
+        let mut buf = ReplayBuffer::new(10);
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(buf.sample(5, &mut rng).is_empty());
+        assert!(buf.is_empty());
+        for i in 0..10 {
+            buf.push(i);
+        }
+        let sample = buf.sample(100, &mut rng);
+        assert_eq!(sample.len(), 100);
+        assert!(sample.iter().all(|x| (0..10).contains(x)));
+        // With 100 draws from 10 items, we expect decent coverage.
+        let distinct: std::collections::HashSet<_> = sample.iter().collect();
+        assert!(distinct.len() >= 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        let _ = ReplayBuffer::<u8>::new(0);
+    }
+}

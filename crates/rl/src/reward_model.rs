@@ -1,0 +1,237 @@
+//! The reward-prediction function for learning from demonstration.
+//!
+//! §5.1's recipe: train a network to predict, for each `(state, action)`
+//! pair in an expert history, the eventual episode quality (the paper uses
+//! query latency `L_q`). At plan time the agent runs every valid action
+//! through this function and picks the one predicted to be cheapest, with
+//! a small ε-probability of exploring another valid action.
+
+use hfqo_nn::{loss, Activation, Adam, Matrix, Mlp, Optimizer};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Reward-model hyperparameters.
+#[derive(Debug, Clone)]
+pub struct RewardModelConfig {
+    /// Hidden layer widths.
+    pub hidden: Vec<usize>,
+    /// Adam learning rate.
+    pub lr: f32,
+    /// Global gradient clip.
+    pub grad_clip: f32,
+}
+
+impl Default for RewardModelConfig {
+    fn default() -> Self {
+        Self {
+            hidden: vec![128, 64],
+            lr: 1e-3,
+            grad_clip: 5.0,
+        }
+    }
+}
+
+/// Predicts the episode outcome (e.g. latency) of taking `action` in a
+/// state. Input is the state features concatenated with a one-hot action
+/// encoding; output is a scalar.
+pub struct RewardModel {
+    net: Mlp,
+    optimizer: Adam,
+    state_dim: usize,
+    action_dim: usize,
+    grad_clip: f32,
+}
+
+impl RewardModel {
+    /// Creates a model for the given dimensions.
+    pub fn new(
+        state_dim: usize,
+        action_dim: usize,
+        config: RewardModelConfig,
+        rng: &mut StdRng,
+    ) -> Self {
+        let mut sizes = vec![state_dim + action_dim];
+        sizes.extend_from_slice(&config.hidden);
+        sizes.push(1);
+        Self {
+            net: Mlp::new(&sizes, Activation::ReLU, rng),
+            optimizer: Adam::new(config.lr),
+            state_dim,
+            action_dim,
+            grad_clip: config.grad_clip,
+        }
+    }
+
+    /// State feature width.
+    pub fn state_dim(&self) -> usize {
+        self.state_dim
+    }
+
+    /// Action count.
+    pub fn action_dim(&self) -> usize {
+        self.action_dim
+    }
+
+    fn encode(&self, features: &[f32], action: usize) -> Vec<f32> {
+        debug_assert_eq!(features.len(), self.state_dim);
+        debug_assert!(action < self.action_dim);
+        let mut row = Vec::with_capacity(self.state_dim + self.action_dim);
+        row.extend_from_slice(features);
+        row.resize(self.state_dim + self.action_dim, 0.0);
+        row[self.state_dim + action] = 1.0;
+        row
+    }
+
+    /// Predicted outcome of `(state, action)`.
+    pub fn predict(&self, features: &[f32], action: usize) -> f32 {
+        let x = Matrix::row_vector(self.encode(features, action));
+        self.net.predict(&x).get(0, 0)
+    }
+
+    /// Predicted outcome for every action; invalid actions get `+∞` so a
+    /// minimum search never picks them.
+    pub fn predict_all(&self, features: &[f32], mask: &[bool]) -> Vec<f32> {
+        debug_assert_eq!(mask.len(), self.action_dim);
+        // Batch all valid actions in one forward pass.
+        let valid: Vec<usize> = (0..self.action_dim).filter(|&a| mask[a]).collect();
+        let mut out = vec![f32::INFINITY; self.action_dim];
+        if valid.is_empty() {
+            return out;
+        }
+        let mut data = Vec::with_capacity(valid.len() * (self.state_dim + self.action_dim));
+        for &a in &valid {
+            data.extend_from_slice(&self.encode(features, a));
+        }
+        let x = Matrix::from_vec(valid.len(), self.state_dim + self.action_dim, data);
+        let preds = self.net.predict(&x);
+        for (i, &a) in valid.iter().enumerate() {
+            out[a] = preds.get(i, 0);
+        }
+        out
+    }
+
+    /// ε-greedy minimum-prediction action selection.
+    pub fn select_min(
+        &self,
+        features: &[f32],
+        mask: &[bool],
+        epsilon: f32,
+        rng: &mut StdRng,
+    ) -> usize {
+        let valid: Vec<usize> = (0..self.action_dim).filter(|&a| mask[a]).collect();
+        assert!(!valid.is_empty(), "no valid actions");
+        if epsilon > 0.0 && rng.gen::<f32>() < epsilon {
+            return valid[rng.gen_range(0..valid.len())];
+        }
+        let preds = self.predict_all(features, mask);
+        valid
+            .into_iter()
+            .min_by(|&a, &b| {
+                preds[a]
+                    .partial_cmp(&preds[b])
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .expect("non-empty valid set")
+    }
+
+    /// One MSE training step over `(features, action, target)` samples;
+    /// returns the batch loss.
+    pub fn train_batch(&mut self, samples: &[(Vec<f32>, usize, f32)]) -> f32 {
+        if samples.is_empty() {
+            return 0.0;
+        }
+        let mut data = Vec::with_capacity(samples.len() * (self.state_dim + self.action_dim));
+        let mut targets = Vec::with_capacity(samples.len());
+        for (features, action, target) in samples {
+            data.extend_from_slice(&self.encode(features, *action));
+            targets.push(*target);
+        }
+        let x = Matrix::from_vec(samples.len(), self.state_dim + self.action_dim, data);
+        let cache = self.net.forward(&x);
+        let (l, grad) = loss::mse_grad(cache.output(), &targets);
+        let mut grads = self.net.backward(&cache, grad);
+        grads.clip_global_norm(self.grad_clip);
+        self.optimizer.step(&mut self.net, &grads);
+        l
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn config() -> RewardModelConfig {
+        RewardModelConfig {
+            hidden: vec![32],
+            lr: 0.01,
+            grad_clip: 5.0,
+        }
+    }
+
+    #[test]
+    fn learns_action_dependent_rewards() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut model = RewardModel::new(2, 3, config(), &mut rng);
+        // Latency: action 0 → 10, action 1 → 1, action 2 → 5 (state-free).
+        let samples: Vec<(Vec<f32>, usize, f32)> = vec![
+            (vec![1.0, 0.0], 0, 10.0),
+            (vec![1.0, 0.0], 1, 1.0),
+            (vec![1.0, 0.0], 2, 5.0),
+            (vec![0.0, 1.0], 0, 10.0),
+            (vec![0.0, 1.0], 1, 1.0),
+            (vec![0.0, 1.0], 2, 5.0),
+        ];
+        let first = model.train_batch(&samples);
+        for _ in 0..500 {
+            model.train_batch(&samples);
+        }
+        let last = model.train_batch(&samples);
+        assert!(last < first * 0.05, "{first} → {last}");
+        let chosen = model.select_min(&[1.0, 0.0], &[true; 3], 0.0, &mut rng);
+        assert_eq!(chosen, 1);
+        let preds = model.predict_all(&[1.0, 0.0], &[true; 3]);
+        assert!(preds[1] < preds[2] && preds[2] < preds[0], "{preds:?}");
+    }
+
+    #[test]
+    fn masked_actions_never_chosen() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let model = RewardModel::new(1, 4, config(), &mut rng);
+        let mask = [false, false, true, false];
+        for eps in [0.0, 0.5, 1.0] {
+            for _ in 0..10 {
+                assert_eq!(model.select_min(&[1.0], &mask, eps, &mut rng), 2);
+            }
+        }
+        let preds = model.predict_all(&[1.0], &mask);
+        assert!(preds[0].is_infinite() && preds[2].is_finite());
+    }
+
+    #[test]
+    fn epsilon_explores() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut model = RewardModel::new(1, 2, config(), &mut rng);
+        // Make action 0 clearly the minimum.
+        for _ in 0..300 {
+            model.train_batch(&[(vec![1.0], 0, 0.0), (vec![1.0], 1, 10.0)]);
+        }
+        let greedy: Vec<usize> = (0..50)
+            .map(|_| model.select_min(&[1.0], &[true, true], 0.0, &mut rng))
+            .collect();
+        assert!(greedy.iter().all(|&a| a == 0));
+        let explored: Vec<usize> = (0..100)
+            .map(|_| model.select_min(&[1.0], &[true, true], 1.0, &mut rng))
+            .collect();
+        assert!(explored.iter().any(|&a| a == 1), "ε=1 never explored");
+    }
+
+    #[test]
+    fn empty_batch_is_noop() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut model = RewardModel::new(1, 2, config(), &mut rng);
+        assert_eq!(model.train_batch(&[]), 0.0);
+        assert_eq!(model.state_dim(), 1);
+        assert_eq!(model.action_dim(), 2);
+    }
+}

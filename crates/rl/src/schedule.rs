@@ -1,0 +1,68 @@
+//! Exploration schedules.
+
+/// Linearly-decaying epsilon: `start` at episode 0, `end` from
+/// `decay_episodes` onwards.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EpsilonSchedule {
+    /// Initial epsilon.
+    pub start: f32,
+    /// Final epsilon.
+    pub end: f32,
+    /// Episodes over which to decay.
+    pub decay_episodes: usize,
+}
+
+impl EpsilonSchedule {
+    /// A constant schedule.
+    pub fn constant(value: f32) -> Self {
+        Self {
+            start: value,
+            end: value,
+            decay_episodes: 1,
+        }
+    }
+
+    /// The epsilon at `episode`.
+    pub fn value(&self, episode: usize) -> f32 {
+        if self.decay_episodes == 0 || episode >= self.decay_episodes {
+            return self.end;
+        }
+        let frac = episode as f32 / self.decay_episodes as f32;
+        self.start + (self.end - self.start) * frac
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_decay() {
+        let s = EpsilonSchedule {
+            start: 1.0,
+            end: 0.0,
+            decay_episodes: 100,
+        };
+        assert_eq!(s.value(0), 1.0);
+        assert!((s.value(50) - 0.5).abs() < 1e-6);
+        assert_eq!(s.value(100), 0.0);
+        assert_eq!(s.value(10_000), 0.0);
+    }
+
+    #[test]
+    fn constant_schedule() {
+        let s = EpsilonSchedule::constant(0.1);
+        assert_eq!(s.value(0), 0.1);
+        assert_eq!(s.value(999), 0.1);
+    }
+
+    #[test]
+    fn increasing_schedule_supported() {
+        let s = EpsilonSchedule {
+            start: 0.0,
+            end: 1.0,
+            decay_episodes: 10,
+        };
+        assert!(s.value(5) > s.value(1));
+    }
+}

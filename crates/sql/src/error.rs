@@ -1,0 +1,57 @@
+//! SQL parse errors.
+
+use std::fmt;
+
+/// Errors raised by the lexer and parser.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParseError {
+    /// Character the lexer does not understand, with its byte offset.
+    UnexpectedChar(char, usize),
+    /// A string literal was not closed; offset of the opening quote.
+    UnterminatedString(usize),
+    /// A numeric literal failed to parse.
+    BadNumber(String),
+    /// The parser expected something else at token position.
+    Unexpected {
+        /// What the parser was looking for.
+        expected: String,
+        /// What it found (token debug or "end of input").
+        found: String,
+    },
+    /// Input ended too early.
+    UnexpectedEnd(String),
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::UnexpectedChar(c, at) => write!(f, "unexpected character `{c}` at byte {at}"),
+            Self::UnterminatedString(at) => {
+                write!(f, "unterminated string literal starting at byte {at}")
+            }
+            Self::BadNumber(s) => write!(f, "malformed number `{s}`"),
+            Self::Unexpected { expected, found } => {
+                write!(f, "expected {expected}, found {found}")
+            }
+            Self::UnexpectedEnd(expected) => {
+                write!(f, "unexpected end of input, expected {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = ParseError::Unexpected {
+            expected: "FROM".into(),
+            found: "WHERE".into(),
+        };
+        assert_eq!(e.to_string(), "expected FROM, found WHERE");
+    }
+}

@@ -1,0 +1,246 @@
+//! Cardinality estimation.
+
+use crate::column_stats::TableStats;
+use crate::selectivity::{selection_selectivity, DEFAULT_RANGE_SELECTIVITY};
+use hfqo_catalog::TableId;
+use hfqo_query::{QueryGraph, RelId, RelSet};
+use hfqo_sql::CompareOp;
+
+/// Statistics for every table of a database, indexed by [`TableId`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct StatsCatalog {
+    tables: Vec<TableStats>,
+}
+
+impl StatsCatalog {
+    /// Wraps per-table statistics (position `i` belongs to `TableId(i)`).
+    pub fn new(tables: Vec<TableStats>) -> Self {
+        Self { tables }
+    }
+
+    /// Statistics for one table.
+    ///
+    /// Panics if the id is out of range; stats catalogs are always built
+    /// from the same catalog the ids come from.
+    pub fn table(&self, id: TableId) -> &TableStats {
+        &self.tables[id.index()]
+    }
+
+    /// Number of tables covered.
+    pub fn table_count(&self) -> usize {
+        self.tables.len()
+    }
+}
+
+/// A source of cardinalities for plan costing.
+///
+/// Two implementations exist: [`EstimatedCardinality`] (histograms +
+/// independence assumptions — what the traditional optimizer uses) and the
+/// execution-backed `TrueCardinality` oracle in `hfqo-exec` (what the
+/// latency model uses). The cost model is generic over this trait, which is
+/// exactly the lever the paper's §5.2 pulls: the same cost formulas driven
+/// by estimated vs true cardinalities produce the cost-vs-latency gap.
+pub trait CardinalitySource {
+    /// Rows produced by scanning `rel` and applying all its selections.
+    fn base_rows(&self, graph: &QueryGraph, rel: RelId) -> f64;
+
+    /// Rows produced by joining the relations of `set` (with all
+    /// selections on those relations and all join edges within `set`
+    /// applied).
+    fn set_rows(&self, graph: &QueryGraph, set: RelSet) -> f64;
+}
+
+/// Histogram-based estimator with the classic independence assumptions.
+#[derive(Debug, Clone, Copy)]
+pub struct EstimatedCardinality<'a> {
+    stats: &'a StatsCatalog,
+}
+
+impl<'a> EstimatedCardinality<'a> {
+    /// Creates an estimator over a stats catalog.
+    pub fn new(stats: &'a StatsCatalog) -> Self {
+        Self { stats }
+    }
+
+    /// The underlying stats catalog.
+    pub fn stats(&self) -> &'a StatsCatalog {
+        self.stats
+    }
+
+    /// Estimated selectivity of join edge `edge_idx` of `graph`.
+    ///
+    /// Equijoins use the textbook `1 / max(ndv_left, ndv_right)`; other
+    /// comparison joins fall back to the default inequality selectivity.
+    pub fn edge_selectivity(&self, graph: &QueryGraph, edge_idx: usize) -> f64 {
+        let edge = &graph.joins()[edge_idx];
+        match edge.op {
+            CompareOp::Eq => {
+                let lt = graph.relation(edge.left.rel).table;
+                let rt = graph.relation(edge.right.rel).table;
+                let l_ndv = self
+                    .stats
+                    .table(lt)
+                    .columns
+                    .get(edge.left.column.index())
+                    .map_or(1.0, |c| c.meta.ndv);
+                let r_ndv = self
+                    .stats
+                    .table(rt)
+                    .columns
+                    .get(edge.right.column.index())
+                    .map_or(1.0, |c| c.meta.ndv);
+                1.0 / l_ndv.max(r_ndv).max(1.0)
+            }
+            CompareOp::Neq => 1.0,
+            _ => DEFAULT_RANGE_SELECTIVITY,
+        }
+    }
+
+    /// Estimated selectivity product of all selections on `rel`.
+    pub fn selection_selectivity_of(&self, graph: &QueryGraph, rel: RelId) -> f64 {
+        graph
+            .selections_on(rel)
+            .map(|i| selection_selectivity(self.stats, graph, &graph.selections()[i]))
+            .product()
+    }
+}
+
+impl CardinalitySource for EstimatedCardinality<'_> {
+    fn base_rows(&self, graph: &QueryGraph, rel: RelId) -> f64 {
+        let table = graph.relation(rel).table;
+        let rows = self.stats.table(table).row_count;
+        (rows * self.selection_selectivity_of(graph, rel)).max(1.0)
+    }
+
+    fn set_rows(&self, graph: &QueryGraph, set: RelSet) -> f64 {
+        let mut rows = 1.0;
+        for rel in set.iter() {
+            rows *= self.base_rows(graph, rel);
+        }
+        for (i, edge) in graph.joins().iter().enumerate() {
+            if set.contains(edge.left.rel) && set.contains(edge.right.rel) {
+                rows *= self.edge_selectivity(graph, i);
+            }
+        }
+        rows.max(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column_stats::{ColumnStats, TableStats};
+    use hfqo_catalog::{ColumnId, ColumnStatsMeta};
+    use hfqo_query::{BoundColumn, JoinEdge, Lit, Relation, Selection};
+
+    fn col(ndv: f64, min: f64, max: f64) -> ColumnStats {
+        ColumnStats {
+            meta: ColumnStatsMeta {
+                ndv,
+                min,
+                max,
+                null_frac: 0.0,
+            },
+            histogram: crate::Histogram::build(
+                (0..100).map(|i| min + (max - min) * (i as f64) / 99.0).collect(),
+                10,
+            ),
+            mcvs: vec![],
+        }
+    }
+
+    /// Two tables: `a` (1000 rows, pk 0..1000) and `b` (10000 rows, fk into a).
+    fn setup() -> (StatsCatalog, QueryGraph) {
+        let a = TableStats {
+            row_count: 1000.0,
+            row_width: 16.0,
+            columns: vec![col(1000.0, 0.0, 999.0), col(10.0, 0.0, 9.0)],
+        };
+        let b = TableStats {
+            row_count: 10000.0,
+            row_width: 16.0,
+            columns: vec![col(1000.0, 0.0, 999.0), col(100.0, 0.0, 99.0)],
+        };
+        let stats = StatsCatalog::new(vec![a, b]);
+        let graph = QueryGraph::new(
+            vec![
+                Relation {
+                    table: TableId(0),
+                    alias: "a".into(),
+                },
+                Relation {
+                    table: TableId(1),
+                    alias: "b".into(),
+                },
+            ],
+            vec![JoinEdge {
+                left: BoundColumn::new(RelId(0), ColumnId(0)),
+                op: CompareOp::Eq,
+                right: BoundColumn::new(RelId(1), ColumnId(0)),
+            }],
+            vec![Selection {
+                column: BoundColumn::new(RelId(1), ColumnId(1)),
+                op: CompareOp::Eq,
+                value: Lit::Int(5),
+            }],
+            vec![],
+            vec![],
+        );
+        (stats, graph)
+    }
+
+    #[test]
+    fn base_rows_apply_selections() {
+        let (stats, graph) = setup();
+        let est = EstimatedCardinality::new(&stats);
+        assert_eq!(est.base_rows(&graph, RelId(0)), 1000.0);
+        // b has an equality selection on a 100-ndv column: ~1% of 10000.
+        let b = est.base_rows(&graph, RelId(1));
+        assert!((b - 100.0).abs() < 20.0, "got {b}");
+    }
+
+    #[test]
+    fn equijoin_uses_max_ndv() {
+        let (stats, graph) = setup();
+        let est = EstimatedCardinality::new(&stats);
+        let sel = est.edge_selectivity(&graph, 0);
+        assert!((sel - 0.001).abs() < 1e-9);
+    }
+
+    #[test]
+    fn set_rows_combine_edges_and_selections() {
+        let (stats, graph) = setup();
+        let est = EstimatedCardinality::new(&stats);
+        let both = est.set_rows(&graph, RelSet::full(2));
+        // 1000 * ~100 * 0.001 = ~100.
+        assert!((both - 100.0).abs() < 30.0, "got {both}");
+        // Single-relation sets match base_rows.
+        assert_eq!(
+            est.set_rows(&graph, RelSet::single(RelId(0))),
+            est.base_rows(&graph, RelId(0))
+        );
+    }
+
+    #[test]
+    fn cross_join_has_no_edge_reduction() {
+        let (stats, mut graph) = setup();
+        // Remove the join edge: set_rows becomes the full product.
+        graph = QueryGraph::new(
+            graph.relations().to_vec(),
+            vec![],
+            graph.selections().to_vec(),
+            vec![],
+            vec![],
+        );
+        let est = EstimatedCardinality::new(&stats);
+        let both = est.set_rows(&graph, RelSet::full(2));
+        assert!(both > 50_000.0, "got {both}");
+    }
+
+    #[test]
+    fn rows_never_below_one() {
+        let (stats, graph) = setup();
+        let est = EstimatedCardinality::new(&stats);
+        assert!(est.set_rows(&graph, RelSet::full(2)) >= 1.0);
+    }
+}

@@ -1,0 +1,194 @@
+//! Typed column vectors with null bitmaps.
+
+use crate::value::Value;
+use hfqo_catalog::ColumnType;
+use std::sync::Arc;
+
+/// Columnar storage for one column.
+///
+/// Values are stored in dense typed vectors; NULLs are tracked by a
+/// separate boolean validity vector (`true` = present). This mirrors the
+/// layout of analytical engines and lets scans touch only the bytes of the
+/// columns they actually read.
+#[derive(Debug, Clone)]
+pub enum ColumnVector {
+    /// Integer data plus validity.
+    Int(Vec<i64>, Vec<bool>),
+    /// Float data plus validity.
+    Float(Vec<f64>, Vec<bool>),
+    /// String data plus validity.
+    Str(Vec<Arc<str>>, Vec<bool>),
+}
+
+impl ColumnVector {
+    /// An empty vector for the given type.
+    pub fn new(ty: ColumnType) -> Self {
+        match ty {
+            ColumnType::Int => Self::Int(Vec::new(), Vec::new()),
+            ColumnType::Float => Self::Float(Vec::new(), Vec::new()),
+            ColumnType::Text => Self::Str(Vec::new(), Vec::new()),
+        }
+    }
+
+    /// An empty vector with pre-reserved capacity.
+    pub fn with_capacity(ty: ColumnType, cap: usize) -> Self {
+        match ty {
+            ColumnType::Int => Self::Int(Vec::with_capacity(cap), Vec::with_capacity(cap)),
+            ColumnType::Float => Self::Float(Vec::with_capacity(cap), Vec::with_capacity(cap)),
+            ColumnType::Text => Self::Str(Vec::with_capacity(cap), Vec::with_capacity(cap)),
+        }
+    }
+
+    /// The column's logical type.
+    pub fn ty(&self) -> ColumnType {
+        match self {
+            Self::Int(..) => ColumnType::Int,
+            Self::Float(..) => ColumnType::Float,
+            Self::Str(..) => ColumnType::Text,
+        }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        match self {
+            Self::Int(v, _) => v.len(),
+            Self::Float(v, _) => v.len(),
+            Self::Str(v, _) => v.len(),
+        }
+    }
+
+    /// Whether the column holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Appends a value; `Value::Null` appends a NULL. Returns `false` when
+    /// the value's type does not match the column type.
+    pub fn push(&mut self, value: &Value) -> bool {
+        match (self, value) {
+            (Self::Int(v, n), Value::Int(x)) => {
+                v.push(*x);
+                n.push(true);
+            }
+            (Self::Int(v, n), Value::Null) => {
+                v.push(0);
+                n.push(false);
+            }
+            (Self::Float(v, n), Value::Float(x)) => {
+                v.push(*x);
+                n.push(true);
+            }
+            (Self::Float(v, n), Value::Int(x)) => {
+                v.push(*x as f64);
+                n.push(true);
+            }
+            (Self::Float(v, n), Value::Null) => {
+                v.push(0.0);
+                n.push(false);
+            }
+            (Self::Str(v, n), Value::Str(s)) => {
+                v.push(Arc::clone(s));
+                n.push(true);
+            }
+            (Self::Str(v, n), Value::Null) => {
+                v.push(Arc::from(""));
+                n.push(false);
+            }
+            _ => return false,
+        }
+        true
+    }
+
+    /// The value at `row`. Panics if out of bounds (callers iterate within
+    /// `0..len()`; the executor never indexes past the row count).
+    #[inline]
+    pub fn get(&self, row: usize) -> Value {
+        match self {
+            Self::Int(v, n) => {
+                if n[row] {
+                    Value::Int(v[row])
+                } else {
+                    Value::Null
+                }
+            }
+            Self::Float(v, n) => {
+                if n[row] {
+                    Value::Float(v[row])
+                } else {
+                    Value::Null
+                }
+            }
+            Self::Str(v, n) => {
+                if n[row] {
+                    Value::Str(Arc::clone(&v[row]))
+                } else {
+                    Value::Null
+                }
+            }
+        }
+    }
+
+    /// Whether the value at `row` is NULL.
+    #[inline]
+    pub fn is_null(&self, row: usize) -> bool {
+        match self {
+            Self::Int(_, n) | Self::Float(_, n) | Self::Str(_, n) => !n[row],
+        }
+    }
+
+    /// Raw integer access without materialising a [`Value`]; `None` when
+    /// NULL or when the column is not an integer column.
+    #[inline]
+    pub fn int_at(&self, row: usize) -> Option<i64> {
+        match self {
+            Self::Int(v, n) if n[row] => Some(v[row]),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_get_roundtrip() {
+        let mut c = ColumnVector::new(ColumnType::Int);
+        assert!(c.push(&Value::Int(5)));
+        assert!(c.push(&Value::Null));
+        assert!(!c.push(&Value::str("no")));
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.get(0), Value::Int(5));
+        assert!(c.get(1).is_null());
+        assert!(c.is_null(1));
+        assert!(!c.is_null(0));
+    }
+
+    #[test]
+    fn int_widens_to_float() {
+        let mut c = ColumnVector::new(ColumnType::Float);
+        assert!(c.push(&Value::Int(3)));
+        assert_eq!(c.get(0), Value::Float(3.0));
+    }
+
+    #[test]
+    fn string_column() {
+        let mut c = ColumnVector::with_capacity(ColumnType::Text, 4);
+        assert!(c.push(&Value::str("abc")));
+        assert!(c.push(&Value::Null));
+        assert_eq!(c.get(0).as_str(), Some("abc"));
+        assert!(c.get(1).is_null());
+        assert_eq!(c.ty(), ColumnType::Text);
+    }
+
+    #[test]
+    fn int_at_fast_path() {
+        let mut c = ColumnVector::new(ColumnType::Int);
+        c.push(&Value::Int(9));
+        c.push(&Value::Null);
+        assert_eq!(c.int_at(0), Some(9));
+        assert_eq!(c.int_at(1), None);
+        let f = ColumnVector::new(ColumnType::Float);
+        assert!(f.is_empty());
+    }
+}

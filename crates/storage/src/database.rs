@@ -1,0 +1,185 @@
+//! The database container: catalog + materialised tables + built indexes.
+
+use crate::btree::BTreeIndex;
+use crate::error::StorageError;
+use crate::hash_index::HashIndex;
+use crate::table::Table;
+use hfqo_catalog::{Catalog, IndexId, IndexKind, TableId};
+
+/// Materialised data structure backing a catalog index.
+#[derive(Debug, Clone)]
+pub enum IndexStorage {
+    /// Ordered index.
+    BTree(BTreeIndex),
+    /// Hash index.
+    Hash(HashIndex),
+}
+
+/// An in-memory database: one [`Table`] per catalog table, one
+/// [`IndexStorage`] per catalog index.
+#[derive(Debug, Clone)]
+pub struct Database {
+    catalog: Catalog,
+    tables: Vec<Table>,
+    indexes: Vec<Option<IndexStorage>>,
+}
+
+impl Database {
+    /// Creates a database with empty tables shaped to `catalog`.
+    pub fn new(catalog: Catalog) -> Self {
+        let tables = catalog
+            .tables()
+            .map(|(_, schema)| Table::new(schema.clone()))
+            .collect();
+        let indexes = vec![None; catalog.index_count()];
+        Self {
+            catalog,
+            tables,
+            indexes,
+        }
+    }
+
+    /// The catalog this database is shaped to.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// The table with the given id.
+    pub fn table(&self, id: TableId) -> Result<&Table, StorageError> {
+        self.tables
+            .get(id.index())
+            .ok_or_else(|| StorageError::MissingTable(format!("{id}")))
+    }
+
+    /// Mutable access to the table with the given id.
+    pub fn table_mut(&mut self, id: TableId) -> Result<&mut Table, StorageError> {
+        self.tables
+            .get_mut(id.index())
+            .ok_or_else(|| StorageError::MissingTable(format!("{id}")))
+    }
+
+    /// Replaces the data of a table wholesale (used by bulk loaders).
+    pub fn load_table(&mut self, id: TableId, table: Table) -> Result<(), StorageError> {
+        let slot = self
+            .tables
+            .get_mut(id.index())
+            .ok_or_else(|| StorageError::MissingTable(format!("{id}")))?;
+        if slot.schema() != table.schema() {
+            return Err(StorageError::SchemaMismatch(format!(
+                "loaded table schema does not match catalog entry `{}`",
+                slot.schema().name()
+            )));
+        }
+        *slot = table;
+        Ok(())
+    }
+
+    /// Builds (or rebuilds) every index declared in the catalog from the
+    /// current table data. Call once after bulk loading.
+    pub fn build_indexes(&mut self) -> Result<(), StorageError> {
+        self.indexes = vec![None; self.catalog.index_count()];
+        for i in 0..self.catalog.index_count() {
+            let id = IndexId(i as u32);
+            let def = self.catalog.index(id)?.clone();
+            let table = self.table(def.table())?;
+            let col = table
+                .column(def.column())
+                .ok_or_else(|| StorageError::SchemaMismatch(format!("index `{}`", def.name())))?;
+            let pairs = (0..table.row_count()).map(|r| (r, col.get(r)));
+            let storage = match def.kind() {
+                IndexKind::BTree => IndexStorage::BTree(BTreeIndex::build(pairs)),
+                IndexKind::Hash => IndexStorage::Hash(HashIndex::build(pairs)),
+            };
+            self.indexes[i] = Some(storage);
+        }
+        Ok(())
+    }
+
+    /// The built data structure for an index, if [`build_indexes`] ran.
+    ///
+    /// [`build_indexes`]: Self::build_indexes
+    pub fn index_storage(&self, id: IndexId) -> Option<&IndexStorage> {
+        self.indexes.get(id.index()).and_then(|s| s.as_ref())
+    }
+
+    /// Total number of rows across all tables.
+    pub fn total_rows(&self) -> usize {
+        self.tables.iter().map(Table::row_count).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+    use hfqo_catalog::{Column, ColumnId, ColumnType, TableSchema};
+
+    fn db() -> (Database, TableId) {
+        let mut c = Catalog::new();
+        let t = c
+            .add_table(TableSchema::new(
+                "t",
+                vec![
+                    Column::new("id", ColumnType::Int),
+                    Column::new("grp", ColumnType::Int),
+                ],
+            ))
+            .unwrap();
+        c.add_index("t_id", t, ColumnId(0), IndexKind::BTree, true)
+            .unwrap();
+        c.add_index("t_grp", t, ColumnId(1), IndexKind::Hash, false)
+            .unwrap();
+        let mut db = Database::new(c);
+        for i in 0..10i64 {
+            db.table_mut(t)
+                .unwrap()
+                .append_row(&[Value::Int(i), Value::Int(i % 3)])
+                .unwrap();
+        }
+        (db, t)
+    }
+
+    #[test]
+    fn build_and_probe_indexes() {
+        let (mut db, _) = db();
+        db.build_indexes().unwrap();
+        match db.index_storage(IndexId(0)).unwrap() {
+            IndexStorage::BTree(b) => {
+                assert_eq!(b.lookup_eq(&Value::Int(7)), &[7]);
+            }
+            _ => panic!("expected btree"),
+        }
+        match db.index_storage(IndexId(1)).unwrap() {
+            IndexStorage::Hash(h) => {
+                assert_eq!(h.lookup_eq(&Value::Int(0)), &[0, 3, 6, 9]);
+            }
+            _ => panic!("expected hash"),
+        }
+    }
+
+    #[test]
+    fn indexes_absent_before_build() {
+        let (db, _) = db();
+        assert!(db.index_storage(IndexId(0)).is_none());
+        assert_eq!(db.total_rows(), 10);
+    }
+
+    #[test]
+    fn load_table_checks_schema() {
+        let (mut db, t) = db();
+        let wrong = Table::new(TableSchema::new(
+            "t",
+            vec![Column::new("other", ColumnType::Text)],
+        ));
+        assert!(db.load_table(t, wrong).is_err());
+        let right = Table::new(db.table(t).unwrap().schema().clone());
+        db.load_table(t, right).unwrap();
+        assert_eq!(db.table(t).unwrap().row_count(), 0);
+    }
+
+    #[test]
+    fn missing_table_errors() {
+        let (db, _) = db();
+        assert!(db.table(TableId(99)).is_err());
+    }
+}

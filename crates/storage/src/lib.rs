@@ -1,0 +1,44 @@
+//! # hfqo-storage
+//!
+//! In-memory columnar storage for the hands-free query optimizer: typed
+//! column vectors, tables, B-tree and hash indexes, the [`Database`]
+//! container binding them to a catalog, and a deterministic synthetic data
+//! generator (uniform, zipfian, correlated, and foreign-key distributions).
+//!
+//! The executor (`hfqo-exec`) reads these structures directly; the
+//! statistics builder (`hfqo-stats`) scans them to build histograms. Both
+//! need the same property from this crate: cheap, allocation-free access to
+//! column values by row id.
+//!
+//! ```
+//! use hfqo_catalog::{Catalog, TableSchema, Column, ColumnType};
+//! use hfqo_storage::{Database, Value};
+//!
+//! let mut catalog = Catalog::new();
+//! let t = catalog
+//!     .add_table(TableSchema::new(
+//!         "kv",
+//!         vec![Column::new("k", ColumnType::Int), Column::new("v", ColumnType::Text)],
+//!     ))
+//!     .unwrap();
+//! let mut db = Database::new(catalog);
+//! db.table_mut(t).unwrap().append_row(&[Value::Int(1), Value::str("one")]).unwrap();
+//! assert_eq!(db.table(t).unwrap().row_count(), 1);
+//! ```
+
+pub mod btree;
+pub mod column;
+pub mod database;
+pub mod datagen;
+pub mod error;
+pub mod hash_index;
+pub mod table;
+pub mod value;
+
+pub use btree::BTreeIndex;
+pub use database::Database;
+pub use datagen::{ColumnGen, Distribution, TableGen};
+pub use error::StorageError;
+pub use hash_index::HashIndex;
+pub use table::Table;
+pub use value::Value;

@@ -1,0 +1,169 @@
+//! In-memory tables.
+
+use crate::column::ColumnVector;
+use crate::error::StorageError;
+use crate::value::Value;
+use hfqo_catalog::{ColumnId, TableSchema};
+
+/// An in-memory columnar table instance.
+#[derive(Debug, Clone)]
+pub struct Table {
+    schema: TableSchema,
+    columns: Vec<ColumnVector>,
+}
+
+impl Table {
+    /// An empty table shaped to `schema`.
+    pub fn new(schema: TableSchema) -> Self {
+        let columns = schema
+            .columns()
+            .iter()
+            .map(|c| ColumnVector::new(c.ty()))
+            .collect();
+        Self { schema, columns }
+    }
+
+    /// An empty table with reserved capacity for `rows` rows.
+    pub fn with_capacity(schema: TableSchema, rows: usize) -> Self {
+        let columns = schema
+            .columns()
+            .iter()
+            .map(|c| ColumnVector::with_capacity(c.ty(), rows))
+            .collect();
+        Self { schema, columns }
+    }
+
+    /// The table's schema.
+    pub fn schema(&self) -> &TableSchema {
+        &self.schema
+    }
+
+    /// Number of rows.
+    pub fn row_count(&self) -> usize {
+        self.columns.first().map_or(0, |c| c.len())
+    }
+
+    /// The column vector at `col`.
+    pub fn column(&self, col: ColumnId) -> Option<&ColumnVector> {
+        self.columns.get(col.index())
+    }
+
+    /// Appends one row. The row must match the schema's arity and types
+    /// (integers widen into float columns), and NULLs are rejected in
+    /// non-nullable columns.
+    pub fn append_row(&mut self, row: &[Value]) -> Result<(), StorageError> {
+        if row.len() != self.schema.arity() {
+            return Err(StorageError::SchemaMismatch(format!(
+                "table `{}` expects {} columns, got {}",
+                self.schema.name(),
+                self.schema.arity(),
+                row.len()
+            )));
+        }
+        for (i, value) in row.iter().enumerate() {
+            let col_def = &self.schema.columns()[i];
+            if value.is_null() && !col_def.is_nullable() {
+                return Err(StorageError::NullViolation {
+                    table: self.schema.name().to_string(),
+                    column: col_def.name().to_string(),
+                });
+            }
+        }
+        // Validation passed; now mutate. A type mismatch mid-row would leave
+        // ragged columns, so check types up front too.
+        for (i, value) in row.iter().enumerate() {
+            let ok = type_matches(self.schema.columns()[i].ty(), value);
+            if !ok {
+                return Err(StorageError::SchemaMismatch(format!(
+                    "value {value} does not fit column `{}.{}` of type {}",
+                    self.schema.name(),
+                    self.schema.columns()[i].name(),
+                    self.schema.columns()[i].ty().name()
+                )));
+            }
+        }
+        for (i, value) in row.iter().enumerate() {
+            let pushed = self.columns[i].push(value);
+            debug_assert!(pushed, "type checked above");
+        }
+        Ok(())
+    }
+
+    /// Materialises the row at `row_id` into `out` (cleared first).
+    pub fn read_row_into(&self, row_id: usize, out: &mut Vec<Value>) {
+        out.clear();
+        out.extend(self.columns.iter().map(|c| c.get(row_id)));
+    }
+
+    /// The value at (`row_id`, `col`).
+    #[inline]
+    pub fn value_at(&self, row_id: usize, col: ColumnId) -> Value {
+        self.columns[col.index()].get(row_id)
+    }
+}
+
+fn type_matches(ty: hfqo_catalog::ColumnType, v: &Value) -> bool {
+    use hfqo_catalog::ColumnType::*;
+    match (ty, v) {
+        (_, Value::Null) => true,
+        (Int, Value::Int(_)) => true,
+        (Float, Value::Float(_) | Value::Int(_)) => true,
+        (Text, Value::Str(_)) => true,
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hfqo_catalog::{Column, ColumnType};
+
+    fn schema() -> TableSchema {
+        TableSchema::new(
+            "t",
+            vec![
+                Column::new("a", ColumnType::Int),
+                Column::nullable("b", ColumnType::Text),
+            ],
+        )
+    }
+
+    #[test]
+    fn append_and_read() {
+        let mut t = Table::new(schema());
+        t.append_row(&[Value::Int(1), Value::str("x")]).unwrap();
+        t.append_row(&[Value::Int(2), Value::Null]).unwrap();
+        assert_eq!(t.row_count(), 2);
+        let mut row = Vec::new();
+        t.read_row_into(1, &mut row);
+        assert_eq!(row, vec![Value::Int(2), Value::Null]);
+        assert_eq!(t.value_at(0, ColumnId(1)), Value::str("x"));
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let mut t = Table::new(schema());
+        let err = t.append_row(&[Value::Int(1)]).unwrap_err();
+        assert!(matches!(err, StorageError::SchemaMismatch(_)));
+        assert_eq!(t.row_count(), 0);
+    }
+
+    #[test]
+    fn null_violation_rejected() {
+        let mut t = Table::new(schema());
+        let err = t.append_row(&[Value::Null, Value::Null]).unwrap_err();
+        assert!(matches!(err, StorageError::NullViolation { .. }));
+    }
+
+    #[test]
+    fn type_mismatch_rejected_atomically() {
+        let mut t = Table::new(schema());
+        let err = t
+            .append_row(&[Value::str("wrong"), Value::str("x")])
+            .unwrap_err();
+        assert!(matches!(err, StorageError::SchemaMismatch(_)));
+        // No partial row was written.
+        assert_eq!(t.row_count(), 0);
+        assert_eq!(t.column(ColumnId(1)).unwrap().len(), 0);
+    }
+}

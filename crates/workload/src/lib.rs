@@ -1,0 +1,25 @@
+//! # hfqo-workload
+//!
+//! The workloads the experiments run on:
+//!
+//! * [`imdb`] — a synthetic IMDB-like schema (17 tables around a `title`
+//!   hub, zipf-skewed foreign keys, correlated attributes) standing in
+//!   for the IMDB dataset of the Join Order Benchmark the paper
+//!   evaluates on,
+//! * [`job`] — a 113-query JOB-like suite named `1a..33d`, spanning 4–17
+//!   relations, including the ten queries Figure 3b reports,
+//! * [`tpch`] — a TPC-H-like schema and a handful of join templates
+//!   (the paper cites TPC-H when discussing low-relation-count queries),
+//! * [`synth`] — parameterised chain/star/cycle query generators used by
+//!   the planning-time sweep (Figure 3c) and the incremental-learning
+//!   curricula,
+//! * [`suite`] — bundles (database + statistics + queries) ready for the
+//!   environments.
+
+pub mod imdb;
+pub mod job;
+pub mod suite;
+pub mod synth;
+pub mod tpch;
+
+pub use suite::WorkloadBundle;

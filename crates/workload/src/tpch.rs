@@ -1,0 +1,367 @@
+//! A TPC-H-like schema and query templates.
+//!
+//! The paper cites TPC-H when discussing how few low-relation-count
+//! queries real benchmarks contain (§5.3.2: "TPC-H has only two such
+//! templates"). This module provides the classic 8-table schema at a
+//! configurable micro-scale plus a handful of join templates (Q3-, Q5-,
+//! Q10-like), used by the examples and by tests that need a second,
+//! differently-shaped workload.
+
+use hfqo_catalog::{Catalog, Column, ColumnId, ColumnType, IndexKind};
+use hfqo_query::{bind_select, QueryGraph};
+use hfqo_sql::parse_select;
+use hfqo_stats::{build_database_stats, StatsCatalog};
+use hfqo_storage::{ColumnGen, Database, Distribution, TableGen};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Scale configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TpchConfig {
+    /// Rows in `lineitem`; the other tables scale in TPC-H's standard
+    /// ratios.
+    pub lineitem_rows: usize,
+    /// Generation seed.
+    pub seed: u64,
+}
+
+impl Default for TpchConfig {
+    fn default() -> Self {
+        Self {
+            lineitem_rows: 30_000,
+            seed: 0x7C,
+        }
+    }
+}
+
+/// Builds the TPC-H-like catalog.
+pub fn build_catalog() -> Catalog {
+    let mut cat = Catalog::new();
+    let tables: Vec<(&str, Vec<Column>)> = vec![
+        (
+            "region",
+            vec![
+                Column::new("r_regionkey", ColumnType::Int),
+                Column::new("r_name", ColumnType::Text),
+            ],
+        ),
+        (
+            "nation",
+            vec![
+                Column::new("n_nationkey", ColumnType::Int),
+                Column::new("n_regionkey", ColumnType::Int),
+                Column::new("n_name", ColumnType::Text),
+            ],
+        ),
+        (
+            "supplier",
+            vec![
+                Column::new("s_suppkey", ColumnType::Int),
+                Column::new("s_nationkey", ColumnType::Int),
+                Column::new("s_acctbal", ColumnType::Float),
+            ],
+        ),
+        (
+            "customer",
+            vec![
+                Column::new("c_custkey", ColumnType::Int),
+                Column::new("c_nationkey", ColumnType::Int),
+                Column::new("c_mktsegment", ColumnType::Int),
+            ],
+        ),
+        (
+            "part",
+            vec![
+                Column::new("p_partkey", ColumnType::Int),
+                Column::new("p_size", ColumnType::Int),
+                Column::new("p_retailprice", ColumnType::Float),
+            ],
+        ),
+        (
+            "partsupp",
+            vec![
+                Column::new("ps_partkey", ColumnType::Int),
+                Column::new("ps_suppkey", ColumnType::Int),
+                Column::new("ps_supplycost", ColumnType::Float),
+            ],
+        ),
+        (
+            "orders",
+            vec![
+                Column::new("o_orderkey", ColumnType::Int),
+                Column::new("o_custkey", ColumnType::Int),
+                Column::new("o_orderdate", ColumnType::Int),
+                Column::new("o_totalprice", ColumnType::Float),
+            ],
+        ),
+        (
+            "lineitem",
+            vec![
+                Column::new("l_linekey", ColumnType::Int),
+                Column::new("l_orderkey", ColumnType::Int),
+                Column::new("l_partkey", ColumnType::Int),
+                Column::new("l_suppkey", ColumnType::Int),
+                Column::new("l_quantity", ColumnType::Int),
+                Column::new("l_shipdate", ColumnType::Int),
+            ],
+        ),
+    ];
+    for (name, cols) in tables {
+        let schema = hfqo_catalog::TableSchema::new(name, cols).with_primary_key(ColumnId(0));
+        let t = cat.add_table(schema).expect("unique names");
+        cat.add_index(format!("{name}_pk"), t, ColumnId(0), IndexKind::BTree, true)
+            .expect("unique index names");
+    }
+    // Secondary indexes on the hot FK / date columns.
+    for (table, col) in [
+        ("lineitem", "l_orderkey"),
+        ("lineitem", "l_shipdate"),
+        ("orders", "o_custkey"),
+        ("orders", "o_orderdate"),
+    ] {
+        let t = cat.table_by_name(table).expect("exists");
+        let c = cat.resolve_column(t, col).expect("exists");
+        cat.add_index(format!("{table}_{col}_idx"), t, c, IndexKind::BTree, false)
+            .expect("unique index names");
+    }
+    cat
+}
+
+/// Builds database + statistics at the given scale.
+pub fn build_tpch(config: TpchConfig) -> (Database, StatsCatalog) {
+    let li = config.lineitem_rows.max(100);
+    let orders = li / 4;
+    let customers = orders / 10;
+    let parts = (li / 15).max(50);
+    let suppliers = (parts / 10).max(10);
+    let partsupp = parts * 4;
+    let catalog = build_catalog();
+    let mut db = Database::new(catalog);
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let seq = || ColumnGen::new(Distribution::Sequential);
+    let fk = |rows: usize, s: f64| {
+        ColumnGen::new(Distribution::FkZipf {
+            target_rows: rows as u64,
+            s,
+        })
+    };
+    let gens: Vec<(&str, TableGen)> = vec![
+        (
+            "region",
+            TableGen {
+                columns: vec![
+                    seq(),
+                    ColumnGen::new(Distribution::TextPool {
+                        prefix: "region_",
+                        pool: 5,
+                        s: 0.0,
+                    }),
+                ],
+                rows: 5,
+            },
+        ),
+        (
+            "nation",
+            TableGen {
+                columns: vec![
+                    seq(),
+                    fk(5, 0.0),
+                    ColumnGen::new(Distribution::TextPool {
+                        prefix: "nation_",
+                        pool: 25,
+                        s: 0.0,
+                    }),
+                ],
+                rows: 25,
+            },
+        ),
+        (
+            "supplier",
+            TableGen {
+                columns: vec![
+                    seq(),
+                    fk(25, 0.0),
+                    ColumnGen::new(Distribution::UniformFloat {
+                        lo: -999.0,
+                        hi: 9999.0,
+                    }),
+                ],
+                rows: suppliers,
+            },
+        ),
+        (
+            "customer",
+            TableGen {
+                columns: vec![
+                    seq(),
+                    fk(25, 0.3),
+                    ColumnGen::new(Distribution::UniformInt { lo: 0, hi: 4 }),
+                ],
+                rows: customers,
+            },
+        ),
+        (
+            "part",
+            TableGen {
+                columns: vec![
+                    seq(),
+                    ColumnGen::new(Distribution::UniformInt { lo: 1, hi: 50 }),
+                    ColumnGen::new(Distribution::UniformFloat {
+                        lo: 900.0,
+                        hi: 2100.0,
+                    }),
+                ],
+                rows: parts,
+            },
+        ),
+        (
+            "partsupp",
+            TableGen {
+                columns: vec![
+                    seq(),
+                    fk(parts, 0.2),
+                    ColumnGen::new(Distribution::UniformFloat {
+                        lo: 1.0,
+                        hi: 1000.0,
+                    }),
+                ],
+                rows: partsupp,
+            },
+        ),
+        (
+            "orders",
+            TableGen {
+                columns: vec![
+                    seq(),
+                    fk(customers, 0.6),
+                    ColumnGen::new(Distribution::UniformInt { lo: 0, hi: 2405 }),
+                    ColumnGen::new(Distribution::UniformFloat {
+                        lo: 800.0,
+                        hi: 500_000.0,
+                    }),
+                ],
+                rows: orders,
+            },
+        ),
+        (
+            "lineitem",
+            TableGen {
+                columns: vec![
+                    seq(),
+                    fk(orders, 0.4),
+                    fk(parts, 0.7),
+                    fk(suppliers, 0.7),
+                    ColumnGen::new(Distribution::UniformInt { lo: 1, hi: 50 }),
+                    ColumnGen::new(Distribution::UniformInt { lo: 0, hi: 2526 }),
+                ],
+                rows: li,
+            },
+        ),
+    ];
+    for (name, gen) in gens {
+        let tid = db.catalog().table_by_name(name).expect("exists");
+        let schema = db.catalog().table(tid).expect("exists").clone();
+        let table = gen.generate(&schema, &mut rng).expect("matches schema");
+        db.load_table(tid, table).expect("schema matches");
+    }
+    db.build_indexes().expect("valid indexes");
+    let stats = build_database_stats(&db);
+    (db, stats)
+}
+
+/// The TPC-H-like query templates (label, SQL).
+pub fn query_templates() -> Vec<(&'static str, String)> {
+    vec![
+        // Q3-like: customer ⋈ orders ⋈ lineitem with segment + date preds.
+        (
+            "q3",
+            "SELECT COUNT(*) FROM customer c, orders o, lineitem l \
+             WHERE c.c_custkey = o.o_custkey AND o.o_orderkey = l.l_orderkey \
+             AND c.c_mktsegment = 1 AND o.o_orderdate < 1200"
+                .to_string(),
+        ),
+        // Q5-like: six-way join down to region.
+        (
+            "q5",
+            "SELECT COUNT(*) FROM customer c, orders o, lineitem l, supplier s, nation n, region r \
+             WHERE c.c_custkey = o.o_custkey AND o.o_orderkey = l.l_orderkey \
+             AND l.l_suppkey = s.s_suppkey AND s.s_nationkey = n.n_nationkey \
+             AND n.n_regionkey = r.r_regionkey AND o.o_orderdate < 1800"
+                .to_string(),
+        ),
+        // Q10-like: customer revenue join.
+        (
+            "q10",
+            "SELECT COUNT(*) FROM customer c, orders o, lineitem l, nation n \
+             WHERE c.c_custkey = o.o_custkey AND o.o_orderkey = l.l_orderkey \
+             AND c.c_nationkey = n.n_nationkey AND o.o_orderdate > 2000"
+                .to_string(),
+        ),
+        // Part/supplier joins.
+        (
+            "q_ps",
+            "SELECT COUNT(*) FROM part p, partsupp ps, supplier s, nation n \
+             WHERE p.p_partkey = ps.ps_partkey AND ps.ps_suppkey = s.s_suppkey \
+             AND s.s_nationkey = n.n_nationkey AND p.p_size < 20"
+                .to_string(),
+        ),
+        // The two low-relation-count templates §5.3.2 mentions.
+        (
+            "q1_like",
+            "SELECT COUNT(*), MIN(l.l_quantity) FROM lineitem l WHERE l.l_shipdate < 2200"
+                .to_string(),
+        ),
+        (
+            "q6_like",
+            "SELECT COUNT(*) FROM lineitem l \
+             WHERE l.l_shipdate > 500 AND l.l_quantity < 25"
+                .to_string(),
+        ),
+    ]
+}
+
+/// Parses and binds every template against the catalog.
+pub fn bind_templates(catalog: &Catalog) -> Vec<QueryGraph> {
+    query_templates()
+        .into_iter()
+        .map(|(label, sql)| {
+            let stmt = parse_select(&sql).expect("template parses");
+            bind_select(&stmt, catalog)
+                .expect("template binds")
+                .with_label(label)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schema_and_data_build() {
+        let (db, stats) = build_tpch(TpchConfig {
+            lineitem_rows: 1000,
+            seed: 3,
+        });
+        assert_eq!(db.catalog().table_count(), 8);
+        let li = db.catalog().table_by_name("lineitem").expect("exists");
+        assert_eq!(db.table(li).expect("exists").row_count(), 1000);
+        assert_eq!(stats.table(li).row_count, 1000.0);
+        let orders = db.catalog().table_by_name("orders").expect("exists");
+        assert_eq!(db.table(orders).expect("exists").row_count(), 250);
+    }
+
+    #[test]
+    fn templates_bind() {
+        let catalog = build_catalog();
+        let queries = bind_templates(&catalog);
+        assert_eq!(queries.len(), 6);
+        let q5 = queries.iter().find(|q| q.label.as_deref() == Some("q5")).expect("q5");
+        assert_eq!(q5.relation_count(), 6);
+        assert!(q5.is_connected(q5.all_rels()));
+        // Exactly two single-relation templates, as §5.3.2 notes for
+        // TPC-H.
+        let single = queries.iter().filter(|q| q.relation_count() == 1).count();
+        assert_eq!(single, 2);
+    }
+}

@@ -1,0 +1,64 @@
+//! End-to-end SQL execution on the TPC-H-like database: parse → bind →
+//! optimize → execute, with EXPLAIN output and runtime statistics.
+//!
+//! ```sh
+//! cargo run --release --example execute_sql
+//! ```
+
+use hfqo::prelude::*;
+use hfqo::query::display::explain;
+use hfqo::workload::tpch::{build_tpch, TpchConfig};
+
+fn main() {
+    let (db, stats) = build_tpch(TpchConfig {
+        lineitem_rows: 20_000,
+        seed: 4,
+    });
+    let optimizer = TraditionalOptimizer::new(db.catalog(), &stats);
+
+    let queries = [
+        "SELECT COUNT(*) FROM lineitem l WHERE l.l_shipdate < 1000 AND l.l_quantity > 45;",
+        "SELECT COUNT(*), MIN(o.o_totalprice) FROM customer c, orders o \
+         WHERE c.c_custkey = o.o_custkey AND c.c_mktsegment = 2;",
+        "SELECT COUNT(*) FROM customer c, orders o, lineitem l, supplier s, nation n, region r \
+         WHERE c.c_custkey = o.o_custkey AND o.o_orderkey = l.l_orderkey \
+         AND l.l_suppkey = s.s_suppkey AND s.s_nationkey = n.n_nationkey \
+         AND n.n_regionkey = r.r_regionkey AND o.o_orderdate < 1800;",
+    ];
+
+    for sql in queries {
+        println!("─────────────────────────────────────────────");
+        println!("SQL: {sql}\n");
+        let stmt = parse_select(sql).expect("valid SQL");
+        let graph = bind_select(&stmt, db.catalog()).expect("binds");
+        let planned = optimizer.plan(&graph).expect("plannable");
+        println!(
+            "plan ({:?}, estimated cost {:.1}, planned in {:?}):\n{}",
+            planned.method,
+            planned.cost,
+            planned.planning_time,
+            explain(&planned.plan.root, &graph)
+        );
+        let out = execute(&db, &graph, &planned.plan, ExecConfig::default())
+            .expect("executes within budget");
+        print!("result: ");
+        for row in out.rows.iter().take(3) {
+            let cells: Vec<String> = row.iter().map(|v| v.to_string()).collect();
+            print!("[{}] ", cells.join(", "));
+        }
+        println!(
+            "\nruntime: {} work units in {:?}",
+            out.stats.work, out.stats.elapsed
+        );
+
+        // Cross-check the estimate against the truth.
+        let oracle = TrueCardinality::new(&db);
+        let est = EstimatedCardinality::new(&stats);
+        let estimated = est.set_rows(&graph, graph.all_rels());
+        let true_rows = oracle.set_rows(&graph, graph.all_rels());
+        println!(
+            "cardinality: estimated {estimated:.0} vs true {true_rows:.0} (q-error {:.1})",
+            (estimated / true_rows.max(1.0)).max(true_rows / estimated.max(1.0))
+        );
+    }
+}

@@ -1,0 +1,72 @@
+//! Train ReJOIN on the JOB-like workload — a miniature Figure 3a.
+//!
+//! ```sh
+//! cargo run --release --example imdb_training
+//! ```
+
+use hfqo::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let episodes = 2_000;
+    let window = 100;
+    println!("building IMDB-like database and 113 JOB-like queries …");
+    let bundle = WorkloadBundle::imdb_job(ImdbConfig { base_rows: 1_500, seed: 1 }, 9);
+    // Keep the example fast: train on the small-to-mid-size queries.
+    let queries: Vec<QueryGraph> = bundle
+        .queries
+        .iter()
+        .filter(|q| q.relation_count() <= 8)
+        .cloned()
+        .collect();
+    println!(
+        "training on {} queries (4–8 relations) for {episodes} episodes …",
+        queries.len()
+    );
+
+    let ctx = EnvContext::new(&bundle.db, &bundle.stats);
+    let mut env = JoinOrderEnv::new(
+        ctx,
+        &queries,
+        8,
+        QueryOrder::Shuffle,
+        RewardMode::LogRelative,
+    );
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut agent = ReJoinAgent::new(
+        env.state_dim(),
+        env.action_dim(),
+        PolicyKind::default_reinforce(),
+        &mut rng,
+    );
+    let log = train(&mut env, &mut agent, TrainerConfig::new(episodes), &mut rng);
+
+    println!("\nepisode   plan cost relative to expert (geometric MA {window})");
+    for (ep, ratio) in log.moving_geo_ratio(window).iter().step_by(200) {
+        let bar_len = ((ratio.min(20.0) / 20.0) * 50.0) as usize;
+        println!("{ep:>7}   {:>7.2}x  {}", ratio, "#".repeat(bar_len.max(1)));
+    }
+    match log.convergence_episode_geo(1.0, window) {
+        Some(ep) => println!("\nreached expert parity at episode {ep}"),
+        None => println!(
+            "\nfinal ratio {:.2}x after {episodes} episodes (longer runs converge further; \
+             see `cargo run -p hfqo-bench --release --bin fig3a -- --full`)",
+            log.final_geo_ratio(window).expect("non-empty")
+        ),
+    }
+
+    // Greedy per-query evaluation, Figure 3b style, on a few queries.
+    let records = evaluate_per_query(&mut env, &agent, QueryOrder::Shuffle, &mut rng);
+    println!("\nper-query greedy evaluation (first 8):");
+    println!("query     expert_cost   rejoin_cost   ratio");
+    for r in records.iter().take(8) {
+        println!(
+            "{:<9} {:>11.1} {:>13.1} {:>7.2}",
+            r.label.as_deref().unwrap_or("?"),
+            r.expert_cost,
+            r.agent_cost,
+            r.cost_ratio()
+        );
+    }
+}

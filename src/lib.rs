@@ -1,0 +1,87 @@
+//! # hfqo — a Hands-Free Query Optimizer through Deep Reinforcement Learning
+//!
+//! A complete, from-scratch Rust reproduction of *"Towards a Hands-Free
+//! Query Optimizer through Deep Learning"* (Marcus & Papaemmanouil,
+//! CIDR 2019): the **ReJOIN** deep-RL join order enumerator, the full
+//! database substrate it runs on (catalog, storage, SQL front-end,
+//! statistics, cost model, executor, and a traditional optimizer playing
+//! PostgreSQL's role), and the paper's three proposed research
+//! directions — learning from demonstration, cost-model bootstrapping,
+//! and incremental learning.
+//!
+//! This crate is a facade: it re-exports the workspace crates under one
+//! roof and hosts the runnable examples and integration tests. See
+//! `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
+//! paper-vs-measured record of every figure.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use hfqo::prelude::*;
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//!
+//! // A small IMDB-like database with JOB-like queries.
+//! let bundle = WorkloadBundle::imdb_job(
+//!     ImdbConfig { base_rows: 300, seed: 1 },
+//!     7,
+//! );
+//! // Plan one query with the traditional optimizer…
+//! let expert = TraditionalOptimizer::new(bundle.db.catalog(), &bundle.stats);
+//! let planned = expert.plan(&bundle.queries[0]).unwrap();
+//! assert!(planned.cost > 0.0);
+//!
+//! // …and set up a ReJOIN agent over the same workload.
+//! let ctx = EnvContext::new(&bundle.db, &bundle.stats);
+//! let mut env = JoinOrderEnv::new(
+//!     ctx,
+//!     &bundle.queries,
+//!     bundle.max_rels(),
+//!     QueryOrder::Shuffle,
+//!     RewardMode::RelativeToExpert,
+//! );
+//! let mut rng = StdRng::seed_from_u64(0);
+//! let mut agent = ReJoinAgent::new(
+//!     env.state_dim(),
+//!     env.action_dim(),
+//!     PolicyKind::default_reinforce(),
+//!     &mut rng,
+//! );
+//! let log = train(&mut env, &mut agent, TrainerConfig::new(10), &mut rng);
+//! assert_eq!(log.len(), 10);
+//! ```
+
+pub use hfqo_catalog as catalog;
+pub use hfqo_cost as cost;
+pub use hfqo_exec as exec;
+pub use hfqo_nn as nn;
+pub use hfqo_opt as opt;
+pub use hfqo_query as query;
+pub use hfqo_rejoin as rejoin;
+pub use hfqo_rl as rl;
+pub use hfqo_sql as sql;
+pub use hfqo_stats as stats;
+pub use hfqo_storage as storage;
+pub use hfqo_workload as workload;
+
+/// The most commonly used types, in one import.
+pub mod prelude {
+    pub use hfqo_catalog::{Catalog, Column, ColumnType, IndexKind, TableSchema};
+    pub use hfqo_cost::{CostModel, CostParams, LatencyModel, RewardScaler};
+    pub use hfqo_exec::{execute, ExecConfig, TrueCardinality};
+    pub use hfqo_opt::{random_plan, PlannerMethod, TraditionalOptimizer};
+    pub use hfqo_query::{
+        bind_select, Forest, JoinTree, PhysicalPlan, PlanNode, QueryGraph, RelSet,
+    };
+    pub use hfqo_rejoin::{
+        cost_bootstrap, evaluate_per_query, learn_from_demonstration, train, BootstrapConfig,
+        Curriculum, DemonstrationConfig, EnvContext, Featurizer, FullPlanEnv, JoinOrderEnv,
+        PolicyKind, QueryOrder, ReJoinAgent, RewardMode, StageSet, TrainerConfig, TrainingLog,
+    };
+    pub use hfqo_rl::Environment;
+    pub use hfqo_sql::parse_select;
+    pub use hfqo_stats::{build_database_stats, CardinalitySource, EstimatedCardinality};
+    pub use hfqo_storage::{Database, Value};
+    pub use hfqo_workload::imdb::ImdbConfig;
+    pub use hfqo_workload::WorkloadBundle;
+}
