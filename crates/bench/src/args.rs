@@ -30,15 +30,11 @@ impl RunArgs {
                     let v = args
                         .next()
                         .ok_or_else(|| "--seed requires a value".to_string())?;
-                    out.seed = v
-                        .parse()
-                        .map_err(|_| format!("invalid seed `{v}`"))?;
+                    out.seed = v.parse().map_err(|_| format!("invalid seed `{v}`"))?;
                 }
                 "--full" => out.full = true,
                 "--quick" => out.full = false,
-                "--help" | "-h" => {
-                    return Err("usage: [--seed N] [--quick|--full]".to_string())
-                }
+                "--help" | "-h" => return Err("usage: [--seed N] [--quick|--full]".to_string()),
                 other => return Err(format!("unknown argument `{other}`")),
             }
         }

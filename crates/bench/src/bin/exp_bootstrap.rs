@@ -1,6 +1,6 @@
 //! §5.2 cost-model bootstrapping experiment (+ scaling ablation).
 
-use hfqo_bench::experiments::{common, bootstrap_exp};
+use hfqo_bench::experiments::{bootstrap_exp, common};
 use hfqo_bench::report::{render_table, write_json};
 use hfqo_bench::RunArgs;
 
@@ -17,10 +17,18 @@ fn main() {
     };
     let result = bootstrap_exp::run(&bundle, scale, args.seed);
 
-    println!("# §5.2 Cost-Model Bootstrapping — phase switch at episode {}", result.phase1_episodes);
+    println!(
+        "# §5.2 Cost-Model Bootstrapping — phase switch at episode {}",
+        result.phase1_episodes
+    );
     let row = |r: &bootstrap_exp::BootstrapRun| {
         vec![
-            if r.scaled { "scaled (r_l formula)" } else { "raw latency" }.to_string(),
+            if r.scaled {
+                "scaled (r_l formula)"
+            } else {
+                "raw latency"
+            }
+            .to_string(),
             format!("{:.2}", r.ratio_before_switch),
             format!("{:.2}", r.worst_ratio_after_switch),
             format!("{:.2}", r.final_ratio),
@@ -30,12 +38,19 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["phase-2 reward", "ratio_before", "worst_after_switch", "final"],
+            &[
+                "phase-2 reward",
+                "ratio_before",
+                "worst_after_switch",
+                "final"
+            ],
             &rows
         )
     );
     let (c_min, c_max) = result.scaled.cost_range;
     let (l_min, l_max) = result.scaled.latency_range;
-    println!("observed phase-1 ranges: cost {c_min:.1}..{c_max:.1}, latency {l_min:.2}..{l_max:.2} ms");
+    println!(
+        "observed phase-1 ranges: cost {c_min:.1}..{c_max:.1}, latency {l_min:.2}..{l_max:.2} ms"
+    );
     write_json("exp_bootstrap", &result);
 }

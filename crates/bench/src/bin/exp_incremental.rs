@@ -7,7 +7,10 @@ use hfqo_bench::RunArgs;
 fn main() {
     let args = RunArgs::from_env();
     let scale = common::Scale::from_args(args);
-    eprintln!("exp_incremental: four curricula × {} episodes ...", scale.episodes);
+    eprintln!(
+        "exp_incremental: four curricula × {} episodes ...",
+        scale.episodes
+    );
     let result = incremental_exp::run(scale, args.seed);
 
     println!("# §5.3 Incremental Learning — full-task cost ratio after equal budgets");
@@ -22,7 +25,13 @@ fn main() {
             ]
         })
         .collect();
-    println!("{}", render_table(&["curriculum", "phases", "full_task_ratio"], &rows));
-    println!("({} queries, {} episodes per curriculum)", result.queries, result.total_episodes);
+    println!(
+        "{}",
+        render_table(&["curriculum", "phases", "full_task_ratio"], &rows)
+    );
+    println!(
+        "({} queries, {} episodes per curriculum)",
+        result.queries, result.total_episodes
+    );
     write_json("exp_incremental", &result);
 }

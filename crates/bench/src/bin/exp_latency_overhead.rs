@@ -7,7 +7,10 @@ use hfqo_bench::RunArgs;
 fn main() {
     let args = RunArgs::from_env();
     let scale = common::Scale::from_args(args);
-    eprintln!("exp_latency_overhead: training on latency rewards ({} episodes) ...", scale.episodes);
+    eprintln!(
+        "exp_latency_overhead: training on latency rewards ({} episodes) ...",
+        scale.episodes
+    );
     let bundle = common::imdb_bundle(scale, args.seed);
     // Latency simulation is the bottleneck; cap query size in quick mode.
     let bundle = if args.full {
@@ -19,13 +22,34 @@ fn main() {
 
     println!("# §4 Performance Evaluation Overhead — latency-as-reward training bill");
     let rows = vec![
-        vec!["total simulated execution".into(), format!("{:.1} s", result.latency_training_exec_s)],
-        vec!["first training quarter".into(), format!("{:.1} s", result.first_quarter_exec_s)],
-        vec!["last training quarter".into(), format!("{:.1} s", result.last_quarter_exec_s)],
-        vec!["catastrophic episodes (>100× expert)".into(), result.catastrophic_episodes.to_string()],
-        vec!["worst single plan".into(), format!("{:.1} ms", result.worst_ms)],
-        vec!["expert mean latency".into(), format!("{:.2} ms", result.expert_mean_ms)],
-        vec!["final cost ratio".into(), format!("{:.2}", result.final_ratio)],
+        vec![
+            "total simulated execution".into(),
+            format!("{:.1} s", result.latency_training_exec_s),
+        ],
+        vec![
+            "first training quarter".into(),
+            format!("{:.1} s", result.first_quarter_exec_s),
+        ],
+        vec![
+            "last training quarter".into(),
+            format!("{:.1} s", result.last_quarter_exec_s),
+        ],
+        vec![
+            "catastrophic episodes (>100× expert)".into(),
+            result.catastrophic_episodes.to_string(),
+        ],
+        vec![
+            "worst single plan".into(),
+            format!("{:.1} ms", result.worst_ms),
+        ],
+        vec![
+            "expert mean latency".into(),
+            format!("{:.2} ms", result.expert_mean_ms),
+        ],
+        vec![
+            "final cost ratio".into(),
+            format!("{:.2}", result.final_ratio),
+        ],
     ];
     println!("{}", render_table(&["metric", "value"], &rows));
     write_json("exp_latency_overhead", &result);

@@ -17,14 +17,35 @@ fn main() {
     };
     let result = lfd::run(&bundle, scale, args.seed);
 
-    println!("# §5.1 Learning from Demonstration — {} fine-tuning episodes", result.lfd_episodes);
+    println!(
+        "# §5.1 Learning from Demonstration — {} fine-tuning episodes",
+        result.lfd_episodes
+    );
     let rows = vec![
-        vec!["LfD final cost ratio".into(), format!("{:.2}", result.lfd_final_ratio)],
-        vec!["tabula-rasa final cost ratio".into(), format!("{:.2}", result.tabula_final_ratio)],
-        vec!["LfD worst latency".into(), format!("{:.1} ms", result.lfd_worst_ms)],
-        vec!["tabula-rasa worst latency".into(), format!("{:.1} ms", result.tabula_worst_ms)],
-        vec!["LfD slip re-trainings".into(), result.lfd_retrains.to_string()],
-        vec!["expert mean latency".into(), format!("{:.2} ms", result.expert_mean_ms)],
+        vec![
+            "LfD final cost ratio".into(),
+            format!("{:.2}", result.lfd_final_ratio),
+        ],
+        vec![
+            "tabula-rasa final cost ratio".into(),
+            format!("{:.2}", result.tabula_final_ratio),
+        ],
+        vec![
+            "LfD worst latency".into(),
+            format!("{:.1} ms", result.lfd_worst_ms),
+        ],
+        vec![
+            "tabula-rasa worst latency".into(),
+            format!("{:.1} ms", result.tabula_worst_ms),
+        ],
+        vec![
+            "LfD slip re-trainings".into(),
+            result.lfd_retrains.to_string(),
+        ],
+        vec![
+            "expert mean latency".into(),
+            format!("{:.2} ms", result.expert_mean_ms),
+        ],
     ];
     println!("{}", render_table(&["metric", "value"], &rows));
     write_json("exp_lfd", &result);

@@ -7,14 +7,26 @@ use hfqo_bench::RunArgs;
 fn main() {
     let args = RunArgs::from_env();
     let scale = common::Scale::from_args(args);
-    eprintln!("exp_naive: training two agents for {} episodes each ...", scale.episodes);
+    eprintln!(
+        "exp_naive: training two agents for {} episodes each ...",
+        scale.episodes
+    );
     let bundle = common::imdb_bundle(scale, args.seed);
     let result = naive::run(&bundle, scale, args.seed);
 
-    println!("# §4 Search Space Size — final cost relative to expert after {} episodes", result.episodes);
+    println!(
+        "# §4 Search Space Size — final cost relative to expert after {} episodes",
+        result.episodes
+    );
     let rows = vec![
-        vec!["join-order only (ReJOIN)".to_string(), pct(result.join_order_ratio)],
-        vec!["full plan space (naive)".to_string(), pct(result.full_space_ratio)],
+        vec![
+            "join-order only (ReJOIN)".to_string(),
+            pct(result.join_order_ratio),
+        ],
+        vec![
+            "full plan space (naive)".to_string(),
+            pct(result.full_space_ratio),
+        ],
         vec!["random plans".to_string(), pct(result.random_ratio)],
     ];
     println!("{}", render_table(&["approach", "cost_rel_expert"], &rows));

@@ -7,23 +7,39 @@ use hfqo_bench::RunArgs;
 fn main() {
     let args = RunArgs::from_env();
     let scale = common::Scale::from_args(args);
-    eprintln!("fig3a: building IMDB-like workload (base_rows={}) ...", scale.base_rows);
+    eprintln!(
+        "fig3a: building IMDB-like workload (base_rows={}) ...",
+        scale.base_rows
+    );
     let bundle = common::imdb_bundle(scale, args.seed);
-    eprintln!("fig3a: training {} episodes over {} queries ...", scale.episodes, bundle.queries.len());
+    eprintln!(
+        "fig3a: training {} episodes over {} queries ...",
+        scale.episodes,
+        bundle.queries.len()
+    );
     let (result, _agent) = fig3a::run(&bundle, scale, args.seed);
 
-    println!("# Figure 3a — ReJOIN convergence (cost relative to expert, MA window {})", scale.ma_window);
+    println!(
+        "# Figure 3a — ReJOIN convergence (cost relative to expert, MA window {})",
+        scale.ma_window
+    );
     let rows: Vec<Vec<String>> = result
         .series
         .iter()
         .map(|(ep, r)| vec![ep.to_string(), pct(*r)])
         .collect();
-    println!("{}", render_table(&["episode", "ma_cost_rel_expert"], &rows));
+    println!(
+        "{}",
+        render_table(&["episode", "ma_cost_rel_expert"], &rows)
+    );
     println!("initial ratio : {}", pct(result.initial_ratio));
     println!("final ratio   : {}", pct(result.final_ratio));
     match result.convergence_episode {
         Some(ep) => println!("reached expert parity at episode {ep}"),
-        None => println!("did not reach expert parity within {} episodes", result.episodes),
+        None => println!(
+            "did not reach expert parity within {} episodes",
+            result.episodes
+        ),
     }
     write_json("fig3a", &result);
 }

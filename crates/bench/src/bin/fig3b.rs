@@ -25,7 +25,14 @@ fn main() {
             ]
         })
         .collect();
-    println!("{}", render_table(&["query", "expert_cost", "rejoin_cost", "ratio"], &rows));
-    println!("ReJOIN at-or-below expert on {}/{} queries", result.wins_or_ties, result.rows.len());
+    println!(
+        "{}",
+        render_table(&["query", "expert_cost", "rejoin_cost", "ratio"], &rows)
+    );
+    println!(
+        "ReJOIN at-or-below expert on {}/{} queries",
+        result.wins_or_ties,
+        result.rows.len()
+    );
     write_json("fig3b", &result);
 }

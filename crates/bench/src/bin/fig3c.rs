@@ -5,7 +5,11 @@ use hfqo_bench::{experiments::fig3c, RunArgs};
 
 fn main() {
     let args = RunArgs::from_env();
-    let (rows_per_table, train_episodes) = if args.full { (2_000, 3_000) } else { (500, 600) };
+    let (rows_per_table, train_episodes) = if args.full {
+        (2_000, 3_000)
+    } else {
+        (500, 600)
+    };
     eprintln!("fig3c: sweep over 4..=17 relations (rows/table {rows_per_table}) ...");
     let result = fig3c::run(rows_per_table, train_episodes, args.seed);
 
@@ -21,7 +25,10 @@ fn main() {
             ]
         })
         .collect();
-    println!("{}", render_table(&["relations", "expert_us", "rejoin_us"], &rows));
+    println!(
+        "{}",
+        render_table(&["relations", "expert_us", "rejoin_us"], &rows)
+    );
     match result.crossover {
         Some(n) => println!("ReJOIN plans faster than the expert from {n} relations on"),
         None => println!("no crossover observed in this range"),

@@ -45,12 +45,7 @@ pub struct BootstrapResult {
     pub phase2_episodes: usize,
 }
 
-fn one_run(
-    bundle: &WorkloadBundle,
-    scale: Scale,
-    seed: u64,
-    scale_rewards: bool,
-) -> BootstrapRun {
+fn one_run(bundle: &WorkloadBundle, scale: Scale, seed: u64, scale_rewards: bool) -> BootstrapRun {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut env = join_env(bundle, QueryOrder::Shuffle, RewardMode::NegLogCost);
     let mut agent = agent_for(&env, default_policy(), &mut rng);
@@ -65,8 +60,7 @@ fn one_run(
     let ma = outcome.log.moving_geo_ratio(window);
     let before = ma
         .iter()
-        .filter(|(ep, _)| *ep < outcome.phase_boundary)
-        .next_back()
+        .rfind(|(ep, _)| *ep < outcome.phase_boundary)
         .map(|(_, r)| *r)
         .unwrap_or(f64::NAN);
     let after_window = outcome.phase_boundary + scale.episodes / 4;
@@ -112,8 +106,8 @@ mod tests {
             .queries
             .iter()
             .filter(|q| q.relation_count() <= 6)
-            .cloned()
             .take(8)
+            .cloned()
             .collect();
         let small = WorkloadBundle {
             db: bundle.db,

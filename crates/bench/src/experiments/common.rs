@@ -95,8 +95,13 @@ pub fn join_env<'a>(
     reward: RewardMode,
 ) -> JoinOrderEnv<'a> {
     let ctx = EnvContext::new(&bundle.db, &bundle.stats);
-    let mut env =
-        JoinOrderEnv::new(ctx, &bundle.queries, bundle.max_rels().max(2), order, reward);
+    let mut env = JoinOrderEnv::new(
+        ctx,
+        &bundle.queries,
+        bundle.max_rels().max(2),
+        order,
+        reward,
+    );
     // ReJOIN's implementation only offered pairs connected by a join
     // predicate (no cross products), which is why the paper's Figure 3a
     // starts at ~800% rather than the astronomic ratios unrestricted

@@ -30,7 +30,11 @@ pub struct Fig3aResult {
 
 /// Runs the experiment. Also returns the trained agent and its
 /// environment workload via the bundle, so `fig3b` can reuse the run.
-pub fn run(bundle: &WorkloadBundle, scale: Scale, seed: u64) -> (Fig3aResult, hfqo_rejoin::ReJoinAgent) {
+pub fn run(
+    bundle: &WorkloadBundle,
+    scale: Scale,
+    seed: u64,
+) -> (Fig3aResult, hfqo_rejoin::ReJoinAgent) {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut env = join_env(bundle, QueryOrder::Shuffle, RewardMode::LogRelative);
     let mut agent = agent_for(&env, default_policy(), &mut rng);

@@ -132,8 +132,12 @@ pub fn run(scale: Scale, seed: u64) -> IncrementalResult {
         Curriculum::Relations,
         Curriculum::Hybrid,
     ] {
-        let (agent, phases) =
-            train_curriculum(&bundle, curriculum, total_episodes, seed ^ phases_seed(curriculum));
+        let (agent, phases) = train_curriculum(
+            &bundle,
+            curriculum,
+            total_episodes,
+            seed ^ phases_seed(curriculum),
+        );
         let ratio = full_task_ratio(&bundle, &agent, seed);
         rows.push(CurriculumRow {
             curriculum: format!("{curriculum:?}"),

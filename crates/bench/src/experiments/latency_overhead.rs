@@ -102,8 +102,8 @@ mod tests {
             .queries
             .iter()
             .filter(|q| q.relation_count() <= 6)
-            .cloned()
             .take(8)
+            .cloned()
             .collect();
         let small = WorkloadBundle {
             db: bundle.db,

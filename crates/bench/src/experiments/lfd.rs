@@ -7,8 +7,7 @@
 
 use super::common::{agent_for, default_policy, join_env, Scale};
 use hfqo_rejoin::{
-    learn_from_demonstration, train, DemonstrationConfig, QueryOrder, RewardMode,
-    TrainerConfig,
+    learn_from_demonstration, train, DemonstrationConfig, QueryOrder, RewardMode, TrainerConfig,
 };
 use hfqo_workload::WorkloadBundle;
 use rand::rngs::StdRng;
@@ -59,14 +58,16 @@ pub fn run(bundle: &WorkloadBundle, scale: Scale, seed: u64) -> LfdResult {
         &mut rng,
     );
 
-    let expert_mean_ms = lfd.expert_latency_ms.iter().sum::<f64>()
-        / lfd.expert_latency_ms.len().max(1) as f64;
+    let expert_mean_ms =
+        lfd.expert_latency_ms.iter().sum::<f64>() / lfd.expert_latency_ms.len().max(1) as f64;
     LfdResult {
         lfd_episodes: episodes,
         lfd_final_ratio: lfd.log.final_geo_ratio(scale.ma_window).unwrap_or(f64::NAN),
         lfd_worst_ms: lfd.worst_latency_ms,
         lfd_retrains: lfd.retrain_events.len(),
-        tabula_final_ratio: tabula_log.final_geo_ratio(scale.ma_window).unwrap_or(f64::NAN),
+        tabula_final_ratio: tabula_log
+            .final_geo_ratio(scale.ma_window)
+            .unwrap_or(f64::NAN),
         tabula_worst_ms: tabula_log.worst_latency_ms().unwrap_or(0.0),
         expert_mean_ms,
     }
@@ -89,8 +90,8 @@ mod tests {
             .queries
             .iter()
             .filter(|q| q.relation_count() <= 6)
-            .cloned()
             .take(8)
+            .cloned()
             .collect();
         let small = WorkloadBundle {
             db: bundle.db,

@@ -78,8 +78,12 @@ pub fn run(bundle: &WorkloadBundle, scale: Scale, seed: u64) -> NaiveResult {
     }
 
     NaiveResult {
-        join_order_ratio: join_log.final_geo_ratio(scale.ma_window).unwrap_or(f64::NAN),
-        full_space_ratio: full_log.final_geo_ratio(scale.ma_window).unwrap_or(f64::NAN),
+        join_order_ratio: join_log
+            .final_geo_ratio(scale.ma_window)
+            .unwrap_or(f64::NAN),
+        full_space_ratio: full_log
+            .final_geo_ratio(scale.ma_window)
+            .unwrap_or(f64::NAN),
         random_ratio: (random_ln_sum / random_n.max(1) as f64).exp(),
         episodes: scale.episodes,
     }
@@ -102,8 +106,8 @@ mod tests {
             .queries
             .iter()
             .filter(|q| q.relation_count() <= 6)
-            .cloned()
             .take(10)
+            .cloned()
             .collect();
         let small = WorkloadBundle {
             db: bundle.db,
@@ -113,7 +117,10 @@ mod tests {
         let result = run(&small, scale, 6);
         assert!(result.join_order_ratio.is_finite());
         assert!(result.full_space_ratio.is_finite());
-        assert!(result.random_ratio > 1.0, "random should be worse than expert");
+        assert!(
+            result.random_ratio > 1.0,
+            "random should be worse than expert"
+        );
         // Even at this tiny budget, the smaller search space should not
         // be *worse* than the bigger one by a large factor.
         assert!(result.join_order_ratio < result.full_space_ratio * 5.0);

@@ -42,7 +42,10 @@ impl fmt::Display for CatalogError {
                 write!(f, "unknown column `{column}` in table `{table}`")
             }
             Self::UnknownColumnId { table, column } => {
-                write!(f, "column position {column} out of range for table `{table}`")
+                write!(
+                    f,
+                    "column position {column} out of range for table `{table}`"
+                )
             }
             Self::UnknownIndexId(id) => write!(f, "unknown index id {id}"),
         }

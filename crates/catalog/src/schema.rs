@@ -294,9 +294,7 @@ mod tests {
     #[test]
     fn duplicate_table_rejected() {
         let (mut c, _) = sample_catalog();
-        let err = c
-            .add_table(TableSchema::new("title", vec![]))
-            .unwrap_err();
+        let err = c.add_table(TableSchema::new("title", vec![])).unwrap_err();
         assert_eq!(err, CatalogError::DuplicateTable("title".into()));
     }
 
@@ -313,7 +311,9 @@ mod tests {
     fn index_registration_and_lookup() {
         let (mut c, t) = sample_catalog();
         let col = c.resolve_column(t, "id").unwrap();
-        let idx = c.add_index("title_pkey", t, col, IndexKind::BTree, true).unwrap();
+        let idx = c
+            .add_index("title_pkey", t, col, IndexKind::BTree, true)
+            .unwrap();
         assert!(c.has_index_on(ColumnRef::new(t, col)));
         assert!(!c.has_index_on(ColumnRef::new(t, ColumnId(1))));
         assert_eq!(c.index(idx).unwrap().name(), "title_pkey");

@@ -62,7 +62,9 @@ impl TableStatsMeta {
     /// Never returns less than 1: even an empty table costs one page to
     /// scan, which keeps the cost model's seq-scan floor positive.
     pub fn pages(&self) -> f64 {
-        ((self.row_count * self.row_width) / PAGE_SIZE_BYTES).ceil().max(1.0)
+        ((self.row_count * self.row_width) / PAGE_SIZE_BYTES)
+            .ceil()
+            .max(1.0)
     }
 }
 

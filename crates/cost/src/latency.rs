@@ -96,9 +96,7 @@ impl LatencyModel {
 mod tests {
     use super::*;
     use hfqo_catalog::{ColumnId, ColumnStatsMeta, TableId};
-    use hfqo_query::{
-        AccessPath, BoundColumn, JoinAlgo, JoinEdge, PlanNode, RelId, Relation,
-    };
+    use hfqo_query::{AccessPath, BoundColumn, JoinAlgo, JoinEdge, PlanNode, RelId, Relation};
     use hfqo_sql::CompareOp;
     use hfqo_stats::{ColumnStats, EstimatedCardinality, TableStats};
     use rand::SeedableRng;
@@ -163,8 +161,20 @@ mod tests {
         let est = EstimatedCardinality::new(&stats);
         let model = LatencyModel::noiseless();
         let mut rng = StdRng::seed_from_u64(1);
-        let a = model.simulate(&graph, &plan(JoinAlgo::Hash, vec![0]), &stats, &est, &mut rng);
-        let b = model.simulate(&graph, &plan(JoinAlgo::Hash, vec![0]), &stats, &est, &mut rng);
+        let a = model.simulate(
+            &graph,
+            &plan(JoinAlgo::Hash, vec![0]),
+            &stats,
+            &est,
+            &mut rng,
+        );
+        let b = model.simulate(
+            &graph,
+            &plan(JoinAlgo::Hash, vec![0]),
+            &stats,
+            &est,
+            &mut rng,
+        );
         assert_eq!(a, b);
         assert!(a.millis > 0.0);
     }
@@ -175,7 +185,13 @@ mod tests {
         let est = EstimatedCardinality::new(&stats);
         let model = LatencyModel::noiseless();
         let mut rng = StdRng::seed_from_u64(1);
-        let good = model.simulate(&graph, &plan(JoinAlgo::Hash, vec![0]), &stats, &est, &mut rng);
+        let good = model.simulate(
+            &graph,
+            &plan(JoinAlgo::Hash, vec![0]),
+            &stats,
+            &est,
+            &mut rng,
+        );
         let cross = model.simulate(
             &graph,
             &plan(JoinAlgo::NestedLoop, vec![]),
@@ -203,10 +219,19 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(7);
         for _ in 0..100 {
             let l = model
-                .simulate(&graph, &plan(JoinAlgo::Hash, vec![0]), &stats, &est, &mut rng)
+                .simulate(
+                    &graph,
+                    &plan(JoinAlgo::Hash, vec![0]),
+                    &stats,
+                    &est,
+                    &mut rng,
+                )
                 .millis;
             // ±8% sigma: 5 sigma bounds are generous.
-            assert!(l > base * 0.6 && l < base * 1.6, "latency {l} vs base {base}");
+            assert!(
+                l > base * 0.6 && l < base * 1.6,
+                "latency {l} vs base {base}"
+            );
         }
     }
 }

@@ -1,9 +1,7 @@
 //! The analytic plan cost model.
 
 use crate::params::CostParams;
-use hfqo_query::{
-    AccessPath, AggAlgo, JoinAlgo, PhysicalPlan, PlanNode, QueryGraph, RelSet,
-};
+use hfqo_query::{AccessPath, AggAlgo, JoinAlgo, PhysicalPlan, PlanNode, QueryGraph, RelSet};
 use hfqo_stats::{selection_selectivity, CardinalitySource, StatsCatalog};
 
 /// Cost and output cardinality of a (sub)plan.
@@ -195,7 +193,10 @@ mod tests {
         let b = TableStats {
             row_count: 100_000.0,
             row_width: 16.0,
-            columns: vec![col_stats(1_000.0, 0.0, 999.0), col_stats(1_000.0, 0.0, 999.0)],
+            columns: vec![
+                col_stats(1_000.0, 0.0, 999.0),
+                col_stats(1_000.0, 0.0, 999.0),
+            ],
         };
         let stats = StatsCatalog::new(vec![a, b]);
         let graph = QueryGraph::new(

@@ -1,10 +1,20 @@
-//! The plan executor.
+//! The plan executor facade.
+//!
+//! [`execute`] runs a validated physical plan through the vectorized
+//! batch pipeline (see [`crate::operator`]) and materialises the final
+//! batches into rows for the caller. The reference row engine remains
+//! available as [`crate::rowexec::execute_rows`] with the same signature
+//! and identical results and work totals.
 
 use crate::error::ExecError;
-use crate::ops::{agg, join, scan, Budget};
+use crate::operator::{aggregate_inputs, all_columns, build_pipeline, ColSet};
+use crate::ops::agg::agg_output_type;
+use crate::ops::Budget;
 use crate::row::{Layout, Row};
-use hfqo_query::{PhysicalPlan, PlanNode, QueryGraph};
-use hfqo_storage::Database;
+use hfqo_catalog::{Catalog, ColumnType};
+use hfqo_query::{BoundColumn, PhysicalPlan, PlanNode, QueryGraph};
+use hfqo_sql::AggFunc;
+use std::fmt;
 use std::time::{Duration, Instant};
 
 /// Execution configuration.
@@ -44,24 +54,171 @@ pub struct ExecStats {
     pub elapsed: Duration,
 }
 
+/// One column of a query's output.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OutputColumn {
+    /// A base-table column carried to the output.
+    Column {
+        /// The bound column.
+        col: BoundColumn,
+        /// `alias.column` rendering.
+        name: String,
+        /// Storage type.
+        ty: ColumnType,
+    },
+    /// A computed aggregate value.
+    Aggregate {
+        /// Aggregate function.
+        func: AggFunc,
+        /// Input column (`None` for `COUNT(*)`).
+        input: Option<BoundColumn>,
+        /// `func(alias.column)` rendering.
+        name: String,
+        /// Storage type of the aggregate's value.
+        ty: ColumnType,
+    },
+}
+
+impl OutputColumn {
+    /// The display name (`"f.val"`, `"count(*)"`, …).
+    pub fn name(&self) -> &str {
+        match self {
+            OutputColumn::Column { name, .. } | OutputColumn::Aggregate { name, .. } => name,
+        }
+    }
+
+    /// The column's storage type.
+    pub fn ty(&self) -> ColumnType {
+        match self {
+            OutputColumn::Column { ty, .. } | OutputColumn::Aggregate { ty, .. } => *ty,
+        }
+    }
+}
+
+/// The real output schema of an executed plan: one entry per output row
+/// slot. For aggregated queries this is the `GROUP BY` keys followed by
+/// the aggregate values — the shape the row data actually has (the
+/// historical `layout` field was meaningless there).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct OutputSchema {
+    /// Output columns, in row slot order.
+    pub columns: Vec<OutputColumn>,
+}
+
+impl OutputSchema {
+    /// The schema `plan` produces over `graph`.
+    pub fn for_plan(graph: &QueryGraph, catalog: &Catalog, plan: &PhysicalPlan) -> Self {
+        let col_name = |c: BoundColumn| -> String {
+            let rel = graph.relation(c.rel);
+            let col = catalog
+                .table(rel.table)
+                .ok()
+                .and_then(|t| t.column(c.column))
+                .map(|col| col.name().to_string())
+                .unwrap_or_else(|| format!("#{}", c.column.0));
+            format!("{}.{}", rel.alias, col)
+        };
+        let col_ty = |c: BoundColumn| -> ColumnType {
+            catalog
+                .table(graph.relation(c.rel).table)
+                .ok()
+                .and_then(|t| t.column(c.column))
+                .map(|col| col.ty())
+                .unwrap_or(ColumnType::Int)
+        };
+        let columns = if matches!(plan.root, PlanNode::Aggregate { .. }) {
+            let mut cols: Vec<OutputColumn> = graph
+                .group_by()
+                .iter()
+                .map(|&c| OutputColumn::Column {
+                    col: c,
+                    name: col_name(c),
+                    ty: col_ty(c),
+                })
+                .collect();
+            cols.extend(graph.aggregates().iter().map(|a| {
+                let func_name = match a.func {
+                    AggFunc::Count => "count",
+                    AggFunc::Sum => "sum",
+                    AggFunc::Min => "min",
+                    AggFunc::Max => "max",
+                    AggFunc::Avg => "avg",
+                };
+                let name = match a.column {
+                    Some(c) => format!("{func_name}({})", col_name(c)),
+                    None => format!("{func_name}(*)"),
+                };
+                OutputColumn::Aggregate {
+                    func: a.func,
+                    input: a.column,
+                    name,
+                    ty: agg_output_type(a.func, a.column.map(col_ty)),
+                }
+            }));
+            cols
+        } else {
+            // Non-aggregated plans output every column of every relation,
+            // leaf order, column order — the row engine's layout.
+            let layout = Layout::for_node(&plan.root, graph, catalog);
+            let mut cols = Vec::with_capacity(layout.width());
+            for rel in layout.relations() {
+                let arity = catalog
+                    .table(graph.relation(rel).table)
+                    .map(|t| t.arity())
+                    .unwrap_or(0);
+                for i in 0..arity {
+                    let c = BoundColumn::new(rel, hfqo_catalog::ColumnId(i as u32));
+                    cols.push(OutputColumn::Column {
+                        col: c,
+                        name: col_name(c),
+                        ty: col_ty(c),
+                    });
+                }
+            }
+            cols
+        };
+        Self { columns }
+    }
+}
+
+impl fmt::Display for OutputSchema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, c) in self.columns.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}", c.name())?;
+        }
+        Ok(())
+    }
+}
+
 /// The result of executing a plan.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ExecOutcome {
-    /// Output rows.
+    /// Output rows, shaped as described by `schema`.
     pub rows: Vec<Row>,
-    /// Output layout (empty/meaningless after aggregation, which reshapes
-    /// rows to group keys + aggregate values).
+    /// Layout of the *relational* output (leaf order, full arity). For
+    /// aggregated plans the row shape is `schema`, not this — kept for
+    /// callers that resolve bound columns on non-aggregated results.
     pub layout: Layout,
+    /// The true output schema: base columns, or group keys + aggregate
+    /// values for aggregated plans.
+    pub schema: OutputSchema,
     /// Work and timing statistics.
     pub stats: ExecStats,
 }
 
-/// Executes a physical plan against a database.
+/// Executes a physical plan against a database with the vectorized batch
+/// engine.
 ///
-/// The plan is validated first; execution then either completes within the
-/// work budget or aborts with [`ExecError::BudgetExceeded`].
+/// The plan is validated first; execution then either completes within
+/// the work budget or aborts with [`ExecError::BudgetExceeded`]. Results
+/// (row multisets) and work totals are identical to the reference row
+/// engine ([`crate::rowexec::execute_rows`]); only per-batch abort
+/// granularity and hash-group emission order may differ.
 pub fn execute(
-    db: &Database,
+    db: &hfqo_storage::Database,
     graph: &QueryGraph,
     plan: &PhysicalPlan,
     config: ExecConfig,
@@ -69,10 +226,26 @@ pub fn execute(
     plan.validate(graph)?;
     let start = Instant::now();
     let mut budget = Budget::new(config.work_budget);
-    let (rows, layout) = run_node(db, graph, &plan.root, &mut budget)?;
+
+    let required: ColSet = match &plan.root {
+        PlanNode::Aggregate { .. } => aggregate_inputs(graph),
+        _ => all_columns(graph, db),
+    };
+    let mut op = build_pipeline(db, graph, &plan.root, &required)?;
+    op.open(&mut budget)?;
+    let mut rows: Vec<Row> = Vec::new();
+    while let Some(batch) = op.next_batch(&mut budget)? {
+        rows.reserve(batch.rows());
+        for r in 0..batch.rows() {
+            rows.push(batch.row_values(r));
+        }
+    }
+    op.close();
+
     Ok(ExecOutcome {
         rows,
-        layout,
+        layout: Layout::for_node(&plan.root, graph, db.catalog()),
+        schema: OutputSchema::for_plan(graph, db.catalog(), plan),
         stats: ExecStats {
             work: budget.work,
             elapsed: start.elapsed(),
@@ -80,44 +253,57 @@ pub fn execute(
     })
 }
 
-fn run_node(
-    db: &Database,
+/// Executes `plan` for its side observations only: returns the output
+/// row count and the work performed, materialising nothing. The
+/// pipeline carries zero columns beyond what joins and aggregates need
+/// internally, and work charges are column-independent, so the work
+/// total is identical to a full [`execute`]. Validates the plan like
+/// [`execute`].
+pub fn execute_for_stats(
+    db: &hfqo_storage::Database,
     graph: &QueryGraph,
-    node: &PlanNode,
-    budget: &mut Budget,
-) -> Result<(Vec<Row>, Layout), ExecError> {
-    match node {
-        PlanNode::Scan { rel, path } => scan::scan(db, graph, *rel, path, budget),
-        PlanNode::Join {
-            algo,
-            conds,
-            left,
-            right,
-        } => {
-            let (l_rows, l_layout) = run_node(db, graph, left, budget)?;
-            let (r_rows, r_layout) = run_node(db, graph, right, budget)?;
-            join::join(
-                graph, *algo, conds, &l_rows, &l_layout, &r_rows, &r_layout, budget,
-            )
-        }
-        PlanNode::Aggregate { algo, input } => {
-            let (rows, layout) = run_node(db, graph, input, budget)?;
-            let out = agg::aggregate(graph, *algo, &rows, &layout, budget)?;
-            Ok((out, layout))
-        }
+    plan: &PhysicalPlan,
+    config: ExecConfig,
+) -> Result<(usize, u64), ExecError> {
+    plan.validate(graph)?;
+    count_rows_unvalidated(db, graph, plan, config)
+}
+
+/// [`execute_for_stats`] without plan validation: the true-cardinality
+/// oracle builds structurally-valid subset plans that do not cover the
+/// whole graph.
+pub(crate) fn count_rows_unvalidated(
+    db: &hfqo_storage::Database,
+    graph: &QueryGraph,
+    plan: &PhysicalPlan,
+    config: ExecConfig,
+) -> Result<(usize, u64), ExecError> {
+    let mut budget = Budget::new(config.work_budget);
+    let required = match &plan.root {
+        PlanNode::Aggregate { .. } => aggregate_inputs(graph),
+        _ => ColSet::new(),
+    };
+    let mut op = build_pipeline(db, graph, &plan.root, &required)?;
+    op.open(&mut budget)?;
+    let mut rows = 0usize;
+    while let Some(batch) = op.next_batch(&mut budget)? {
+        rows += batch.rows();
     }
+    op.close();
+    Ok((rows, budget.work))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::rowexec::execute_rows;
     use hfqo_catalog::{Catalog, Column, ColumnId, ColumnType, IndexKind, TableSchema};
     use hfqo_query::{
         AccessPath, AggAlgo, AggExpr, BoundColumn, JoinAlgo, JoinEdge, Lit, RelId, Relation,
         Selection,
     };
     use hfqo_sql::{AggFunc, CompareOp};
-    use hfqo_storage::Value;
+    use hfqo_storage::{Database, Value};
 
     /// Two tables: dim (20 rows, pk) and fact (200 rows, fk = i % 20).
     fn setup() -> (Database, QueryGraph) {
@@ -299,5 +485,261 @@ mod tests {
         let b = execute(&db, &graph, &plan, ExecConfig::default()).unwrap();
         assert_eq!(a.rows, b.rows);
         assert_eq!(a.stats.work, b.stats.work);
+    }
+
+    #[test]
+    fn batch_engine_matches_row_engine_exactly() {
+        let (db, graph) = setup();
+        for algo in [JoinAlgo::NestedLoop, JoinAlgo::Hash, JoinAlgo::Merge] {
+            let plan = PhysicalPlan::new(PlanNode::Join {
+                algo,
+                conds: vec![0],
+                left: Box::new(scan_node(0)),
+                right: Box::new(scan_node(1)),
+            });
+            let batch = execute(&db, &graph, &plan, ExecConfig::default()).unwrap();
+            let rows = execute_rows(&db, &graph, &plan, ExecConfig::default()).unwrap();
+            let mut b = batch.rows.clone();
+            let mut r = rows.rows.clone();
+            b.sort();
+            r.sort();
+            assert_eq!(b, r, "{algo:?} multiset");
+            assert_eq!(batch.stats.work, rows.stats.work, "{algo:?} work");
+            assert_eq!(batch.layout, rows.layout);
+            assert_eq!(batch.schema, rows.schema);
+        }
+    }
+
+    /// Two tables with nullable, string-typed join keys: a(k text?, v),
+    /// b(k text?, w). NULLs on both sides; keys "x" (1×2) and "y" (1×1).
+    fn null_setup() -> (Database, QueryGraph) {
+        let mut cat = Catalog::new();
+        let a = cat
+            .add_table(TableSchema::new(
+                "a",
+                vec![
+                    Column::nullable("k", ColumnType::Text),
+                    Column::nullable("v", ColumnType::Int),
+                ],
+            ))
+            .unwrap();
+        let b = cat
+            .add_table(TableSchema::new(
+                "b",
+                vec![
+                    Column::nullable("k", ColumnType::Text),
+                    Column::new("w", ColumnType::Int),
+                ],
+            ))
+            .unwrap();
+        let mut db = Database::new(cat);
+        for row in [
+            [Value::str("x"), Value::Int(1)],
+            [Value::Null, Value::Int(2)],
+            [Value::str("y"), Value::Null],
+        ] {
+            db.table_mut(a).unwrap().append_row(&row).unwrap();
+        }
+        for row in [
+            [Value::str("x"), Value::Int(10)],
+            [Value::str("x"), Value::Int(11)],
+            [Value::Null, Value::Int(12)],
+            [Value::str("y"), Value::Int(13)],
+            [Value::str("z"), Value::Int(14)],
+        ] {
+            db.table_mut(b).unwrap().append_row(&row).unwrap();
+        }
+        let graph = QueryGraph::new(
+            vec![
+                Relation {
+                    table: a,
+                    alias: "a".into(),
+                },
+                Relation {
+                    table: b,
+                    alias: "b".into(),
+                },
+            ],
+            vec![JoinEdge {
+                left: BoundColumn::new(RelId(0), ColumnId(0)),
+                op: CompareOp::Eq,
+                right: BoundColumn::new(RelId(1), ColumnId(0)),
+            }],
+            vec![],
+            vec![
+                AggExpr {
+                    func: AggFunc::Count,
+                    column: None,
+                },
+                AggExpr {
+                    func: AggFunc::Sum,
+                    column: Some(BoundColumn::new(RelId(0), ColumnId(1))),
+                },
+            ],
+            vec![],
+        );
+        (db, graph)
+    }
+
+    #[test]
+    fn null_keys_never_match_in_any_join_algorithm() {
+        let (db, graph) = null_setup();
+        for algo in [JoinAlgo::NestedLoop, JoinAlgo::Hash, JoinAlgo::Merge] {
+            let plan = PhysicalPlan::new(PlanNode::Join {
+                algo,
+                conds: vec![0],
+                left: Box::new(scan_node(0)),
+                right: Box::new(scan_node(1)),
+            });
+            let out = execute(&db, &graph, &plan, ExecConfig::default()).unwrap();
+            // "x": 1×2, "y": 1×1; the NULLs on both sides match nothing.
+            assert_eq!(out.rows.len(), 3, "{algo:?}");
+            assert!(
+                out.rows.iter().all(|r| !r[0].is_null() && !r[2].is_null()),
+                "{algo:?} emitted a NULL-keyed match"
+            );
+            // And the row engine agrees bit-for-bit.
+            let rows = execute_rows(&db, &graph, &plan, ExecConfig::default()).unwrap();
+            let (mut bs, mut rs) = (out.rows.clone(), rows.rows.clone());
+            bs.sort();
+            rs.sort();
+            assert_eq!(bs, rs, "{algo:?}");
+            assert_eq!(out.stats.work, rows.stats.work, "{algo:?}");
+        }
+    }
+
+    #[test]
+    fn aggregates_skip_null_inputs_in_batch_engine() {
+        let (db, graph) = null_setup();
+        let plan = PhysicalPlan::new(PlanNode::Aggregate {
+            algo: AggAlgo::Hash,
+            input: Box::new(PlanNode::Join {
+                algo: JoinAlgo::Hash,
+                conds: vec![0],
+                left: Box::new(scan_node(0)),
+                right: Box::new(scan_node(1)),
+            }),
+        });
+        let out = execute(&db, &graph, &plan, ExecConfig::default()).unwrap();
+        assert_eq!(out.rows.len(), 1);
+        // COUNT(*) counts all 3 joined rows; SUM(a.v) skips the NULL v
+        // of the "y" row: 1 + 1 = 2.
+        assert_eq!(out.rows[0][0], Value::Int(3));
+        assert_eq!(out.rows[0][1], Value::Float(2.0));
+    }
+
+    #[test]
+    fn unbuilt_index_surfaces_index_not_built() {
+        let (db, mut graph) = setup();
+        graph = QueryGraph::new(
+            graph.relations().to_vec(),
+            graph.joins().to_vec(),
+            vec![Selection {
+                column: BoundColumn::new(RelId(0), ColumnId(0)),
+                op: CompareOp::Lt,
+                value: Lit::Int(10),
+            }],
+            graph.aggregates().to_vec(),
+            vec![],
+        );
+        // Same catalog, fresh database whose indexes were never built.
+        let unbuilt = Database::new(db.catalog().clone());
+        let plan = PhysicalPlan::new(PlanNode::Join {
+            algo: JoinAlgo::Hash,
+            conds: vec![0],
+            left: Box::new(PlanNode::Scan {
+                rel: RelId(0),
+                path: AccessPath::IndexScan {
+                    index: hfqo_catalog::IndexId(0),
+                    driving_selection: 0,
+                },
+            }),
+            right: Box::new(scan_node(1)),
+        });
+        let err = execute(&unbuilt, &graph, &plan, ExecConfig::default()).unwrap_err();
+        assert!(matches!(err, ExecError::IndexNotBuilt(_)));
+    }
+
+    #[test]
+    fn sum_over_text_surfaces_bad_aggregate() {
+        let (db, graph) = null_setup();
+        // SUM over the Text key column.
+        let graph = QueryGraph::new(
+            graph.relations().to_vec(),
+            graph.joins().to_vec(),
+            vec![],
+            vec![AggExpr {
+                func: AggFunc::Sum,
+                column: Some(BoundColumn::new(RelId(0), ColumnId(0))),
+            }],
+            vec![],
+        );
+        let plan = PhysicalPlan::new(PlanNode::Aggregate {
+            algo: AggAlgo::Hash,
+            input: Box::new(PlanNode::Join {
+                algo: JoinAlgo::Hash,
+                conds: vec![0],
+                left: Box::new(scan_node(0)),
+                right: Box::new(scan_node(1)),
+            }),
+        });
+        let err = execute(&db, &graph, &plan, ExecConfig::default()).unwrap_err();
+        assert!(matches!(err, ExecError::BadAggregate(_)));
+    }
+
+    #[test]
+    fn stats_only_execution_matches_full_execution() {
+        let (db, graph) = setup();
+        for algo in [JoinAlgo::NestedLoop, JoinAlgo::Hash, JoinAlgo::Merge] {
+            let plan = PhysicalPlan::new(PlanNode::Join {
+                algo,
+                conds: vec![0],
+                left: Box::new(scan_node(0)),
+                right: Box::new(scan_node(1)),
+            });
+            let full = execute(&db, &graph, &plan, ExecConfig::default()).unwrap();
+            let (rows, work) =
+                execute_for_stats(&db, &graph, &plan, ExecConfig::default()).unwrap();
+            // Work charges are column-independent: the zero-column
+            // pipeline must observe the identical totals.
+            assert_eq!(rows, full.rows.len(), "{algo:?}");
+            assert_eq!(work, full.stats.work, "{algo:?}");
+        }
+        // Stats-only execution still validates.
+        let incomplete = PhysicalPlan::new(scan_node(0));
+        assert!(matches!(
+            execute_for_stats(&db, &graph, &incomplete, ExecConfig::default()),
+            Err(ExecError::Plan(_))
+        ));
+    }
+
+    #[test]
+    fn aggregate_schema_names_keys_and_values() {
+        let (db, graph) = setup();
+        let plan = PhysicalPlan::new(PlanNode::Aggregate {
+            algo: AggAlgo::Hash,
+            input: Box::new(PlanNode::Join {
+                algo: JoinAlgo::Hash,
+                conds: vec![0],
+                left: Box::new(scan_node(0)),
+                right: Box::new(scan_node(1)),
+            }),
+        });
+        let out = execute(&db, &graph, &plan, ExecConfig::default()).unwrap();
+        assert_eq!(out.schema.columns.len(), 1);
+        assert_eq!(out.schema.columns[0].name(), "count(*)");
+        assert_eq!(out.schema.columns[0].ty(), ColumnType::Int);
+        assert_eq!(out.schema.to_string(), "count(*)");
+        // Non-aggregated plans list base columns.
+        let join_only = PhysicalPlan::new(PlanNode::Join {
+            algo: JoinAlgo::Hash,
+            conds: vec![0],
+            left: Box::new(scan_node(0)),
+            right: Box::new(scan_node(1)),
+        });
+        let out = execute(&db, &graph, &join_only, ExecConfig::default()).unwrap();
+        let names: Vec<&str> = out.schema.columns.iter().map(|c| c.name()).collect();
+        assert_eq!(names, vec!["d.id", "d.attr", "f.id", "f.dim_id", "f.val"]);
+        assert_eq!(out.rows[0].len(), out.schema.columns.len());
     }
 }

@@ -1,0 +1,400 @@
+//! The pull-based operator pipeline and its projection planner.
+//!
+//! [`Operator`] is the vectorized Volcano interface: `open` prepares
+//! blocking state (hash tables, sort runs), `next_batch` pulls one
+//! columnar [`Batch`] at a time, `close` releases state. The pipeline
+//! builder walks a [`PlanNode`] tree and computes, per node, the
+//! **projection** — the minimal ordered set of columns the node's output
+//! must carry — from the columns the query graph references above that
+//! node:
+//!
+//! * the facade's required output (every column for a plain query, the
+//!   `GROUP BY` keys plus aggregate inputs for an aggregated one, none
+//!   for pure counting pipelines such as the true-cardinality oracle),
+//! * plus, at every join, the columns of the join conditions applied
+//!   there (pushed down to the inputs, dropped again immediately above
+//!   the join when nothing else references them).
+//!
+//! Projection order is always *leaf order, column-id order within a
+//! leaf*, so a fully-required projection is slot-identical to the row
+//! engine's [`Layout`](crate::row::Layout) and the two engines emit rows
+//! with identical column ordering.
+
+use crate::batch::{Batch, Projection};
+use crate::error::ExecError;
+use crate::ops::{agg::AggOp, join::JoinOp, scan::ScanOp, Budget};
+use hfqo_query::{BoundColumn, PlanNode, QueryError, QueryGraph, RelId};
+use hfqo_storage::{ColumnVector, Database};
+
+/// A vectorized physical operator.
+///
+/// Pipelines are **single-use**: call [`Operator::open`] once, pull
+/// [`Operator::next_batch`] until it returns `None`, then
+/// [`Operator::close`] once. Reopening a drained pipeline is not
+/// supported — build a fresh one with
+/// [`build_pipeline`] (construction is cheap; all heavy state is built
+/// in `open`).
+pub trait Operator {
+    /// The bound columns this operator's batches carry, in slot order —
+    /// `None` when the output is computed rather than projected
+    /// (aggregation).
+    fn projection(&self) -> Option<&Projection>;
+
+    /// Prepares blocking state (drains build sides, runs sorts). Work
+    /// performed here is charged against `budget` exactly as the row
+    /// engine charges it.
+    fn open(&mut self, budget: &mut Budget) -> Result<(), ExecError>;
+
+    /// Pulls the next batch; `None` when the input is exhausted.
+    fn next_batch(&mut self, budget: &mut Budget) -> Result<Option<Batch>, ExecError>;
+
+    /// Releases operator state.
+    fn close(&mut self);
+}
+
+/// An unordered set of bound columns (small; stored as a vector to avoid
+/// requiring `Ord` on [`BoundColumn`]).
+#[derive(Debug, Clone, Default)]
+pub struct ColSet {
+    cols: Vec<BoundColumn>,
+}
+
+impl ColSet {
+    /// The empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts a column.
+    pub fn insert(&mut self, col: BoundColumn) {
+        if !self.cols.contains(&col) {
+            self.cols.push(col);
+        }
+    }
+
+    /// Membership test.
+    pub fn contains(&self, col: BoundColumn) -> bool {
+        self.cols.contains(&col)
+    }
+
+    /// A copy with `extra` added.
+    pub fn with(&self, extra: impl IntoIterator<Item = BoundColumn>) -> Self {
+        let mut s = self.clone();
+        for c in extra {
+            s.insert(c);
+        }
+        s
+    }
+}
+
+/// Every column of every relation in `graph` — the facade's required set
+/// for plain (non-aggregated) queries, which makes the batch engine's
+/// output column-identical to the row engine's.
+pub fn all_columns(graph: &QueryGraph, db: &Database) -> ColSet {
+    let mut set = ColSet::new();
+    for (i, rel) in graph.relations().iter().enumerate() {
+        let arity = db
+            .catalog()
+            .table(rel.table)
+            .map(|t| t.arity())
+            .unwrap_or(0);
+        for c in 0..arity {
+            set.insert(BoundColumn::new(
+                RelId(i as u32),
+                hfqo_catalog::ColumnId(c as u32),
+            ));
+        }
+    }
+    set
+}
+
+/// The required set for an aggregation input: `GROUP BY` keys plus
+/// aggregate input columns.
+pub fn aggregate_inputs(graph: &QueryGraph) -> ColSet {
+    let mut set = ColSet::new();
+    for c in graph.group_by() {
+        set.insert(*c);
+    }
+    for a in graph.aggregates() {
+        if let Some(c) = a.column {
+            set.insert(c);
+        }
+    }
+    set
+}
+
+/// Builds the operator pipeline for `node`, carrying exactly the columns
+/// in `required` (plus whatever each join needs internally).
+pub fn build_pipeline<'a>(
+    db: &'a Database,
+    graph: &'a QueryGraph,
+    node: &PlanNode,
+    required: &ColSet,
+) -> Result<Box<dyn Operator + 'a>, ExecError> {
+    match node {
+        PlanNode::Scan { rel, path } => {
+            let projection = scan_projection(graph, db, *rel, required);
+            Ok(Box::new(ScanOp::new(db, graph, *rel, path, projection)?))
+        }
+        PlanNode::Join {
+            algo,
+            conds,
+            left,
+            right,
+        } => {
+            // Children must additionally carry this join's condition
+            // columns; they are dropped again from this node's output
+            // unless an ancestor requires them.
+            let mut cond_cols = Vec::new();
+            for &c in conds {
+                let edge = graph.joins().get(c).ok_or_else(|| {
+                    QueryError::InvalidPlan(format!("join cond #{c} out of range"))
+                })?;
+                cond_cols.push(edge.left);
+                cond_cols.push(edge.right);
+            }
+            let child_required = required.with(cond_cols);
+            let left_op = build_pipeline(db, graph, left, &child_required)?;
+            let right_op = build_pipeline(db, graph, right, &child_required)?;
+            Ok(Box::new(JoinOp::new(
+                graph,
+                db.catalog(),
+                *algo,
+                conds,
+                left_op,
+                right_op,
+                required,
+            )?))
+        }
+        PlanNode::Aggregate { algo, input } => {
+            let input_required = aggregate_inputs(graph);
+            let input_op = build_pipeline(db, graph, input, &input_required)?;
+            Ok(Box::new(AggOp::new(graph, db.catalog(), *algo, input_op)?))
+        }
+    }
+}
+
+/// A scan's output projection: the required columns of `rel`, in
+/// column-id order.
+fn scan_projection(graph: &QueryGraph, db: &Database, rel: RelId, required: &ColSet) -> Projection {
+    let arity = db
+        .catalog()
+        .table(graph.relation(rel).table)
+        .map(|t| t.arity())
+        .unwrap_or(0);
+    let cols = (0..arity)
+        .map(|c| BoundColumn::new(rel, hfqo_catalog::ColumnId(c as u32)))
+        .filter(|&c| required.contains(c))
+        .collect();
+    Projection::new(cols)
+}
+
+/// A fully-drained operator output, stored as unbounded column vectors —
+/// the build side of hash joins and both sides of sort-merge joins.
+#[derive(Debug)]
+pub struct Materialized {
+    /// One unbounded column per projected slot.
+    pub cols: Vec<ColumnVector>,
+    /// Total row count (tracked separately: zero-width outputs exist).
+    pub rows: usize,
+}
+
+impl Materialized {
+    /// Drains `child` (whose projection is `width` columns wide)
+    /// completely; column types are taken from the first batch. Draining
+    /// itself charges nothing — the producing operators already charged
+    /// their work — matching the row engine, where child outputs exist
+    /// before the join starts.
+    pub fn drain(
+        child: &mut dyn Operator,
+        width: usize,
+        budget: &mut Budget,
+    ) -> Result<Self, ExecError> {
+        let mut cols: Option<Vec<ColumnVector>> = None;
+        let mut rows = 0usize;
+        while let Some(batch) = child.next_batch(budget)? {
+            rows += batch.rows();
+            let cols = cols.get_or_insert_with(|| {
+                (0..width)
+                    .map(|s| ColumnVector::new(batch.column(s).ty()))
+                    .collect()
+            });
+            for (slot, col) in cols.iter_mut().enumerate() {
+                col.append_column(batch.column(slot));
+            }
+        }
+        Ok(Self {
+            cols: cols.unwrap_or_default(),
+            rows,
+        })
+    }
+
+    /// The value at (`slot`, `row`). Only valid for `row < rows` and, on
+    /// inputs that produced no batches, never reachable (`rows == 0`).
+    #[inline]
+    pub fn value_at(&self, slot: usize, row: usize) -> hfqo_storage::Value {
+        self.cols[slot].get(row)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hfqo_catalog::{Catalog, Column, ColumnId, ColumnType, TableSchema};
+    use hfqo_query::{AccessPath, AggExpr, JoinAlgo, JoinEdge, Relation, Selection};
+    use hfqo_sql::{AggFunc, CompareOp};
+    use hfqo_storage::Value;
+
+    /// Two tables a(k, v, pad), b(k, w); query joins a.k = b.k with a
+    /// selection on a.v and COUNT(*) + SUM(b.w).
+    fn setup() -> (Database, QueryGraph) {
+        let mut cat = Catalog::new();
+        let a = cat
+            .add_table(TableSchema::new(
+                "a",
+                vec![
+                    Column::new("k", ColumnType::Int),
+                    Column::new("v", ColumnType::Int),
+                    Column::new("pad", ColumnType::Text),
+                ],
+            ))
+            .unwrap();
+        let b = cat
+            .add_table(TableSchema::new(
+                "b",
+                vec![
+                    Column::new("k", ColumnType::Int),
+                    Column::new("w", ColumnType::Int),
+                ],
+            ))
+            .unwrap();
+        let mut db = Database::new(cat);
+        for i in 0..10i64 {
+            db.table_mut(a)
+                .unwrap()
+                .append_row(&[Value::Int(i), Value::Int(i % 3), Value::str("x")])
+                .unwrap();
+            db.table_mut(b)
+                .unwrap()
+                .append_row(&[Value::Int(i % 5), Value::Int(i)])
+                .unwrap();
+        }
+        let graph = QueryGraph::new(
+            vec![
+                Relation {
+                    table: a,
+                    alias: "a".into(),
+                },
+                Relation {
+                    table: b,
+                    alias: "b".into(),
+                },
+            ],
+            vec![JoinEdge {
+                left: BoundColumn::new(RelId(0), ColumnId(0)),
+                op: CompareOp::Eq,
+                right: BoundColumn::new(RelId(1), ColumnId(0)),
+            }],
+            vec![Selection {
+                column: BoundColumn::new(RelId(0), ColumnId(1)),
+                op: CompareOp::Eq,
+                value: hfqo_query::Lit::Int(0),
+            }],
+            vec![
+                AggExpr {
+                    func: AggFunc::Count,
+                    column: None,
+                },
+                AggExpr {
+                    func: AggFunc::Sum,
+                    column: Some(BoundColumn::new(RelId(1), ColumnId(1))),
+                },
+            ],
+            vec![],
+        );
+        (db, graph)
+    }
+
+    fn join_node() -> PlanNode {
+        PlanNode::Join {
+            algo: JoinAlgo::Hash,
+            conds: vec![0],
+            left: Box::new(PlanNode::Scan {
+                rel: RelId(0),
+                path: AccessPath::SeqScan,
+            }),
+            right: Box::new(PlanNode::Scan {
+                rel: RelId(1),
+                path: AccessPath::SeqScan,
+            }),
+        }
+    }
+
+    #[test]
+    fn full_requirement_matches_row_layout_order() {
+        let (db, graph) = setup();
+        let required = all_columns(&graph, &db);
+        let op = build_pipeline(&db, &graph, &join_node(), &required).unwrap();
+        let proj = op.projection().expect("joins are projected");
+        let cols: Vec<(u32, u32)> = proj
+            .columns()
+            .iter()
+            .map(|c| (c.rel.0, c.column.0))
+            .collect();
+        // Leaf order (a then b), column-id order within each leaf — the
+        // row engine's layout.
+        assert_eq!(cols, vec![(0, 0), (0, 1), (0, 2), (1, 0), (1, 1)]);
+    }
+
+    #[test]
+    fn aggregate_requirement_prunes_unreferenced_columns() {
+        let (db, graph) = setup();
+        let required = aggregate_inputs(&graph);
+        let op = build_pipeline(&db, &graph, &join_node(), &required).unwrap();
+        let proj = op.projection().unwrap();
+        // Only b.w survives above the join: a.k/b.k are consumed by the
+        // join itself, a.v by the scan filter, a.pad by nothing.
+        let cols: Vec<(u32, u32)> = proj
+            .columns()
+            .iter()
+            .map(|c| (c.rel.0, c.column.0))
+            .collect();
+        assert_eq!(cols, vec![(1, 1)]);
+    }
+
+    #[test]
+    fn empty_requirement_yields_zero_width_pipeline() {
+        let (db, graph) = setup();
+        let op = build_pipeline(&db, &graph, &join_node(), &ColSet::new()).unwrap();
+        assert_eq!(op.projection().unwrap().width(), 0);
+    }
+
+    #[test]
+    fn pipeline_counts_match_row_semantics() {
+        let (db, graph) = setup();
+        // a.v = 0 keeps a ids {0, 3, 6, 9}; b.k = i % 5 has 2 rows per
+        // key in 0..5 → ids 0 and 3 match 2 rows each, 6/9 none.
+        let mut op = build_pipeline(&db, &graph, &join_node(), &ColSet::new()).unwrap();
+        let mut budget = Budget::new(1_000_000);
+        op.open(&mut budget).unwrap();
+        let mut rows = 0;
+        while let Some(b) = op.next_batch(&mut budget).unwrap() {
+            rows += b.rows();
+        }
+        op.close();
+        assert_eq!(rows, 4);
+        assert!(budget.work > 0);
+    }
+
+    #[test]
+    fn colset_deduplicates() {
+        let c = BoundColumn::new(RelId(0), ColumnId(0));
+        let mut s = ColSet::new();
+        s.insert(c);
+        s.insert(c);
+        assert!(s.contains(c));
+        let s2 = s.with([BoundColumn::new(RelId(1), ColumnId(2)), c]);
+        assert!(s2.contains(BoundColumn::new(RelId(1), ColumnId(2))));
+        assert!(!s.contains(BoundColumn::new(RelId(1), ColumnId(2))));
+    }
+}

@@ -1,8 +1,16 @@
-//! Aggregation operators.
+//! Vectorized aggregation.
+//!
+//! [`AggOp`] drains its input pipeline batch-by-batch, folding rows into
+//! per-group accumulators, then emits the result as batches of *group
+//! keys followed by aggregate values*. The accumulator type [`Acc`] is
+//! shared with the reference row engine so both engines agree on
+//! aggregate semantics to the bit.
 
+use crate::batch::{Batch, BatchBuilder, Projection};
 use crate::error::ExecError;
+use crate::operator::Operator;
 use crate::ops::Budget;
-use crate::row::{Layout, Row};
+use hfqo_catalog::{Catalog, ColumnType};
 use hfqo_query::{AggAlgo, QueryError, QueryGraph};
 use hfqo_sql::AggFunc;
 use hfqo_storage::Value;
@@ -10,7 +18,7 @@ use std::collections::HashMap;
 
 /// One aggregate accumulator.
 #[derive(Debug, Clone)]
-enum Acc {
+pub(crate) enum Acc {
     Count(u64),
     Sum(f64),
     Min(Option<Value>),
@@ -19,7 +27,7 @@ enum Acc {
 }
 
 impl Acc {
-    fn new(func: AggFunc) -> Self {
+    pub(crate) fn new(func: AggFunc) -> Self {
         match func {
             AggFunc::Count => Acc::Count(0),
             AggFunc::Sum => Acc::Sum(0.0),
@@ -29,7 +37,7 @@ impl Acc {
         }
     }
 
-    fn update(&mut self, v: Option<&Value>) -> Result<(), ExecError> {
+    pub(crate) fn update(&mut self, v: Option<&Value>) -> Result<(), ExecError> {
         match self {
             Acc::Count(c) => {
                 // COUNT(*) (v = None) counts rows; COUNT(col) counts
@@ -51,18 +59,14 @@ impl Acc {
             }
             Acc::Min(m) => {
                 if let Some(val) = v {
-                    if !val.is_null()
-                        && m.as_ref().is_none_or(|cur| val.total_cmp(cur).is_lt())
-                    {
+                    if !val.is_null() && m.as_ref().is_none_or(|cur| val.total_cmp(cur).is_lt()) {
                         *m = Some(val.clone());
                     }
                 }
             }
             Acc::Max(m) => {
                 if let Some(val) = v {
-                    if !val.is_null()
-                        && m.as_ref().is_none_or(|cur| val.total_cmp(cur).is_gt())
-                    {
+                    if !val.is_null() && m.as_ref().is_none_or(|cur| val.total_cmp(cur).is_gt()) {
                         *m = Some(val.clone());
                     }
                 }
@@ -81,7 +85,7 @@ impl Acc {
         Ok(())
     }
 
-    fn finish(self) -> Value {
+    pub(crate) fn finish(self) -> Value {
         match self {
             Acc::Count(c) => Value::Int(c as i64),
             Acc::Sum(s) => Value::Float(s),
@@ -98,213 +102,159 @@ impl Acc {
     }
 }
 
-/// Executes the aggregation at the plan root: output rows are the GROUP BY
-/// key columns followed by one value per aggregate expression.
-///
-/// Hash and sort aggregation produce the same groups; sort aggregation
-/// additionally emits them in key order (and charges the sort).
-pub fn aggregate(
-    graph: &QueryGraph,
-    algo: AggAlgo,
-    input: &[Row],
-    layout: &Layout,
-    budget: &mut Budget,
-) -> Result<Vec<Row>, ExecError> {
-    let key_slots: Vec<usize> = graph
-        .group_by()
-        .iter()
-        .map(|c| {
-            layout.slot(*c).ok_or_else(|| {
-                QueryError::InvalidPlan(format!("group-by column {c} not in input")).into()
-            })
-        })
-        .collect::<Result<_, ExecError>>()?;
-    let agg_slots: Vec<Option<usize>> = graph
-        .aggregates()
-        .iter()
-        .map(|a| match a.column {
-            None => Ok(None),
-            Some(c) => layout
-                .slot(c)
-                .map(Some)
-                .ok_or_else(|| -> ExecError {
-                    QueryError::InvalidPlan(format!("aggregate column {c} not in input")).into()
-                }),
-        })
-        .collect::<Result<_, ExecError>>()?;
-
-    if algo == AggAlgo::Sort {
-        // Model the sort's cost; grouping itself then proceeds hash-style
-        // over the sorted input (same result, ordered output).
-        budget.charge(input.len() as u64)?;
+/// The column type an aggregate's output takes.
+pub(crate) fn agg_output_type(func: AggFunc, input: Option<ColumnType>) -> ColumnType {
+    match func {
+        AggFunc::Count => ColumnType::Int,
+        AggFunc::Sum | AggFunc::Avg => ColumnType::Float,
+        // MIN/MAX echo a value of the input column.
+        AggFunc::Min | AggFunc::Max => input.unwrap_or(ColumnType::Int),
     }
-
-    let mut groups: HashMap<Vec<Value>, Vec<Acc>> = HashMap::new();
-    for row in input {
-        budget.charge(1)?;
-        let key: Vec<Value> = key_slots.iter().map(|&s| row[s].clone()).collect();
-        let accs = groups.entry(key).or_insert_with(|| {
-            graph
-                .aggregates()
-                .iter()
-                .map(|a| Acc::new(a.func))
-                .collect()
-        });
-        for (acc, slot) in accs.iter_mut().zip(&agg_slots) {
-            acc.update(slot.map(|s| &row[s]))?;
-        }
-    }
-    // An aggregate over zero rows with no GROUP BY still yields one row
-    // (SQL semantics: COUNT(*) = 0).
-    if groups.is_empty() && key_slots.is_empty() {
-        groups.insert(
-            Vec::new(),
-            graph
-                .aggregates()
-                .iter()
-                .map(|a| Acc::new(a.func))
-                .collect(),
-        );
-    }
-
-    let mut out: Vec<Row> = groups
-        .into_iter()
-        .map(|(mut key, accs)| {
-            key.extend(accs.into_iter().map(Acc::finish));
-            key
-        })
-        .collect();
-    if algo == AggAlgo::Sort {
-        out.sort();
-    }
-    budget.charge(out.len() as u64)?;
-    Ok(out)
 }
 
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use hfqo_catalog::{Catalog, Column, ColumnId, ColumnType, TableId, TableSchema};
-    use hfqo_query::{AggExpr, BoundColumn, RelId, Relation};
+/// Vectorized hash/sort aggregation at the plan root.
+pub struct AggOp<'a> {
+    algo: AggAlgo,
+    input: Box<dyn Operator + 'a>,
+    key_slots: Vec<usize>,
+    agg_slots: Vec<Option<usize>>,
+    agg_funcs: Vec<AggFunc>,
+    builder: BatchBuilder,
+    drained: bool,
+}
 
-    fn setup(group: bool) -> (QueryGraph, Layout) {
-        let mut cat = Catalog::new();
-        cat.add_table(TableSchema::new(
-            "t",
-            vec![
-                Column::new("g", ColumnType::Int),
-                Column::nullable("v", ColumnType::Int),
-            ],
-        ))
-        .unwrap();
-        let graph = QueryGraph::new(
-            vec![Relation {
-                table: TableId(0),
-                alias: "t".into(),
-            }],
-            vec![],
-            vec![],
-            vec![
-                AggExpr {
-                    func: AggFunc::Count,
-                    column: None,
-                },
-                AggExpr {
-                    func: AggFunc::Sum,
-                    column: Some(BoundColumn::new(RelId(0), ColumnId(1))),
-                },
-                AggExpr {
-                    func: AggFunc::Min,
-                    column: Some(BoundColumn::new(RelId(0), ColumnId(1))),
-                },
-                AggExpr {
-                    func: AggFunc::Avg,
-                    column: Some(BoundColumn::new(RelId(0), ColumnId(1))),
-                },
-            ],
-            if group {
-                vec![BoundColumn::new(RelId(0), ColumnId(0))]
-            } else {
-                vec![]
-            },
+impl<'a> AggOp<'a> {
+    /// Builds the aggregation over a child pipeline whose projection must
+    /// carry every `GROUP BY` key and aggregate input column.
+    pub fn new(
+        graph: &QueryGraph,
+        catalog: &Catalog,
+        algo: AggAlgo,
+        input: Box<dyn Operator + 'a>,
+    ) -> Result<Self, ExecError> {
+        let proj = input
+            .projection()
+            .ok_or_else(|| QueryError::InvalidPlan("aggregate over aggregate output".into()))?;
+        let key_slots: Vec<usize> = graph
+            .group_by()
+            .iter()
+            .map(|c| {
+                proj.slot(*c).ok_or_else(|| {
+                    QueryError::InvalidPlan(format!("group-by column {c} not in input")).into()
+                })
+            })
+            .collect::<Result<_, ExecError>>()?;
+        let agg_slots: Vec<Option<usize>> = graph
+            .aggregates()
+            .iter()
+            .map(|a| match a.column {
+                None => Ok(None),
+                Some(c) => proj.slot(c).map(Some).ok_or_else(|| -> ExecError {
+                    QueryError::InvalidPlan(format!("aggregate column {c} not in input")).into()
+                }),
+            })
+            .collect::<Result<_, ExecError>>()?;
+        let agg_funcs: Vec<AggFunc> = graph.aggregates().iter().map(|a| a.func).collect();
+
+        let input_types = proj.column_types(graph, catalog);
+        let mut out_types: Vec<ColumnType> = key_slots.iter().map(|&s| input_types[s]).collect();
+        out_types.extend(
+            agg_funcs
+                .iter()
+                .zip(&agg_slots)
+                .map(|(&f, &slot)| agg_output_type(f, slot.map(|s| input_types[s]))),
         );
-        let layout = Layout::for_rel(RelId(0), &graph, &cat);
-        (graph, layout)
+
+        Ok(Self {
+            algo,
+            input,
+            key_slots,
+            agg_slots,
+            agg_funcs,
+            builder: BatchBuilder::new(out_types),
+            drained: false,
+        })
     }
 
-    fn input() -> Vec<Row> {
-        vec![
-            vec![Value::Int(1), Value::Int(10)],
-            vec![Value::Int(1), Value::Null],
-            vec![Value::Int(2), Value::Int(5)],
-            vec![Value::Int(2), Value::Int(7)],
-        ]
+    /// Drains the input and materialises the grouped result into the
+    /// output queue. Charges match the row engine: (for sort aggregation)
+    /// one unit per input row for the sort, one unit per input row for
+    /// grouping, one per output row.
+    fn drain_and_aggregate(&mut self, budget: &mut Budget) -> Result<(), ExecError> {
+        let mut groups: HashMap<Vec<Value>, Vec<Acc>> = HashMap::new();
+        let mut input_rows = 0u64;
+        while let Some(batch) = self.input.next_batch(budget)? {
+            for row in 0..batch.rows() {
+                budget.charge(1)?;
+                input_rows += 1;
+                let key: Vec<Value> = self
+                    .key_slots
+                    .iter()
+                    .map(|&s| batch.value_at(s, row))
+                    .collect();
+                let accs = groups
+                    .entry(key)
+                    .or_insert_with(|| self.agg_funcs.iter().map(|&f| Acc::new(f)).collect());
+                for (acc, slot) in accs.iter_mut().zip(&self.agg_slots) {
+                    let v = slot.map(|s| batch.value_at(s, row));
+                    acc.update(v.as_ref())?;
+                }
+            }
+        }
+        if self.algo == AggAlgo::Sort {
+            // The sort's cost (the row engine charges it up front; the
+            // batch engine knows the input size only after draining —
+            // identical totals either way).
+            budget.charge(input_rows)?;
+        }
+        // An aggregate over zero rows with no GROUP BY still yields one
+        // row (SQL semantics: COUNT(*) = 0).
+        if groups.is_empty() && self.key_slots.is_empty() {
+            groups.insert(
+                Vec::new(),
+                self.agg_funcs.iter().map(|&f| Acc::new(f)).collect(),
+            );
+        }
+        let mut out_rows: Vec<Vec<Value>> = groups
+            .into_iter()
+            .map(|(mut key, accs)| {
+                key.extend(accs.into_iter().map(Acc::finish));
+                key
+            })
+            .collect();
+        if self.algo == AggAlgo::Sort {
+            out_rows.sort();
+        }
+        for row in &out_rows {
+            budget.charge(1)?;
+            self.builder.current_mut().push_values(row);
+            self.builder.spill_if_full();
+        }
+        self.builder.flush();
+        Ok(())
+    }
+}
+
+impl Operator for AggOp<'_> {
+    fn projection(&self) -> Option<&Projection> {
+        // Aggregate output columns are computed, not projected.
+        None
     }
 
-    #[test]
-    fn global_aggregate() {
-        let (graph, layout) = setup(false);
-        let mut budget = Budget::new(1000);
-        let out = aggregate(&graph, AggAlgo::Hash, &input(), &layout, &mut budget).unwrap();
-        assert_eq!(out.len(), 1);
-        // COUNT(*) = 4, SUM = 22, MIN = 5, AVG = 22/3.
-        assert_eq!(out[0][0], Value::Int(4));
-        assert_eq!(out[0][1], Value::Float(22.0));
-        assert_eq!(out[0][2], Value::Int(5));
-        assert!(matches!(out[0][3], Value::Float(f) if (f - 22.0/3.0).abs() < 1e-12));
+    fn open(&mut self, budget: &mut Budget) -> Result<(), ExecError> {
+        debug_assert!(!self.drained, "pipelines are single-use");
+        self.input.open(budget)
     }
 
-    #[test]
-    fn grouped_aggregate_sorted() {
-        let (graph, layout) = setup(true);
-        let mut budget = Budget::new(1000);
-        let out = aggregate(&graph, AggAlgo::Sort, &input(), &layout, &mut budget).unwrap();
-        assert_eq!(out.len(), 2);
-        // Sorted by group key.
-        assert_eq!(out[0][0], Value::Int(1));
-        assert_eq!(out[0][1], Value::Int(2)); // COUNT(*) includes the NULL row
-        assert_eq!(out[1][0], Value::Int(2));
-        assert_eq!(out[1][2], Value::Float(12.0)); // SUM for group 2
+    fn next_batch(&mut self, budget: &mut Budget) -> Result<Option<Batch>, ExecError> {
+        if !self.drained {
+            self.drain_and_aggregate(budget)?;
+            self.drained = true;
+        }
+        Ok(self.builder.pop())
     }
 
-    #[test]
-    fn hash_and_sort_agree() {
-        let (graph, layout) = setup(true);
-        let mut b1 = Budget::new(1000);
-        let mut h = aggregate(&graph, AggAlgo::Hash, &input(), &layout, &mut b1).unwrap();
-        let mut b2 = Budget::new(1000);
-        let s = aggregate(&graph, AggAlgo::Sort, &input(), &layout, &mut b2).unwrap();
-        h.sort();
-        assert_eq!(h, s);
-    }
-
-    #[test]
-    fn empty_input_global_yields_zero_count() {
-        let (graph, layout) = setup(false);
-        let mut budget = Budget::new(1000);
-        let out = aggregate(&graph, AggAlgo::Hash, &[], &layout, &mut budget).unwrap();
-        assert_eq!(out.len(), 1);
-        assert_eq!(out[0][0], Value::Int(0));
-        assert!(out[0][2].is_null()); // MIN of nothing
-        assert!(out[0][3].is_null()); // AVG of nothing
-    }
-
-    #[test]
-    fn empty_input_grouped_yields_no_rows() {
-        let (graph, layout) = setup(true);
-        let mut budget = Budget::new(1000);
-        let out = aggregate(&graph, AggAlgo::Sort, &[], &layout, &mut budget).unwrap();
-        assert!(out.is_empty());
-    }
-
-    #[test]
-    fn sum_over_text_errors() {
-        let (graph, layout) = setup(false);
-        let rows = vec![vec![Value::Int(1), Value::str("oops")]];
-        let mut budget = Budget::new(1000);
-        // Build a layout-compatible row with a string where SUM expects a
-        // number; the executor reports BadAggregate.
-        let err = aggregate(&graph, AggAlgo::Hash, &rows, &layout, &mut budget).unwrap_err();
-        assert!(matches!(err, ExecError::BadAggregate(_)));
+    fn close(&mut self) {
+        self.input.close();
     }
 }

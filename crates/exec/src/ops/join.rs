@@ -1,341 +1,460 @@
-//! Join operators: nested loops, hash, and sort-merge.
+//! Vectorized join operators: nested loops, hash, and sort-merge.
+//!
+//! All three share one [`JoinOp`] shell that owns the two child
+//! pipelines, the resolved join conditions (slots into the children's
+//! projections), and the output gather map. The build side (always the
+//! *right* child, matching the row engine) is drained into unbounded
+//! [`Materialized`] columns; the probe side streams batch-by-batch, so a
+//! hash join's peak footprint is the build side plus one probe batch plus
+//! pending output — not the full cross product of inputs.
 
+use crate::batch::{Batch, BatchBuilder, Projection};
 use crate::error::ExecError;
-use crate::ops::{eval_cmp, Budget};
-use crate::row::{Layout, Row};
+use crate::operator::{ColSet, Materialized, Operator};
+use crate::ops::{eval_cmp_cols, first_eq, resolve_conds, Budget, SlotCond};
+use hfqo_catalog::Catalog;
 use hfqo_query::{JoinAlgo, QueryError, QueryGraph};
-use hfqo_sql::CompareOp;
 use hfqo_storage::Value;
 use std::collections::HashMap;
 
-/// A join condition resolved to row slots: `left_rows[l_slot] <op>
-/// right_rows[r_slot]`.
+/// Where an output column is gathered from.
 #[derive(Debug, Clone, Copy)]
-struct SlotCond {
-    l_slot: usize,
-    r_slot: usize,
-    op: CompareOp,
+enum Side {
+    Left(usize),
+    Right(usize),
 }
 
-fn resolve_conds(
-    graph: &QueryGraph,
-    conds: &[usize],
-    left: &Layout,
-    right: &Layout,
-) -> Result<Vec<SlotCond>, ExecError> {
-    conds
-        .iter()
-        .map(|&c| {
-            let edge = graph
-                .joins()
-                .get(c)
-                .ok_or_else(|| QueryError::InvalidPlan(format!("join cond #{c} out of range")))?;
-            if let (Some(l), Some(r)) = (left.slot(edge.left), right.slot(edge.right)) {
-                Ok(SlotCond {
-                    l_slot: l,
-                    r_slot: r,
-                    op: edge.op,
-                })
-            } else if let (Some(l), Some(r)) = (left.slot(edge.right), right.slot(edge.left)) {
-                Ok(SlotCond {
-                    l_slot: l,
-                    r_slot: r,
-                    op: edge.op.flipped(),
-                })
-            } else {
-                Err(QueryError::InvalidPlan(format!(
-                    "join cond #{c} does not span the two inputs"
-                ))
-                .into())
-            }
-        })
-        .collect()
+/// The hash table keyed either on raw `i64`s (the fast path when both
+/// key columns are integer-typed — no `Value` materialisation per probe)
+/// or on [`Value`]s (everything else). Cross-type numeric keys never
+/// match in either representation, exactly like the row engine's
+/// `HashMap<&Value>` (`Int` and `Float` hash differently by design; the
+/// binder type-checks join keys).
+enum KeyTable {
+    Int(HashMap<i64, Vec<u32>>),
+    Any(HashMap<Value, Vec<u32>>),
 }
 
-/// Executes a join of two materialised inputs.
-#[allow(clippy::too_many_arguments)]
-pub fn join(
-    graph: &QueryGraph,
+enum State {
+    /// Before `open`.
+    Unopened,
+    /// Hash join: right side materialised and hashed, probing left.
+    Hash {
+        build: Materialized,
+        table: KeyTable,
+        key: SlotCond,
+    },
+    /// Nested loops: right side materialised, streaming left.
+    Nested {
+        inner: Materialized,
+    },
+    /// Sort-merge: both sides materialised, sorted cursors advancing.
+    Merge {
+        left: Materialized,
+        right: Materialized,
+        li: Vec<u32>,
+        ri: Vec<u32>,
+        i: usize,
+        j: usize,
+        key: SlotCond,
+    },
+    Closed,
+}
+
+/// Vectorized join of two child pipelines.
+pub struct JoinOp<'a> {
     algo: JoinAlgo,
-    conds: &[usize],
-    left_rows: &[Row],
-    left_layout: &Layout,
-    right_rows: &[Row],
-    right_layout: &Layout,
-    budget: &mut Budget,
-) -> Result<(Vec<Row>, Layout), ExecError> {
-    let out_layout = left_layout.concat(right_layout);
-    let slot_conds = resolve_conds(graph, conds, left_layout, right_layout)?;
-    let mut out: Vec<Row> = Vec::new();
+    projection: Projection,
+    out_map: Vec<Side>,
+    conds: Vec<SlotCond>,
+    left: Box<dyn Operator + 'a>,
+    right: Box<dyn Operator + 'a>,
+    builder: BatchBuilder,
+    state: State,
+    input_done: bool,
+}
 
-    let emit = |l: &Row, r: &Row, out: &mut Vec<Row>| {
-        let mut row = Vec::with_capacity(l.len() + r.len());
-        row.extend_from_slice(l);
-        row.extend_from_slice(r);
-        out.push(row);
-    };
+impl<'a> JoinOp<'a> {
+    /// Assembles a join over two built child pipelines. The output
+    /// projection is the children's projected columns restricted to
+    /// `required`, left columns first — identical slot order to the row
+    /// engine's concatenated layout when everything is required.
+    pub fn new(
+        graph: &QueryGraph,
+        catalog: &Catalog,
+        algo: JoinAlgo,
+        conds: &[usize],
+        left: Box<dyn Operator + 'a>,
+        right: Box<dyn Operator + 'a>,
+        required: &ColSet,
+    ) -> Result<Self, ExecError> {
+        let l_proj = left
+            .projection()
+            .ok_or_else(|| QueryError::InvalidPlan("join over aggregate output".into()))?;
+        let r_proj = right
+            .projection()
+            .ok_or_else(|| QueryError::InvalidPlan("join over aggregate output".into()))?;
 
-    match algo {
-        JoinAlgo::NestedLoop => {
-            for l in left_rows {
-                for r in right_rows {
+        let slot_conds = resolve_conds(graph, conds, |c| l_proj.slot(c), |c| r_proj.slot(c))?;
+
+        let mut out_cols = Vec::new();
+        let mut out_map = Vec::new();
+        for (slot, &col) in l_proj.columns().iter().enumerate() {
+            if required.contains(col) {
+                out_cols.push(col);
+                out_map.push(Side::Left(slot));
+            }
+        }
+        for (slot, &col) in r_proj.columns().iter().enumerate() {
+            if required.contains(col) {
+                out_cols.push(col);
+                out_map.push(Side::Right(slot));
+            }
+        }
+        let projection = Projection::new(out_cols);
+        let out_types = projection.column_types(graph, catalog);
+
+        Ok(Self {
+            algo,
+            projection,
+            out_map,
+            conds: slot_conds,
+            left,
+            right,
+            builder: BatchBuilder::new(out_types),
+            state: State::Unopened,
+            input_done: false,
+        })
+    }
+
+    /// Emits the joined row `(probe batch row, build row)` into the
+    /// builder and charges the emitted row.
+    #[inline]
+    fn emit(
+        builder: &mut BatchBuilder,
+        out_map: &[Side],
+        probe: &Batch,
+        p_row: usize,
+        build: &Materialized,
+        b_row: usize,
+        budget: &mut Budget,
+    ) -> Result<(), ExecError> {
+        builder
+            .current_mut()
+            .push_gathered(out_map.iter().map(|side| match side {
+                Side::Left(s) => (probe.column(*s), p_row),
+                Side::Right(s) => (&build.cols[*s], b_row),
+            }));
+        budget.charge(1)?;
+        builder.spill_if_full();
+        Ok(())
+    }
+
+    /// Joins one probe batch against the hash table.
+    fn probe_hash(&mut self, batch: &Batch, budget: &mut Budget) -> Result<(), ExecError> {
+        let State::Hash { build, table, key } = &self.state else {
+            unreachable!("probe_hash outside hash state");
+        };
+        for row in 0..batch.rows() {
+            budget.charge(1)?;
+            let matches = match table {
+                KeyTable::Int(t) => batch.column(key.l_slot).int_at(row).and_then(|k| t.get(&k)),
+                KeyTable::Any(t) => {
+                    let k = batch.value_at(key.l_slot, row);
+                    if k.is_null() {
+                        None
+                    } else {
+                        t.get(&k)
+                    }
+                }
+            };
+            if let Some(matches) = matches {
+                for &b_row in matches {
                     budget.charge(1)?;
-                    if slot_conds
-                        .iter()
-                        .all(|c| eval_cmp(c.op, &l[c.l_slot], &r[c.r_slot]))
-                    {
-                        emit(l, r, &mut out);
+                    let passes = self.conds.iter().all(|c| {
+                        eval_cmp_cols(
+                            c.op,
+                            batch.column(c.l_slot),
+                            row,
+                            &build.cols[c.r_slot],
+                            b_row as usize,
+                        )
+                    });
+                    if passes {
+                        Self::emit(
+                            &mut self.builder,
+                            &self.out_map,
+                            batch,
+                            row,
+                            build,
+                            b_row as usize,
+                            budget,
+                        )?;
                     }
                 }
             }
         }
-        JoinAlgo::Hash => {
-            let key = first_eq(&slot_conds).ok_or_else(|| {
-                QueryError::InvalidPlan("hash join requires an equality condition".into())
-            })?;
-            // Build on the right input.
-            let mut table: HashMap<&Value, Vec<usize>> = HashMap::new();
-            for (i, r) in right_rows.iter().enumerate() {
+        Ok(())
+    }
+
+    /// Joins one probe batch against the materialised inner side with
+    /// nested loops.
+    fn probe_nested(&mut self, batch: &Batch, budget: &mut Budget) -> Result<(), ExecError> {
+        let State::Nested { inner } = &self.state else {
+            unreachable!("probe_nested outside nested state");
+        };
+        for row in 0..batch.rows() {
+            for b_row in 0..inner.rows {
                 budget.charge(1)?;
-                let k = &r[key.r_slot];
-                if !k.is_null() {
-                    table.entry(k).or_default().push(i);
-                }
-            }
-            // Probe with the left input.
-            for l in left_rows {
-                budget.charge(1)?;
-                let k = &l[key.l_slot];
-                if k.is_null() {
-                    continue;
-                }
-                if let Some(matches) = table.get(k) {
-                    for &i in matches {
-                        budget.charge(1)?;
-                        let r = &right_rows[i];
-                        if slot_conds
-                            .iter()
-                            .all(|c| eval_cmp(c.op, &l[c.l_slot], &r[c.r_slot]))
-                        {
-                            emit(l, r, &mut out);
-                        }
-                    }
+                let passes = self.conds.iter().all(|c| {
+                    eval_cmp_cols(
+                        c.op,
+                        batch.column(c.l_slot),
+                        row,
+                        &inner.cols[c.r_slot],
+                        b_row,
+                    )
+                });
+                if passes {
+                    Self::emit(
+                        &mut self.builder,
+                        &self.out_map,
+                        batch,
+                        row,
+                        inner,
+                        b_row,
+                        budget,
+                    )?;
                 }
             }
         }
-        JoinAlgo::Merge => {
-            let key = first_eq(&slot_conds).ok_or_else(|| {
-                QueryError::InvalidPlan("merge join requires an equality condition".into())
-            })?;
-            // Sort index vectors by key (non-null keys only; NULL never
-            // matches an equality).
-            let mut li: Vec<usize> = (0..left_rows.len())
-                .filter(|&i| !left_rows[i][key.l_slot].is_null())
-                .collect();
-            let mut ri: Vec<usize> = (0..right_rows.len())
-                .filter(|&i| !right_rows[i][key.r_slot].is_null())
-                .collect();
-            let sort_work = (li.len() + ri.len()) as u64;
-            budget.charge(sort_work.max(1))?;
-            li.sort_by(|&a, &b| left_rows[a][key.l_slot].total_cmp(&left_rows[b][key.l_slot]));
-            ri.sort_by(|&a, &b| right_rows[a][key.r_slot].total_cmp(&right_rows[b][key.r_slot]));
-            let (mut i, mut j) = (0usize, 0usize);
-            while i < li.len() && j < ri.len() {
-                budget.charge(1)?;
-                let lv = &left_rows[li[i]][key.l_slot];
-                let rv = &right_rows[ri[j]][key.r_slot];
-                match lv.total_cmp(rv) {
-                    std::cmp::Ordering::Less => i += 1,
-                    std::cmp::Ordering::Greater => j += 1,
-                    std::cmp::Ordering::Equal => {
-                        // Find the equal blocks on both sides.
-                        let i_end = (i..li.len())
-                            .take_while(|&x| left_rows[li[x]][key.l_slot] == *lv)
-                            .last()
-                            .unwrap_or(i)
-                            + 1;
-                        let j_end = (j..ri.len())
-                            .take_while(|&x| right_rows[ri[x]][key.r_slot] == *rv)
-                            .last()
-                            .unwrap_or(j)
-                            + 1;
-                        for &lx in &li[i..i_end] {
-                            for &rx in &ri[j..j_end] {
+        Ok(())
+    }
+
+    /// Advances the merge until at least one output batch is ready or the
+    /// cursors are exhausted. Charge pattern matches the row engine: one
+    /// unit per cursor comparison, one per pair in each equal block.
+    fn advance_merge(&mut self, budget: &mut Budget) -> Result<(), ExecError> {
+        loop {
+            if self.builder.has_ready() {
+                return Ok(());
+            }
+            let State::Merge {
+                left,
+                right,
+                li,
+                ri,
+                i,
+                j,
+                key,
+            } = &mut self.state
+            else {
+                unreachable!("advance_merge outside merge state");
+            };
+            if *i >= li.len() || *j >= ri.len() {
+                self.input_done = true;
+                self.builder.flush();
+                return Ok(());
+            }
+            budget.charge(1)?;
+            let (l_row0, r_row0) = (li[*i] as usize, ri[*j] as usize);
+            let lcol = &left.cols[key.l_slot];
+            let rcol = &right.cols[key.r_slot];
+            match lcol.total_cmp_at(l_row0, rcol, r_row0) {
+                std::cmp::Ordering::Less => *i += 1,
+                std::cmp::Ordering::Greater => *j += 1,
+                std::cmp::Ordering::Equal => {
+                    let i_end = (*i..li.len())
+                        .take_while(|&x| lcol.total_cmp_at(li[x] as usize, lcol, l_row0).is_eq())
+                        .last()
+                        .unwrap_or(*i)
+                        + 1;
+                    let j_end = (*j..ri.len())
+                        .take_while(|&x| rcol.total_cmp_at(ri[x] as usize, rcol, r_row0).is_eq())
+                        .last()
+                        .unwrap_or(*j)
+                        + 1;
+                    let (block_i, block_j) = (*i..i_end, *j..j_end);
+                    *i = i_end;
+                    *j = j_end;
+                    // Reborrow immutably for emission.
+                    let State::Merge {
+                        left,
+                        right,
+                        li,
+                        ri,
+                        ..
+                    } = &self.state
+                    else {
+                        unreachable!();
+                    };
+                    for lx in block_i.clone() {
+                        for rx in block_j.clone() {
+                            budget.charge(1)?;
+                            let l_row = li[lx] as usize;
+                            let r_row = ri[rx] as usize;
+                            let passes = self.conds.iter().all(|c| {
+                                eval_cmp_cols(
+                                    c.op,
+                                    &left.cols[c.l_slot],
+                                    l_row,
+                                    &right.cols[c.r_slot],
+                                    r_row,
+                                )
+                            });
+                            if passes {
+                                self.builder
+                                    .current_mut()
+                                    .push_gathered(self.out_map.iter().map(|side| match side {
+                                        Side::Left(s) => (&left.cols[*s], l_row),
+                                        Side::Right(s) => (&right.cols[*s], r_row),
+                                    }));
                                 budget.charge(1)?;
-                                let l = &left_rows[lx];
-                                let r = &right_rows[rx];
-                                if slot_conds
-                                    .iter()
-                                    .all(|c| eval_cmp(c.op, &l[c.l_slot], &r[c.r_slot]))
-                                {
-                                    emit(l, r, &mut out);
-                                }
+                                self.builder.spill_if_full();
                             }
                         }
-                        i = i_end;
-                        j = j_end;
                     }
                 }
             }
         }
     }
-    budget.charge(out.len() as u64)?;
-    Ok((out, out_layout))
 }
 
-fn first_eq(conds: &[SlotCond]) -> Option<SlotCond> {
-    conds.iter().copied().find(|c| c.op == CompareOp::Eq)
+impl JoinOp<'_> {
+    /// Builds blocking state for the configured algorithm. Split out of
+    /// `open` so the borrow of `graph`/`catalog` is not needed there.
+    fn build_state(&mut self, budget: &mut Budget) -> Result<(), ExecError> {
+        match self.algo {
+            JoinAlgo::Hash => {
+                let key = first_eq(&self.conds).ok_or_else(|| {
+                    QueryError::InvalidPlan("hash join requires an equality condition".into())
+                })?;
+                let r_width = self
+                    .right
+                    .projection()
+                    .expect("checked at construction")
+                    .width();
+                let build = Materialized::drain(self.right.as_mut(), r_width, budget)?;
+                let int_keyed = build
+                    .cols
+                    .get(key.r_slot)
+                    .is_some_and(|c| c.ty() == hfqo_catalog::ColumnType::Int);
+                let table = if int_keyed {
+                    let mut t: HashMap<i64, Vec<u32>> = HashMap::new();
+                    for row in 0..build.rows {
+                        budget.charge(1)?;
+                        if let Some(k) = build.cols[key.r_slot].int_at(row) {
+                            t.entry(k).or_default().push(row as u32);
+                        }
+                    }
+                    KeyTable::Int(t)
+                } else {
+                    let mut t: HashMap<Value, Vec<u32>> = HashMap::new();
+                    for row in 0..build.rows {
+                        budget.charge(1)?;
+                        let k = build.value_at(key.r_slot, row);
+                        if !k.is_null() {
+                            t.entry(k).or_default().push(row as u32);
+                        }
+                    }
+                    KeyTable::Any(t)
+                };
+                self.state = State::Hash { build, table, key };
+            }
+            JoinAlgo::NestedLoop => {
+                let r_width = self
+                    .right
+                    .projection()
+                    .expect("checked at construction")
+                    .width();
+                let inner = Materialized::drain(self.right.as_mut(), r_width, budget)?;
+                self.state = State::Nested { inner };
+            }
+            JoinAlgo::Merge => {
+                let key = first_eq(&self.conds).ok_or_else(|| {
+                    QueryError::InvalidPlan("merge join requires an equality condition".into())
+                })?;
+                let l_width = self
+                    .left
+                    .projection()
+                    .expect("checked at construction")
+                    .width();
+                let r_width = self
+                    .right
+                    .projection()
+                    .expect("checked at construction")
+                    .width();
+                let left = Materialized::drain(self.left.as_mut(), l_width, budget)?;
+                let right = Materialized::drain(self.right.as_mut(), r_width, budget)?;
+                let mut li: Vec<u32> = (0..left.rows as u32)
+                    .filter(|&r| !left.cols[key.l_slot].is_null(r as usize))
+                    .collect();
+                let mut ri: Vec<u32> = (0..right.rows as u32)
+                    .filter(|&r| !right.cols[key.r_slot].is_null(r as usize))
+                    .collect();
+                let sort_work = (li.len() + ri.len()) as u64;
+                budget.charge(sort_work.max(1))?;
+                let lcol = &left.cols[key.l_slot];
+                li.sort_by(|&a, &b| lcol.total_cmp_at(a as usize, lcol, b as usize));
+                let rcol = &right.cols[key.r_slot];
+                ri.sort_by(|&a, &b| rcol.total_cmp_at(a as usize, rcol, b as usize));
+                self.state = State::Merge {
+                    left,
+                    right,
+                    li,
+                    ri,
+                    i: 0,
+                    j: 0,
+                    key,
+                };
+            }
+        }
+        Ok(())
+    }
 }
 
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use hfqo_catalog::{Catalog, Column, ColumnId, ColumnType, TableId, TableSchema};
-    use hfqo_query::{BoundColumn, JoinEdge, RelId, Relation};
+impl Operator for JoinOp<'_> {
+    fn projection(&self) -> Option<&Projection> {
+        Some(&self.projection)
+    }
 
-    fn setup() -> (QueryGraph, Layout, Layout) {
-        let mut cat = Catalog::new();
-        for n in ["a", "b"] {
-            cat.add_table(TableSchema::new(
-                n,
-                vec![
-                    Column::new("k", ColumnType::Int),
-                    Column::new("v", ColumnType::Int),
-                ],
-            ))
-            .unwrap();
-        }
-        let graph = QueryGraph::new(
-            vec![
-                Relation {
-                    table: TableId(0),
-                    alias: "a".into(),
+    fn open(&mut self, budget: &mut Budget) -> Result<(), ExecError> {
+        self.left.open(budget)?;
+        self.right.open(budget)?;
+        self.input_done = false;
+        self.build_state(budget)
+    }
+
+    fn next_batch(&mut self, budget: &mut Budget) -> Result<Option<Batch>, ExecError> {
+        loop {
+            if let Some(ready) = self.builder.pop() {
+                return Ok(Some(ready));
+            }
+            if self.input_done {
+                return Ok(None);
+            }
+            match self.algo {
+                JoinAlgo::Merge => self.advance_merge(budget)?,
+                JoinAlgo::Hash | JoinAlgo::NestedLoop => match self.left.next_batch(budget)? {
+                    None => {
+                        self.input_done = true;
+                        self.builder.flush();
+                    }
+                    Some(batch) => {
+                        if matches!(self.algo, JoinAlgo::Hash) {
+                            self.probe_hash(&batch, budget)?;
+                        } else {
+                            self.probe_nested(&batch, budget)?;
+                        }
+                    }
                 },
-                Relation {
-                    table: TableId(1),
-                    alias: "b".into(),
-                },
-            ],
-            vec![JoinEdge {
-                left: BoundColumn::new(RelId(0), ColumnId(0)),
-                op: CompareOp::Eq,
-                right: BoundColumn::new(RelId(1), ColumnId(0)),
-            }],
-            vec![],
-            vec![],
-            vec![],
-        );
-        let la = Layout::for_rel(RelId(0), &graph, &cat);
-        let lb = Layout::for_rel(RelId(1), &graph, &cat);
-        (graph, la, lb)
-    }
-
-    fn rows(pairs: &[(i64, i64)]) -> Vec<Row> {
-        pairs
-            .iter()
-            .map(|&(k, v)| vec![Value::Int(k), Value::Int(v)])
-            .collect()
-    }
-
-    fn run(algo: JoinAlgo, conds: Vec<usize>) -> Vec<Row> {
-        let (graph, la, lb) = setup();
-        let left = rows(&[(1, 10), (2, 20), (2, 21), (3, 30)]);
-        let right = rows(&[(2, 200), (3, 300), (3, 301), (4, 400)]);
-        let mut budget = Budget::new(1_000_000);
-        let (mut out, layout) =
-            join(&graph, algo, &conds, &left, &la, &right, &lb, &mut budget).unwrap();
-        assert_eq!(layout.width(), 4);
-        out.sort();
-        out
-    }
-
-    #[test]
-    fn all_algorithms_agree() {
-        let nl = run(JoinAlgo::NestedLoop, vec![0]);
-        let hash = run(JoinAlgo::Hash, vec![0]);
-        let merge = run(JoinAlgo::Merge, vec![0]);
-        // k=2 matches 2 left × 1 right, k=3 matches 1 × 2 → 4 rows.
-        assert_eq!(nl.len(), 4);
-        assert_eq!(nl, hash);
-        assert_eq!(nl, merge);
-    }
-
-    #[test]
-    fn cross_join_via_nested_loop() {
-        let out = run(JoinAlgo::NestedLoop, vec![]);
-        assert_eq!(out.len(), 16);
-    }
-
-    #[test]
-    fn hash_without_equality_errors() {
-        let (graph, la, lb) = setup();
-        let mut budget = Budget::new(1000);
-        let err = join(
-            &graph,
-            JoinAlgo::Hash,
-            &[],
-            &rows(&[(1, 1)]),
-            &la,
-            &rows(&[(1, 1)]),
-            &lb,
-            &mut budget,
-        )
-        .unwrap_err();
-        assert!(matches!(err, ExecError::Plan(_)));
-    }
-
-    #[test]
-    fn nulls_never_match() {
-        let (graph, la, lb) = setup();
-        let left = vec![vec![Value::Null, Value::Int(1)], vec![Value::Int(2), Value::Int(2)]];
-        let right = vec![vec![Value::Null, Value::Int(9)], vec![Value::Int(2), Value::Int(8)]];
-        for algo in [JoinAlgo::NestedLoop, JoinAlgo::Hash, JoinAlgo::Merge] {
-            let mut budget = Budget::new(100_000);
-            let (out, _) =
-                join(&graph, algo, &[0], &left, &la, &right, &lb, &mut budget).unwrap();
-            assert_eq!(out.len(), 1, "{algo:?}");
-            assert_eq!(out[0][0], Value::Int(2));
+            }
         }
     }
 
-    #[test]
-    fn budget_aborts_cross_join() {
-        let (graph, la, lb) = setup();
-        let left = rows(&(0..100).map(|i| (i, i)).collect::<Vec<_>>());
-        let right = rows(&(0..100).map(|i| (i, i)).collect::<Vec<_>>());
-        let mut budget = Budget::new(500);
-        let err = join(
-            &graph,
-            JoinAlgo::NestedLoop,
-            &[],
-            &left,
-            &la,
-            &right,
-            &lb,
-            &mut budget,
-        )
-        .unwrap_err();
-        assert!(matches!(err, ExecError::BudgetExceeded { .. }));
-    }
-
-    #[test]
-    fn reversed_layout_flips_condition() {
-        // Join with b as the left input: the condition must flip.
-        let (graph, la, lb) = setup();
-        let left = rows(&[(2, 200)]);
-        let right = rows(&[(2, 20)]);
-        let mut budget = Budget::new(1000);
-        let (out, _) = join(
-            &graph,
-            JoinAlgo::Hash,
-            &[0],
-            &left,
-            &lb,
-            &right,
-            &la,
-            &mut budget,
-        )
-        .unwrap();
-        assert_eq!(out.len(), 1);
+    fn close(&mut self) {
+        self.left.close();
+        self.right.close();
+        self.state = State::Closed;
     }
 }

@@ -1,263 +1,176 @@
-//! Sequential and index scans.
+//! Vectorized sequential and index scans.
+//!
+//! The scan is the only operator that reads storage. It visits rows in
+//! windows, evaluates the relation's selection predicates directly
+//! against the table's column vectors (no row materialisation), and
+//! gathers only the *projected* columns of the passing rows into the
+//! output batch, column by column.
 
+use crate::batch::{Batch, Projection, BATCH_CAPACITY};
 use crate::error::ExecError;
+use crate::operator::Operator;
 use crate::ops::{eval_cmp, Budget};
-use crate::row::{lit_to_value, Layout, Row};
-use hfqo_catalog::IndexKind;
-use hfqo_query::{AccessPath, QueryError, QueryGraph, RelId, Selection};
+use crate::row::lit_to_value;
+use hfqo_catalog::ColumnType;
+use hfqo_query::{AccessPath, QueryGraph, RelId};
 use hfqo_sql::CompareOp;
-use hfqo_storage::database::IndexStorage;
-use hfqo_storage::{Database, Value};
+use hfqo_storage::{Database, Table, Value};
 
-/// Executes a scan of `rel` with the given access path, applying every
-/// selection predicate on that relation.
-pub fn scan(
-    db: &Database,
-    graph: &QueryGraph,
-    rel: RelId,
-    path: &AccessPath,
-    budget: &mut Budget,
-) -> Result<(Vec<Row>, Layout), ExecError> {
-    let table_id = graph.relation(rel).table;
-    let table = db.table(table_id)?;
-    let layout = Layout::for_rel(rel, graph, db.catalog());
-    let sel_indices: Vec<usize> = graph.selections_on(rel).collect();
-    let selections: Vec<&Selection> =
-        sel_indices.iter().map(|&i| &graph.selections()[i]).collect();
-
-    let mut out = Vec::new();
-    let mut row_buf: Row = Vec::with_capacity(table.schema().arity());
-
-    match path {
-        AccessPath::SeqScan => {
-            for r in 0..table.row_count() {
-                budget.charge(1)?;
-                table.read_row_into(r, &mut row_buf);
-                if passes_all(&row_buf, &selections, &layout) {
-                    out.push(row_buf.clone());
-                }
-            }
-        }
-        AccessPath::IndexScan {
-            index,
-            driving_selection,
-        } => {
-            let driving = graph
-                .selections()
-                .get(*driving_selection)
-                .ok_or_else(|| {
-                    QueryError::InvalidPlan(format!(
-                        "driving selection #{driving_selection} out of range"
-                    ))
-                })?;
-            let def = db.catalog().index(*index).map_err(QueryError::from)?;
-            if def.table() != table_id || def.column() != driving.column.column {
-                return Err(QueryError::InvalidPlan(format!(
-                    "index `{}` does not cover driving predicate {driving}",
-                    def.name()
-                ))
-                .into());
-            }
-            let storage = db
-                .index_storage(*index)
-                .ok_or_else(|| ExecError::IndexNotBuilt(def.name().to_string()))?;
-            let key = lit_to_value(&driving.value);
-            let mut row_ids: Vec<u32> = Vec::new();
-            match (storage, driving.op) {
-                (IndexStorage::BTree(b), CompareOp::Eq) => {
-                    row_ids.extend_from_slice(b.lookup_eq(&key));
-                }
-                (IndexStorage::BTree(b), CompareOp::Lt) => {
-                    b.lookup_range(None, true, Some(&key), false, &mut row_ids)
-                }
-                (IndexStorage::BTree(b), CompareOp::Le) => {
-                    b.lookup_range(None, true, Some(&key), true, &mut row_ids)
-                }
-                (IndexStorage::BTree(b), CompareOp::Gt) => {
-                    b.lookup_range(Some(&key), false, None, true, &mut row_ids)
-                }
-                (IndexStorage::BTree(b), CompareOp::Ge) => {
-                    b.lookup_range(Some(&key), true, None, true, &mut row_ids)
-                }
-                (IndexStorage::Hash(h), CompareOp::Eq) => {
-                    row_ids.extend_from_slice(h.lookup_eq(&key));
-                }
-                (_, op) => {
-                    return Err(QueryError::InvalidPlan(format!(
-                        "index `{}` ({}) cannot serve operator {}",
-                        def.name(),
-                        def.kind().name(),
-                        op.sql()
-                    ))
-                    .into());
-                }
-            }
-            // Hash indexes never serve ranges; double-check kind semantics.
-            debug_assert!(
-                def.kind() != IndexKind::Hash || driving.op == CompareOp::Eq,
-                "validated above"
-            );
-            // Residual predicates: everything except the driving one.
-            let residual: Vec<&Selection> = sel_indices
-                .iter()
-                .filter(|&&i| i != *driving_selection)
-                .map(|&i| &graph.selections()[i])
-                .collect();
-            for &rid in &row_ids {
-                budget.charge(1)?;
-                table.read_row_into(rid as usize, &mut row_buf);
-                if passes_all(&row_buf, &residual, &layout) {
-                    out.push(row_buf.clone());
-                }
-            }
-        }
-    }
-    budget.charge(out.len() as u64)?;
-    Ok((out, layout))
+/// A selection resolved to a table column index.
+#[derive(Debug, Clone)]
+struct ResolvedSel {
+    col: usize,
+    op: CompareOp,
+    value: Value,
 }
 
-fn passes_all(row: &[Value], selections: &[&Selection], layout: &Layout) -> bool {
-    selections.iter().all(|sel| {
-        let Some(slot) = layout.slot(sel.column) else {
-            return false;
+#[derive(Debug)]
+enum Source {
+    /// Visit every row id in `0..row_count`.
+    Seq,
+    /// Visit exactly these row ids (resolved from the index).
+    Index(Vec<u32>),
+}
+
+/// Vectorized scan of one relation.
+pub struct ScanOp<'a> {
+    table: &'a Table,
+    projection: Projection,
+    /// Table column index per output slot.
+    col_idx: Vec<usize>,
+    out_types: Vec<ColumnType>,
+    /// Predicates evaluated during the scan (for index scans: the
+    /// residual predicates, the driving one being consumed by the probe).
+    filters: Vec<ResolvedSel>,
+    source: Source,
+    cursor: usize,
+    row_buf: Vec<u32>,
+}
+
+impl<'a> ScanOp<'a> {
+    /// Builds a scan of `rel` via `path`, producing `projection`. Index
+    /// probes run here (plan-shape errors surface at build time; the
+    /// probe itself is charge-free in the row engine too — only row
+    /// visits cost work).
+    pub fn new(
+        db: &'a Database,
+        graph: &QueryGraph,
+        rel: RelId,
+        path: &AccessPath,
+        projection: Projection,
+    ) -> Result<Self, ExecError> {
+        let table_id = graph.relation(rel).table;
+        let table = db.table(table_id)?;
+        let out_types = projection.column_types(graph, db.catalog());
+        let col_idx = projection
+            .columns()
+            .iter()
+            .map(|c| c.column.index())
+            .collect();
+
+        let sel_indices: Vec<usize> = graph.selections_on(rel).collect();
+        let resolve = |i: usize| {
+            let sel = &graph.selections()[i];
+            ResolvedSel {
+                col: sel.column.column.index(),
+                op: sel.op,
+                value: lit_to_value(&sel.value),
+            }
         };
-        eval_cmp(sel.op, &row[slot], &lit_to_value(&sel.value))
-    })
+
+        let (filters, source) = match path {
+            AccessPath::SeqScan => (
+                sel_indices.iter().map(|&i| resolve(i)).collect(),
+                Source::Seq,
+            ),
+            AccessPath::IndexScan {
+                index,
+                driving_selection,
+            } => {
+                let row_ids = super::index_row_ids(db, graph, rel, *index, *driving_selection)?;
+                let residual = sel_indices
+                    .iter()
+                    .filter(|&&i| i != *driving_selection)
+                    .map(|&i| resolve(i))
+                    .collect();
+                (residual, Source::Index(row_ids))
+            }
+        };
+
+        Ok(Self {
+            table,
+            projection,
+            col_idx,
+            out_types,
+            filters,
+            source,
+            cursor: 0,
+            row_buf: Vec::with_capacity(BATCH_CAPACITY),
+        })
+    }
+
+    #[inline]
+    fn passes(&self, row: usize) -> bool {
+        let cols = self.table.columns();
+        self.filters
+            .iter()
+            .all(|f| eval_cmp(f.op, &cols[f.col].get(row), &f.value))
+    }
 }
 
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use hfqo_catalog::{Catalog, Column, ColumnId, ColumnType, TableSchema};
-    use hfqo_query::{BoundColumn, Lit, Relation};
+impl Operator for ScanOp<'_> {
+    fn projection(&self) -> Option<&Projection> {
+        Some(&self.projection)
+    }
 
-    fn db_with_index() -> (Database, QueryGraph) {
-        let mut cat = Catalog::new();
-        let t = cat
-            .add_table(TableSchema::new(
-                "t",
-                vec![
-                    Column::new("id", ColumnType::Int),
-                    Column::new("v", ColumnType::Int),
-                ],
-            ))
-            .unwrap();
-        cat.add_index("t_id", t, ColumnId(0), IndexKind::BTree, true)
-            .unwrap();
-        let mut db = Database::new(cat);
-        for i in 0..100i64 {
-            db.table_mut(t)
-                .unwrap()
-                .append_row(&[Value::Int(i), Value::Int(i % 10)])
-                .unwrap();
+    fn open(&mut self, _budget: &mut Budget) -> Result<(), ExecError> {
+        debug_assert_eq!(self.cursor, 0, "pipelines are single-use");
+        Ok(())
+    }
+
+    fn next_batch(&mut self, budget: &mut Budget) -> Result<Option<Batch>, ExecError> {
+        self.row_buf.clear();
+        match &self.source {
+            Source::Seq => {
+                let total = self.table.row_count();
+                while self.cursor < total && self.row_buf.len() < BATCH_CAPACITY {
+                    budget.charge(1)?;
+                    if self.passes(self.cursor) {
+                        self.row_buf.push(self.cursor as u32);
+                    }
+                    self.cursor += 1;
+                }
+            }
+            Source::Index(row_ids) => {
+                while self.cursor < row_ids.len() && self.row_buf.len() < BATCH_CAPACITY {
+                    budget.charge(1)?;
+                    let rid = row_ids[self.cursor];
+                    if self.passes(rid as usize) {
+                        self.row_buf.push(rid);
+                    }
+                    self.cursor += 1;
+                }
+            }
         }
-        db.build_indexes().unwrap();
-        let graph = QueryGraph::new(
-            vec![Relation {
-                table: t,
-                alias: "t".into(),
-            }],
-            vec![],
-            vec![
-                Selection {
-                    column: BoundColumn::new(RelId(0), ColumnId(0)),
-                    op: CompareOp::Lt,
-                    value: Lit::Int(50),
-                },
-                Selection {
-                    column: BoundColumn::new(RelId(0), ColumnId(1)),
-                    op: CompareOp::Eq,
-                    value: Lit::Int(3),
-                },
-            ],
-            vec![],
-            vec![],
-        );
-        (db, graph)
+        if self.row_buf.is_empty() {
+            return Ok(None);
+        }
+        // Emitted rows are work, exactly as in the row engine.
+        budget.charge(self.row_buf.len() as u64)?;
+        let mut batch = Batch::new(&self.out_types);
+        if self.col_idx.is_empty() {
+            batch.push_empty_rows(self.row_buf.len());
+        } else {
+            let cols = self.table.columns();
+            batch.gather_rows_from(self.col_idx.iter().map(|&c| &cols[c]), &self.row_buf);
+        }
+        Ok(Some(batch))
     }
 
-    #[test]
-    fn seq_scan_applies_all_selections() {
-        let (db, graph) = db_with_index();
-        let mut budget = Budget::new(1_000_000);
-        let (rows, layout) =
-            scan(&db, &graph, RelId(0), &AccessPath::SeqScan, &mut budget).unwrap();
-        // id < 50 and id % 10 == 3 → 5 rows (3, 13, 23, 33, 43).
-        assert_eq!(rows.len(), 5);
-        assert_eq!(layout.width(), 2);
-        assert!(rows.iter().all(|r| r[0].as_int().unwrap() < 50));
-    }
-
-    #[test]
-    fn index_scan_matches_seq_scan() {
-        let (db, graph) = db_with_index();
-        let mut b1 = Budget::new(1_000_000);
-        let (seq_rows, _) = scan(&db, &graph, RelId(0), &AccessPath::SeqScan, &mut b1).unwrap();
-        let mut b2 = Budget::new(1_000_000);
-        let (idx_rows, _) = scan(
-            &db,
-            &graph,
-            RelId(0),
-            &AccessPath::IndexScan {
-                index: hfqo_catalog::IndexId(0),
-                driving_selection: 0,
-            },
-            &mut b2,
-        )
-        .unwrap();
-        let mut a = seq_rows.clone();
-        let mut b = idx_rows.clone();
-        a.sort();
-        b.sort();
-        assert_eq!(a, b);
-        // The index scan touches fewer rows than the full scan.
-        assert!(b2.work < b1.work, "idx work {} vs seq {}", b2.work, b1.work);
-    }
-
-    #[test]
-    fn budget_aborts_scan() {
-        let (db, graph) = db_with_index();
-        let mut budget = Budget::new(10);
-        let err = scan(&db, &graph, RelId(0), &AccessPath::SeqScan, &mut budget).unwrap_err();
-        assert!(matches!(err, ExecError::BudgetExceeded { .. }));
-    }
-
-    #[test]
-    fn unbuilt_index_errors() {
-        let (mut db, graph) = db_with_index();
-        // Recreate the database without building indexes.
-        db = Database::new(db.catalog().clone());
-        let mut budget = Budget::new(1000);
-        let err = scan(
-            &db,
-            &graph,
-            RelId(0),
-            &AccessPath::IndexScan {
-                index: hfqo_catalog::IndexId(0),
-                driving_selection: 0,
-            },
-            &mut budget,
-        )
-        .unwrap_err();
-        assert!(matches!(err, ExecError::IndexNotBuilt(_)));
-    }
-
-    #[test]
-    fn mismatched_index_rejected() {
-        let (db, graph) = db_with_index();
-        // Driving selection #1 is on column v, but the index covers id.
-        let mut budget = Budget::new(1000);
-        let err = scan(
-            &db,
-            &graph,
-            RelId(0),
-            &AccessPath::IndexScan {
-                index: hfqo_catalog::IndexId(0),
-                driving_selection: 1,
-            },
-            &mut budget,
-        )
-        .unwrap_err();
-        assert!(matches!(err, ExecError::Plan(_)));
+    fn close(&mut self) {
+        self.row_buf = Vec::new();
+        if let Source::Index(rids) = &mut self.source {
+            rids.clear();
+        }
     }
 }

@@ -169,8 +169,14 @@ mod tests {
         };
         let layout = Layout::for_node(&node, &graph, &cat);
         assert_eq!(layout.width(), 3);
-        assert_eq!(layout.slot(BoundColumn::new(RelId(0), ColumnId(1))), Some(1));
-        assert_eq!(layout.slot(BoundColumn::new(RelId(1), ColumnId(0))), Some(2));
+        assert_eq!(
+            layout.slot(BoundColumn::new(RelId(0), ColumnId(1))),
+            Some(1)
+        );
+        assert_eq!(
+            layout.slot(BoundColumn::new(RelId(1), ColumnId(0))),
+            Some(2)
+        );
         assert_eq!(layout.slot(BoundColumn::new(RelId(1), ColumnId(5))), None);
         assert_eq!(
             layout.relations().collect::<Vec<_>>(),

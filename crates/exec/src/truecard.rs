@@ -2,9 +2,7 @@
 
 use crate::error::ExecError;
 use crate::executor::ExecConfig;
-use hfqo_query::{
-    AccessPath, JoinAlgo, PhysicalPlan, PlanNode, QueryGraph, RelId, RelSet,
-};
+use hfqo_query::{AccessPath, JoinAlgo, PhysicalPlan, PlanNode, QueryGraph, RelId, RelSet};
 use hfqo_sql::CompareOp;
 use hfqo_stats::CardinalitySource;
 use hfqo_storage::Database;
@@ -76,10 +74,12 @@ impl<'a> TrueCardinality<'a> {
                 .unwrap_or(0);
             let next = remaining.remove(pos);
             let conds = graph.joins_between(covered, RelSet::single(next));
-            let has_eq = conds
-                .iter()
-                .any(|&c| graph.joins()[c].op == CompareOp::Eq);
-            let algo = if has_eq { JoinAlgo::Hash } else { JoinAlgo::NestedLoop };
+            let has_eq = conds.iter().any(|&c| graph.joins()[c].op == CompareOp::Eq);
+            let algo = if has_eq {
+                JoinAlgo::Hash
+            } else {
+                JoinAlgo::NestedLoop
+            };
             node = PlanNode::Join {
                 algo,
                 conds,
@@ -113,61 +113,17 @@ impl<'a> TrueCardinality<'a> {
         rows
     }
 
-    fn count_unvalidated(
-        &self,
-        graph: &QueryGraph,
-        plan: &PhysicalPlan,
-    ) -> Result<f64, ExecError> {
+    fn count_unvalidated(&self, graph: &QueryGraph, plan: &PhysicalPlan) -> Result<f64, ExecError> {
         // Subset plans are structurally valid by construction (each
         // relation scanned once, conditions span inputs), so bypass the
-        // full-coverage validation `execute` performs by wrapping the
-        // query graph check: run the node tree directly.
-        let out = execute_subset(self.db, graph, plan, self.config)?;
-        Ok(out as f64)
+        // full-coverage validation `execute` performs. Counting runs
+        // through the batch pipeline with an *empty* required column
+        // set: only join-condition columns flow, and no output is ever
+        // materialised — the oracle just sums batch row counts.
+        let (rows, _work) =
+            crate::executor::count_rows_unvalidated(self.db, graph, plan, self.config)?;
+        Ok(rows as f64)
     }
-}
-
-/// Executes a plan that may cover only a subset of the graph's relations,
-/// returning the output row count.
-fn execute_subset(
-    db: &Database,
-    graph: &QueryGraph,
-    plan: &PhysicalPlan,
-    config: ExecConfig,
-) -> Result<usize, ExecError> {
-    // `execute` validates full coverage; replicate its machinery on the
-    // node level for subset counting.
-    use crate::ops::Budget;
-    fn run(
-        db: &Database,
-        graph: &QueryGraph,
-        node: &PlanNode,
-        budget: &mut Budget,
-    ) -> Result<(Vec<crate::row::Row>, crate::row::Layout), ExecError> {
-        match node {
-            PlanNode::Scan { rel, path } => crate::ops::scan::scan(db, graph, *rel, path, budget),
-            PlanNode::Join {
-                algo,
-                conds,
-                left,
-                right,
-            } => {
-                let (l_rows, l_layout) = run(db, graph, left, budget)?;
-                let (r_rows, r_layout) = run(db, graph, right, budget)?;
-                crate::ops::join::join(
-                    graph, *algo, conds, &l_rows, &l_layout, &r_rows, &r_layout, budget,
-                )
-            }
-            PlanNode::Aggregate { algo, input } => {
-                let (rows, layout) = run(db, graph, input, budget)?;
-                let out = crate::ops::agg::aggregate(graph, *algo, &rows, &layout, budget)?;
-                Ok((out, layout))
-            }
-        }
-    }
-    let mut budget = Budget::new(config.work_budget);
-    let (rows, _) = run(db, graph, &plan.root, &mut budget)?;
-    Ok(rows.len())
 }
 
 impl CardinalitySource for TrueCardinality<'_> {
@@ -211,7 +167,10 @@ mod tests {
             .unwrap();
         let mut db = Database::new(cat);
         for i in 0..10i64 {
-            db.table_mut(dim).unwrap().append_row(&[Value::Int(i)]).unwrap();
+            db.table_mut(dim)
+                .unwrap()
+                .append_row(&[Value::Int(i)])
+                .unwrap();
         }
         for i in 0..100i64 {
             db.table_mut(fact)

@@ -15,18 +15,14 @@ pub fn normal(rng: &mut StdRng) -> f32 {
 /// matrix: `N(0, 2 / (fan_in + fan_out))`.
 pub fn xavier(fan_in: usize, fan_out: usize, rng: &mut StdRng) -> Matrix {
     let std = (2.0 / (fan_in + fan_out) as f32).sqrt();
-    let data = (0..fan_in * fan_out)
-        .map(|_| normal(rng) * std)
-        .collect();
+    let data = (0..fan_in * fan_out).map(|_| normal(rng) * std).collect();
     Matrix::from_vec(fan_in, fan_out, data)
 }
 
 /// He-normal initialisation (`N(0, 2 / fan_in)`), preferred before ReLU.
 pub fn he(fan_in: usize, fan_out: usize, rng: &mut StdRng) -> Matrix {
     let std = (2.0 / fan_in as f32).sqrt();
-    let data = (0..fan_in * fan_out)
-        .map(|_| normal(rng) * std)
-        .collect();
+    let data = (0..fan_in * fan_out).map(|_| normal(rng) * std).collect();
     Matrix::from_vec(fan_in, fan_out, data)
 }
 
@@ -40,8 +36,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(0);
         let samples: Vec<f32> = (0..10_000).map(|_| normal(&mut rng)).collect();
         let mean = samples.iter().sum::<f32>() / samples.len() as f32;
-        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>()
-            / samples.len() as f32;
+        let var =
+            samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / samples.len() as f32;
         assert!(mean.abs() < 0.05, "mean {mean}");
         assert!((var - 1.0).abs() < 0.1, "var {var}");
     }
@@ -51,9 +47,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let wide = xavier(1000, 1000, &mut rng);
         let narrow = xavier(4, 4, &mut rng);
-        let spread = |m: &Matrix| {
-            m.data().iter().map(|x| x * x).sum::<f32>() / m.data().len() as f32
-        };
+        let spread =
+            |m: &Matrix| m.data().iter().map(|x| x * x).sum::<f32>() / m.data().len() as f32;
         assert!(spread(&wide) < spread(&narrow));
     }
 

@@ -173,6 +173,7 @@ mod tests {
             let an = grad_w.data()[idx];
             assert!((fd - an).abs() < 1e-2, "w[{idx}]: fd {fd} vs an {an}");
         }
+        #[allow(clippy::needless_range_loop)] // index reads and writes b[i]
         for i in 0..2 {
             let orig = layer.b[i];
             layer.b[i] = orig + eps;

@@ -41,12 +41,7 @@ pub fn masked_softmax(logits: &[f32], mask: &[bool]) -> Vec<f32> {
 /// Gradient of `-log π(action)` w.r.t. the logits row, scaled by
 /// `advantage`: the REINFORCE policy-gradient contribution
 /// `(π − onehot(action)) · advantage`, with masked positions zeroed.
-pub fn policy_gradient(
-    logits: &[f32],
-    mask: &[bool],
-    action: usize,
-    advantage: f32,
-) -> Vec<f32> {
+pub fn policy_gradient(logits: &[f32], mask: &[bool], action: usize, advantage: f32) -> Vec<f32> {
     let probs = masked_softmax(logits, mask);
     let mut grad = probs;
     grad[action] -= 1.0;
@@ -85,6 +80,7 @@ pub fn mse_grad(predictions: &Matrix, targets: &[f32]) -> (f32, Matrix) {
     let n = targets.len().max(1) as f32;
     let mut grad = Matrix::zeros(predictions.rows(), 1);
     let mut loss = 0.0f32;
+    #[allow(clippy::needless_range_loop)] // index drives both matrices
     for i in 0..predictions.rows() {
         let diff = predictions.get(i, 0) - targets[i];
         loss += diff * diff;

@@ -114,6 +114,7 @@ impl Matrix {
         for p in 0..k {
             let self_row = &self.data[p * m..(p + 1) * m];
             let other_row = &other.data[p * n..(p + 1) * n];
+            #[allow(clippy::needless_range_loop)] // i also offsets other_row
             for i in 0..m {
                 let a = self_row[i];
                 if a == 0.0 {

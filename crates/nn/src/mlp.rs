@@ -26,12 +26,7 @@ impl MlpGradients {
             layers: mlp
                 .layers
                 .iter()
-                .map(|l| {
-                    (
-                        Matrix::zeros(l.w.rows(), l.w.cols()),
-                        vec![0.0; l.b.len()],
-                    )
-                })
+                .map(|l| (Matrix::zeros(l.w.rows(), l.w.cols()), vec![0.0; l.b.len()]))
                 .collect(),
         }
     }
@@ -203,7 +198,11 @@ mod tests {
     use rand::SeedableRng;
 
     fn tiny() -> Mlp {
-        Mlp::new(&[3, 5, 4, 2], Activation::ReLU, &mut StdRng::seed_from_u64(1))
+        Mlp::new(
+            &[3, 5, 4, 2],
+            Activation::ReLU,
+            &mut StdRng::seed_from_u64(1),
+        )
     }
 
     #[test]
@@ -221,11 +220,7 @@ mod tests {
     /// Full-network gradient check: scalar loss = sum of outputs.
     #[test]
     fn backward_matches_finite_difference() {
-        let mut mlp = Mlp::new(
-            &[4, 6, 3],
-            Activation::Tanh,
-            &mut StdRng::seed_from_u64(2),
-        );
+        let mut mlp = Mlp::new(&[4, 6, 3], Activation::Tanh, &mut StdRng::seed_from_u64(2));
         let x = Matrix::from_vec(2, 4, vec![0.1, -0.3, 0.2, 0.5, -0.1, 0.4, 0.0, -0.2]);
         let cache = mlp.forward(&x);
         let grad_out = Matrix::from_vec(2, 3, vec![1.0; 6]);
@@ -278,7 +273,11 @@ mod tests {
     #[test]
     fn copy_from_clones_parameters() {
         let a = tiny();
-        let mut b = Mlp::new(&[3, 5, 4, 2], Activation::ReLU, &mut StdRng::seed_from_u64(99));
+        let mut b = Mlp::new(
+            &[3, 5, 4, 2],
+            Activation::ReLU,
+            &mut StdRng::seed_from_u64(99),
+        );
         assert_ne!(a, b);
         b.copy_from(&a);
         assert_eq!(a, b);

@@ -58,6 +58,7 @@ pub struct Adam {
     eps: f32,
     t: u64,
     /// First/second moment estimates per layer: `(m_w, v_w, m_b, v_b)`.
+    #[allow(clippy::type_complexity)]
     state: Vec<(Vec<f32>, Vec<f32>, Vec<f32>, Vec<f32>)>,
 }
 

@@ -42,6 +42,7 @@ pub fn dp_plan<C: CardinalitySource>(
             let r_size = size - l_size;
             for li in 0..by_size[l_size].len() {
                 let lset = by_size[l_size][li];
+                #[allow(clippy::needless_range_loop)] // r_size varies per iteration
                 for ri in 0..by_size[r_size].len() {
                     let rset = by_size[r_size][ri];
                     if lset == rset || !lset.is_disjoint(rset) {
@@ -174,13 +175,8 @@ mod tests {
         // Two relations, no join edge: must produce a cross join.
         let db = TestDb::chain(2, 100);
         let mut graph = chain_query(&db, 2);
-        graph = hfqo_query::QueryGraph::new(
-            graph.relations().to_vec(),
-            vec![],
-            vec![],
-            vec![],
-            vec![],
-        );
+        graph =
+            hfqo_query::QueryGraph::new(graph.relations().to_vec(), vec![], vec![], vec![], vec![]);
         let params = CostParams::default();
         let model = CostModel::new(&params, &db.stats);
         let cards = EstimatedCardinality::new(&db.stats);

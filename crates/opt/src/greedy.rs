@@ -28,8 +28,7 @@ pub fn greedy_plan<C: CardinalitySource>(
         let mut best: Option<(usize, usize, PlanNode, f64, bool)> = None;
         for i in 0..parts.len() {
             for j in (i + 1)..parts.len() {
-                let connected =
-                    graph.sets_connected(parts[i].rel_set(), parts[j].rel_set());
+                let connected = graph.sets_connected(parts[i].rel_set(), parts[j].rel_set());
                 // Cross products are considered only if no connected pair
                 // exists at all (disconnected graphs).
                 if let Some((_, _, _, _, best_conn)) = &best {
@@ -43,7 +42,8 @@ pub fn greedy_plan<C: CardinalitySource>(
                     Some((_, _, _, best_cost, best_conn)) => {
                         // A connected pair always beats a cross product;
                         // otherwise compare cost.
-                        (connected && !best_conn) || (connected == *best_conn && cost.total < *best_cost)
+                        (connected && !best_conn)
+                            || (connected == *best_conn && cost.total < *best_cost)
                     }
                 };
                 if better {
@@ -96,7 +96,10 @@ mod tests {
         let d = dp_plan(&graph, db.db.catalog(), &model, &cards);
         let gc = model.plan_cost(&graph, &PhysicalPlan::new(g), &cards).total;
         let dc = model.plan_cost(&graph, &PhysicalPlan::new(d), &cards).total;
-        assert!(dc <= gc * 1.0001, "dp {dc} should never lose to greedy {gc}");
+        assert!(
+            dc <= gc * 1.0001,
+            "dp {dc} should never lose to greedy {gc}"
+        );
         // Greedy should stay within an order of magnitude on easy chains.
         assert!(gc <= dc * 10.0, "greedy {gc} too far from dp {dc}");
     }
@@ -120,6 +123,9 @@ mod tests {
             }
         }
         // Random may occasionally tie greedy, but not usually.
-        assert!(random_better <= 3, "random beat greedy {random_better}/30 times");
+        assert!(
+            random_better <= 3,
+            "random beat greedy {random_better}/30 times"
+        );
     }
 }

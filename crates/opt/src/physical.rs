@@ -2,9 +2,7 @@
 
 use hfqo_catalog::Catalog;
 use hfqo_cost::{CostEstimate, CostModel};
-use hfqo_query::{
-    AccessPath, AggAlgo, JoinAlgo, PlanNode, QueryGraph, RelId,
-};
+use hfqo_query::{AccessPath, AggAlgo, JoinAlgo, PlanNode, QueryGraph, RelId};
 use hfqo_sql::CompareOp;
 use hfqo_stats::CardinalitySource;
 
@@ -63,16 +61,18 @@ pub fn best_join<C: CardinalitySource>(
     cards: &C,
 ) -> (PlanNode, CostEstimate) {
     let conds = graph.joins_between(left.rel_set(), right.rel_set());
-    let has_eq = conds
-        .iter()
-        .any(|&c| graph.joins()[c].op == CompareOp::Eq);
+    let has_eq = conds.iter().any(|&c| graph.joins()[c].op == CompareOp::Eq);
     let mut best: Option<(PlanNode, CostEstimate)> = None;
     for algo in JoinAlgo::ALL {
         if matches!(algo, JoinAlgo::Hash | JoinAlgo::Merge) && !has_eq {
             continue;
         }
         for flipped in [false, true] {
-            let (l, r) = if flipped { (right, left) } else { (left, right) };
+            let (l, r) = if flipped {
+                (right, left)
+            } else {
+                (left, right)
+            };
             let cand = PlanNode::Join {
                 algo,
                 conds: conds.clone(),
@@ -147,10 +147,7 @@ mod tests {
                 max,
                 null_frac: 0.0,
             },
-            histogram: Histogram::build(
-                (0..200).map(|i| max * (i as f64) / 199.0).collect(),
-                20,
-            ),
+            histogram: Histogram::build((0..200).map(|i| max * (i as f64) / 199.0).collect(), 20),
             mcvs: vec![],
         };
         let stats = StatsCatalog::new(vec![

@@ -1,9 +1,7 @@
 //! Random plan generation (the floor baseline).
 
 use hfqo_catalog::Catalog;
-use hfqo_query::{
-    AccessPath, AggAlgo, Forest, JoinAlgo, PhysicalPlan, PlanNode, QueryGraph,
-};
+use hfqo_query::{AccessPath, AggAlgo, Forest, JoinAlgo, PhysicalPlan, PlanNode, QueryGraph};
 use hfqo_sql::CompareOp;
 use rand::rngs::StdRng;
 use rand::Rng;
@@ -56,9 +54,7 @@ pub fn random_plan(graph: &QueryGraph, catalog: &Catalog, rng: &mut StdRng) -> P
         }
         // Apply the same merge to the physical node list.
         let conds = graph.joins_between(nodes[x].rel_set(), nodes[y].rel_set());
-        let has_eq = conds
-            .iter()
-            .any(|&c| graph.joins()[c].op == CompareOp::Eq);
+        let has_eq = conds.iter().any(|&c| graph.joins()[c].op == CompareOp::Eq);
         let algos: &[JoinAlgo] = if has_eq {
             &JoinAlgo::ALL
         } else {

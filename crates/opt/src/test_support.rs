@@ -2,9 +2,7 @@
 //! databases with data, indexes, and statistics.
 
 use hfqo_catalog::{Catalog, Column, ColumnId, ColumnType, IndexKind};
-use hfqo_query::{
-    BoundColumn, JoinEdge, Lit, QueryGraph, RelId, Relation, Selection,
-};
+use hfqo_query::{BoundColumn, JoinEdge, Lit, QueryGraph, RelId, Relation, Selection};
 use hfqo_sql::CompareOp;
 use hfqo_stats::{build_database_stats, StatsCatalog};
 use hfqo_storage::{ColumnGen, Database, Distribution, TableGen};
@@ -155,6 +153,27 @@ pub fn chain_query(db: &TestDb, n: usize) -> QueryGraph {
     QueryGraph::new(relations, joins, selections, vec![], vec![])
 }
 
+/// `q` with a single `COUNT(*)` output appended (relations, joins,
+/// selections, and grouping unchanged) — the aggregate shape most
+/// executor and environment tests need.
+pub fn with_count(q: QueryGraph) -> QueryGraph {
+    let label = q.label.clone();
+    let g = QueryGraph::new(
+        q.relations().to_vec(),
+        q.joins().to_vec(),
+        q.selections().to_vec(),
+        vec![hfqo_query::AggExpr {
+            func: hfqo_sql::AggFunc::Count,
+            column: None,
+        }],
+        q.group_by().to_vec(),
+    );
+    match label {
+        Some(l) => g.with_label(l),
+        None => g,
+    }
+}
+
 /// A star query over a [`TestDb::star`] database: the fact table joined
 /// with every dimension, with a selection on one dimension.
 pub fn star_query(db: &TestDb, n: usize) -> QueryGraph {
@@ -188,7 +207,10 @@ mod tests {
     fn chain_fixture_is_consistent() {
         let t = TestDb::chain(3, 500);
         assert_eq!(t.db.catalog().table_count(), 3);
-        assert_eq!(t.db.table(hfqo_catalog::TableId(0)).unwrap().row_count(), 500);
+        assert_eq!(
+            t.db.table(hfqo_catalog::TableId(0)).unwrap().row_count(),
+            500
+        );
         let q = chain_query(&t, 3);
         assert_eq!(q.relation_count(), 3);
         assert_eq!(q.joins().len(), 2);

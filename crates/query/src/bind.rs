@@ -21,7 +21,10 @@ pub fn bind_select(stmt: &SelectStmt, catalog: &Catalog) -> Result<QueryGraph, Q
     let mut by_alias: HashMap<&str, RelId> = HashMap::with_capacity(stmt.from.len());
     for (i, tref) in stmt.from.iter().enumerate() {
         let table = catalog.table_by_name(&tref.table)?;
-        if by_alias.insert(tref.alias.as_str(), RelId(i as u32)).is_some() {
+        if by_alias
+            .insert(tref.alias.as_str(), RelId(i as u32))
+            .is_some()
+        {
             return Err(QueryError::DuplicateAlias(tref.alias.clone()));
         }
         relations.push(Relation {
@@ -123,11 +126,7 @@ pub fn bind_select(stmt: &SelectStmt, catalog: &Catalog) -> Result<QueryGraph, Q
     }
 
     Ok(QueryGraph::new(
-        relations,
-        joins,
-        selections,
-        aggregates,
-        group_by,
+        relations, joins, selections, aggregates, group_by,
     ))
 }
 

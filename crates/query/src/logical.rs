@@ -61,10 +61,7 @@ impl JoinTree {
     pub fn depth_of(&self, rel: RelId) -> Option<usize> {
         match self {
             JoinTree::Leaf(r) => (*r == rel).then_some(0),
-            JoinTree::Join(l, r) => l
-                .depth_of(rel)
-                .or_else(|| r.depth_of(rel))
-                .map(|d| d + 1),
+            JoinTree::Join(l, r) => l.depth_of(rel).or_else(|| r.depth_of(rel)).map(|d| d + 1),
         }
     }
 
@@ -257,10 +254,7 @@ mod tests {
     #[test]
     fn leaves_order_and_compact() {
         let t = bushy4();
-        assert_eq!(
-            t.leaves(),
-            vec![RelId(0), RelId(2), RelId(1), RelId(3)]
-        );
+        assert_eq!(t.leaves(), vec![RelId(0), RelId(2), RelId(1), RelId(3)]);
         assert_eq!(t.compact(), "((0 ⋈ 2) ⋈ (1 ⋈ 3))");
     }
 

@@ -230,9 +230,9 @@ impl PhysicalPlan {
                     }
                 }
                 if matches!(algo, JoinAlgo::Hash | JoinAlgo::Merge) {
-                    let has_eq = conds.iter().any(|&c| {
-                        graph.joins()[c].op == hfqo_sql::CompareOp::Eq
-                    });
+                    let has_eq = conds
+                        .iter()
+                        .any(|&c| graph.joins()[c].op == hfqo_sql::CompareOp::Eq);
                     if !has_eq {
                         return Err(QueryError::InvalidPlan(format!(
                             "{} requires an equality condition",

@@ -1,8 +1,6 @@
 //! The ReJOIN agent: a policy-gradient learner over the environments.
 
-use hfqo_rl::{
-    Environment, Episode, PpoAgent, PpoConfig, ReinforceAgent, ReinforceConfig,
-};
+use hfqo_rl::{Environment, Episode, PpoAgent, PpoConfig, ReinforceAgent, ReinforceConfig};
 use rand::rngs::StdRng;
 
 /// Which policy-gradient algorithm backs the agent.

@@ -81,7 +81,7 @@ pub fn cost_bootstrap(
             let label = outcome.label.clone();
             let reward = outcome.reward;
             let expert_cost = outcome.expert_cost;
-            let latency = env.simulate_latency(query_idx, &plan, rng);
+            let (latency, _) = env.observe_latency(query_idx, &plan, rng);
             scaler.observe(agent_cost, latency);
             log.push(EpisodeRecord {
                 episode: warmup + i,
@@ -143,13 +143,8 @@ mod tests {
     fn bootstrap_runs_both_phases() {
         let (db, queries) = setup();
         let ctx = EnvContext::new(&db.db, &db.stats);
-        let mut env = JoinOrderEnv::new(
-            ctx,
-            &queries,
-            5,
-            QueryOrder::Cycle,
-            RewardMode::InverseCost,
-        );
+        let mut env =
+            JoinOrderEnv::new(ctx, &queries, 5, QueryOrder::Cycle, RewardMode::InverseCost);
         let mut rng = StdRng::seed_from_u64(0);
         let mut agent = ReJoinAgent::new(
             env_state_dim(&env),
@@ -169,7 +164,9 @@ mod tests {
         assert!(outcome.log.records[10].latency_ms.is_none());
         assert!(outcome.log.records[50].latency_ms.is_some());
         // Phase 2 episodes all carry latencies.
-        assert!(outcome.log.records[60..].iter().all(|r| r.latency_ms.is_some()));
+        assert!(outcome.log.records[60..]
+            .iter()
+            .all(|r| r.latency_ms.is_some()));
         // Environment ends in a latency mode.
         assert!(env.reward_mode().needs_latency());
     }
@@ -178,13 +175,8 @@ mod tests {
     fn unscaled_ablation_uses_raw_latency() {
         let (db, queries) = setup();
         let ctx = EnvContext::new(&db.db, &db.stats);
-        let mut env = JoinOrderEnv::new(
-            ctx,
-            &queries,
-            5,
-            QueryOrder::Cycle,
-            RewardMode::InverseCost,
-        );
+        let mut env =
+            JoinOrderEnv::new(ctx, &queries, 5, QueryOrder::Cycle, RewardMode::InverseCost);
         let mut rng = StdRng::seed_from_u64(1);
         let mut agent = ReJoinAgent::new(
             env_state_dim(&env),

@@ -173,10 +173,8 @@ impl<'a> FullPlanEnv<'a> {
             if sel.op == CompareOp::Neq {
                 continue;
             }
-            let col_ref = hfqo_catalog::ColumnRef::new(
-                graph.relation(rel_id).table,
-                sel.column.column,
-            );
+            let col_ref =
+                hfqo_catalog::ColumnRef::new(graph.relation(rel_id).table, sel.column.column);
             for (index_id, def) in self.ctx.catalog().indexes_on(col_ref) {
                 let range_op = !matches!(sel.op, CompareOp::Eq);
                 if range_op && !def.kind().supports_range() {
@@ -232,19 +230,33 @@ impl<'a> FullPlanEnv<'a> {
         let est = self.ctx.estimator();
         let agent_cost = model.plan_cost(self.graph(), &plan, &est).total;
         let expert_cost = self.expert_cost(self.current);
-        let latency_ms = if self.reward_mode.needs_latency() {
-            if self.oracles[self.current].is_none() {
-                self.oracles[self.current] = Some(TrueCardinality::new(self.ctx.db));
+        let (latency_ms, executed_work) = if self.reward_mode.needs_latency() {
+            match self.ctx.latency_source {
+                crate::env_join::LatencySource::Simulated => {
+                    if self.oracles[self.current].is_none() {
+                        self.oracles[self.current] = Some(TrueCardinality::new(self.ctx.db));
+                    }
+                    let oracle = self.oracles[self.current].as_ref().expect("initialised");
+                    let ms = self
+                        .ctx
+                        .latency_model
+                        .simulate(self.graph(), &plan, self.ctx.stats, oracle, rng)
+                        .millis;
+                    (Some(ms), None)
+                }
+                crate::env_join::LatencySource::Executed(config) => {
+                    let (ms, work) = crate::env_join::executed_latency(
+                        self.ctx.db,
+                        self.graph(),
+                        &plan,
+                        config,
+                        self.ctx.latency_model.ms_per_unit,
+                    );
+                    (Some(ms), Some(work))
+                }
             }
-            let oracle = self.oracles[self.current].as_ref().expect("initialised");
-            Some(
-                self.ctx
-                    .latency_model
-                    .simulate(self.graph(), &plan, self.ctx.stats, oracle, rng)
-                    .millis,
-            )
         } else {
-            None
+            (None, None)
         };
         let reward = self
             .reward_mode
@@ -256,6 +268,7 @@ impl<'a> FullPlanEnv<'a> {
             agent_cost,
             expert_cost,
             latency_ms,
+            executed_work,
             reward,
         });
         self.phase = Phase::Done;
@@ -334,12 +347,8 @@ impl Environment for FullPlanEnv<'_> {
     }
 
     fn state_features(&self, out: &mut Vec<f32>) {
-        self.featurizer.featurize(
-            self.graph(),
-            &self.forest,
-            &self.ctx.estimator(),
-            out,
-        );
+        self.featurizer
+            .featurize(self.graph(), &self.forest, &self.ctx.estimator(), out);
         let mut phase_hot = [0.0f32; 4];
         phase_hot[self.phase.one_hot_index()] = 1.0;
         out.extend_from_slice(&phase_hot);
@@ -432,15 +441,13 @@ impl Environment for FullPlanEnv<'_> {
                 } else {
                     let model = self.ctx.cost_model();
                     let est = self.ctx.estimator();
-                    let node =
-                        best_algo_fixed_sides(self.graph(), left, right, &model, &est);
+                    let node = best_algo_fixed_sides(self.graph(), left, right, &model, &est);
                     self.nodes.push(node);
                     self.after_join_completed(rng)
                 }
             }
             Phase::JoinOperator => {
-                let (left, right, conds) =
-                    self.pending_pair.take().expect("pair pending");
+                let (left, right, conds) = self.pending_pair.take().expect("pair pending");
                 let algo = JoinAlgo::ALL[action.min(2)];
                 self.nodes.push(PlanNode::Join {
                     algo,
@@ -474,25 +481,14 @@ impl Environment for FullPlanEnv<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use hfqo_opt::test_support::{chain_query, TestDb};
-    use hfqo_query::AggExpr;
-    use hfqo_sql::AggFunc;
+    use hfqo_opt::test_support::{chain_query, with_count, TestDb};
     use rand::SeedableRng;
 
     fn fixtures(with_agg: bool) -> (TestDb, Vec<QueryGraph>) {
         let db = TestDb::chain(3, 200);
         let mut q = chain_query(&db, 3);
         if with_agg {
-            q = QueryGraph::new(
-                q.relations().to_vec(),
-                q.joins().to_vec(),
-                q.selections().to_vec(),
-                vec![AggExpr {
-                    func: AggFunc::Count,
-                    column: None,
-                }],
-                vec![],
-            );
+            q = with_count(q);
         }
         (db, vec![q])
     }
@@ -509,7 +505,11 @@ mod tests {
                 .filter(|(_, &m)| m)
                 .map(|(i, _)| i)
                 .collect();
-            assert!(!valid.is_empty(), "no valid action in phase {:?}", env.phase());
+            assert!(
+                !valid.is_empty(),
+                "no valid action in phase {:?}",
+                env.phase()
+            );
             let action = valid[rng.gen_range(0..valid.len())];
             env.step(action, rng);
             steps += 1;
@@ -590,10 +590,7 @@ mod tests {
             RewardMode::InverseCost,
             StageSet::full(),
         );
-        assert_eq!(
-            env.state_dim(),
-            env.featurizer().state_dim() + 4 + 4
-        );
+        assert_eq!(env.state_dim(), env.featurizer().state_dim() + 4 + 4);
     }
 
     #[test]

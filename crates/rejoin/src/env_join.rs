@@ -23,6 +23,20 @@ use hfqo_storage::Database;
 use rand::rngs::StdRng;
 use rand::Rng;
 
+/// Where an episode's latency observation comes from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LatencySource {
+    /// Analytic simulation over true cardinalities (fast; the default).
+    Simulated,
+    /// Real execution through the vectorized batch executor: the plan
+    /// runs under the given work budget and the *observed* work units
+    /// convert to milliseconds via the latency model's `ms_per_unit`.
+    /// Budget-capped plans report the budget itself, so catastrophic
+    /// plans stay cheap to observe and look exactly as bad as the
+    /// paper's footnote 2 wants them to.
+    Executed(hfqo_exec::ExecConfig),
+}
+
 /// Shared, read-only context the environments cost and simulate against.
 pub struct EnvContext<'a> {
     /// The database (data + catalog).
@@ -33,6 +47,8 @@ pub struct EnvContext<'a> {
     pub cost_params: CostParams,
     /// Latency simulation model (for latency-based rewards and logging).
     pub latency_model: LatencyModel,
+    /// How latency-based rewards observe latency.
+    pub latency_source: LatencySource,
 }
 
 impl<'a> EnvContext<'a> {
@@ -44,7 +60,15 @@ impl<'a> EnvContext<'a> {
             stats,
             cost_params: CostParams::postgres_like(),
             latency_model: LatencyModel::default(),
+            latency_source: LatencySource::Simulated,
         }
+    }
+
+    /// Switches latency observation to real execution under `config`
+    /// (builder style).
+    pub fn with_executed_latency(mut self, config: hfqo_exec::ExecConfig) -> Self {
+        self.latency_source = LatencySource::Executed(config);
+        self
     }
 
     /// The catalog.
@@ -87,10 +111,38 @@ pub struct EpisodeOutcome {
     pub agent_cost: f64,
     /// The expert's cost for the same query.
     pub expert_cost: f64,
-    /// Simulated latency of the agent's plan, when the reward needed it.
+    /// Observed latency of the agent's plan, when the reward needed it
+    /// (simulated or executed, per the context's [`LatencySource`]).
     pub latency_ms: Option<f64>,
+    /// Work units actually executed, when the latency observation ran
+    /// the plan through the batch engine.
+    pub executed_work: Option<u64>,
     /// The terminal reward granted.
     pub reward: f32,
+}
+
+/// Executes `plan` with the batch engine — through the
+/// zero-materialisation stats path, since only the work total is
+/// observed — and converts the work units to milliseconds.
+/// Budget-capped executions report the budget as their work floor
+/// (mirroring the true-cardinality oracle), so catastrophic plans
+/// remain cheap to observe yet maximally penalised. Any *other*
+/// execution failure is an environment misconfiguration (e.g. indexes
+/// never built); silently pricing it would corrupt every reward, so it
+/// panics with the underlying error instead.
+pub(crate) fn executed_latency(
+    db: &Database,
+    graph: &QueryGraph,
+    plan: &PhysicalPlan,
+    config: hfqo_exec::ExecConfig,
+    ms_per_unit: f64,
+) -> (f64, u64) {
+    let work = match hfqo_exec::execute_for_stats(db, graph, plan, config) {
+        Ok((_rows, work)) => work,
+        Err(hfqo_exec::ExecError::BudgetExceeded { budget, .. }) => budget,
+        Err(e) => panic!("executed-latency observation failed (not a budget abort): {e}"),
+    };
+    ((work as f64 * ms_per_unit).max(0.001), work)
 }
 
 /// The join-order environment.
@@ -203,12 +255,7 @@ impl<'a> JoinOrderEnv<'a> {
 
     /// Simulated latency of `plan` for query `idx` via the
     /// true-cardinality oracle.
-    pub fn simulate_latency(
-        &mut self,
-        idx: usize,
-        plan: &PhysicalPlan,
-        rng: &mut StdRng,
-    ) -> f64 {
+    pub fn simulate_latency(&mut self, idx: usize, plan: &PhysicalPlan, rng: &mut StdRng) -> f64 {
         if self.oracles[idx].is_none() {
             self.oracles[idx] = Some(TrueCardinality::new(self.ctx.db));
         }
@@ -217,6 +264,32 @@ impl<'a> JoinOrderEnv<'a> {
             .latency_model
             .simulate(&self.queries[idx], plan, self.ctx.stats, oracle, rng)
             .millis
+    }
+
+    /// Observes the latency of `plan` for query `idx` through the
+    /// context's [`LatencySource`]: analytic simulation, or real
+    /// execution via the batch engine. Returns the latency in
+    /// milliseconds and, for executed observations, the work units
+    /// performed.
+    pub fn observe_latency(
+        &mut self,
+        idx: usize,
+        plan: &PhysicalPlan,
+        rng: &mut StdRng,
+    ) -> (f64, Option<u64>) {
+        match self.ctx.latency_source {
+            LatencySource::Simulated => (self.simulate_latency(idx, plan, rng), None),
+            LatencySource::Executed(config) => {
+                let (ms, work) = executed_latency(
+                    self.ctx.db,
+                    &self.queries[idx],
+                    plan,
+                    config,
+                    self.ctx.latency_model.ms_per_unit,
+                );
+                (ms, Some(work))
+            }
+        }
     }
 
     fn finish_episode(&mut self, rng: &mut StdRng) -> f32 {
@@ -238,10 +311,11 @@ impl<'a> JoinOrderEnv<'a> {
             .plan_cost(&self.queries[self.current], &plan, &est)
             .total;
         let expert_cost = self.expert_cost(self.current);
-        let latency_ms = if self.reward_mode.needs_latency() {
-            Some(self.simulate_latency(self.current, &plan, rng))
+        let (latency_ms, executed_work) = if self.reward_mode.needs_latency() {
+            let (ms, work) = self.observe_latency(self.current, &plan, rng);
+            (Some(ms), work)
         } else {
-            None
+            (None, None)
         };
         let reward = self
             .reward_mode
@@ -253,6 +327,7 @@ impl<'a> JoinOrderEnv<'a> {
             agent_cost,
             expert_cost,
             latency_ms,
+            executed_work,
             reward,
         });
         reward
@@ -368,6 +443,66 @@ mod tests {
     }
 
     #[test]
+    fn executed_latency_observes_real_work() {
+        let (db, queries) = env_fixtures();
+        let ctx = EnvContext::new(&db.db, &db.stats)
+            .with_executed_latency(hfqo_exec::ExecConfig::default());
+        let mut env = JoinOrderEnv::new(
+            ctx,
+            &queries,
+            6,
+            QueryOrder::Cycle,
+            RewardMode::InverseLatency,
+        );
+        let mut rng = StdRng::seed_from_u64(4);
+        env.reset(&mut rng);
+        let mut mask = Vec::new();
+        while !env.is_terminal() {
+            env.action_mask(&mut mask);
+            let action = mask.iter().position(|&m| m).expect("valid action");
+            env.step(action, &mut rng);
+        }
+        let outcome = env.last_outcome().expect("episode finished");
+        let work = outcome.executed_work.expect("executed observation");
+        assert!(work > 0);
+        let ms = outcome.latency_ms.expect("latency observed");
+        // Latency is exactly the executed work scaled to milliseconds.
+        let expected = (work as f64 * LatencyModel::default().ms_per_unit).max(0.001);
+        assert!((ms - expected).abs() < 1e-9, "{ms} vs {expected}");
+        // Executed observations are deterministic: the same plan costs
+        // the same work under the batch engine.
+        let plan = outcome.plan.clone();
+        let (ms2, work2) = env.observe_latency(0, &plan, &mut rng);
+        assert_eq!(work2, Some(work));
+        assert_eq!(ms2, ms);
+    }
+
+    #[test]
+    fn budget_capped_executed_latency_floors_at_budget() {
+        let (db, queries) = env_fixtures();
+        // A 100-unit budget is far below any real 4-relation join.
+        let ctx = EnvContext::new(&db.db, &db.stats)
+            .with_executed_latency(hfqo_exec::ExecConfig::with_budget(100));
+        let mut env = JoinOrderEnv::new(
+            ctx,
+            &queries,
+            6,
+            QueryOrder::Cycle,
+            RewardMode::InverseLatency,
+        );
+        let mut rng = StdRng::seed_from_u64(5);
+        env.reset(&mut rng);
+        let mut mask = Vec::new();
+        while !env.is_terminal() {
+            env.action_mask(&mut mask);
+            let action = mask.iter().position(|&m| m).expect("valid action");
+            env.step(action, &mut rng);
+        }
+        let outcome = env.last_outcome().expect("episode finished");
+        assert_eq!(outcome.executed_work, Some(100), "budget is the floor");
+    }
+
+    #[test]
     fn figure2_episode_replay() {
         // Actions (0,2), (0,1), (0,1) — the paper's Figure 2 — must
         // produce ((A ⋈ C) ⋈ (B ⋈ D)).
@@ -439,13 +574,8 @@ mod tests {
         let db = TestDb::chain(3, 100);
         let queries = vec![chain_query(&db, 3), chain_query(&db, 2)];
         let ctx = EnvContext::new(&db.db, &db.stats);
-        let mut env = JoinOrderEnv::new(
-            ctx,
-            &queries,
-            4,
-            QueryOrder::Cycle,
-            RewardMode::InverseCost,
-        );
+        let mut env =
+            JoinOrderEnv::new(ctx, &queries, 4, QueryOrder::Cycle, RewardMode::InverseCost);
         let mut rng = StdRng::seed_from_u64(2);
         env.reset(&mut rng);
         assert_eq!(env.current, 0);

@@ -152,10 +152,7 @@ impl Featurizer {
                     continue;
                 }
                 let valid = if require_connected {
-                    graph.sets_connected(
-                        forest.trees()[x].rel_set(),
-                        forest.trees()[y].rel_set(),
-                    )
+                    graph.sets_connected(forest.trees()[x].rel_set(), forest.trees()[y].rel_set())
                 } else {
                     true
                 };
@@ -264,7 +261,7 @@ mod tests {
         assert_eq!(out[adj + 1], 1.0); // 0-1
         assert_eq!(out[adj + 6], 1.0); // 1-0
         assert_eq!(out[adj + 3], 0.0); // 0-3 absent
-        // Selection features: r1 flagged with selectivity < 1.
+                                       // Selection features: r1 flagged with selectivity < 1.
         let sel = 72;
         assert_eq!(out[sel + 2], 1.0);
         assert!(out[sel + 3] < 0.9);
@@ -335,13 +332,7 @@ mod tests {
         // No join edges at all: require_connected would mask everything,
         // so the fallback must re-open all pairs.
         let (graph, _) = graph4();
-        let no_joins = QueryGraph::new(
-            graph.relations().to_vec(),
-            vec![],
-            vec![],
-            vec![],
-            vec![],
-        );
+        let no_joins = QueryGraph::new(graph.relations().to_vec(), vec![], vec![], vec![], vec![]);
         let f = Featurizer::new(6);
         let forest = Forest::initial(4);
         let mut mask = Vec::new();

@@ -107,11 +107,7 @@ impl Curriculum {
     /// Generates the phase sequence for a workload whose largest query
     /// has `workload_max_rels` relations, spending `total_episodes`
     /// across phases (split evenly, remainder to the last phase).
-    pub fn phases(
-        &self,
-        workload_max_rels: usize,
-        total_episodes: usize,
-    ) -> Vec<CurriculumPhase> {
+    pub fn phases(&self, workload_max_rels: usize, total_episodes: usize) -> Vec<CurriculumPhase> {
         let plan: Vec<(StageSet, Option<usize>)> = match self {
             Curriculum::Flat => vec![(StageSet::full(), None)],
             Curriculum::Pipeline => StageSet::pipeline_prefixes()

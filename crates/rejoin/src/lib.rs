@@ -41,7 +41,7 @@ pub use agent::{PolicyKind, ReJoinAgent};
 pub use bootstrap::{cost_bootstrap, BootstrapConfig, BootstrapOutcome};
 pub use demonstration::{learn_from_demonstration, DemonstrationConfig, DemonstrationOutcome};
 pub use env_full::{FullPlanEnv, Phase};
-pub use env_join::{EnvContext, EpisodeOutcome, JoinOrderEnv, QueryOrder};
+pub use env_join::{EnvContext, EpisodeOutcome, JoinOrderEnv, LatencySource, QueryOrder};
 pub use featurize::Featurizer;
 pub use incremental::{Curriculum, StageSet};
 pub use metrics::{MovingAverage, TrainingLog};

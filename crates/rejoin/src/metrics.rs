@@ -249,10 +249,7 @@ mod tests {
     fn convergence_detection() {
         let mut log = TrainingLog::new();
         // Ratios: 8, 6, 4, 2, 1, 0.9, 0.9, ...
-        for (i, ratio) in [8.0, 6.0, 4.0, 2.0, 1.0, 0.9, 0.9, 0.9]
-            .iter()
-            .enumerate()
-        {
+        for (i, ratio) in [8.0, 6.0, 4.0, 2.0, 1.0, 0.9, 0.9, 0.9].iter().enumerate() {
             log.push(record(i, ratio * 100.0, 100.0));
         }
         let conv = log.convergence_episode(1.0, 2).expect("converges");

@@ -54,9 +54,7 @@ pub fn best_algo_fixed_sides<C: CardinalitySource>(
     cards: &C,
 ) -> PlanNode {
     let conds = graph.joins_between(left.rel_set(), right.rel_set());
-    let has_eq = conds
-        .iter()
-        .any(|&c| graph.joins()[c].op == CompareOp::Eq);
+    let has_eq = conds.iter().any(|&c| graph.joins()[c].op == CompareOp::Eq);
     let mut best: Option<(PlanNode, f64)> = None;
     for algo in JoinAlgo::ALL {
         if matches!(algo, JoinAlgo::Hash | JoinAlgo::Merge) && !has_eq {
@@ -132,8 +130,7 @@ mod tests {
     fn bad_orders_cost_more_than_expert() {
         let db = TestDb::chain(4, 1000);
         let graph = chain_query(&db, 4);
-        let opt =
-            hfqo_opt::TraditionalOptimizer::new(db.db.catalog(), &db.stats);
+        let opt = hfqo_opt::TraditionalOptimizer::new(db.db.catalog(), &db.stats);
         let expert = opt.plan(&graph).unwrap();
         let params = CostParams::default();
         let model = CostModel::new(&params, &db.stats);

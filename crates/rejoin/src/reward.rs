@@ -76,9 +76,7 @@ impl RewardMode {
     ) -> f32 {
         match self {
             RewardMode::InverseCost => (1.0 / agent_cost.max(1e-9)) as f32,
-            RewardMode::RelativeToExpert => {
-                (expert_cost.max(1e-9) / agent_cost.max(1e-9)) as f32
-            }
+            RewardMode::RelativeToExpert => (expert_cost.max(1e-9) / agent_cost.max(1e-9)) as f32,
             RewardMode::InverseLatency => {
                 let l = latency_ms.expect("latency required by InverseLatency");
                 (1.0 / l.max(1e-6)) as f32

@@ -182,13 +182,8 @@ mod tests {
         let ctx = EnvContext::new(&db.db, &db.stats);
         // The headline training configuration: log-scale reward and
         // connected-pair masking (as ReJOIN's implementation used).
-        let mut env = JoinOrderEnv::new(
-            ctx,
-            &queries,
-            5,
-            QueryOrder::Cycle,
-            RewardMode::LogRelative,
-        );
+        let mut env =
+            JoinOrderEnv::new(ctx, &queries, 5, QueryOrder::Cycle, RewardMode::LogRelative);
         env.require_connected = true;
         let mut rng = StdRng::seed_from_u64(1);
         let mut agent = small_agent(&env, &mut rng);

@@ -172,6 +172,7 @@ impl PpoAgent {
         }
         let episodes = std::mem::take(&mut self.pending);
         // Flatten to (features, mask, action, old_prob, advantage).
+        #[allow(clippy::type_complexity)]
         let mut steps: Vec<(&Vec<f32>, &Vec<bool>, usize, f32, f32)> = Vec::new();
         for ep in &episodes {
             let returns = ep.returns(self.config.gamma);
@@ -187,7 +188,10 @@ impl PpoAgent {
         // Normalise advantages.
         if steps.len() > 1 {
             let mean = steps.iter().map(|s| s.4).sum::<f32>() / steps.len() as f32;
-            let var = steps.iter().map(|s| (s.4 - mean) * (s.4 - mean)).sum::<f32>()
+            let var = steps
+                .iter()
+                .map(|s| (s.4 - mean) * (s.4 - mean))
+                .sum::<f32>()
                 / steps.len() as f32;
             let std = var.sqrt().max(1e-6);
             for s in &mut steps {
@@ -209,12 +213,8 @@ impl PpoAgent {
                 if clipped_out {
                     continue;
                 }
-                let grad_row = loss::policy_gradient(
-                    cache.output().row(0),
-                    mask,
-                    *action,
-                    adv * ratio,
-                );
+                let grad_row =
+                    loss::policy_gradient(cache.output().row(0), mask, *action, adv * ratio);
                 let g = self.policy.backward(&cache, Matrix::row_vector(grad_row));
                 grads.add(&g);
             }
@@ -223,7 +223,11 @@ impl PpoAgent {
             self.optimizer.step(&mut self.policy, &grads);
         }
         for ep in &episodes {
-            let g0 = ep.returns(self.config.gamma).first().copied().unwrap_or(0.0);
+            let g0 = ep
+                .returns(self.config.gamma)
+                .first()
+                .copied()
+                .unwrap_or(0.0);
             if self.baseline_ready {
                 self.baseline = self.config.baseline_decay * self.baseline
                     + (1.0 - self.config.baseline_decay) * g0;

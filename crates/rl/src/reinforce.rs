@@ -235,9 +235,7 @@ impl ReinforceAgent {
                     }
                 }
             }
-            let g = self
-                .policy
-                .backward(&cache, Matrix::row_vector(grad_row));
+            let g = self.policy.backward(&cache, Matrix::row_vector(grad_row));
             grads.add(&g);
         }
         grads.scale(1.0 / all.len().max(1) as f32);
@@ -246,7 +244,11 @@ impl ReinforceAgent {
         self.updates += 1;
         // Refresh the baseline from the observed undiscounted returns.
         for ep in &episodes {
-            let g0 = ep.returns(self.config.gamma).first().copied().unwrap_or(0.0);
+            let g0 = ep
+                .returns(self.config.gamma)
+                .first()
+                .copied()
+                .unwrap_or(0.0);
             if self.baseline_ready {
                 self.baseline = self.config.baseline_decay * self.baseline
                     + (1.0 - self.config.baseline_decay) * g0;
@@ -271,9 +273,7 @@ impl ReinforceAgent {
             let cache = self.policy.forward(&x);
             let (l, grad_row) = loss::cross_entropy_grad(cache.output().row(0), mask, *action);
             total_loss += l;
-            let g = self
-                .policy
-                .backward(&cache, Matrix::row_vector(grad_row));
+            let g = self.policy.backward(&cache, Matrix::row_vector(grad_row));
             grads.add(&g);
         }
         grads.scale(1.0 / batch.len() as f32);

@@ -223,7 +223,7 @@ mod tests {
         let explored: Vec<usize> = (0..100)
             .map(|_| model.select_min(&[1.0], &[true, true], 1.0, &mut rng))
             .collect();
-        assert!(explored.iter().any(|&a| a == 1), "ε=1 never explored");
+        assert!(explored.contains(&1), "ε=1 never explored");
     }
 
     #[test]

@@ -211,9 +211,7 @@ impl fmt::Display for SelectStmt {
                     WherePred::ColCol { left, op, right } => {
                         write!(f, "{left} {} {right}", op.sql())?
                     }
-                    WherePred::ColLit { left, op, lit } => {
-                        write!(f, "{left} {} {lit}", op.sql())?
-                    }
+                    WherePred::ColLit { left, op, lit } => write!(f, "{left} {} {lit}", op.sql())?,
                 }
             }
         }

@@ -177,6 +177,9 @@ impl Parser {
         Ok(cols)
     }
 
+    // `from_list` parses the FROM clause; the `from_*` naming lint does
+    // not apply to this domain name.
+    #[allow(clippy::wrong_self_convention)]
     fn from_list(&mut self) -> Result<Vec<TableRef>, ParseError> {
         let mut tables = vec![self.table_ref()?];
         while self.accept(&Token::Comma) {

@@ -92,22 +92,20 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>, ParseError> {
                     return Err(ParseError::UnexpectedChar('!', i));
                 }
             }
-            '<' => {
-                match bytes.get(i + 1) {
-                    Some(&b'=') => {
-                        tokens.push(Token::Le);
-                        i += 2;
-                    }
-                    Some(&b'>') => {
-                        tokens.push(Token::Neq);
-                        i += 2;
-                    }
-                    _ => {
-                        tokens.push(Token::Lt);
-                        i += 1;
-                    }
+            '<' => match bytes.get(i + 1) {
+                Some(&b'=') => {
+                    tokens.push(Token::Le);
+                    i += 2;
                 }
-            }
+                Some(&b'>') => {
+                    tokens.push(Token::Neq);
+                    i += 2;
+                }
+                _ => {
+                    tokens.push(Token::Lt);
+                    i += 1;
+                }
+            },
             '>' => {
                 if bytes.get(i + 1) == Some(&b'=') {
                     tokens.push(Token::Ge);
@@ -169,7 +167,10 @@ fn lex_string(input: &str, start: usize) -> Result<(String, usize), ParseError> 
             }
         } else {
             // Push the whole UTF-8 character, not just the byte.
-            let ch = input[i..].chars().next().ok_or(ParseError::UnterminatedString(start))?;
+            let ch = input[i..]
+                .chars()
+                .next()
+                .ok_or(ParseError::UnterminatedString(start))?;
             s.push(ch);
             i += ch.len_utf8();
         }

@@ -183,10 +183,16 @@ mod tests {
             .unwrap();
         let mut db = Database::new(cat);
         for i in 0..10 {
-            db.table_mut(a).unwrap().append_row(&[Value::Int(i)]).unwrap();
+            db.table_mut(a)
+                .unwrap()
+                .append_row(&[Value::Int(i)])
+                .unwrap();
         }
         for i in 0..5 {
-            db.table_mut(b).unwrap().append_row(&[Value::Int(i)]).unwrap();
+            db.table_mut(b)
+                .unwrap()
+                .append_row(&[Value::Int(i)])
+                .unwrap();
         }
         let sc = build_database_stats(&db);
         assert_eq!(sc.table(a).row_count, 10.0);

@@ -142,7 +142,9 @@ mod tests {
                 null_frac: 0.0,
             },
             histogram: crate::Histogram::build(
-                (0..100).map(|i| min + (max - min) * (i as f64) / 99.0).collect(),
+                (0..100)
+                    .map(|i| min + (max - min) * (i as f64) / 99.0)
+                    .collect(),
                 10,
             ),
             mcvs: vec![],

@@ -33,10 +33,7 @@ impl ColumnStats {
 
     /// The MCV fraction for `proxy`, if it is a most-common value.
     pub fn mcv_frac(&self, proxy: f64) -> Option<f64> {
-        self.mcvs
-            .iter()
-            .find(|(v, _)| *v == proxy)
-            .map(|(_, f)| *f)
+        self.mcvs.iter().find(|(v, _)| *v == proxy).map(|(_, f)| *f)
     }
 }
 

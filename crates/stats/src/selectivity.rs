@@ -86,10 +86,7 @@ mod tests {
     use hfqo_storage::{Table, Value};
 
     fn setup() -> (StatsCatalog, QueryGraph) {
-        let schema = TableSchema::new(
-            "t",
-            vec![Column::new("v", ColumnType::Int)],
-        );
+        let schema = TableSchema::new("t", vec![Column::new("v", ColumnType::Int)]);
         let mut table = Table::new(schema);
         for i in 0..1000 {
             table.append_row(&[Value::Int(i % 100)]).unwrap();

@@ -124,7 +124,13 @@ mod tests {
     fn range_lookup_bounds() {
         let i = idx();
         let mut out = Vec::new();
-        i.lookup_range(Some(&Value::Int(10)), false, Some(&Value::Int(30)), false, &mut out);
+        i.lookup_range(
+            Some(&Value::Int(10)),
+            false,
+            Some(&Value::Int(30)),
+            false,
+            &mut out,
+        );
         assert_eq!(out, vec![1, 2]);
         out.clear();
         i.lookup_range(Some(&Value::Int(10)), true, None, true, &mut out);

@@ -145,6 +145,184 @@ impl ColumnVector {
             _ => None,
         }
     }
+
+    /// Three-valued SQL comparison of `self[row]` against
+    /// `other[other_row]` without materialising [`Value`]s — `None` when
+    /// either side is NULL. Matches `Value::sql_cmp` semantics exactly
+    /// (cross-numeric comparison via `f64`; the rare mixed
+    /// numeric/text pair falls back to the `Value` path).
+    #[inline]
+    pub fn sql_cmp_at(
+        &self,
+        row: usize,
+        other: &ColumnVector,
+        other_row: usize,
+    ) -> Option<std::cmp::Ordering> {
+        use std::cmp::Ordering;
+        match (self, other) {
+            (Self::Int(a, an), Self::Int(b, bn)) => {
+                (an[row] && bn[other_row]).then(|| a[row].cmp(&b[other_row]))
+            }
+            (Self::Float(a, an), Self::Float(b, bn)) => (an[row] && bn[other_row])
+                .then(|| a[row].partial_cmp(&b[other_row]).unwrap_or(Ordering::Equal)),
+            (Self::Int(a, an), Self::Float(b, bn)) => (an[row] && bn[other_row]).then(|| {
+                (a[row] as f64)
+                    .partial_cmp(&b[other_row])
+                    .unwrap_or(Ordering::Equal)
+            }),
+            (Self::Float(a, an), Self::Int(b, bn)) => (an[row] && bn[other_row]).then(|| {
+                a[row]
+                    .partial_cmp(&(b[other_row] as f64))
+                    .unwrap_or(Ordering::Equal)
+            }),
+            (Self::Str(a, an), Self::Str(b, bn)) => {
+                (an[row] && bn[other_row]).then(|| a[row].as_ref().cmp(b[other_row].as_ref()))
+            }
+            // Mixed numeric/text: delegate to the Value semantics.
+            _ => self.get(row).sql_cmp(&other.get(other_row)),
+        }
+    }
+
+    /// Total-order comparison (NULLs last, cross-numeric via `f64`) of
+    /// `self[row]` against `other[other_row]` without materialising
+    /// [`Value`]s — matches `Value::total_cmp` exactly. Sort operators
+    /// and merge joins use this as their comparator.
+    #[inline]
+    pub fn total_cmp_at(
+        &self,
+        row: usize,
+        other: &ColumnVector,
+        other_row: usize,
+    ) -> std::cmp::Ordering {
+        use std::cmp::Ordering;
+        // NULLs sort last; two NULLs compare equal.
+        let nulls = |a_valid: bool, b_valid: bool| match (a_valid, b_valid) {
+            (true, true) => None,
+            (false, false) => Some(Ordering::Equal),
+            (false, true) => Some(Ordering::Greater),
+            (true, false) => Some(Ordering::Less),
+        };
+        match (self, other) {
+            (Self::Int(a, an), Self::Int(b, bn)) => {
+                nulls(an[row], bn[other_row]).unwrap_or_else(|| a[row].cmp(&b[other_row]))
+            }
+            (Self::Float(a, an), Self::Float(b, bn)) => nulls(an[row], bn[other_row])
+                .unwrap_or_else(|| a[row].partial_cmp(&b[other_row]).unwrap_or(Ordering::Equal)),
+            (Self::Int(a, an), Self::Float(b, bn)) => {
+                nulls(an[row], bn[other_row]).unwrap_or_else(|| {
+                    (a[row] as f64)
+                        .partial_cmp(&b[other_row])
+                        .unwrap_or(Ordering::Equal)
+                })
+            }
+            (Self::Float(a, an), Self::Int(b, bn)) => {
+                nulls(an[row], bn[other_row]).unwrap_or_else(|| {
+                    a[row]
+                        .partial_cmp(&(b[other_row] as f64))
+                        .unwrap_or(Ordering::Equal)
+                })
+            }
+            (Self::Str(a, an), Self::Str(b, bn)) => nulls(an[row], bn[other_row])
+                .unwrap_or_else(|| a[row].as_ref().cmp(b[other_row].as_ref())),
+            // Mixed numeric/text: delegate to the Value semantics.
+            _ => self.get(row).total_cmp(&other.get(other_row)),
+        }
+    }
+
+    /// Clears the vector, keeping its allocation.
+    pub fn clear(&mut self) {
+        match self {
+            Self::Int(v, n) => {
+                v.clear();
+                n.clear();
+            }
+            Self::Float(v, n) => {
+                v.clear();
+                n.clear();
+            }
+            Self::Str(v, n) => {
+                v.clear();
+                n.clear();
+            }
+        }
+    }
+
+    /// Appends `src[row]` to `self` without materialising a [`Value`] —
+    /// the executor's fast path for copying fixed-width data between
+    /// columnar chunks. Panics if the column types differ (batch
+    /// pipelines construct their chunks from the same schema, so a
+    /// mismatch is a programming error, not a data error).
+    #[inline]
+    pub fn push_from(&mut self, src: &ColumnVector, row: usize) {
+        match (self, src) {
+            (Self::Int(v, n), Self::Int(sv, sn)) => {
+                v.push(sv[row]);
+                n.push(sn[row]);
+            }
+            (Self::Float(v, n), Self::Float(sv, sn)) => {
+                v.push(sv[row]);
+                n.push(sn[row]);
+            }
+            (Self::Str(v, n), Self::Str(sv, sn)) => {
+                v.push(Arc::clone(&sv[row]));
+                n.push(sn[row]);
+            }
+            (dst, src) => panic!(
+                "column type mismatch: cannot append {} into {}",
+                src.ty().name(),
+                dst.ty().name()
+            ),
+        }
+    }
+
+    /// Appends all of `src` to `self` — a bulk column concatenation
+    /// (`memcpy` for fixed-width data). Panics on type mismatch, like
+    /// [`ColumnVector::push_from`].
+    pub fn append_column(&mut self, src: &ColumnVector) {
+        match (self, src) {
+            (Self::Int(v, n), Self::Int(sv, sn)) => {
+                v.extend_from_slice(sv);
+                n.extend_from_slice(sn);
+            }
+            (Self::Float(v, n), Self::Float(sv, sn)) => {
+                v.extend_from_slice(sv);
+                n.extend_from_slice(sn);
+            }
+            (Self::Str(v, n), Self::Str(sv, sn)) => {
+                v.extend(sv.iter().cloned());
+                n.extend_from_slice(sn);
+            }
+            (dst, src) => panic!(
+                "column type mismatch: cannot append {} column into {}",
+                src.ty().name(),
+                dst.ty().name()
+            ),
+        }
+    }
+
+    /// Appends `src[row]` for every row id in `rows` — a gather. The
+    /// typed match happens once per call instead of once per value.
+    pub fn gather_into(&self, rows: &[u32], out: &mut ColumnVector) {
+        match (out, self) {
+            (Self::Int(v, n), Self::Int(sv, sn)) => {
+                v.extend(rows.iter().map(|&r| sv[r as usize]));
+                n.extend(rows.iter().map(|&r| sn[r as usize]));
+            }
+            (Self::Float(v, n), Self::Float(sv, sn)) => {
+                v.extend(rows.iter().map(|&r| sv[r as usize]));
+                n.extend(rows.iter().map(|&r| sn[r as usize]));
+            }
+            (Self::Str(v, n), Self::Str(sv, sn)) => {
+                v.extend(rows.iter().map(|&r| Arc::clone(&sv[r as usize])));
+                n.extend(rows.iter().map(|&r| sn[r as usize]));
+            }
+            (dst, src) => panic!(
+                "column type mismatch: cannot gather {} into {}",
+                src.ty().name(),
+                dst.ty().name()
+            ),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -179,6 +357,87 @@ mod tests {
         assert_eq!(c.get(0).as_str(), Some("abc"));
         assert!(c.get(1).is_null());
         assert_eq!(c.ty(), ColumnType::Text);
+    }
+
+    #[test]
+    fn push_from_copies_values_and_nulls() {
+        let mut src = ColumnVector::new(ColumnType::Int);
+        src.push(&Value::Int(4));
+        src.push(&Value::Null);
+        let mut dst = ColumnVector::new(ColumnType::Int);
+        dst.push_from(&src, 1);
+        dst.push_from(&src, 0);
+        assert!(dst.get(0).is_null());
+        assert_eq!(dst.get(1), Value::Int(4));
+        dst.clear();
+        assert!(dst.is_empty());
+    }
+
+    #[test]
+    fn gather_collects_row_ids_in_order() {
+        let mut src = ColumnVector::new(ColumnType::Text);
+        for s in ["a", "b", "c"] {
+            src.push(&Value::str(s));
+        }
+        let mut dst = ColumnVector::new(ColumnType::Text);
+        src.gather_into(&[2, 0, 2], &mut dst);
+        assert_eq!(dst.len(), 3);
+        assert_eq!(dst.get(0), Value::str("c"));
+        assert_eq!(dst.get(1), Value::str("a"));
+        assert_eq!(dst.get(2), Value::str("c"));
+    }
+
+    #[test]
+    #[should_panic(expected = "column type mismatch")]
+    fn push_from_rejects_type_mismatch() {
+        let mut src = ColumnVector::new(ColumnType::Int);
+        src.push(&Value::Int(1));
+        let mut dst = ColumnVector::new(ColumnType::Text);
+        dst.push_from(&src, 0);
+    }
+
+    #[test]
+    fn column_level_comparisons_match_value_semantics() {
+        use std::cmp::Ordering;
+        let mut ints = ColumnVector::new(ColumnType::Int);
+        let mut floats = ColumnVector::new(ColumnType::Float);
+        let mut strs = ColumnVector::new(ColumnType::Text);
+        for v in [Value::Int(1), Value::Int(2), Value::Null] {
+            ints.push(&v);
+        }
+        for v in [Value::Float(1.5), Value::Float(2.0), Value::Null] {
+            floats.push(&v);
+        }
+        for v in [Value::str("a"), Value::str("b"), Value::Null] {
+            strs.push(&v);
+        }
+        // sql_cmp_at: NULL on either side is None; cross-numeric via f64.
+        assert_eq!(ints.sql_cmp_at(0, &ints, 1), Some(Ordering::Less));
+        assert_eq!(ints.sql_cmp_at(0, &ints, 2), None);
+        assert_eq!(ints.sql_cmp_at(2, &ints, 2), None);
+        assert_eq!(ints.sql_cmp_at(1, &floats, 1), Some(Ordering::Equal));
+        assert_eq!(floats.sql_cmp_at(0, &ints, 0), Some(Ordering::Greater));
+        assert_eq!(strs.sql_cmp_at(0, &strs, 1), Some(Ordering::Less));
+        assert_eq!(strs.sql_cmp_at(0, &strs, 2), None);
+        // total_cmp_at: NULLs last, two NULLs equal — and every pair
+        // agrees with the Value-level total order.
+        assert_eq!(ints.total_cmp_at(0, &ints, 2), Ordering::Less);
+        assert_eq!(ints.total_cmp_at(2, &ints, 0), Ordering::Greater);
+        assert_eq!(ints.total_cmp_at(2, &ints, 2), Ordering::Equal);
+        for a in 0..3 {
+            for b in 0..3 {
+                assert_eq!(
+                    ints.total_cmp_at(a, &floats, b),
+                    ints.get(a).total_cmp(&floats.get(b)),
+                    "({a},{b})"
+                );
+                assert_eq!(
+                    strs.sql_cmp_at(a, &strs, b),
+                    strs.get(a).sql_cmp(&strs.get(b)),
+                    "({a},{b})"
+                );
+            }
+        }
     }
 
     #[test]

@@ -200,10 +200,7 @@ impl Sampler {
                 if broke < *noise {
                     Value::Int(fallback.sample(rng) as i64)
                 } else {
-                    let src = earlier
-                        .get(*source)
-                        .and_then(Value::as_int)
-                        .unwrap_or(0);
+                    let src = earlier.get(*source).and_then(Value::as_int).unwrap_or(0);
                     Value::Int(src.rem_euclid(*levels as i64))
                 }
             }
@@ -352,10 +349,7 @@ mod tests {
 
     #[test]
     fn null_fraction_respected_and_validated() {
-        let schema = TableSchema::new(
-            "t",
-            vec![Column::nullable("v", ColumnType::Int)],
-        );
+        let schema = TableSchema::new("t", vec![Column::nullable("v", ColumnType::Int)]);
         let t = gen_table(
             TableGen {
                 columns: vec![ColumnGen::with_nulls(

@@ -36,6 +36,7 @@ pub mod table;
 pub mod value;
 
 pub use btree::BTreeIndex;
+pub use column::ColumnVector;
 pub use database::Database;
 pub use datagen::{ColumnGen, Distribution, TableGen};
 pub use error::StorageError;

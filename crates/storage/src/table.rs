@@ -100,17 +100,24 @@ impl Table {
     pub fn value_at(&self, row_id: usize, col: ColumnId) -> Value {
         self.columns[col.index()].get(row_id)
     }
+
+    /// All column vectors, in schema order — the batch executor scans
+    /// these directly instead of materialising rows.
+    #[inline]
+    pub fn columns(&self) -> &[ColumnVector] {
+        &self.columns
+    }
 }
 
 fn type_matches(ty: hfqo_catalog::ColumnType, v: &Value) -> bool {
     use hfqo_catalog::ColumnType::*;
-    match (ty, v) {
-        (_, Value::Null) => true,
-        (Int, Value::Int(_)) => true,
-        (Float, Value::Float(_) | Value::Int(_)) => true,
-        (Text, Value::Str(_)) => true,
-        _ => false,
-    }
+    matches!(
+        (ty, v),
+        (_, Value::Null)
+            | (Int, Value::Int(_))
+            | (Float, Value::Float(_) | Value::Int(_))
+            | (Text, Value::Str(_))
+    )
 }
 
 #[cfg(test)]

@@ -132,7 +132,7 @@ impl Eq for Value {}
 
 impl PartialOrd for Value {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.total_cmp(other))
+        Some(self.cmp(other))
     }
 }
 
@@ -191,7 +191,7 @@ mod tests {
 
     #[test]
     fn total_order_nulls_last() {
-        let mut vals = vec![Value::Null, Value::Int(3), Value::Int(1), Value::Int(2)];
+        let mut vals = [Value::Null, Value::Int(3), Value::Int(1), Value::Int(2)];
         vals.sort();
         assert!(vals[3].is_null());
         assert_eq!(vals[0], Value::Int(1));
@@ -200,14 +200,8 @@ mod tests {
 
     #[test]
     fn cross_numeric_comparison() {
-        assert_eq!(
-            Value::Int(2).total_cmp(&Value::Float(2.5)),
-            Ordering::Less
-        );
-        assert_eq!(
-            Value::Float(2.0).total_cmp(&Value::Int(2)),
-            Ordering::Equal
-        );
+        assert_eq!(Value::Int(2).total_cmp(&Value::Float(2.5)), Ordering::Less);
+        assert_eq!(Value::Float(2.0).total_cmp(&Value::Int(2)), Ordering::Equal);
     }
 
     #[test]

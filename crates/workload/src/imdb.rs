@@ -191,11 +191,17 @@ pub fn build_catalog() -> Catalog {
         cols
     };
     for &name in TABLE_NAMES {
-        let schema = hfqo_catalog::TableSchema::new(name, columns_for(name))
-            .with_primary_key(ColumnId(0));
+        let schema =
+            hfqo_catalog::TableSchema::new(name, columns_for(name)).with_primary_key(ColumnId(0));
         let t = cat.add_table(schema).expect("unique table names");
-        cat.add_index(format!("{name}_pkey"), t, ColumnId(0), IndexKind::BTree, true)
-            .expect("unique index names");
+        cat.add_index(
+            format!("{name}_pkey"),
+            t,
+            ColumnId(0),
+            IndexKind::BTree,
+            true,
+        )
+        .expect("unique index names");
     }
     // FK indexes on the big satellites.
     for &(child, col, _) in FK_EDGES {
@@ -255,10 +261,7 @@ fn generator_for(table: &str, base: usize) -> TableGen {
         "company_name" => vec![
             seq(),
             ColumnGen::new(Distribution::Zipf { n: 120, s: 1.1 }),
-            ColumnGen::new(Distribution::UniformInt {
-                lo: 0,
-                hi: 9_999,
-            }),
+            ColumnGen::new(Distribution::UniformInt { lo: 0, hi: 9_999 }),
         ],
         "movie_companies" => vec![
             seq(),
@@ -385,7 +388,10 @@ mod tests {
             assert_eq!(stats.table(tid).row_count, rows as f64, "{name}");
         }
         // Fact tables scale relative to title.
-        let title = db.table(table_id(&db, "title")).expect("exists").row_count();
+        let title = db
+            .table(table_id(&db, "title"))
+            .expect("exists")
+            .row_count();
         let ci = db
             .table(table_id(&db, "cast_info"))
             .expect("exists")
@@ -410,7 +416,10 @@ mod tests {
         let ci = table_id(&db, "cast_info");
         let name_rows = db.table(table_id(&db, "name")).expect("exists").row_count() as i64;
         let table = db.table(ci).expect("exists");
-        let col = db.catalog().resolve_column(ci, "person_id").expect("exists");
+        let col = db
+            .catalog()
+            .resolve_column(ci, "person_id")
+            .expect("exists");
         for r in 0..table.row_count() {
             let v = table.value_at(r, col).as_int().expect("int fk");
             assert!(v >= 0 && v < name_rows);
@@ -421,7 +430,10 @@ mod tests {
     fn skew_present_in_fact_fks() {
         let (db, stats) = tiny();
         let mk = table_id(&db, "movie_keyword");
-        let kw_col = db.catalog().resolve_column(mk, "keyword_id").expect("exists");
+        let kw_col = db
+            .catalog()
+            .resolve_column(mk, "keyword_id")
+            .expect("exists");
         let col_stats = &stats.table(mk).columns[kw_col.index()];
         // Zipf-skewed FK: the most common keyword covers far more than
         // the uniform share.

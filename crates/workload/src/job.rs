@@ -22,8 +22,8 @@ pub const FIGURE3B_LABELS: &[&str] = &[
 
 /// Relation counts per family (covers the paper's 4–17 range).
 const FAMILY_SIZES: [usize; 33] = [
-    4, 5, 6, 6, 7, 7, 8, 8, 8, 9, 9, 9, 10, 10, 10, 11, 11, 12, 12, 5, 6, 7, 8, 9, 13, 14, 15,
-    16, 17, 10, 11, 12, 13,
+    4, 5, 6, 6, 7, 7, 8, 8, 8, 9, 9, 9, 10, 10, 10, 11, 11, 12, 12, 5, 6, 7, 8, 9, 13, 14, 15, 16,
+    17, 10, 11, 12, 13,
 ];
 
 /// One generated query.
@@ -70,7 +70,10 @@ const SELECTION_SITES: &[(&str, &str, SelKind)] = &[
 
 /// Grows a connected subgraph of the FK graph with `n` tables, seeded by
 /// `rng`. Returns the chosen tables and the FK edges among them.
-fn grow_subgraph(n: usize, rng: &mut StdRng) -> (Vec<&'static str>, Vec<(usize, usize, &'static str)>) {
+fn grow_subgraph(
+    n: usize,
+    rng: &mut StdRng,
+) -> (Vec<&'static str>, Vec<(usize, usize, &'static str)>) {
     // Start from a fact-like hub so growth has room.
     const STARTS: &[&str] = &[
         "cast_info",
@@ -179,7 +182,10 @@ fn render_sql(skeleton: &FamilySkeleton, variant_rng: &mut StdRng) -> String {
                 format!("{alias}.{col} < {}", variant_rng.gen_range(lo..=hi))
             }
             SelKind::EqText(prefix, pool) => {
-                format!("{alias}.{col} = '{prefix}{}'", variant_rng.gen_range(0..pool))
+                format!(
+                    "{alias}.{col} = '{prefix}{}'",
+                    variant_rng.gen_range(0..pool)
+                )
             }
         };
         preds.push(pred);
@@ -210,9 +216,8 @@ pub fn generate_job_suite(catalog: &Catalog, seed: u64) -> Vec<JobQuery> {
         for v in 0..variants_of(family) {
             let letter = (b'a' + v as u8) as char;
             let label = format!("{family}{letter}");
-            let mut variant_rng = StdRng::seed_from_u64(
-                seed ^ ((family as u64) << 8) ^ (v as u64 + 1),
-            );
+            let mut variant_rng =
+                StdRng::seed_from_u64(seed ^ ((family as u64) << 8) ^ (v as u64 + 1));
             let sql = render_sql(&skeleton, &mut variant_rng);
             let stmt = parse_select(&sql).expect("generated SQL parses");
             let graph = bind_select(&stmt, catalog)
@@ -225,7 +230,7 @@ pub fn generate_job_suite(catalog: &Catalog, seed: u64) -> Vec<JobQuery> {
 }
 
 /// Looks up the queries of Figure 3b within a generated suite.
-pub fn figure3b_queries<'a>(suite: &'a [JobQuery]) -> Vec<&'a JobQuery> {
+pub fn figure3b_queries(suite: &[JobQuery]) -> Vec<&JobQuery> {
     FIGURE3B_LABELS
         .iter()
         .map(|&l| {
@@ -250,8 +255,7 @@ mod tests {
     fn suite_has_113_queries() {
         let s = suite();
         assert_eq!(s.len(), 113);
-        let labels: std::collections::HashSet<_> =
-            s.iter().map(|q| q.label.clone()).collect();
+        let labels: std::collections::HashSet<_> = s.iter().map(|q| q.label.clone()).collect();
         assert_eq!(labels.len(), 113, "labels are unique");
     }
 
@@ -269,7 +273,11 @@ mod tests {
             let n = q.graph.relation_count();
             min_rels = min_rels.min(n);
             max_rels = max_rels.max(n);
-            assert!(!q.graph.selections().is_empty(), "{} has no selection", q.label);
+            assert!(
+                !q.graph.selections().is_empty(),
+                "{} has no selection",
+                q.label
+            );
             assert!(q.graph.joins().len() >= n - 1, "{} underjoined", q.label);
         }
         assert!(min_rels >= 4, "min {min_rels}");

@@ -116,9 +116,6 @@ mod tests {
         );
         assert_eq!(bundle.queries.len(), 9);
         assert_eq!(bundle.max_rels(), 6);
-        assert!(bundle
-            .queries
-            .iter()
-            .all(|q| q.is_connected(q.all_rels())));
+        assert!(bundle.queries.iter().all(|q| q.is_connected(q.all_rels())));
     }
 }

@@ -6,9 +6,7 @@
 //! rare in real workloads, as the paper notes), and property tests.
 
 use hfqo_catalog::{Catalog, Column, ColumnId, ColumnType, IndexKind, TableId};
-use hfqo_query::{
-    BoundColumn, JoinEdge, Lit, QueryGraph, RelId, Relation, Selection,
-};
+use hfqo_query::{BoundColumn, JoinEdge, Lit, QueryGraph, RelId, Relation, Selection};
 use hfqo_sql::CompareOp;
 use hfqo_stats::{build_database_stats, StatsCatalog};
 use hfqo_storage::{ColumnGen, Database, Distribution, TableGen};
@@ -123,10 +121,7 @@ impl SynthDb {
             // a.id = b.fk, normalised to lower rel on the left.
             left: BoundColumn::new(RelId(a.min(b) as u32), ColumnId(if a < b { 0 } else { 1 })),
             op: CompareOp::Eq,
-            right: BoundColumn::new(
-                RelId(a.max(b) as u32),
-                ColumnId(if a < b { 1 } else { 0 }),
-            ),
+            right: BoundColumn::new(RelId(a.max(b) as u32), ColumnId(if a < b { 1 } else { 0 })),
         };
         match shape {
             Shape::Chain => {

@@ -356,7 +356,10 @@ mod tests {
         let catalog = build_catalog();
         let queries = bind_templates(&catalog);
         assert_eq!(queries.len(), 6);
-        let q5 = queries.iter().find(|q| q.label.as_deref() == Some("q5")).expect("q5");
+        let q5 = queries
+            .iter()
+            .find(|q| q.label.as_deref() == Some("q5"))
+            .expect("q5");
         assert_eq!(q5.relation_count(), 6);
         assert!(q5.is_connected(q5.all_rels()));
         // Exactly two single-relation templates, as §5.3.2 notes for

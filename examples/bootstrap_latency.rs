@@ -10,13 +10,19 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
-    let bundle = WorkloadBundle::imdb_job(ImdbConfig { base_rows: 800, seed: 5 }, 13);
+    let bundle = WorkloadBundle::imdb_job(
+        ImdbConfig {
+            base_rows: 800,
+            seed: 5,
+        },
+        13,
+    );
     let queries: Vec<QueryGraph> = bundle
         .queries
         .iter()
         .filter(|q| q.relation_count() <= 7)
-        .cloned()
         .take(20)
+        .cloned()
         .collect();
     println!("bootstrapping on {} queries …", queries.len());
 
@@ -54,7 +60,11 @@ fn main() {
 
     println!("\nepisode   cost ratio vs expert (geometric MA 50)");
     for (ep, ratio) in outcome.log.moving_geo_ratio(50).iter().step_by(100) {
-        let marker = if *ep >= outcome.phase_boundary { " <- phase 2 (latency reward)" } else { "" };
+        let marker = if *ep >= outcome.phase_boundary {
+            " <- phase 2 (latency reward)"
+        } else {
+            ""
+        };
         println!("{ep:>7}   {ratio:>7.2}x{marker}");
     }
     println!(

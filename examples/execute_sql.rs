@@ -41,9 +41,18 @@ fn main() {
         );
         let out = execute(&db, &graph, &planned.plan, ExecConfig::default())
             .expect("executes within budget");
+        // The outcome carries the real output schema — for aggregated
+        // queries: group keys followed by aggregate values.
+        println!("columns: {}", out.schema);
         print!("result: ");
         for row in out.rows.iter().take(3) {
-            let cells: Vec<String> = row.iter().map(|v| v.to_string()).collect();
+            let cells: Vec<String> = out
+                .schema
+                .columns
+                .iter()
+                .zip(row)
+                .map(|(c, v)| format!("{} = {v}", c.name()))
+                .collect();
             print!("[{}] ", cells.join(", "));
         }
         println!(

@@ -12,7 +12,13 @@ fn main() {
     let episodes = 2_000;
     let window = 100;
     println!("building IMDB-like database and 113 JOB-like queries …");
-    let bundle = WorkloadBundle::imdb_job(ImdbConfig { base_rows: 1_500, seed: 1 }, 9);
+    let bundle = WorkloadBundle::imdb_job(
+        ImdbConfig {
+            base_rows: 1_500,
+            seed: 1,
+        },
+        9,
+    );
     // Keep the example fast: train on the small-to-mid-size queries.
     let queries: Vec<QueryGraph> = bundle
         .queries

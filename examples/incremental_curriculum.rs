@@ -28,9 +28,16 @@ fn main() {
         &sizes,
         4,
     );
-    println!("workload: {} queries over 2–6 relations\n", bundle.queries.len());
+    println!(
+        "workload: {} queries over 2–6 relations\n",
+        bundle.queries.len()
+    );
 
-    for curriculum in [Curriculum::Pipeline, Curriculum::Relations, Curriculum::Hybrid] {
+    for curriculum in [
+        Curriculum::Pipeline,
+        Curriculum::Relations,
+        Curriculum::Hybrid,
+    ] {
         let phases = curriculum.phases(bundle.max_rels(), 1200);
         println!("{curriculum:?} curriculum — {} phases:", phases.len());
         for (i, p) in phases.iter().enumerate() {
@@ -63,7 +70,11 @@ fn main() {
         &mut rng,
     );
     drop(probe);
-    for (i, phase) in Curriculum::Hybrid.phases(max_rels, 1200).into_iter().enumerate() {
+    for (i, phase) in Curriculum::Hybrid
+        .phases(max_rels, 1200)
+        .into_iter()
+        .enumerate()
+    {
         let admitted = admitted_queries(&bundle.queries, phase.max_rels);
         if admitted.is_empty() || phase.episodes == 0 {
             continue;
@@ -80,7 +91,12 @@ fn main() {
             RewardMode::LogRelative,
             phase.stages,
         );
-        let log = train(&mut env, &mut agent, TrainerConfig::new(phase.episodes), &mut rng);
+        let log = train(
+            &mut env,
+            &mut agent,
+            TrainerConfig::new(phase.episodes),
+            &mut rng,
+        );
         println!(
             "  phase {}: {} queries, {} stages → ratio {:.2}x",
             i + 1,
@@ -107,5 +123,7 @@ fn main() {
         / records.len().max(1) as f64)
         .exp();
     println!("\nfull task (all queries, all pipeline stages): geometric mean ratio {geo:.2}x");
-    println!("run `cargo run -p hfqo-bench --release --bin exp_incremental` for the 4-way comparison");
+    println!(
+        "run `cargo run -p hfqo-bench --release --bin exp_incremental` for the 4-way comparison"
+    );
 }

@@ -10,13 +10,19 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
-    let bundle = WorkloadBundle::imdb_job(ImdbConfig { base_rows: 800, seed: 8 }, 21);
+    let bundle = WorkloadBundle::imdb_job(
+        ImdbConfig {
+            base_rows: 800,
+            seed: 8,
+        },
+        21,
+    );
     let queries: Vec<QueryGraph> = bundle
         .queries
         .iter()
         .filter(|q| q.relation_count() <= 7)
-        .cloned()
         .take(16)
+        .cloned()
         .collect();
     println!(
         "learning from demonstration on {} queries (expert: the DP optimizer) …",
@@ -39,10 +45,21 @@ fn main() {
     };
     let outcome = learn_from_demonstration(&mut env, &config, &mut rng);
 
-    let first_loss = outcome.pretrain_losses.first().copied().unwrap_or(f64::NAN as f32);
-    let last_loss = outcome.pretrain_losses.last().copied().unwrap_or(f64::NAN as f32);
+    let first_loss = outcome
+        .pretrain_losses
+        .first()
+        .copied()
+        .unwrap_or(f64::NAN as f32);
+    let last_loss = outcome
+        .pretrain_losses
+        .last()
+        .copied()
+        .unwrap_or(f64::NAN as f32);
     println!("\nPhase 1 — reward-prediction pretraining on expert histories:");
-    println!("  loss {first_loss:.3} → {last_loss:.3} over {} minibatches", config.pretrain_steps);
+    println!(
+        "  loss {first_loss:.3} → {last_loss:.3} over {} minibatches",
+        config.pretrain_steps
+    );
 
     let expert_mean = outcome.expert_latency_ms.iter().sum::<f64>()
         / outcome.expert_latency_ms.len().max(1) as f64;

@@ -17,7 +17,13 @@ use rand::SeedableRng;
 
 fn main() {
     // A small IMDB-like database (17 tables, skewed and correlated data).
-    let bundle = WorkloadBundle::imdb_job(ImdbConfig { base_rows: 1_000, seed: 42 }, 7);
+    let bundle = WorkloadBundle::imdb_job(
+        ImdbConfig {
+            base_rows: 1_000,
+            seed: 42,
+        },
+        7,
+    );
     let catalog = bundle.db.catalog();
 
     // Parse and bind a four-relation query, as in Figure 2's

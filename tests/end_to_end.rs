@@ -6,7 +6,13 @@ use hfqo::workload::tpch::{build_tpch, TpchConfig};
 use hfqo_query::{AccessPath, JoinAlgo, PlanNode, RelId};
 
 fn imdb() -> WorkloadBundle {
-    WorkloadBundle::imdb_job(ImdbConfig { base_rows: 400, seed: 77 }, 5)
+    WorkloadBundle::imdb_job(
+        ImdbConfig {
+            base_rows: 400,
+            seed: 77,
+        },
+        5,
+    )
 }
 
 #[test]
@@ -20,8 +26,7 @@ fn sql_to_rows_pipeline() {
     let optimizer = TraditionalOptimizer::new(bundle.db.catalog(), &bundle.stats);
     let planned = optimizer.plan(&graph).expect("plannable");
     planned.plan.validate(&graph).expect("valid plan");
-    let out = execute(&bundle.db, &graph, &planned.plan, ExecConfig::default())
-        .expect("executes");
+    let out = execute(&bundle.db, &graph, &planned.plan, ExecConfig::default()).expect("executes");
     assert_eq!(out.rows.len(), 1, "COUNT(*) returns one row");
     let count = out.rows[0][0].as_int().expect("int count");
     assert!(count > 0, "the join is non-empty on generated data");
@@ -35,8 +40,8 @@ fn every_join_order_gives_the_same_answer() {
     let sql = "SELECT COUNT(*) FROM title t, cast_info ci, role_type rt \
                WHERE t.id = ci.movie_id AND ci.role_id = rt.id \
                AND t.production_year < 100";
-    let graph = bind_select(&parse_select(sql).expect("parses"), bundle.db.catalog())
-        .expect("binds");
+    let graph =
+        bind_select(&parse_select(sql).expect("parses"), bundle.db.catalog()).expect("binds");
     let optimizer = TraditionalOptimizer::new(bundle.db.catalog(), &bundle.stats);
     let reference = execute(
         &bundle.db,
@@ -64,10 +69,8 @@ fn every_join_order_gives_the_same_answer() {
                 left: Box::new(scan(a)),
                 right: Box::new(scan(b)),
             };
-            let outer_conds = graph.joins_between(
-                inner.rel_set(),
-                hfqo_query::RelSet::single(RelId(c)),
-            );
+            let outer_conds =
+                graph.joins_between(inner.rel_set(), hfqo_query::RelSet::single(RelId(c)));
             let plan = PhysicalPlan::new(PlanNode::Aggregate {
                 algo: hfqo_query::AggAlgo::Hash,
                 input: Box::new(PlanNode::Join {
@@ -91,8 +94,8 @@ fn true_cardinality_matches_actual_execution() {
     let bundle = imdb();
     let sql = "SELECT COUNT(*) FROM title t, movie_companies mc \
                WHERE t.id = mc.movie_id AND t.kind_id = 2";
-    let graph = bind_select(&parse_select(sql).expect("parses"), bundle.db.catalog())
-        .expect("binds");
+    let graph =
+        bind_select(&parse_select(sql).expect("parses"), bundle.db.catalog()).expect("binds");
     let optimizer = TraditionalOptimizer::new(bundle.db.catalog(), &bundle.stats);
     let planned = optimizer.plan(&graph).expect("plannable");
     // Count via execution of the non-aggregated join.
@@ -117,8 +120,8 @@ fn estimates_are_imperfect_but_bounded_on_correlated_data() {
     let bundle = imdb();
     let sql = "SELECT COUNT(*) FROM title t \
                WHERE t.production_year > 60 AND t.kind_id = 3";
-    let graph = bind_select(&parse_select(sql).expect("parses"), bundle.db.catalog())
-        .expect("binds");
+    let graph =
+        bind_select(&parse_select(sql).expect("parses"), bundle.db.catalog()).expect("binds");
     let est = EstimatedCardinality::new(&bundle.stats);
     let oracle = TrueCardinality::new(&bundle.db);
     let estimated = est.set_rows(&graph, graph.all_rels());

@@ -1,0 +1,203 @@
+//! Batch-vs-row executor equivalence.
+//!
+//! The vectorized batch pipeline must be *observationally identical* to
+//! the reference row engine: identical row multisets (hash-grouped
+//! output order may differ) and identical `ExecStats.work` totals, on
+//! every workload the experiments use — synthetic chain/star/cycle
+//! queries and the IMDB/JOB-like suite — across expert plans, random
+//! plans, every join algorithm, and budget-capped aborts.
+
+use hfqo::exec::{execute_rows, ExecError};
+use hfqo::prelude::*;
+use hfqo::workload::synth::{Shape, SynthConfig, SynthDb};
+use hfqo_query::{AggAlgo, PlanNode};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::OnceLock;
+
+fn synth() -> &'static SynthDb {
+    static DB: OnceLock<SynthDb> = OnceLock::new();
+    DB.get_or_init(|| {
+        SynthDb::build(SynthConfig {
+            tables: 6,
+            rows: 400,
+            seed: 21,
+        })
+    })
+}
+
+fn imdb() -> &'static WorkloadBundle {
+    static DB: OnceLock<WorkloadBundle> = OnceLock::new();
+    DB.get_or_init(|| {
+        WorkloadBundle::imdb_job(
+            ImdbConfig {
+                base_rows: 300,
+                seed: 9,
+            },
+            6,
+        )
+    })
+}
+
+/// Asserts the two engines agree on `plan`: same row multiset, same
+/// work; or the same budget-exceeded outcome.
+fn assert_equivalent(
+    db: &Database,
+    graph: &QueryGraph,
+    plan: &PhysicalPlan,
+    config: ExecConfig,
+    what: &str,
+) {
+    let batch = hfqo::exec::execute(db, graph, plan, config);
+    let row = execute_rows(db, graph, plan, config);
+    match (batch, row) {
+        (Ok(b), Ok(r)) => {
+            let mut bs = b.rows.clone();
+            let mut rs = r.rows.clone();
+            bs.sort();
+            rs.sort();
+            assert_eq!(bs, rs, "{what}: row multisets differ");
+            assert_eq!(b.stats.work, r.stats.work, "{what}: work totals differ");
+            assert_eq!(b.layout, r.layout, "{what}: layouts differ");
+            assert_eq!(b.schema, r.schema, "{what}: schemas differ");
+        }
+        (
+            Err(ExecError::BudgetExceeded { budget: b, .. }),
+            Err(ExecError::BudgetExceeded { budget: r, .. }),
+        ) => {
+            assert_eq!(b, r, "{what}: different budgets reported");
+        }
+        (b, r) => panic!(
+            "{what}: engines disagree on outcome: batch {:?} vs row {:?}",
+            b.map(|o| o.rows.len()),
+            r.map(|o| o.rows.len())
+        ),
+    }
+}
+
+#[test]
+fn synth_expert_plans_are_equivalent() {
+    let db = synth();
+    let optimizer = TraditionalOptimizer::new(db.db.catalog(), &db.stats);
+    for shape in [Shape::Chain, Shape::Star, Shape::Cycle] {
+        for n in 2..=5 {
+            for qseed in 0..3 {
+                let graph = db.query(shape, n, 2, qseed);
+                let plan = optimizer.plan(&graph).expect("plannable").plan;
+                assert_equivalent(
+                    &db.db,
+                    &graph,
+                    &plan,
+                    ExecConfig::default(),
+                    &format!("synth {shape:?} n={n} seed={qseed}"),
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn synth_random_plans_are_equivalent() {
+    let db = synth();
+    let mut rng = StdRng::seed_from_u64(3);
+    for qseed in 0..6 {
+        let graph = db.query(Shape::Chain, 4, 2, qseed);
+        for p in 0..4 {
+            let plan = random_plan(&graph, db.db.catalog(), &mut rng);
+            // A random order can be a budget-busting cross join; both
+            // engines must agree either way.
+            assert_equivalent(
+                &db.db,
+                &graph,
+                &plan,
+                ExecConfig::default(),
+                &format!("random qseed={qseed} p={p}"),
+            );
+        }
+    }
+}
+
+#[test]
+fn imdb_job_expert_plans_are_equivalent() {
+    let bundle = imdb();
+    let optimizer = TraditionalOptimizer::new(bundle.db.catalog(), &bundle.stats);
+    for (i, graph) in bundle.queries.iter().take(20).enumerate() {
+        let plan = optimizer.plan(graph).expect("plannable").plan;
+        assert_equivalent(
+            &bundle.db,
+            graph,
+            &plan,
+            ExecConfig::default(),
+            &format!("imdb q{i} ({:?})", graph.label),
+        );
+    }
+}
+
+#[test]
+fn aggregate_variants_are_equivalent() {
+    let db = synth();
+    let optimizer = TraditionalOptimizer::new(db.db.catalog(), &db.stats);
+    for qseed in 0..4 {
+        let graph = hfqo::opt::test_support::with_count(db.query(Shape::Star, 4, 1, qseed));
+        let plan = optimizer.plan(&graph).expect("plannable").plan;
+        // Exercise both aggregation algorithms over the same join tree.
+        for algo in [AggAlgo::Hash, AggAlgo::Sort] {
+            let plan = match &plan.root {
+                PlanNode::Aggregate { input, .. } => PhysicalPlan::new(PlanNode::Aggregate {
+                    algo,
+                    input: input.clone(),
+                }),
+                other => PhysicalPlan::new(PlanNode::Aggregate {
+                    algo,
+                    input: Box::new(other.clone()),
+                }),
+            };
+            assert_equivalent(
+                &db.db,
+                &graph,
+                &plan,
+                ExecConfig::default(),
+                &format!("agg {algo:?} qseed={qseed}"),
+            );
+        }
+    }
+}
+
+#[test]
+fn budget_capped_plans_abort_identically() {
+    let db = synth();
+    let mut rng = StdRng::seed_from_u64(8);
+    let graph = db.query(Shape::Chain, 5, 0, 2);
+    for p in 0..6 {
+        let plan = random_plan(&graph, db.db.catalog(), &mut rng);
+        assert_equivalent(
+            &db.db,
+            &graph,
+            &plan,
+            ExecConfig::with_budget(5_000),
+            &format!("tight-budget p={p}"),
+        );
+    }
+}
+
+#[test]
+fn true_cardinality_oracle_matches_row_counts() {
+    // The oracle now counts through zero-column batch pipelines; its
+    // counts must equal full row-engine execution of the same subsets.
+    let bundle = imdb();
+    for graph in bundle.queries.iter().take(8) {
+        let oracle = TrueCardinality::new(&bundle.db);
+        let counted = oracle.set_rows(graph, graph.all_rels());
+        let optimizer = TraditionalOptimizer::new(bundle.db.catalog(), &bundle.stats);
+        let plan = optimizer.plan(graph).expect("plannable").plan;
+        let join_only = match &plan.root {
+            PlanNode::Aggregate { input, .. } => PhysicalPlan::new((**input).clone()),
+            other => PhysicalPlan::new(other.clone()),
+        };
+        let executed = execute_rows(&bundle.db, graph, &join_only, ExecConfig::default())
+            .expect("executes")
+            .rows
+            .len() as f64;
+        assert_eq!(counted, executed, "{:?}", graph.label);
+    }
+}

@@ -81,6 +81,45 @@ proptest! {
         }
     }
 
+    /// The batch pipeline and the reference row engine agree — same row
+    /// multiset, same work total — on random plans over random queries,
+    /// including budget-capped aborts.
+    #[test]
+    fn batch_and_row_engines_are_equivalent(
+        n in 2usize..5,
+        shape in 0u8..3,
+        qseed in 0u64..25,
+        pseed in 0u64..25,
+    ) {
+        let db = synth();
+        let graph = db.query(shape_from(shape), n, 2, qseed);
+        let mut rng = StdRng::seed_from_u64(pseed);
+        let plan = random_plan(&graph, db.db.catalog(), &mut rng);
+        let config = ExecConfig::default();
+        let batch = execute(&db.db, &graph, &plan, config);
+        let row = hfqo::exec::execute_rows(&db.db, &graph, &plan, config);
+        match (batch, row) {
+            (Ok(b), Ok(r)) => {
+                let mut bs = b.rows;
+                let mut rs = r.rows;
+                bs.sort();
+                rs.sort();
+                prop_assert_eq!(bs, rs);
+                prop_assert_eq!(b.stats.work, r.stats.work);
+            }
+            (
+                Err(hfqo::exec::ExecError::BudgetExceeded { .. }),
+                Err(hfqo::exec::ExecError::BudgetExceeded { .. }),
+            ) => {}
+            (b, r) => prop_assert!(
+                false,
+                "engines disagree: batch {:?} vs row {:?}",
+                b.map(|o| o.rows.len()),
+                r.map(|o| o.rows.len())
+            ),
+        }
+    }
+
     /// The estimated cardinality of a join subset never increases when a
     /// selection is added to the query.
     #[test]

@@ -6,13 +6,19 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn small_workload() -> (WorkloadBundle, Vec<QueryGraph>) {
-    let bundle = WorkloadBundle::imdb_job(ImdbConfig { base_rows: 300, seed: 31 }, 17);
+    let bundle = WorkloadBundle::imdb_job(
+        ImdbConfig {
+            base_rows: 300,
+            seed: 31,
+        },
+        17,
+    );
     let queries: Vec<QueryGraph> = bundle
         .queries
         .iter()
         .filter(|q| q.relation_count() <= 5)
-        .cloned()
         .take(6)
+        .cloned()
         .collect();
     assert!(!queries.is_empty());
     (bundle, queries)
@@ -111,13 +117,7 @@ fn demonstration_learning_through_facade() {
 fn bootstrap_through_facade() {
     let (bundle, queries) = small_workload();
     let ctx = EnvContext::new(&bundle.db, &bundle.stats);
-    let mut env = JoinOrderEnv::new(
-        ctx,
-        &queries,
-        5,
-        QueryOrder::Cycle,
-        RewardMode::NegLogCost,
-    );
+    let mut env = JoinOrderEnv::new(ctx, &queries, 5, QueryOrder::Cycle, RewardMode::NegLogCost);
     let mut rng = StdRng::seed_from_u64(5);
     let mut agent = ReJoinAgent::new(
         env.state_dim(),

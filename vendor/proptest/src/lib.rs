@@ -1,0 +1,198 @@
+//! Offline shim for the subset of `proptest` this workspace uses: the
+//! `proptest!` macro over range strategies, `prop_assert!` /
+//! `prop_assert_eq!`, and `ProptestConfig::with_cases`.
+//!
+//! Each property runs `cases` times with inputs drawn from the range
+//! strategies by a per-test deterministic RNG (seeded from the test name,
+//! so adding tests does not perturb existing ones). There is no
+//! shrinking: a failing case panics with the drawn inputs printed, which
+//! is enough to reproduce (the draw is deterministic).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::ops::{Range, RangeInclusive};
+
+/// Runner configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+/// A source of random inputs for one property case.
+pub struct TestRng {
+    inner: StdRng,
+}
+
+impl TestRng {
+    /// Deterministic per-(test, case) generator.
+    pub fn new(test_name: &str, case: u32) -> Self {
+        let mut seed = 0xCBF29CE484222325u64; // FNV offset basis
+        for b in test_name.bytes() {
+            seed ^= b as u64;
+            seed = seed.wrapping_mul(0x100000001B3);
+        }
+        Self {
+            inner: StdRng::seed_from_u64(seed ^ ((case as u64) << 32)),
+        }
+    }
+}
+
+/// A strategy: something that can draw a value.
+pub trait Strategy {
+    /// The produced type.
+    type Value: std::fmt::Debug;
+
+    /// Draws one value.
+    fn draw(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn draw(&self, rng: &mut TestRng) -> $t {
+                rng.inner.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn draw(&self, rng: &mut TestRng) -> $t {
+                rng.inner.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+/// The property-test macro. Supports the forms used in this repository:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(48))]
+///     #[test]
+///     fn name(x in 0usize..10, y in 0.0f64..1.0) { ... }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident ( $( $arg:ident in $strat:expr ),+ $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let cfg: $crate::ProptestConfig = $cfg;
+                for case in 0..cfg.cases {
+                    let mut prop_rng = $crate::TestRng::new(stringify!($name), case);
+                    $( let $arg = $crate::Strategy::draw(&($strat), &mut prop_rng); )+
+                    let run = || -> () { $body };
+                    let outcome = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(run));
+                    if let Err(payload) = outcome {
+                        eprintln!(
+                            "proptest case {case} of {} failed with inputs: {}",
+                            stringify!($name),
+                            [$( format!("{} = {:?}", stringify!($arg), $arg) ),+].join(", "),
+                        );
+                        ::std::panic::resume_unwind(payload);
+                    }
+                }
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident ( $( $arg:ident in $strat:expr ),+ $(,)? ) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $(
+                $(#[$meta])*
+                fn $name ( $( $arg in $strat ),+ ) $body
+            )*
+        }
+    };
+}
+
+/// `assert!` under proptest's name.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// `assert_eq!` under proptest's name.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// `assert_ne!` under proptest's name.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// The glob import real proptest users write.
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, proptest, ProptestConfig, Strategy, TestRng,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_respected(x in 3usize..9, f in 0.25f64..0.75) {
+            prop_assert!((3..9).contains(&x));
+            prop_assert!((0.25..0.75).contains(&f));
+        }
+
+        #[test]
+        fn multiple_properties_compile(a in 0u8..3, b in 0u64..10) {
+            prop_assert!(u64::from(a) + b < 13);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_form(x in 0i64..=5) {
+            prop_assert!((0..=5).contains(&x));
+        }
+    }
+
+    #[test]
+    fn draws_are_deterministic() {
+        let a = (0u64..1000).draw(&mut TestRng::new("t", 3));
+        let b = (0u64..1000).draw(&mut TestRng::new("t", 3));
+        assert_eq!(a, b);
+        let c = (0u64..1000).draw(&mut TestRng::new("t", 4));
+        let d = (0u64..1000).draw(&mut TestRng::new("u", 3));
+        // Overwhelmingly likely to differ; deterministic so stable.
+        assert!(a != c || a != d);
+    }
+}

@@ -1,0 +1,155 @@
+//! Offline shim for the subset of `serde` this workspace uses: a
+//! `Serialize` trait (JSON-only, no `Serializer` abstraction) plus the
+//! `#[derive(Serialize)]` macro re-exported from the vendored
+//! `serde_derive`. `serde_json::to_string_pretty` is the only consumer.
+
+pub use serde_derive::Serialize;
+
+/// JSON-serialisable values.
+pub trait Serialize {
+    /// Appends this value's JSON rendering to `out`.
+    fn serialize_json(&self, out: &mut String);
+}
+
+/// Writes `s` as a JSON string literal (with escaping).
+pub fn write_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+macro_rules! int_serialize {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_json(&self, out: &mut String) {
+                out.push_str(&self.to_string());
+            }
+        }
+    )*};
+}
+
+int_serialize!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, bool);
+
+macro_rules! float_serialize {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_json(&self, out: &mut String) {
+                if self.is_finite() {
+                    out.push_str(&self.to_string());
+                } else {
+                    // JSON has no NaN/∞; null is the conventional stand-in.
+                    out.push_str("null");
+                }
+            }
+        }
+    )*};
+}
+
+float_serialize!(f32, f64);
+
+impl Serialize for str {
+    fn serialize_json(&self, out: &mut String) {
+        write_json_string(out, self);
+    }
+}
+
+impl Serialize for String {
+    fn serialize_json(&self, out: &mut String) {
+        write_json_string(out, self);
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize_json(&self, out: &mut String) {
+        (**self).serialize_json(out);
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_json(&self, out: &mut String) {
+        match self {
+            Some(v) => v.serialize_json(out),
+            None => out.push_str("null"),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize_json(&self, out: &mut String) {
+        out.push('[');
+        for (i, v) in self.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            v.serialize_json(out);
+        }
+        out.push(']');
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_json(&self, out: &mut String) {
+        self.as_slice().serialize_json(out);
+    }
+}
+
+macro_rules! tuple_serialize {
+    ($(($($n:tt $t:ident),+)),+) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn serialize_json(&self, out: &mut String) {
+                out.push('[');
+                let mut first = true;
+                $(
+                    if !first { out.push(','); }
+                    first = false;
+                    self.$n.serialize_json(out);
+                )+
+                let _ = first;
+                out.push(']');
+            }
+        }
+    )+};
+}
+
+tuple_serialize!((0 A), (0 A, 1 B), (0 A, 1 B, 2 C), (0 A, 1 B, 2 C, 3 D));
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn render<T: Serialize>(v: T) -> String {
+        let mut s = String::new();
+        v.serialize_json(&mut s);
+        s
+    }
+
+    #[test]
+    fn scalars() {
+        assert_eq!(render(3u64), "3");
+        assert_eq!(render(-2i64), "-2");
+        assert_eq!(render(true), "true");
+        assert_eq!(render(1.5f64), "1.5");
+        assert_eq!(render(f64::NAN), "null");
+        assert_eq!(render("a\"b"), "\"a\\\"b\"");
+    }
+
+    #[test]
+    fn containers() {
+        assert_eq!(render(vec![1u32, 2, 3]), "[1,2,3]");
+        assert_eq!(render(Option::<u32>::None), "null");
+        assert_eq!(render(Some(7u32)), "7");
+        assert_eq!(render((1usize, 2.5f64)), "[1,2.5]");
+    }
+}

@@ -1,0 +1,109 @@
+//! Hand-rolled `#[derive(Serialize)]` proc-macro for the vendored serde
+//! shim. Supports exactly what the workspace derives on: non-generic
+//! structs with named fields. No `syn`/`quote` (offline build), so the
+//! input token stream is parsed directly.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` (the vendored JSON-only trait) for a
+/// named-field struct.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let (name, fields) =
+        parse_struct(&tokens).unwrap_or_else(|e| panic!("#[derive(Serialize)] shim: {e}"));
+
+    let mut body = String::new();
+    body.push_str("out.push('{');\n");
+    for (i, field) in fields.iter().enumerate() {
+        if i > 0 {
+            body.push_str("out.push(',');\n");
+        }
+        body.push_str(&format!(
+            "serde::write_json_string(out, \"{field}\");\nout.push(':');\n\
+             serde::Serialize::serialize_json(&self.{field}, out);\n"
+        ));
+    }
+    body.push_str("out.push('}');\n");
+
+    let impl_src = format!(
+        "impl serde::Serialize for {name} {{\n\
+           fn serialize_json(&self, out: &mut String) {{\n{body}}}\n\
+         }}"
+    );
+    impl_src.parse().expect("generated impl is valid Rust")
+}
+
+/// Extracts `(struct_name, field_names)` from the derive input tokens.
+fn parse_struct(tokens: &[TokenTree]) -> Result<(String, Vec<String>), String> {
+    let mut iter = tokens.iter().peekable();
+    // Skip attributes (`#[...]`, doc comments arrive in this form) and
+    // visibility ahead of the `struct` keyword.
+    let mut name = None;
+    while let Some(tt) = iter.next() {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                // Consume the following bracket group.
+                iter.next();
+            }
+            TokenTree::Ident(id) if id.to_string() == "struct" => match iter.next() {
+                Some(TokenTree::Ident(n)) => {
+                    name = Some(n.to_string());
+                    break;
+                }
+                other => {
+                    return Err(format!("expected struct name, found {other:?}"));
+                }
+            },
+            TokenTree::Ident(id) if id.to_string() == "enum" => {
+                return Err("enums are not supported; derive on structs only".into());
+            }
+            _ => {}
+        }
+    }
+    let name = name.ok_or("no `struct` keyword found")?;
+    // The next brace group holds the fields.
+    let fields_group = iter
+        .find_map(|tt| match tt {
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => Some(g),
+            _ => None,
+        })
+        .ok_or("no braced field list found (tuple structs unsupported)")?;
+
+    let mut fields = Vec::new();
+    let mut depth = 0usize;
+    let mut expecting_name = true;
+    let mut toks = fields_group.stream().into_iter().peekable();
+    while let Some(tt) = toks.next() {
+        match &tt {
+            TokenTree::Punct(p) if p.as_char() == '#' && depth == 0 => {
+                toks.next(); // attribute body
+            }
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                depth = depth.saturating_sub(1);
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                expecting_name = true;
+            }
+            TokenTree::Ident(id) if depth == 0 && expecting_name => {
+                let s = id.to_string();
+                if s == "pub" {
+                    // Visibility; a `pub(crate)` group is skipped as a
+                    // normal token below.
+                    continue;
+                }
+                // A field name is an ident directly followed by `:`.
+                if matches!(
+                    toks.peek(),
+                    Some(TokenTree::Punct(p)) if p.as_char() == ':'
+                ) {
+                    fields.push(s);
+                    expecting_name = false;
+                }
+            }
+            _ => {}
+        }
+    }
+    Ok((name, fields))
+}

@@ -1,0 +1,119 @@
+//! Offline shim for the one `serde_json` entry point the workspace uses:
+//! [`to_string_pretty`]. Values render through the vendored
+//! `serde::Serialize` trait into compact JSON, then get re-indented.
+
+use serde::Serialize;
+use std::fmt;
+
+/// Serialisation error. The shim's serialisers are infallible, so this
+/// type exists only to keep call sites' `Result` handling compiling.
+#[derive(Debug)]
+pub struct Error(());
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json serialisation failed")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Renders `value` as indented JSON.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut compact = String::new();
+    value.serialize_json(&mut compact);
+    Ok(pretty(&compact))
+}
+
+/// Renders `value` as compact JSON.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut compact = String::new();
+    value.serialize_json(&mut compact);
+    Ok(compact)
+}
+
+fn pretty(compact: &str) -> String {
+    let mut out = String::with_capacity(compact.len() * 2);
+    let mut indent = 0usize;
+    let mut in_str = false;
+    let mut escaped = false;
+    let newline = |out: &mut String, indent: usize| {
+        out.push('\n');
+        for _ in 0..indent {
+            out.push_str("  ");
+        }
+    };
+    for c in compact.chars() {
+        if in_str {
+            out.push(c);
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                in_str = false;
+            }
+            continue;
+        }
+        match c {
+            '"' => {
+                in_str = true;
+                out.push(c);
+            }
+            '{' | '[' => {
+                indent += 1;
+                out.push(c);
+                newline(&mut out, indent);
+            }
+            '}' | ']' => {
+                indent = indent.saturating_sub(1);
+                newline(&mut out, indent);
+                out.push(c);
+            }
+            ',' => {
+                out.push(c);
+                newline(&mut out, indent);
+            }
+            ':' => out.push_str(": "),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Point {
+        x: u32,
+        label: String,
+    }
+
+    impl Serialize for Point {
+        fn serialize_json(&self, out: &mut String) {
+            out.push('{');
+            serde::write_json_string(out, "x");
+            out.push(':');
+            self.x.serialize_json(out);
+            out.push(',');
+            serde::write_json_string(out, "label");
+            out.push(':');
+            self.label.serialize_json(out);
+            out.push('}');
+        }
+    }
+
+    #[test]
+    fn pretty_output_is_indented_and_string_safe() {
+        let p = Point {
+            x: 3,
+            label: "a{b,c}:d".into(),
+        };
+        let s = to_string_pretty(&p).unwrap();
+        assert!(s.contains("\"x\": 3"));
+        // Braces inside strings must not trigger indentation.
+        assert!(s.contains("a{b,c}:d"));
+        assert_eq!(to_string(&p).unwrap(), "{\"x\":3,\"label\":\"a{b,c}:d\"}");
+    }
+}
