@@ -1,0 +1,73 @@
+//! Scratch test (review): merge join with an empty input side.
+
+use hfqo_catalog::{Catalog, Column, ColumnId, ColumnType, TableSchema};
+use hfqo_exec::{execute, execute_rows, ExecConfig};
+use hfqo_query::{
+    AccessPath, BoundColumn, JoinAlgo, JoinEdge, Lit, PhysicalPlan, PlanNode, QueryGraph, RelId,
+    Relation, Selection,
+};
+use hfqo_sql::CompareOp;
+use hfqo_storage::{Database, Value};
+
+#[test]
+fn merge_join_with_empty_side() {
+    let mut cat = Catalog::new();
+    let a = cat
+        .add_table(TableSchema::new(
+            "a",
+            vec![Column::new("k", ColumnType::Int)],
+        ))
+        .unwrap();
+    let b = cat
+        .add_table(TableSchema::new(
+            "b",
+            vec![Column::new("k", ColumnType::Int)],
+        ))
+        .unwrap();
+    let mut db = Database::new(cat);
+    for i in 0..5i64 {
+        db.table_mut(a).unwrap().append_row(&[Value::Int(i)]).unwrap();
+        db.table_mut(b).unwrap().append_row(&[Value::Int(i)]).unwrap();
+    }
+    let graph = QueryGraph::new(
+        vec![
+            Relation {
+                table: a,
+                alias: "a".into(),
+            },
+            Relation {
+                table: b,
+                alias: "b".into(),
+            },
+        ],
+        vec![JoinEdge {
+            left: BoundColumn::new(RelId(0), ColumnId(0)),
+            op: CompareOp::Eq,
+            right: BoundColumn::new(RelId(1), ColumnId(0)),
+        }],
+        // Selection matches nothing: a is empty after the filter.
+        vec![Selection {
+            column: BoundColumn::new(RelId(0), ColumnId(0)),
+            op: CompareOp::Lt,
+            value: Lit::Int(-100),
+        }],
+        vec![],
+        vec![],
+    );
+    let plan = PhysicalPlan::new(PlanNode::Join {
+        algo: JoinAlgo::Merge,
+        conds: vec![0],
+        left: Box::new(PlanNode::Scan {
+            rel: RelId(0),
+            path: AccessPath::SeqScan,
+        }),
+        right: Box::new(PlanNode::Scan {
+            rel: RelId(1),
+            path: AccessPath::SeqScan,
+        }),
+    });
+    let r = execute_rows(&db, &graph, &plan, ExecConfig::default()).unwrap();
+    assert_eq!(r.rows.len(), 0);
+    let out = execute(&db, &graph, &plan, ExecConfig::default()).unwrap();
+    assert_eq!(out.rows.len(), 0);
+}
