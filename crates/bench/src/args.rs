@@ -7,6 +7,11 @@ pub struct RunArgs {
     pub seed: u64,
     /// Paper-scale run (`--full`) vs quick run (default).
     pub full: bool,
+    /// Episode-collection worker threads (`--workers N`; 1 = the
+    /// legacy sequential trainer). Honored by the experiments built on
+    /// the plain training loop; phase-interleaved trainers
+    /// (bootstrap/LfD/incremental) stay sequential and say so.
+    pub workers: usize,
 }
 
 impl Default for RunArgs {
@@ -14,6 +19,7 @@ impl Default for RunArgs {
         Self {
             seed: 42,
             full: false,
+            workers: 1,
         }
     }
 }
@@ -34,11 +40,36 @@ impl RunArgs {
                 }
                 "--full" => out.full = true,
                 "--quick" => out.full = false,
-                "--help" | "-h" => return Err("usage: [--seed N] [--quick|--full]".to_string()),
+                "--workers" => {
+                    let v = args
+                        .next()
+                        .ok_or_else(|| "--workers requires a value".to_string())?;
+                    out.workers = v
+                        .parse::<usize>()
+                        .map_err(|_| format!("invalid worker count `{v}`"))?
+                        .max(1);
+                }
+                "--help" | "-h" => {
+                    return Err("usage: [--seed N] [--quick|--full] [--workers N]".to_string())
+                }
                 other => return Err(format!("unknown argument `{other}`")),
             }
         }
         Ok(out)
+    }
+
+    /// Warns (once, to stderr) that `binary` collects episodes
+    /// sequentially when `--workers > 1` was passed — for the
+    /// phase-interleaved experiments the parallel trainer doesn't
+    /// cover.
+    pub fn warn_if_sequential(&self, binary: &str) {
+        if self.workers > 1 {
+            eprintln!(
+                "{binary}: the phase-interleaved trainer collects sequentially; \
+                 --workers {} ignored",
+                self.workers
+            );
+        }
     }
 
     /// Parses from the process environment (skipping argv[0]).
@@ -83,5 +114,15 @@ mod tests {
         assert!(parse(&["--seed", "x"]).is_err());
         assert!(parse(&["--wat"]).is_err());
         assert!(parse(&["--help"]).is_err());
+        assert!(parse(&["--workers"]).is_err());
+        assert!(parse(&["--workers", "x"]).is_err());
+    }
+
+    #[test]
+    fn workers() {
+        assert_eq!(parse(&[]).unwrap().workers, 1);
+        assert_eq!(parse(&["--workers", "4"]).unwrap().workers, 4);
+        // Zero coerces to the sequential trainer.
+        assert_eq!(parse(&["--workers", "0"]).unwrap().workers, 1);
     }
 }

@@ -6,6 +6,7 @@ use hfqo_bench::RunArgs;
 
 fn main() {
     let args = RunArgs::from_env();
+    args.warn_if_sequential("exp_bootstrap");
     let scale = common::Scale::from_args(args);
     eprintln!("exp_bootstrap: two bootstrapped runs (scaled / unscaled) ...");
     let bundle = common::imdb_bundle(scale, args.seed);

@@ -6,6 +6,7 @@ use hfqo_bench::RunArgs;
 
 fn main() {
     let args = RunArgs::from_env();
+    args.warn_if_sequential("exp_incremental");
     let scale = common::Scale::from_args(args);
     eprintln!(
         "exp_incremental: four curricula × {} episodes ...",

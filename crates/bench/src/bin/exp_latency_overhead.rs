@@ -18,7 +18,7 @@ fn main() {
     } else {
         common::cap_query_size(bundle, 8)
     };
-    let result = latency_overhead::run(&bundle, scale, args.seed);
+    let result = latency_overhead::run(&bundle, scale, args.seed, args.workers);
 
     println!("# §4 Performance Evaluation Overhead — latency-as-reward training bill");
     let rows = vec![

@@ -6,6 +6,7 @@ use hfqo_bench::RunArgs;
 
 fn main() {
     let args = RunArgs::from_env();
+    args.warn_if_sequential("exp_lfd");
     let scale = common::Scale::from_args(args);
     eprintln!("exp_lfd: demonstration vs tabula rasa ...");
     let bundle = common::imdb_bundle(scale, args.seed);

@@ -12,7 +12,7 @@ fn main() {
         scale.episodes
     );
     let bundle = common::imdb_bundle(scale, args.seed);
-    let result = naive::run(&bundle, scale, args.seed);
+    let result = naive::run(&bundle, scale, args.seed, args.workers);
 
     println!(
         "# §4 Search Space Size — final cost relative to expert after {} episodes",

@@ -17,7 +17,7 @@ fn main() {
         scale.episodes,
         bundle.queries.len()
     );
-    let (result, _agent) = fig3a::run(&bundle, scale, args.seed);
+    let (result, _agent) = fig3a::run(&bundle, scale, args.seed, args.workers);
 
     println!(
         "# Figure 3a — ReJOIN convergence (cost relative to expert, MA window {})",

@@ -9,7 +9,7 @@ fn main() {
     let scale = common::Scale::from_args(args);
     eprintln!("fig3b: building workload + training (fig3a protocol) ...");
     let bundle = common::imdb_bundle(scale, args.seed);
-    let (_conv, agent) = fig3a::run(&bundle, scale, args.seed);
+    let (_conv, agent) = fig3a::run(&bundle, scale, args.seed, args.workers);
     let result = fig3b::run(&bundle, &agent, args.seed);
 
     println!("# Figure 3b — optimizer cost of final plans (expert vs trained ReJOIN)");

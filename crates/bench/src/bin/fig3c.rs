@@ -11,7 +11,7 @@ fn main() {
         (500, 600)
     };
     eprintln!("fig3c: sweep over 4..=17 relations (rows/table {rows_per_table}) ...");
-    let result = fig3c::run(rows_per_table, train_episodes, args.seed);
+    let result = fig3c::run(rows_per_table, train_episodes, args.seed, args.workers);
 
     println!("# Figure 3c — planning time (µs) vs number of relations");
     let rows: Vec<Vec<String>> = result

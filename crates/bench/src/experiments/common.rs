@@ -126,6 +126,7 @@ mod tests {
         let args = RunArgs {
             seed: 1,
             full: true,
+            workers: 1,
         };
         assert_eq!(Scale::from_args(args), Scale::full());
     }

@@ -7,7 +7,7 @@
 //! and settles at or below 100 %.
 
 use super::common::{agent_for, default_policy, join_env, Scale};
-use hfqo_rejoin::{train, QueryOrder, RewardMode, TrainerConfig};
+use hfqo_rejoin::{train_parallel, QueryOrder, RewardMode, TrainerConfig};
 use hfqo_workload::WorkloadBundle;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -28,20 +28,26 @@ pub struct Fig3aResult {
     pub episodes: usize,
 }
 
-/// Runs the experiment. Also returns the trained agent and its
-/// environment workload via the bundle, so `fig3b` can reuse the run.
+/// Runs the experiment, collecting episodes on `workers` threads
+/// (1 = the exact legacy sequential run). Also returns the trained
+/// agent and its environment workload via the bundle, so `fig3b` can
+/// reuse the run.
 pub fn run(
     bundle: &WorkloadBundle,
     scale: Scale,
     seed: u64,
+    workers: usize,
 ) -> (Fig3aResult, hfqo_rejoin::ReJoinAgent) {
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut env = join_env(bundle, QueryOrder::Shuffle, RewardMode::LogRelative);
-    let mut agent = agent_for(&env, default_policy(), &mut rng);
-    let log = train(
-        &mut env,
+    let mut agent = agent_for(
+        &join_env(bundle, QueryOrder::Shuffle, RewardMode::LogRelative),
+        default_policy(),
+        &mut rng,
+    );
+    let log = train_parallel(
+        |_w| join_env(bundle, QueryOrder::Shuffle, RewardMode::LogRelative),
         &mut agent,
-        TrainerConfig::new(scale.episodes),
+        TrainerConfig::new(scale.episodes).with_workers(workers),
         &mut rng,
     );
     let ma = log.moving_geo_ratio(scale.ma_window);
@@ -90,7 +96,7 @@ mod tests {
             stats: bundle.stats,
             queries,
         };
-        let (result, _) = run(&small, scale, 5);
+        let (result, _) = run(&small, scale, 5, 1);
         assert_eq!(result.episodes, 400);
         assert!(!result.series.is_empty());
         assert!(result.final_ratio.is_finite());

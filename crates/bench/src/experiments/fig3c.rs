@@ -11,7 +11,9 @@
 
 use super::common::{agent_for, default_policy};
 use hfqo_opt::TraditionalOptimizer;
-use hfqo_rejoin::{train, EnvContext, JoinOrderEnv, QueryOrder, RewardMode, TrainerConfig};
+use hfqo_rejoin::{
+    train_parallel, EnvContext, JoinOrderEnv, QueryOrder, RewardMode, TrainerConfig,
+};
 use hfqo_workload::synth::SynthConfig;
 use hfqo_workload::WorkloadBundle;
 use rand::rngs::StdRng;
@@ -39,10 +41,11 @@ pub struct Fig3cResult {
     pub crossover: Option<usize>,
 }
 
-/// Runs the sweep. `train_episodes` warms the policy first (planning
-/// time is independent of policy quality, but the protocol measures a
+/// Runs the sweep, warming the policy on `workers` episode-collection
+/// threads. `train_episodes` warms the policy first (planning time is
+/// independent of policy quality, but the protocol measures a
 /// *trained* agent, as the paper does).
-pub fn run(rows_per_table: usize, train_episodes: usize, seed: u64) -> Fig3cResult {
+pub fn run(rows_per_table: usize, train_episodes: usize, seed: u64, workers: usize) -> Fig3cResult {
     let sizes: Vec<usize> = (4..=17).collect();
     let bundle = WorkloadBundle::synthetic(
         SynthConfig {
@@ -54,20 +57,24 @@ pub fn run(rows_per_table: usize, train_episodes: usize, seed: u64) -> Fig3cResu
         3,
     );
     let mut rng = StdRng::seed_from_u64(seed ^ 0x3C);
-    let ctx = EnvContext::new(&bundle.db, &bundle.stats);
-    let mut env = JoinOrderEnv::new(
-        ctx,
-        &bundle.queries,
-        17,
-        QueryOrder::Shuffle,
-        RewardMode::LogRelative,
-    );
-    env.require_connected = true;
+    let make_env = |_w: usize| {
+        let ctx = EnvContext::new(&bundle.db, &bundle.stats);
+        let mut env = JoinOrderEnv::new(
+            ctx,
+            &bundle.queries,
+            17,
+            QueryOrder::Shuffle,
+            RewardMode::LogRelative,
+        );
+        env.require_connected = true;
+        env
+    };
+    let mut env = make_env(0);
     let mut agent = agent_for(&env, default_policy(), &mut rng);
-    let _ = train(
-        &mut env,
+    let _ = train_parallel(
+        make_env,
         &mut agent,
-        TrainerConfig::new(train_episodes),
+        TrainerConfig::new(train_episodes).with_workers(workers),
         &mut rng,
     );
 
@@ -133,7 +140,7 @@ mod tests {
 
     #[test]
     fn sweep_produces_all_sizes_and_superlinear_expert() {
-        let result = run(300, 40, 3);
+        let result = run(300, 40, 3, 1);
         assert_eq!(result.rows.len(), 14);
         assert_eq!(result.rows[0].relations, 4);
         assert_eq!(result.rows[13].relations, 17);

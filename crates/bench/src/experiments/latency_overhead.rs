@@ -12,7 +12,7 @@
 use super::common::{agent_for, default_policy, join_env, Scale};
 use hfqo_opt::expert_actions;
 use hfqo_opt::TraditionalOptimizer;
-use hfqo_rejoin::{train, QueryOrder, RewardMode, TrainerConfig};
+use hfqo_rejoin::{train_parallel, QueryOrder, RewardMode, TrainerConfig};
 use hfqo_workload::WorkloadBundle;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -41,8 +41,13 @@ pub struct LatencyOverheadResult {
     pub episodes: usize,
 }
 
-/// Runs the experiment.
-pub fn run(bundle: &WorkloadBundle, scale: Scale, seed: u64) -> LatencyOverheadResult {
+/// Runs the experiment, collecting episodes on `workers` threads.
+pub fn run(
+    bundle: &WorkloadBundle,
+    scale: Scale,
+    seed: u64,
+    workers: usize,
+) -> LatencyOverheadResult {
     let mut rng = StdRng::seed_from_u64(seed);
 
     // Expert latency baseline.
@@ -57,10 +62,11 @@ pub fn run(bundle: &WorkloadBundle, scale: Scale, seed: u64) -> LatencyOverheadR
 
     // Tabula-rasa latency-reward training.
     let mut agent = agent_for(&env, default_policy(), &mut rng);
-    let log = train(
-        &mut env,
+    drop(env);
+    let log = train_parallel(
+        |_w| join_env(bundle, QueryOrder::Shuffle, RewardMode::InverseLatency),
         &mut agent,
-        TrainerConfig::new(scale.episodes),
+        TrainerConfig::new(scale.episodes).with_workers(workers),
         &mut rng,
     );
     let latencies: Vec<f64> = log.records.iter().filter_map(|r| r.latency_ms).collect();
@@ -110,7 +116,7 @@ mod tests {
             stats: bundle.stats,
             queries,
         };
-        let result = run(&small, scale, 8);
+        let result = run(&small, scale, 8, 1);
         assert!(result.expert_mean_ms > 0.0);
         assert!(result.latency_training_exec_s > 0.0);
         assert!(result.worst_ms >= result.expert_mean_ms);

@@ -10,7 +10,7 @@
 use super::common::{agent_for, default_policy, join_env, Scale};
 use hfqo_opt::{random_plan, TraditionalOptimizer};
 use hfqo_rejoin::{
-    train, EnvContext, FullPlanEnv, QueryOrder, RewardMode, StageSet, TrainerConfig,
+    train_parallel, EnvContext, FullPlanEnv, QueryOrder, RewardMode, StageSet, TrainerConfig,
 };
 use hfqo_workload::WorkloadBundle;
 use rand::rngs::StdRng;
@@ -30,38 +30,40 @@ pub struct NaiveResult {
     pub episodes: usize,
 }
 
-/// Runs the experiment.
-pub fn run(bundle: &WorkloadBundle, scale: Scale, seed: u64) -> NaiveResult {
+/// Runs the experiment, collecting episodes on `workers` threads.
+pub fn run(bundle: &WorkloadBundle, scale: Scale, seed: u64, workers: usize) -> NaiveResult {
     let mut rng = StdRng::seed_from_u64(seed);
+    let config = TrainerConfig::new(scale.episodes).with_workers(workers);
 
     // (a) Join-order-only agent.
-    let mut env = join_env(bundle, QueryOrder::Shuffle, RewardMode::LogRelative);
-    let mut agent = agent_for(&env, default_policy(), &mut rng);
-    let join_log = train(
-        &mut env,
+    let mut agent = agent_for(
+        &join_env(bundle, QueryOrder::Shuffle, RewardMode::LogRelative),
+        default_policy(),
+        &mut rng,
+    );
+    let join_log = train_parallel(
+        |_w| join_env(bundle, QueryOrder::Shuffle, RewardMode::LogRelative),
         &mut agent,
-        TrainerConfig::new(scale.episodes),
+        config,
         &mut rng,
     );
 
     // (b) Flat full-space agent, identical budget.
-    let ctx = EnvContext::new(&bundle.db, &bundle.stats);
-    let mut full_env = FullPlanEnv::new(
-        ctx,
-        &bundle.queries,
-        bundle.max_rels().max(2),
-        QueryOrder::Shuffle,
-        RewardMode::LogRelative,
-        StageSet::full(),
-    );
-    full_env.require_connected = true;
-    let mut full_agent = agent_for(&full_env, default_policy(), &mut rng);
-    let full_log = train(
-        &mut full_env,
-        &mut full_agent,
-        TrainerConfig::new(scale.episodes),
-        &mut rng,
-    );
+    let make_full_env = |_w: usize| {
+        let ctx = EnvContext::new(&bundle.db, &bundle.stats);
+        let mut full_env = FullPlanEnv::new(
+            ctx,
+            &bundle.queries,
+            bundle.max_rels().max(2),
+            QueryOrder::Shuffle,
+            RewardMode::LogRelative,
+            StageSet::full(),
+        );
+        full_env.require_connected = true;
+        full_env
+    };
+    let mut full_agent = agent_for(&make_full_env(0), default_policy(), &mut rng);
+    let full_log = train_parallel(make_full_env, &mut full_agent, config, &mut rng);
 
     // (c) Random plans.
     let optimizer = TraditionalOptimizer::new(bundle.db.catalog(), &bundle.stats);
@@ -114,7 +116,7 @@ mod tests {
             stats: bundle.stats,
             queries,
         };
-        let result = run(&small, scale, 6);
+        let result = run(&small, scale, 6, 2);
         assert!(result.join_order_ratio.is_finite());
         assert!(result.full_space_ratio.is_finite());
         assert!(

@@ -394,10 +394,18 @@ impl JoinOp<'_> {
                     .collect();
                 let sort_work = (li.len() + ri.len()) as u64;
                 budget.charge(sort_work.max(1))?;
-                let lcol = &left.cols[key.l_slot];
-                li.sort_by(|&a, &b| lcol.total_cmp_at(a as usize, lcol, b as usize));
-                let rcol = &right.cols[key.r_slot];
-                ri.sort_by(|&a, &b| rcol.total_cmp_at(a as usize, rcol, b as usize));
+                // An input that produced no batches has no columns at
+                // all (`Materialized::drain` infers types from the
+                // first batch), so only touch the key columns on the
+                // sides that actually have rows to sort.
+                if !li.is_empty() {
+                    let lcol = &left.cols[key.l_slot];
+                    li.sort_by(|&a, &b| lcol.total_cmp_at(a as usize, lcol, b as usize));
+                }
+                if !ri.is_empty() {
+                    let rcol = &right.cols[key.r_slot];
+                    ri.sort_by(|&a, &b| rcol.total_cmp_at(a as usize, rcol, b as usize));
+                }
                 self.state = State::Merge {
                     left,
                     right,

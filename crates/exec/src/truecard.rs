@@ -18,11 +18,20 @@ use std::collections::HashMap;
 /// a work budget; a subset whose true size busts the budget reports the
 /// budget itself — a deliberate floor that keeps catastrophic plans
 /// looking catastrophic without unbounded counting work.
+/// The memo's `RefCell` makes the oracle `Send` but **not** `Sync`:
+/// each training worker owns its own oracle over the shared (`Sync`)
+/// `Database`, which is exactly the sharing model the parallel trainer
+/// uses.
 pub struct TrueCardinality<'a> {
     db: &'a Database,
     config: ExecConfig,
     cache: RefCell<HashMap<RelSet, f64>>,
 }
+
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<TrueCardinality<'static>>();
+};
 
 impl<'a> TrueCardinality<'a> {
     /// Creates an oracle for queries against `db`.

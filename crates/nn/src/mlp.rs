@@ -12,6 +12,15 @@ pub struct Mlp {
     hidden_activation: Activation,
 }
 
+// Policy snapshots ship cloned networks across threads (parallel
+// episode collection); forward passes take `&self`, so `Sync` must
+// hold too. Owned weight buffers give both for free — this assertion
+// keeps it that way.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Mlp>();
+};
+
 /// Per-layer parameter gradients from one backward pass.
 #[derive(Debug, Clone)]
 pub struct MlpGradients {

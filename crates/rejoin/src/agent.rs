@@ -1,6 +1,8 @@
 //! The ReJOIN agent: a policy-gradient learner over the environments.
 
-use hfqo_rl::{Environment, Episode, PpoAgent, PpoConfig, ReinforceAgent, ReinforceConfig};
+use hfqo_rl::{
+    Environment, Episode, PolicySnapshot, PpoAgent, PpoConfig, ReinforceAgent, ReinforceConfig,
+};
 use rand::rngs::StdRng;
 
 /// Which policy-gradient algorithm backs the agent.
@@ -59,6 +61,17 @@ impl ReJoinAgent {
         match &self.inner {
             Inner::Reinforce(a) => a.select_action(features, mask, rng, greedy),
             Inner::Ppo(a) => a.select_action(features, mask, rng, greedy),
+        }
+    }
+
+    /// A frozen, `Send + Sync` copy of the current policy. Rollout
+    /// workers act with snapshots while the learner keeps the mutable
+    /// optimizer state; a snapshot consumes the RNG stream exactly as
+    /// the live agent does.
+    pub fn snapshot(&self) -> PolicySnapshot {
+        match &self.inner {
+            Inner::Reinforce(a) => a.snapshot(),
+            Inner::Ppo(a) => a.snapshot(),
         }
     }
 

@@ -148,6 +148,11 @@ impl<'a> FullPlanEnv<'a> {
         self.order = order;
     }
 
+    /// The current query ordering policy.
+    pub fn order(&self) -> QueryOrder {
+        self.order
+    }
+
     /// The outcome of the most recently finished episode.
     pub fn last_outcome(&self) -> Option<&EpisodeOutcome> {
         self.last_outcome.as_ref()

@@ -38,6 +38,11 @@ pub enum LatencySource {
 }
 
 /// Shared, read-only context the environments cost and simulate against.
+///
+/// Holds only shared references into the world plus owned model
+/// parameters, so it is `Clone`: parallel training builds one context
+/// per worker over the same `Database`/`StatsCatalog`.
+#[derive(Clone)]
 pub struct EnvContext<'a> {
     /// The database (data + catalog).
     pub db: &'a Database,
@@ -220,6 +225,11 @@ impl<'a> JoinOrderEnv<'a> {
     /// Changes the query ordering policy.
     pub fn set_order(&mut self, order: QueryOrder) {
         self.order = order;
+    }
+
+    /// The current query ordering policy.
+    pub fn order(&self) -> QueryOrder {
+        self.order
     }
 
     /// Swaps the reward mode (used by the bootstrap trainer's phase

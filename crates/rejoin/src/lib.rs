@@ -23,6 +23,10 @@
 //!   (scaled) simulated latency.
 //! * [`trainer`] — the episode loop with per-episode logging, the data
 //!   behind Figures 3a/3b.
+//! * [`parallel`] — the multi-worker episode-collection harness
+//!   (`ParallelTrainer`): N threads over the shared read-only world,
+//!   A2C-style synchronous rounds, deterministic per-worker RNG
+//!   streams.
 //! * [`demonstration`], [`bootstrap`], [`incremental`] — the §5 methods.
 
 pub mod agent;
@@ -33,6 +37,7 @@ pub mod env_join;
 pub mod featurize;
 pub mod incremental;
 pub mod metrics;
+pub mod parallel;
 pub mod planfix;
 pub mod reward;
 pub mod trainer;
@@ -45,5 +50,6 @@ pub use env_join::{EnvContext, EpisodeOutcome, JoinOrderEnv, LatencySource, Quer
 pub use featurize::Featurizer;
 pub use incremental::{Curriculum, StageSet};
 pub use metrics::{MovingAverage, TrainingLog};
+pub use parallel::{train_parallel, ParallelTrainer};
 pub use reward::RewardMode;
 pub use trainer::{evaluate_per_query, train, OutcomeEnv, TrainerConfig};

@@ -54,7 +54,11 @@ impl MovingAverage {
 }
 
 /// One training episode's record.
-#[derive(Debug, Clone)]
+///
+/// `PartialEq` compares every field exactly (floats included): the
+/// determinism-parity tests assert bit-identical logs across trainer
+/// configurations.
+#[derive(Debug, Clone, PartialEq)]
 pub struct EpisodeRecord {
     /// Episode number (0-based).
     pub episode: usize,
@@ -81,7 +85,7 @@ impl EpisodeRecord {
 }
 
 /// The full log of a training run.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct TrainingLog {
     /// Per-episode records, in order.
     pub records: Vec<EpisodeRecord>,

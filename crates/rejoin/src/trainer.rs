@@ -16,6 +16,10 @@ pub trait OutcomeEnv: Environment {
     /// Changes the query ordering policy.
     fn set_query_order(&mut self, order: QueryOrder);
 
+    /// The current query ordering policy (the parallel trainer reads it
+    /// to emulate the global `Cycle` walk across workers).
+    fn query_order(&self) -> QueryOrder;
+
     /// Number of queries in the workload.
     fn workload_len(&self) -> usize;
 }
@@ -27,6 +31,10 @@ impl OutcomeEnv for JoinOrderEnv<'_> {
 
     fn set_query_order(&mut self, order: QueryOrder) {
         self.set_order(order);
+    }
+
+    fn query_order(&self) -> QueryOrder {
+        self.order()
     }
 
     fn workload_len(&self) -> usize {
@@ -43,6 +51,10 @@ impl OutcomeEnv for FullPlanEnv<'_> {
         self.set_order(order);
     }
 
+    fn query_order(&self) -> QueryOrder {
+        self.order()
+    }
+
     fn workload_len(&self) -> usize {
         self.queries().len()
     }
@@ -53,18 +65,50 @@ impl OutcomeEnv for FullPlanEnv<'_> {
 pub struct TrainerConfig {
     /// Episodes to run.
     pub episodes: usize,
+    /// Episode-collection worker threads. `1` (the default) is the
+    /// exact legacy sequential loop; `N > 1` collects episodes on `N`
+    /// threads in synchronous A2C-style rounds (see
+    /// [`crate::parallel`]).
+    pub workers: usize,
 }
 
 impl TrainerConfig {
-    /// A configuration running `episodes` episodes.
+    /// A configuration running `episodes` episodes on one worker.
     pub fn new(episodes: usize) -> Self {
-        Self { episodes }
+        Self {
+            episodes,
+            workers: 1,
+        }
+    }
+
+    /// Sets the worker-thread count (builder style). `0` is coerced
+    /// to `1`.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+}
+
+/// Builds the log record for a finished episode's outcome.
+pub(crate) fn record_from(outcome: &EpisodeOutcome, episode: usize) -> EpisodeRecord {
+    EpisodeRecord {
+        episode,
+        query_idx: outcome.query_idx,
+        label: outcome.label.clone(),
+        agent_cost: outcome.agent_cost,
+        expert_cost: outcome.expert_cost,
+        reward: outcome.reward,
+        latency_ms: outcome.latency_ms,
     }
 }
 
 /// Runs the standard training loop: sample an episode with the current
 /// policy, log its outcome, hand it to the agent. Returns the per-episode
 /// log (Figure 3a's raw data).
+///
+/// This is the sequential path; `config.workers` is ignored here. Use
+/// [`crate::parallel::train_parallel`] (or [`crate::ParallelTrainer`])
+/// to honor it.
 pub fn train<E: OutcomeEnv>(
     env: &mut E,
     agent: &mut ReJoinAgent,
@@ -75,15 +119,7 @@ pub fn train<E: OutcomeEnv>(
     for episode in 0..config.episodes {
         let ep = agent.run_episode(env, rng, false);
         if let Some(outcome) = env.episode_outcome() {
-            log.push(EpisodeRecord {
-                episode,
-                query_idx: outcome.query_idx,
-                label: outcome.label.clone(),
-                agent_cost: outcome.agent_cost,
-                expert_cost: outcome.expert_cost,
-                reward: outcome.reward,
-                latency_ms: outcome.latency_ms,
-            });
+            log.push(record_from(outcome, episode));
         }
         agent.observe(ep);
     }

@@ -17,6 +17,7 @@ pub mod ppo;
 pub mod reinforce;
 pub mod replay;
 pub mod reward_model;
+pub mod rollout;
 pub mod schedule;
 
 pub use env::{Environment, StepResult};
@@ -25,4 +26,5 @@ pub use ppo::{PpoAgent, PpoConfig};
 pub use reinforce::{ReinforceAgent, ReinforceConfig};
 pub use replay::ReplayBuffer;
 pub use reward_model::{RewardModel, RewardModelConfig};
+pub use rollout::PolicySnapshot;
 pub use schedule::EpsilonSchedule;

@@ -8,9 +8,9 @@
 
 use crate::env::Environment;
 use crate::episode::Episode;
+use crate::rollout::PolicySnapshot;
 use hfqo_nn::{loss, Activation, Adam, Matrix, Mlp, MlpGradients, Optimizer};
 use rand::rngs::StdRng;
-use rand::Rng;
 
 /// PPO hyperparameters.
 #[derive(Debug, Clone)]
@@ -86,6 +86,12 @@ impl PpoAgent {
         self.episodes_seen
     }
 
+    /// A frozen, `Send + Sync` copy of the current policy for rollout
+    /// workers.
+    pub fn snapshot(&self) -> PolicySnapshot {
+        PolicySnapshot::new(self.policy.clone())
+    }
+
     /// Samples an action; returns `(action, probability)`.
     pub fn select_action(
         &self,
@@ -94,32 +100,7 @@ impl PpoAgent {
         rng: &mut StdRng,
         greedy: bool,
     ) -> (usize, f32) {
-        let logits = self.policy.predict(&Matrix::row_vector(features.to_vec()));
-        let probs = loss::masked_softmax(logits.row(0), mask);
-        if greedy {
-            let (best, p) = probs
-                .iter()
-                .enumerate()
-                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
-                .expect("non-empty action space");
-            return (best, *p);
-        }
-        let draw: f32 = rng.gen();
-        let mut acc = 0.0;
-        for (i, &p) in probs.iter().enumerate() {
-            if p <= 0.0 {
-                continue;
-            }
-            acc += p;
-            if draw <= acc {
-                return (i, p);
-            }
-        }
-        let a = probs
-            .iter()
-            .rposition(|&p| p > 0.0)
-            .expect("mask has a valid action");
-        (a, probs[a])
+        PolicySnapshot::select_with(&self.policy, features, mask, rng, greedy)
     }
 
     /// Rolls out one episode.
@@ -129,27 +110,7 @@ impl PpoAgent {
         rng: &mut StdRng,
         greedy: bool,
     ) -> Episode {
-        env.reset(rng);
-        let mut episode = Episode::new();
-        let mut features = Vec::new();
-        let mut mask = Vec::new();
-        while !env.is_terminal() {
-            env.state_features(&mut features);
-            env.action_mask(&mut mask);
-            let (action, prob) = self.select_action(&features, &mask, rng, greedy);
-            let result = env.step(action, rng);
-            episode.transitions.push(crate::episode::Transition {
-                features: features.clone(),
-                mask: mask.clone(),
-                action,
-                action_prob: prob,
-                reward: result.reward,
-            });
-            if result.done {
-                break;
-            }
-        }
-        episode
+        PolicySnapshot::rollout_with(&self.policy, env, rng, greedy)
     }
 
     /// Buffers an episode; updates when the batch fills. Returns `true`

@@ -2,9 +2,9 @@
 
 use crate::env::Environment;
 use crate::episode::{Episode, Transition};
+use crate::rollout::PolicySnapshot;
 use hfqo_nn::{loss, Activation, Adam, Matrix, Mlp, MlpGradients, Optimizer};
 use rand::rngs::StdRng;
-use rand::Rng;
 
 /// REINFORCE hyperparameters.
 #[derive(Debug, Clone)]
@@ -102,6 +102,13 @@ impl ReinforceAgent {
         self.updates
     }
 
+    /// A frozen, `Send + Sync` copy of the current policy for rollout
+    /// workers. The snapshot's action selection consumes the RNG stream
+    /// exactly as the live agent does.
+    pub fn snapshot(&self) -> PolicySnapshot {
+        PolicySnapshot::new(self.policy.clone())
+    }
+
     /// Samples an action (or takes the mode when `greedy`). Returns the
     /// action and its probability under the current policy.
     pub fn select_action(
@@ -111,38 +118,7 @@ impl ReinforceAgent {
         rng: &mut StdRng,
         greedy: bool,
     ) -> (usize, f32) {
-        let x = Matrix::row_vector(features.to_vec());
-        let logits = self.policy.predict(&x);
-        let probs = loss::masked_softmax(logits.row(0), mask);
-        if greedy {
-            let (best, p) = probs
-                .iter()
-                .enumerate()
-                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
-                .expect("non-empty action space");
-            return (best, *p);
-        }
-        let draw: f32 = rng.gen();
-        let mut acc = 0.0;
-        let mut chosen = None;
-        for (i, &p) in probs.iter().enumerate() {
-            if p <= 0.0 {
-                continue;
-            }
-            acc += p;
-            if draw <= acc {
-                chosen = Some(i);
-                break;
-            }
-        }
-        // Floating-point round-off can leave acc slightly below 1.
-        let action = chosen.unwrap_or_else(|| {
-            probs
-                .iter()
-                .rposition(|&p| p > 0.0)
-                .expect("mask has a valid action")
-        });
-        (action, probs[action])
+        PolicySnapshot::select_with(&self.policy, features, mask, rng, greedy)
     }
 
     /// Rolls out one episode in `env` with the current policy.
@@ -152,27 +128,7 @@ impl ReinforceAgent {
         rng: &mut StdRng,
         greedy: bool,
     ) -> Episode {
-        env.reset(rng);
-        let mut episode = Episode::new();
-        let mut features = Vec::with_capacity(env.state_dim());
-        let mut mask = Vec::with_capacity(env.action_dim());
-        while !env.is_terminal() {
-            env.state_features(&mut features);
-            env.action_mask(&mut mask);
-            let (action, prob) = self.select_action(&features, &mask, rng, greedy);
-            let result = env.step(action, rng);
-            episode.transitions.push(Transition {
-                features: features.clone(),
-                mask: mask.clone(),
-                action,
-                action_prob: prob,
-                reward: result.reward,
-            });
-            if result.done {
-                break;
-            }
-        }
-        episode
+        PolicySnapshot::rollout_with(&self.policy, env, rng, greedy)
     }
 
     /// Buffers a finished episode; triggers an update every

@@ -1,0 +1,212 @@
+//! Policy snapshots: the rollout-only view of a policy-gradient agent.
+//!
+//! Parallel episode collection (Balsa-style simultaneous agents) needs
+//! worker threads that *act* with a frozen copy of the policy while the
+//! learner thread keeps the mutable optimizer state. [`PolicySnapshot`]
+//! is that frozen copy: plain owned weights (`Send + Sync`), masked
+//! softmax action selection, and the episode rollout loop. Both
+//! [`ReinforceAgent`](crate::ReinforceAgent) and
+//! [`PpoAgent`](crate::PpoAgent) delegate their own action selection and
+//! rollouts here, so a snapshot consumes the RNG stream *identically* to
+//! the live agent — the property the `workers = 1` determinism-parity
+//! contract rests on.
+
+use crate::env::Environment;
+use crate::episode::{Episode, Transition};
+use hfqo_nn::{loss, Matrix, Mlp};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A frozen, shareable copy of a policy network.
+///
+/// Cloning the weights is the only cost; everything else is read-only,
+/// so one snapshot can be shared across worker threads behind an `Arc`.
+#[derive(Debug, Clone)]
+pub struct PolicySnapshot {
+    policy: Mlp,
+}
+
+// Snapshots cross thread boundaries by design; `Mlp` is plain owned
+// data, so this holds structurally — the assertion makes the contract
+// explicit and breaks the build if interior mutability ever sneaks in.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<PolicySnapshot>();
+};
+
+impl PolicySnapshot {
+    /// Wraps a copy of `policy`.
+    pub fn new(policy: Mlp) -> Self {
+        Self { policy }
+    }
+
+    /// The frozen policy network.
+    pub fn policy(&self) -> &Mlp {
+        &self.policy
+    }
+
+    /// Samples an action from the masked softmax over the policy's
+    /// logits (or takes the mode when `greedy`). Returns the action and
+    /// its probability under the policy.
+    pub fn select_action(
+        &self,
+        features: &[f32],
+        mask: &[bool],
+        rng: &mut StdRng,
+        greedy: bool,
+    ) -> (usize, f32) {
+        Self::select_with(&self.policy, features, mask, rng, greedy)
+    }
+
+    /// Action selection against a borrowed policy — the shared
+    /// implementation the live agents delegate to, so live and snapshot
+    /// action streams cannot drift.
+    pub fn select_with(
+        policy: &Mlp,
+        features: &[f32],
+        mask: &[bool],
+        rng: &mut StdRng,
+        greedy: bool,
+    ) -> (usize, f32) {
+        let x = Matrix::row_vector(features.to_vec());
+        let logits = policy.predict(&x);
+        let probs = loss::masked_softmax(logits.row(0), mask);
+        if greedy {
+            let (best, p) = probs
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+                .expect("non-empty action space");
+            return (best, *p);
+        }
+        let draw: f32 = rng.gen();
+        let mut acc = 0.0;
+        for (i, &p) in probs.iter().enumerate() {
+            if p <= 0.0 {
+                continue;
+            }
+            acc += p;
+            if draw <= acc {
+                return (i, p);
+            }
+        }
+        // Floating-point round-off can leave acc slightly below 1.
+        let a = probs
+            .iter()
+            .rposition(|&p| p > 0.0)
+            .expect("mask has a valid action");
+        (a, probs[a])
+    }
+
+    /// Rolls out one episode in `env` with the frozen policy.
+    pub fn run_episode<E: Environment>(
+        &self,
+        env: &mut E,
+        rng: &mut StdRng,
+        greedy: bool,
+    ) -> Episode {
+        Self::rollout_with(&self.policy, env, rng, greedy)
+    }
+
+    /// Episode rollout against a borrowed policy (shared by the live
+    /// agents and snapshots).
+    pub fn rollout_with<E: Environment>(
+        policy: &Mlp,
+        env: &mut E,
+        rng: &mut StdRng,
+        greedy: bool,
+    ) -> Episode {
+        env.reset(rng);
+        let mut episode = Episode::new();
+        let mut features = Vec::with_capacity(env.state_dim());
+        let mut mask = Vec::with_capacity(env.action_dim());
+        while !env.is_terminal() {
+            env.state_features(&mut features);
+            env.action_mask(&mut mask);
+            let (action, prob) = Self::select_with(policy, &features, &mask, rng, greedy);
+            let result = env.step(action, rng);
+            episode.transitions.push(Transition {
+                features: features.clone(),
+                mask: mask.clone(),
+                action,
+                action_prob: prob,
+                reward: result.reward,
+            });
+            if result.done {
+                break;
+            }
+        }
+        episode
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::toy::Bandit;
+    use crate::{ReinforceAgent, ReinforceConfig};
+    use rand::SeedableRng;
+
+    #[test]
+    fn snapshot_matches_live_agent_action_stream() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let agent = ReinforceAgent::new(
+            1,
+            3,
+            ReinforceConfig {
+                hidden: vec![8],
+                ..Default::default()
+            },
+            &mut rng,
+        );
+        let snapshot = agent.snapshot();
+        let mask = [true; 3];
+        let mut rng_a = StdRng::seed_from_u64(7);
+        let mut rng_b = StdRng::seed_from_u64(7);
+        for _ in 0..50 {
+            let a = agent.select_action(&[1.0], &mask, &mut rng_a, false);
+            let b = snapshot.select_action(&[1.0], &mask, &mut rng_b, false);
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn snapshot_rollout_matches_live_agent() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let agent = ReinforceAgent::new(
+            1,
+            2,
+            ReinforceConfig {
+                hidden: vec![8],
+                ..Default::default()
+            },
+            &mut rng,
+        );
+        let snapshot = agent.snapshot();
+        let mut env_a = Bandit::new(vec![0.3, 0.7]);
+        let mut env_b = Bandit::new(vec![0.3, 0.7]);
+        let mut rng_a = StdRng::seed_from_u64(9);
+        let mut rng_b = StdRng::seed_from_u64(9);
+        let ea = agent.run_episode(&mut env_a, &mut rng_a, false);
+        let eb = snapshot.run_episode(&mut env_b, &mut rng_b, false);
+        assert_eq!(ea.transitions.len(), eb.transitions.len());
+        for (a, b) in ea.transitions.iter().zip(&eb.transitions) {
+            assert_eq!(a.action, b.action);
+            assert_eq!(a.reward, b.reward);
+        }
+    }
+
+    #[test]
+    fn greedy_selection_is_the_mode() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let agent = ReinforceAgent::new(2, 4, ReinforceConfig::default(), &mut rng);
+        let snapshot = agent.snapshot();
+        let mask = [true, false, true, true];
+        let (a, p) = snapshot.select_action(&[0.5, -0.5], &mask, &mut rng, true);
+        assert!(mask[a]);
+        assert!(p > 0.0);
+        // Greedy ignores the RNG: the same call returns the same action.
+        let (b, _) = snapshot.select_action(&[0.5, -0.5], &mask, &mut rng, true);
+        assert_eq!(a, b);
+    }
+}

@@ -43,3 +43,15 @@ pub use error::StorageError;
 pub use hash_index::HashIndex;
 pub use table::Table;
 pub use value::Value;
+
+// The parallel training harness shares one `Database` across worker
+// threads by reference; concurrent plan execution is sound only while
+// the store stays free of interior mutability. This assertion turns
+// any future `Cell`/`RefCell` in the storage layer into a build error
+// rather than a data race.
+const _: () = {
+    const fn assert_sync<T: Sync>() {}
+    assert_sync::<Database>();
+    assert_sync::<Table>();
+    assert_sync::<ColumnVector>();
+};

@@ -2,15 +2,36 @@
 //!
 //! ```sh
 //! cargo run --release --example imdb_training
+//! # collect episodes on 4 worker threads (same-seed runs reproduce):
+//! cargo run --release --example imdb_training -- --workers 4
 //! ```
+//!
+//! The worker count can also come from `HFQO_WORKERS`.
 
 use hfqo::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+/// `--workers N` (or `HFQO_WORKERS=N`), defaulting to 1 — the exact
+/// sequential trainer.
+fn worker_count() -> usize {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--workers" {
+            let v = args.next().expect("--workers requires a value");
+            return v.parse().expect("invalid --workers value");
+        }
+    }
+    std::env::var("HFQO_WORKERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1)
+}
+
 fn main() {
     let episodes = 2_000;
     let window = 100;
+    let workers = worker_count();
     println!("building IMDB-like database and 113 JOB-like queries …");
     let bundle = WorkloadBundle::imdb_job(
         ImdbConfig {
@@ -27,18 +48,23 @@ fn main() {
         .cloned()
         .collect();
     println!(
-        "training on {} queries (4–8 relations) for {episodes} episodes …",
-        queries.len()
+        "training on {} queries (4–8 relations) for {episodes} episodes \
+         ({workers} worker{}) …",
+        queries.len(),
+        if workers == 1 { "" } else { "s" }
     );
 
-    let ctx = EnvContext::new(&bundle.db, &bundle.stats);
-    let mut env = JoinOrderEnv::new(
-        ctx,
-        &queries,
-        8,
-        QueryOrder::Shuffle,
-        RewardMode::LogRelative,
-    );
+    let make_env = |_w: usize| {
+        let ctx = EnvContext::new(&bundle.db, &bundle.stats);
+        JoinOrderEnv::new(
+            ctx,
+            &queries,
+            8,
+            QueryOrder::Shuffle,
+            RewardMode::LogRelative,
+        )
+    };
+    let mut env = make_env(0);
     let mut rng = StdRng::seed_from_u64(3);
     let mut agent = ReJoinAgent::new(
         env.state_dim(),
@@ -46,7 +72,8 @@ fn main() {
         PolicyKind::default_reinforce(),
         &mut rng,
     );
-    let log = train(&mut env, &mut agent, TrainerConfig::new(episodes), &mut rng);
+    let trainer = ParallelTrainer::new(TrainerConfig::new(episodes).with_workers(workers));
+    let log = trainer.train(make_env, &mut agent, &mut rng);
 
     println!("\nepisode   plan cost relative to expert (geometric MA {window})");
     for (ep, ratio) in log.moving_geo_ratio(window).iter().step_by(200) {

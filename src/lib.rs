@@ -74,9 +74,10 @@ pub mod prelude {
         bind_select, Forest, JoinTree, PhysicalPlan, PlanNode, QueryGraph, RelSet,
     };
     pub use hfqo_rejoin::{
-        cost_bootstrap, evaluate_per_query, learn_from_demonstration, train, BootstrapConfig,
-        Curriculum, DemonstrationConfig, EnvContext, Featurizer, FullPlanEnv, JoinOrderEnv,
-        PolicyKind, QueryOrder, ReJoinAgent, RewardMode, StageSet, TrainerConfig, TrainingLog,
+        cost_bootstrap, evaluate_per_query, learn_from_demonstration, train, train_parallel,
+        BootstrapConfig, Curriculum, DemonstrationConfig, EnvContext, Featurizer, FullPlanEnv,
+        JoinOrderEnv, ParallelTrainer, PolicyKind, QueryOrder, ReJoinAgent, RewardMode, StageSet,
+        TrainerConfig, TrainingLog,
     };
     pub use hfqo_rl::Environment;
     pub use hfqo_sql::parse_select;

@@ -180,6 +180,90 @@ fn budget_capped_plans_abort_identically() {
     }
 }
 
+/// Merge join with an empty input side: a selection filters one side to
+/// zero rows, and both engines must agree on the empty result (and on
+/// everything else `assert_equivalent` checks). Promoted from a PR 1
+/// review scratch test.
+#[test]
+fn merge_join_with_empty_input_side_is_equivalent() {
+    use hfqo::catalog::{Column, ColumnId, ColumnType, TableSchema};
+    use hfqo::query::{AccessPath, BoundColumn, JoinEdge, Lit, RelId, Relation, Selection};
+    use hfqo::sql::CompareOp;
+    use hfqo::storage::Value;
+    use hfqo_query::JoinAlgo;
+
+    let mut cat = Catalog::new();
+    let a = cat
+        .add_table(TableSchema::new(
+            "a",
+            vec![Column::new("k", ColumnType::Int)],
+        ))
+        .unwrap();
+    let b = cat
+        .add_table(TableSchema::new(
+            "b",
+            vec![Column::new("k", ColumnType::Int)],
+        ))
+        .unwrap();
+    let mut db = Database::new(cat);
+    for i in 0..5i64 {
+        db.table_mut(a)
+            .unwrap()
+            .append_row(&[Value::Int(i)])
+            .unwrap();
+        db.table_mut(b)
+            .unwrap()
+            .append_row(&[Value::Int(i)])
+            .unwrap();
+    }
+    let graph = QueryGraph::new(
+        vec![
+            Relation {
+                table: a,
+                alias: "a".into(),
+            },
+            Relation {
+                table: b,
+                alias: "b".into(),
+            },
+        ],
+        vec![JoinEdge {
+            left: BoundColumn::new(RelId(0), ColumnId(0)),
+            op: CompareOp::Eq,
+            right: BoundColumn::new(RelId(1), ColumnId(0)),
+        }],
+        // Selection matches nothing: a is empty after the filter.
+        vec![Selection {
+            column: BoundColumn::new(RelId(0), ColumnId(0)),
+            op: CompareOp::Lt,
+            value: Lit::Int(-100),
+        }],
+        vec![],
+        vec![],
+    );
+    let plan = PhysicalPlan::new(PlanNode::Join {
+        algo: JoinAlgo::Merge,
+        conds: vec![0],
+        left: Box::new(PlanNode::Scan {
+            rel: RelId(0),
+            path: AccessPath::SeqScan,
+        }),
+        right: Box::new(PlanNode::Scan {
+            rel: RelId(1),
+            path: AccessPath::SeqScan,
+        }),
+    });
+    assert_equivalent(
+        &db,
+        &graph,
+        &plan,
+        ExecConfig::default(),
+        "empty-side merge",
+    );
+    let out = hfqo::exec::execute(&db, &graph, &plan, ExecConfig::default()).unwrap();
+    assert_eq!(out.rows.len(), 0, "filtered side yields no join output");
+}
+
 #[test]
 fn true_cardinality_oracle_matches_row_counts() {
     // The oracle now counts through zero-column batch pipelines; its

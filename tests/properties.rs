@@ -213,4 +213,78 @@ proptest! {
         let (lo, hi) = if probe_a <= probe_b { (probe_a, probe_b) } else { (probe_b, probe_a) };
         prop_assert!(scaler.scale(lo) <= scaler.scale(hi) + 1e-9);
     }
+
+    /// The replay buffer never exceeds its capacity, and once full it
+    /// evicts strictly FIFO: after `n` pushes of `0..n`, the buffer
+    /// holds exactly the last `min(n, capacity)` values.
+    #[test]
+    fn replay_buffer_capacity_and_fifo_eviction(
+        capacity in 1usize..24,
+        pushes in 0usize..64,
+    ) {
+        use hfqo::rl::ReplayBuffer;
+        let mut buf = ReplayBuffer::new(capacity);
+        for i in 0..pushes {
+            buf.push(i);
+            prop_assert!(buf.len() <= capacity, "len {} > capacity {capacity}", buf.len());
+        }
+        prop_assert_eq!(buf.len(), pushes.min(capacity));
+        prop_assert_eq!(buf.is_empty(), pushes == 0);
+        // FIFO: the survivors are exactly the most recent pushes —
+        // every older value was evicted in arrival order.
+        let mut survivors: Vec<usize> = buf.items().to_vec();
+        survivors.sort_unstable();
+        let expected: Vec<usize> = (pushes.saturating_sub(capacity)..pushes).collect();
+        prop_assert_eq!(survivors, expected);
+    }
+
+    /// Sampling returns exactly `n` items, each one currently in the
+    /// buffer; an empty buffer yields an empty sample for any `n`.
+    #[test]
+    fn replay_buffer_sample_within_bounds(
+        capacity in 1usize..16,
+        pushes in 0usize..40,
+        n in 0usize..50,
+        seed in 0u64..100,
+    ) {
+        use hfqo::rl::ReplayBuffer;
+        let mut buf = ReplayBuffer::new(capacity);
+        for i in 0..pushes {
+            buf.push(i);
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let sample = buf.sample(n, &mut rng);
+        if pushes == 0 {
+            prop_assert!(sample.is_empty());
+        } else {
+            prop_assert_eq!(sample.len(), n);
+            prop_assert!(sample.iter().all(|x| buf.items().contains(x)));
+        }
+    }
+
+    /// Epsilon schedule boundaries: exactly `start` at episode 0,
+    /// exactly `end` at `decay_episodes` and beyond (and for the
+    /// degenerate zero-length decay), with every intermediate value
+    /// between the two.
+    #[test]
+    fn epsilon_schedule_boundary_episodes(
+        start in 0.0f32..1.0,
+        end in 0.0f32..1.0,
+        decay in 0usize..500,
+        probe in 0usize..1_000,
+    ) {
+        use hfqo::rl::EpsilonSchedule;
+        let s = EpsilonSchedule { start, end, decay_episodes: decay };
+        if decay == 0 {
+            prop_assert_eq!(s.value(0), end);
+        } else {
+            prop_assert_eq!(s.value(0), start);
+        }
+        prop_assert_eq!(s.value(decay), end);
+        prop_assert_eq!(s.value(decay.saturating_add(1)), end);
+        prop_assert_eq!(s.value(usize::MAX), end);
+        let v = s.value(probe);
+        let (lo, hi) = if start <= end { (start, end) } else { (end, start) };
+        prop_assert!((lo - 1e-6..=hi + 1e-6).contains(&v), "{v} outside [{lo}, {hi}]");
+    }
 }

@@ -166,6 +166,159 @@ fn full_plan_env_trains_and_evaluates() {
     }
 }
 
+/// Worker counts to exercise in the determinism tests: the
+/// `HFQO_WORKERS` environment variable (a count or comma-separated
+/// counts — CI runs the suite at 1, 2, and 4), defaulting to `[1, 2]`.
+fn worker_counts() -> Vec<usize> {
+    match std::env::var("HFQO_WORKERS") {
+        Ok(v) => v
+            .split(',')
+            .map(|s| {
+                s.trim()
+                    .parse::<usize>()
+                    .unwrap_or_else(|_| panic!("invalid HFQO_WORKERS entry `{s}`"))
+                    .max(1)
+            })
+            .collect(),
+        Err(_) => vec![1, 2],
+    }
+}
+
+/// Runs the parallel trainer end to end at a given worker count.
+fn parallel_run(
+    bundle: &WorkloadBundle,
+    queries: &[QueryGraph],
+    workers: usize,
+    seed: u64,
+    episodes: usize,
+) -> TrainingLog {
+    let make_env = |_w: usize| {
+        let ctx = EnvContext::new(&bundle.db, &bundle.stats);
+        JoinOrderEnv::new(ctx, queries, 5, QueryOrder::Cycle, RewardMode::LogRelative)
+    };
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut agent = {
+        let env = make_env(0);
+        ReJoinAgent::new(
+            env.state_dim(),
+            env.action_dim(),
+            PolicyKind::default_reinforce(),
+            &mut rng,
+        )
+    };
+    let trainer = ParallelTrainer::new(TrainerConfig::new(episodes).with_workers(workers));
+    trainer.train(make_env, &mut agent, &mut rng)
+}
+
+/// The determinism-parity contract, part 1: `workers = 1` is the exact
+/// legacy sequential loop — same seed, bit-identical `TrainingLog` to
+/// calling `train()` directly.
+#[test]
+fn parallel_workers1_is_bit_identical_to_sequential_train() {
+    let (bundle, queries) = small_workload();
+    let seed = 21;
+    let episodes = 40;
+
+    let sequential = {
+        let ctx = EnvContext::new(&bundle.db, &bundle.stats);
+        let mut env =
+            JoinOrderEnv::new(ctx, &queries, 5, QueryOrder::Cycle, RewardMode::LogRelative);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut agent = ReJoinAgent::new(
+            env.state_dim(),
+            env.action_dim(),
+            PolicyKind::default_reinforce(),
+            &mut rng,
+        );
+        train(&mut env, &mut agent, TrainerConfig::new(episodes), &mut rng)
+    };
+    let parallel = parallel_run(&bundle, &queries, 1, seed, episodes);
+    assert_eq!(
+        sequential, parallel,
+        "workers=1 must replay the sequential trainer bit for bit"
+    );
+}
+
+/// The determinism-parity contract, part 2: at any worker count, the
+/// per-worker seeded streams make the run a pure function of the seed —
+/// same seed ⇒ same log, bit for bit. Exercised at every count in
+/// `HFQO_WORKERS` (CI runs 1, 2, and 4).
+#[test]
+fn parallel_same_seed_reproduces_at_all_worker_counts() {
+    let (bundle, queries) = small_workload();
+    for workers in worker_counts() {
+        let a = parallel_run(&bundle, &queries, workers, 33, 24);
+        let b = parallel_run(&bundle, &queries, workers, 33, 24);
+        assert_eq!(a, b, "workers={workers}: same seed must reproduce");
+        assert_eq!(a.len(), 24);
+        // Episode order and the global Cycle walk survive parallel
+        // collection.
+        for (i, r) in a.records.iter().enumerate() {
+            assert_eq!(r.episode, i);
+            assert_eq!(r.query_idx, i % queries.len());
+        }
+        // A different seed must change the run (the log carries
+        // per-episode costs; 24 identical episodes would mean the seed
+        // is ignored).
+        let c = parallel_run(&bundle, &queries, workers, 34, 24);
+        assert_ne!(a, c, "workers={workers}: seed must matter");
+    }
+}
+
+/// Golden-log regression: a fixed-seed 50-episode run on the synth
+/// workload must keep producing exactly the `(query_idx, agent_cost,
+/// reward)` tuples recorded in `tests/golden/training_log_seed7.txt`.
+/// Any RL-stack refactor that shifts an RNG draw, a feature, or a cost
+/// shows up here as a diff. Regenerate deliberately with
+/// `HFQO_BLESS=1 cargo test --test training_integration golden`.
+#[test]
+fn golden_log_fixed_seed_synth_run() {
+    use hfqo::workload::synth::{Shape, SynthConfig, SynthDb};
+
+    let synth = SynthDb::build(SynthConfig {
+        tables: 6,
+        rows: 200,
+        seed: 17,
+    });
+    let queries = vec![
+        synth.query(Shape::Chain, 4, 2, 0).with_label("chain4"),
+        synth.query(Shape::Star, 4, 1, 1).with_label("star4"),
+        synth.query(Shape::Chain, 3, 2, 2).with_label("chain3"),
+        synth.query(Shape::Cycle, 4, 0, 3).with_label("cycle4"),
+    ];
+    let ctx = EnvContext::new(&synth.db, &synth.stats);
+    let mut env = JoinOrderEnv::new(ctx, &queries, 4, QueryOrder::Cycle, RewardMode::LogRelative);
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut agent = ReJoinAgent::new(
+        env.state_dim(),
+        env.action_dim(),
+        PolicyKind::default_reinforce(),
+        &mut rng,
+    );
+    let log = train(&mut env, &mut agent, TrainerConfig::new(50), &mut rng);
+    let actual: String = log
+        .records
+        .iter()
+        .map(|r| format!("{} {:?} {:?}\n", r.query_idx, r.agent_cost, r.reward))
+        .collect();
+
+    let golden_path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/golden/training_log_seed7.txt"
+    );
+    if std::env::var("HFQO_BLESS").is_ok() {
+        std::fs::write(golden_path, &actual).expect("write golden file");
+        return;
+    }
+    let expected = std::fs::read_to_string(golden_path)
+        .expect("golden file present (regenerate with HFQO_BLESS=1)");
+    assert_eq!(
+        expected, actual,
+        "fixed-seed training log drifted from {golden_path}; if the \
+         change is intentional, regenerate with HFQO_BLESS=1"
+    );
+}
+
 #[test]
 fn ppo_backend_also_trains() {
     let (bundle, queries) = small_workload();
