@@ -1,4 +1,27 @@
 //! Row-major `f32` matrices.
+//!
+//! The two matmul kernels that carry the training hot path (`matmul`
+//! for forward passes, `matmul_tn` for weight gradients) are
+//! cache-blocked: the batched update path multiplies B×F activation
+//! matrices against F×H weight matrices, and tiling keeps the streamed
+//! operand resident in cache across a tile of output rows. Both
+//! kernels accumulate every output element strictly in ascending-`p`
+//! (depth/row) order — the same order the per-row path produces when it
+//! sums one rank-1 gradient per transition — so a batched gradient is
+//! **bit-identical** to the sum of the per-row gradients it replaces.
+//! The RL parity tests and the PR 2 golden training log rest on that
+//! ordering guarantee; do not reorder the reductions.
+
+/// Output-row tile: how many rows of the result are accumulated
+/// together, so a tile of `out` stays hot while the depth dimension
+/// streams through.
+const BLOCK_ROWS: usize = 16;
+
+/// Depth tile: how many `p` (inner-dimension) steps are applied per
+/// tile. At ReJOIN scale (F = 612, H = 128) one depth tile of the
+/// weight matrix is 64 × 128 × 4 B = 32 KiB — L1/L2-resident while it
+/// is reused across a whole row tile.
+const BLOCK_DEPTH: usize = 64;
 
 /// A dense row-major matrix.
 #[derive(Debug, Clone, PartialEq)]
@@ -82,23 +105,36 @@ impl Matrix {
     }
 
     /// `self @ other` (`[m×k] @ [k×n] → [m×n]`).
+    ///
+    /// Cache-blocked ikj kernel: the inner loop walks both `other` and
+    /// `out` contiguously, and tiles of `BLOCK_ROWS` output rows ×
+    /// `BLOCK_DEPTH` depth steps keep the reused `other` slab resident.
+    /// Each `out[i, j]` accumulates in strictly ascending `p` order
+    /// (tiles ascend, `p` ascends within a tile), so the result is
+    /// bit-identical to the unblocked kernel — and a batched forward row
+    /// is bit-identical to the same row pushed through alone.
     pub fn matmul(&self, other: &Matrix) -> Matrix {
         assert_eq!(self.cols, other.rows, "matmul shape mismatch");
         let (m, k, n) = (self.rows, self.cols, other.cols);
         let mut out = Matrix::zeros(m, n);
-        // ikj loop order: the inner loop walks both `other` and `out`
-        // contiguously, which is the cache-friendly ordering for row-major
-        // data.
-        for i in 0..m {
-            for p in 0..k {
-                let a = self.data[i * k + p];
-                if a == 0.0 {
-                    continue;
-                }
-                let other_row = &other.data[p * n..(p + 1) * n];
-                let out_row = &mut out.data[i * n..(i + 1) * n];
-                for j in 0..n {
-                    out_row[j] += a * other_row[j];
+        for i0 in (0..m).step_by(BLOCK_ROWS) {
+            let i1 = (i0 + BLOCK_ROWS).min(m);
+            for p0 in (0..k).step_by(BLOCK_DEPTH) {
+                let p1 = (p0 + BLOCK_DEPTH).min(k);
+                for i in i0..i1 {
+                    let self_row = &self.data[i * k..(i + 1) * k];
+                    let out_row = &mut out.data[i * n..(i + 1) * n];
+                    #[allow(clippy::needless_range_loop)] // p offsets other too
+                    for p in p0..p1 {
+                        let a = self_row[p];
+                        if a == 0.0 {
+                            continue;
+                        }
+                        let other_row = &other.data[p * n..(p + 1) * n];
+                        for j in 0..n {
+                            out_row[j] += a * other_row[j];
+                        }
+                    }
                 }
             }
         }
@@ -107,22 +143,36 @@ impl Matrix {
 
     /// `selfᵀ @ other` (`[k×m]ᵀ @ [k×n] → [m×n]`) without materialising
     /// the transpose.
+    ///
+    /// This is the weight-gradient kernel (`Xᵀ @ grad`): `k` is the
+    /// batch dimension, and every `out[i, j]` accumulates its `k`
+    /// rank-1 contributions in ascending row order — exactly the order
+    /// `MlpGradients::add` applies per-transition gradients — which is
+    /// what makes batched and per-row updates bit-identical. Blocking
+    /// tiles `BLOCK_ROWS` output rows so the accumulator slab stays hot
+    /// while the batch streams through.
     pub fn matmul_tn(&self, other: &Matrix) -> Matrix {
         assert_eq!(self.rows, other.rows, "matmul_tn shape mismatch");
         let (k, m, n) = (self.rows, self.cols, other.cols);
         let mut out = Matrix::zeros(m, n);
-        for p in 0..k {
-            let self_row = &self.data[p * m..(p + 1) * m];
-            let other_row = &other.data[p * n..(p + 1) * n];
-            #[allow(clippy::needless_range_loop)] // i also offsets other_row
-            for i in 0..m {
-                let a = self_row[i];
-                if a == 0.0 {
-                    continue;
-                }
-                let out_row = &mut out.data[i * n..(i + 1) * n];
-                for j in 0..n {
-                    out_row[j] += a * other_row[j];
+        for i0 in (0..m).step_by(BLOCK_ROWS) {
+            let i1 = (i0 + BLOCK_ROWS).min(m);
+            for p0 in (0..k).step_by(BLOCK_DEPTH) {
+                let p1 = (p0 + BLOCK_DEPTH).min(k);
+                for p in p0..p1 {
+                    let self_row = &self.data[p * m..(p + 1) * m];
+                    let other_row = &other.data[p * n..(p + 1) * n];
+                    #[allow(clippy::needless_range_loop)] // i also offsets out
+                    for i in i0..i1 {
+                        let a = self_row[i];
+                        if a == 0.0 {
+                            continue;
+                        }
+                        let out_row = &mut out.data[i * n..(i + 1) * n];
+                        for j in 0..n {
+                            out_row[j] += a * other_row[j];
+                        }
+                    }
                 }
             }
         }
@@ -207,6 +257,110 @@ mod tests {
         m.add_row_bias(&[10., 20.]);
         assert_eq!(m.data(), &[11., 22., 13., 24.]);
         assert_eq!(m.col_sums(), vec![24., 46.]);
+    }
+
+    /// Unblocked ikj reference: the pre-blocking `matmul` kernel,
+    /// accumulating each output element in ascending `p` order.
+    fn reference_matmul(a: &Matrix, b: &Matrix) -> Matrix {
+        assert_eq!(a.cols, b.rows);
+        let (m, k, n) = (a.rows, a.cols, b.cols);
+        let mut out = Matrix::zeros(m, n);
+        for i in 0..m {
+            for p in 0..k {
+                let x = a.data[i * k + p];
+                if x == 0.0 {
+                    continue;
+                }
+                for j in 0..n {
+                    out.data[i * n + j] += x * b.data[p * n + j];
+                }
+            }
+        }
+        out
+    }
+
+    /// Unblocked reference for `aᵀ @ b`, ascending-`p` accumulation.
+    fn reference_matmul_tn(a: &Matrix, b: &Matrix) -> Matrix {
+        assert_eq!(a.rows, b.rows);
+        let (k, m, n) = (a.rows, a.cols, b.cols);
+        let mut out = Matrix::zeros(m, n);
+        for p in 0..k {
+            for i in 0..m {
+                let x = a.data[p * m + i];
+                if x == 0.0 {
+                    continue;
+                }
+                for j in 0..n {
+                    out.data[i * n + j] += x * b.data[p * n + j];
+                }
+            }
+        }
+        out
+    }
+
+    /// Deterministic pseudo-random fill with irrational-ish values (so
+    /// float addition is genuinely non-associative) and some exact
+    /// zeros (so the skip-zero path is exercised).
+    fn fill(rows: usize, cols: usize, seed: u32) -> Matrix {
+        let mut state = seed.wrapping_mul(2654435761).wrapping_add(1);
+        let data = (0..rows * cols)
+            .map(|_| {
+                state = state.wrapping_mul(1664525).wrapping_add(1013904223);
+                if state.is_multiple_of(7) {
+                    0.0
+                } else {
+                    ((state >> 8) as f32 / (1 << 24) as f32 - 0.5) * 3.0
+                }
+            })
+            .collect();
+        Matrix::from_vec(rows, cols, data)
+    }
+
+    /// The blocked kernels must be *bit-identical* to the unblocked
+    /// references on shapes that straddle every tile boundary: the
+    /// batched-vs-per-row training parity contract (and the PR 2 golden
+    /// log) depends on the accumulation order being unchanged.
+    #[test]
+    fn blocked_kernels_are_bit_exact_across_tile_boundaries() {
+        // (m, k, n) spanning below, at, and beyond BLOCK_ROWS (16) and
+        // BLOCK_DEPTH (64), including non-multiples.
+        for &(m, k, n) in &[
+            (1usize, 1usize, 1usize),
+            (1, 612, 128),
+            (3, 63, 5),
+            (16, 64, 16),
+            (17, 65, 9),
+            (33, 130, 21),
+            (40, 7, 70),
+        ] {
+            let a = fill(m, k, (m * 1000 + k) as u32);
+            let b = fill(k, n, (k * 1000 + n) as u32);
+            assert_eq!(
+                a.matmul(&b).data(),
+                reference_matmul(&a, &b).data(),
+                "matmul {m}x{k}x{n} drifted from the unblocked kernel"
+            );
+            let at = fill(k, m, (m * 31 + n) as u32);
+            assert_eq!(
+                at.matmul_tn(&b).data(),
+                reference_matmul_tn(&at, &b).data(),
+                "matmul_tn {m}x{k}x{n} drifted from the unblocked kernel"
+            );
+        }
+    }
+
+    /// A batched forward row equals the same row pushed through alone —
+    /// the kernel-level statement of the mini-batch parity contract.
+    #[test]
+    fn batched_rows_match_single_row_matmul_bitwise() {
+        let x = fill(33, 70, 5);
+        let w = fill(70, 19, 6);
+        let batched = x.matmul(&w);
+        for r in 0..x.rows() {
+            let row = Matrix::row_vector(x.row(r).to_vec());
+            let single = row.matmul(&w);
+            assert_eq!(batched.row(r), single.row(0), "row {r} drifted");
+        }
     }
 
     #[test]

@@ -2,6 +2,36 @@
 
 use crate::mlp::{Mlp, MlpGradients};
 
+/// Panics unless `grads` is shaped exactly like `mlp`'s parameters.
+///
+/// Both optimizers used to `zip` layers against gradients, which
+/// silently *truncates* on a layer-count mismatch and soaks up
+/// wrong-network bugs (e.g. stepping a policy with a value-head
+/// gradient): the extra layers simply never trained. A mismatch is a
+/// programming error, so it fails loudly at the step site.
+fn assert_grad_shapes(mlp: &Mlp, grads: &MlpGradients) {
+    assert_eq!(
+        mlp.layers().len(),
+        grads.layers.len(),
+        "optimizer gradient shape mismatch: network has {} layers, gradients have {}",
+        mlp.layers().len(),
+        grads.layers.len()
+    );
+    for (i, (layer, (gw, gb))) in mlp.layers().iter().zip(&grads.layers).enumerate() {
+        assert!(
+            layer.w.rows() == gw.rows() && layer.w.cols() == gw.cols() && layer.b.len() == gb.len(),
+            "optimizer gradient shape mismatch at layer {i}: weights {}x{} vs gradient {}x{}, \
+             bias {} vs gradient {}",
+            layer.w.rows(),
+            layer.w.cols(),
+            gw.rows(),
+            gw.cols(),
+            layer.b.len(),
+            gb.len()
+        );
+    }
+}
+
 /// An optimizer that applies [`MlpGradients`] to an [`Mlp`].
 pub trait Optimizer {
     /// Applies one update step (gradient *descent*: parameters move
@@ -30,6 +60,7 @@ impl Sgd {
 
 impl Optimizer for Sgd {
     fn step(&mut self, mlp: &mut Mlp, grads: &MlpGradients) {
+        assert_grad_shapes(mlp, grads);
         for (layer, (gw, gb)) in mlp.layers_mut().iter_mut().zip(&grads.layers) {
             for (w, g) in layer.w.data_mut().iter_mut().zip(gw.data()) {
                 *w -= self.lr * g;
@@ -95,6 +126,7 @@ impl Adam {
 
 impl Optimizer for Adam {
     fn step(&mut self, mlp: &mut Mlp, grads: &MlpGradients) {
+        assert_grad_shapes(mlp, grads);
         self.ensure_state(mlp);
         self.t += 1;
         let bc1 = 1.0 - self.beta1.powi(self.t as i32);
@@ -177,6 +209,31 @@ mod tests {
         let mut a = Adam::new(0.001);
         a.set_learning_rate(0.01);
         assert_eq!(a.learning_rate(), 0.01);
+    }
+
+    /// Regression (silent-truncation bugfix): stepping with gradients
+    /// from a differently-shaped network used to zip-truncate and
+    /// silently skip the unmatched layers; it must panic.
+    #[test]
+    #[should_panic(expected = "optimizer gradient shape mismatch")]
+    fn sgd_rejects_layer_count_mismatch() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut mlp = Mlp::new(&[2, 4, 3, 1], Activation::ReLU, &mut rng);
+        let other = Mlp::new(&[2, 4, 1], Activation::ReLU, &mut rng);
+        let grads = crate::mlp::MlpGradients::zeros_like(&other);
+        Sgd::new(0.1).step(&mut mlp, &grads);
+    }
+
+    /// Regression (silent-truncation bugfix): same layer count but
+    /// mismatched per-layer shapes must also panic, for both optimizers.
+    #[test]
+    #[should_panic(expected = "optimizer gradient shape mismatch at layer 1")]
+    fn adam_rejects_per_layer_shape_mismatch() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut mlp = Mlp::new(&[2, 4, 3], Activation::ReLU, &mut rng);
+        let other = Mlp::new(&[2, 4, 5], Activation::ReLU, &mut rng);
+        let grads = crate::mlp::MlpGradients::zeros_like(&other);
+        Adam::new(0.01).step(&mut mlp, &grads);
     }
 
     #[test]

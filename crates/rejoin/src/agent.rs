@@ -2,6 +2,7 @@
 
 use hfqo_rl::{
     Environment, Episode, PolicySnapshot, PpoAgent, PpoConfig, ReinforceAgent, ReinforceConfig,
+    UpdatePath,
 };
 use rand::rngs::StdRng;
 
@@ -102,6 +103,25 @@ impl ReJoinAgent {
         match &mut self.inner {
             Inner::Reinforce(a) => a.update(),
             Inner::Ppo(a) => a.update(),
+        }
+    }
+
+    /// The active network-update implementation.
+    pub fn update_path(&self) -> UpdatePath {
+        match &self.inner {
+            Inner::Reinforce(a) => a.update_path(),
+            Inner::Ppo(a) => a.update_path(),
+        }
+    }
+
+    /// Selects the network-update implementation. `Batched` (the
+    /// default) fuses each update into one forward/backward; `PerRow`
+    /// is the bit-identical per-transition reference path, retained for
+    /// parity verification and benchmarking.
+    pub fn set_update_path(&mut self, path: UpdatePath) {
+        match &mut self.inner {
+            Inner::Reinforce(a) => a.set_update_path(path),
+            Inner::Ppo(a) => a.set_update_path(path),
         }
     }
 

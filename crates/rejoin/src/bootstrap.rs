@@ -14,6 +14,7 @@ use crate::metrics::{EpisodeRecord, TrainingLog};
 use crate::reward::RewardMode;
 use crate::trainer::{train, TrainerConfig};
 use hfqo_cost::RewardScaler;
+use hfqo_rl::UpdatePath;
 use rand::rngs::StdRng;
 
 /// Bootstrapping configuration.
@@ -30,6 +31,9 @@ pub struct BootstrapConfig {
     /// Whether Phase 2 scales latency into the cost range (the paper's
     /// proposal) or uses raw latency (the ablation).
     pub scale_rewards: bool,
+    /// Network-update implementation for both phases (batched by
+    /// default; the per-row reference path is bit-identical).
+    pub update_path: UpdatePath,
 }
 
 impl Default for BootstrapConfig {
@@ -39,6 +43,7 @@ impl Default for BootstrapConfig {
             observe_episodes: 100,
             phase2_episodes: 400,
             scale_rewards: true,
+            update_path: UpdatePath::Batched,
         }
     }
 }
@@ -68,7 +73,9 @@ pub fn cost_bootstrap(
     let warmup = config
         .phase1_episodes
         .saturating_sub(config.observe_episodes);
-    let mut log = train(env, agent, TrainerConfig::new(warmup), rng);
+    let trainer_config =
+        |episodes: usize| TrainerConfig::new(episodes).with_update_path(config.update_path);
+    let mut log = train(env, agent, trainer_config(warmup), rng);
 
     // Trailing Phase-1 episodes: keep training, and record cost/latency
     // extrema from the (now mostly good) plans the policy produces.
@@ -105,7 +112,7 @@ pub fn cost_bootstrap(
         RewardMode::NegLogLatency
     };
     env.set_reward_mode(phase2_mode);
-    let phase2_log = train(env, agent, TrainerConfig::new(config.phase2_episodes), rng);
+    let phase2_log = train(env, agent, trainer_config(config.phase2_episodes), rng);
     log.extend_renumbered(phase2_log);
 
     BootstrapOutcome {
@@ -135,7 +142,7 @@ mod tests {
             phase1_episodes: 60,
             observe_episodes: 20,
             phase2_episodes: 40,
-            scale_rewards: true,
+            ..Default::default()
         }
     }
 

@@ -19,6 +19,13 @@
 //! orders of magnitude and the paper's own §5.2 discussion shows why raw
 //! ranges destabilise learning; the log transform is monotone, so
 //! argmin-selection is unaffected.
+//!
+//! Every network touch here rides the batched NN path: pretraining and
+//! fine-tuning hand whole minibatches to
+//! [`RewardModel::train_batch`] (one B×F forward/backward per
+//! minibatch), and plan-time argmin selection scores all valid actions
+//! of a state in a single forward via `RewardModel::predict_all` —
+//! there is no per-row network loop left in this pipeline.
 
 use crate::env_join::{JoinOrderEnv, QueryOrder};
 use crate::metrics::{EpisodeRecord, MovingAverage, TrainingLog};
@@ -34,7 +41,9 @@ type Sample = (Vec<f32>, usize, f32);
 pub struct DemonstrationConfig {
     /// Minibatch passes over the expert samples in Phase 1.
     pub pretrain_steps: usize,
-    /// Minibatch size for both phases.
+    /// Minibatch size for both phases. Each minibatch is one fused
+    /// forward/backward through the reward network, so larger batches
+    /// amortise the per-update overhead (see `benches/nn.rs`).
     pub batch_size: usize,
     /// Fine-tuning episodes (Phase 2).
     pub finetune_episodes: usize,

@@ -5,6 +5,13 @@
 //! the number of *relations* per query. Figure 7's three decompositions
 //! become three curriculum generators here; each produces a sequence of
 //! training phases the same agent walks through.
+//!
+//! Each phase is executed by the standard trainer
+//! ([`crate::trainer::train`] via the incremental experiment driver),
+//! so curriculum training inherits the trainer's batched network-update
+//! contract: per-phase [`crate::TrainerConfig`] chooses the
+//! [`hfqo_rl::UpdatePath`], batched by default and bit-identical to the
+//! per-row reference.
 
 use hfqo_query::QueryGraph;
 

@@ -115,6 +115,12 @@ where
         let mut env = make_env(0);
         return train(&mut env, agent, config, rng);
     }
+    // The learner applies updates with the configured NN path, when
+    // the config selects one (per-row is the bit-identical
+    // verification path); otherwise the agent's own setting stands.
+    if let Some(path) = config.update_path {
+        agent.set_update_path(path);
+    }
     let workers = config.workers.min(config.episodes.max(1));
     // Per-worker seeded streams, derived from the caller's RNG so the
     // whole run is a function of the original seed.

@@ -4,7 +4,7 @@ use crate::agent::ReJoinAgent;
 use crate::env_full::FullPlanEnv;
 use crate::env_join::{EpisodeOutcome, JoinOrderEnv, QueryOrder};
 use crate::metrics::{EpisodeRecord, TrainingLog};
-use hfqo_rl::Environment;
+use hfqo_rl::{Environment, UpdatePath};
 use rand::rngs::StdRng;
 
 /// An environment whose episodes end in a plan with observable quality —
@@ -70,14 +70,26 @@ pub struct TrainerConfig {
     /// threads in synchronous A2C-style rounds (see
     /// [`crate::parallel`]).
     pub workers: usize,
+    /// Which network-update implementation the agent uses. `None` (the
+    /// default) leaves the agent's own setting untouched — batched
+    /// unless the caller chose otherwise via
+    /// [`ReJoinAgent::set_update_path`]. `Some(UpdatePath::Batched)`
+    /// fuses each policy update into one B×F forward/backward;
+    /// `Some(UpdatePath::PerRow)` selects the bit-identical
+    /// per-transition reference, retained for parity verification and
+    /// benchmarking. Either path reproduces the same training log, bit
+    /// for bit.
+    pub update_path: Option<UpdatePath>,
 }
 
 impl TrainerConfig {
-    /// A configuration running `episodes` episodes on one worker.
+    /// A configuration running `episodes` episodes on one worker,
+    /// respecting the agent's own update-path setting.
     pub fn new(episodes: usize) -> Self {
         Self {
             episodes,
             workers: 1,
+            update_path: None,
         }
     }
 
@@ -85,6 +97,14 @@ impl TrainerConfig {
     /// to `1`.
     pub fn with_workers(mut self, workers: usize) -> Self {
         self.workers = workers.max(1);
+        self
+    }
+
+    /// Sets the network-update implementation (builder style). Until
+    /// this is called, the trainer respects whatever path the agent
+    /// already has.
+    pub fn with_update_path(mut self, path: UpdatePath) -> Self {
+        self.update_path = Some(path);
         self
     }
 }
@@ -115,6 +135,9 @@ pub fn train<E: OutcomeEnv>(
     config: TrainerConfig,
     rng: &mut StdRng,
 ) -> TrainingLog {
+    if let Some(path) = config.update_path {
+        agent.set_update_path(path);
+    }
     let mut log = TrainingLog::new();
     for episode in 0..config.episodes {
         let ep = agent.run_episode(env, rng, false);

@@ -23,7 +23,7 @@ pub mod schedule;
 pub use env::{Environment, StepResult};
 pub use episode::{discounted_returns, Episode, Transition};
 pub use ppo::{PpoAgent, PpoConfig};
-pub use reinforce::{ReinforceAgent, ReinforceConfig};
+pub use reinforce::{ReinforceAgent, ReinforceConfig, UpdatePath};
 pub use replay::ReplayBuffer;
 pub use reward_model::{RewardModel, RewardModelConfig};
 pub use rollout::PolicySnapshot;

@@ -8,6 +8,7 @@
 
 use crate::env::Environment;
 use crate::episode::Episode;
+use crate::reinforce::{stack_features, UpdatePath};
 use crate::rollout::PolicySnapshot;
 use hfqo_nn::{loss, Activation, Adam, Matrix, Mlp, MlpGradients, Optimizer};
 use rand::rngs::StdRng;
@@ -53,6 +54,7 @@ pub struct PpoAgent {
     policy: Mlp,
     optimizer: Adam,
     config: PpoConfig,
+    update_path: UpdatePath,
     baseline: f32,
     baseline_ready: bool,
     pending: Vec<Episode>,
@@ -69,11 +71,24 @@ impl PpoAgent {
             policy: Mlp::new(&sizes, Activation::ReLU, rng),
             optimizer: Adam::new(config.lr),
             config,
+            update_path: UpdatePath::Batched,
             baseline: 0.0,
             baseline_ready: false,
             pending: Vec::new(),
             episodes_seen: 0,
         }
+    }
+
+    /// The active update implementation.
+    pub fn update_path(&self) -> UpdatePath {
+        self.update_path
+    }
+
+    /// Selects the update implementation (the per-row path is retained
+    /// for parity verification and benchmarking; results are
+    /// bit-identical).
+    pub fn set_update_path(&mut self, path: UpdatePath) {
+        self.update_path = path;
     }
 
     /// The policy network.
@@ -133,8 +148,7 @@ impl PpoAgent {
         }
         let episodes = std::mem::take(&mut self.pending);
         // Flatten to (features, mask, action, old_prob, advantage).
-        #[allow(clippy::type_complexity)]
-        let mut steps: Vec<(&Vec<f32>, &Vec<bool>, usize, f32, f32)> = Vec::new();
+        let mut steps: Vec<Step<'_>> = Vec::new();
         for ep in &episodes {
             let returns = ep.returns(self.config.gamma);
             for (t, g) in ep.transitions.iter().zip(returns) {
@@ -159,26 +173,24 @@ impl PpoAgent {
                 s.4 = (s.4 - mean) / std;
             }
         }
+        // The feature matrix is constant across epochs; only the policy
+        // (and therefore the cache) changes between optimizer steps.
+        // An all-empty step set (every episode had zero transitions)
+        // routes through the per-row loop, whose zero gradients
+        // preserve the historical zero-grad optimizer steps instead of
+        // panicking on a 0×0 forward.
+        let x = match self.update_path {
+            UpdatePath::Batched if !steps.is_empty() => Some(stack_features(
+                steps.iter().map(|s| s.0.as_slice()),
+                steps.len(),
+            )),
+            _ => None,
+        };
         for _ in 0..self.config.epochs {
-            let mut grads = MlpGradients::zeros_like(&self.policy);
-            for (features, mask, action, old_prob, adv) in &steps {
-                let x = Matrix::row_vector((*features).clone());
-                let cache = self.policy.forward(&x);
-                let probs = loss::masked_softmax(cache.output().row(0), mask);
-                let new_prob = probs[*action].max(1e-8);
-                let ratio = new_prob / old_prob;
-                // Clipped-objective gradient: zero where the min() selects
-                // the clipped (constant) branch.
-                let clipped_out = (*adv >= 0.0 && ratio > 1.0 + self.config.clip)
-                    || (*adv < 0.0 && ratio < 1.0 - self.config.clip);
-                if clipped_out {
-                    continue;
-                }
-                let grad_row =
-                    loss::policy_gradient(cache.output().row(0), mask, *action, adv * ratio);
-                let g = self.policy.backward(&cache, Matrix::row_vector(grad_row));
-                grads.add(&g);
-            }
+            let mut grads = match &x {
+                Some(x) => Self::epoch_grads_batched(&self.policy, &self.config, &steps, x),
+                None => Self::epoch_grads_per_row(&self.policy, &self.config, &steps),
+            };
             grads.scale(1.0 / steps.len().max(1) as f32);
             grads.clip_global_norm(self.config.grad_clip);
             self.optimizer.step(&mut self.policy, &grads);
@@ -198,7 +210,70 @@ impl PpoAgent {
             }
         }
     }
+
+    /// One epoch's clipped-surrogate gradients via a single fused
+    /// forward/backward over the whole step batch. Clipped-out steps
+    /// keep an all-zero gradient row, which contributes exactly nothing
+    /// to the accumulation — bit-identical to the per-row path skipping
+    /// them.
+    fn epoch_grads_batched(
+        policy: &Mlp,
+        config: &PpoConfig,
+        steps: &[Step<'_>],
+        x: &Matrix,
+    ) -> MlpGradients {
+        let cache = policy.forward(x);
+        let logits = cache.output();
+        let masks: Vec<&[bool]> = steps.iter().map(|s| s.1.as_slice()).collect();
+        // One softmax per row per epoch, shared by the ratio test and
+        // the gradient.
+        let all_probs = loss::masked_softmax_batch(logits, &masks);
+        let cols = logits.cols();
+        let mut grad_out = Matrix::zeros(steps.len(), cols);
+        for (r, (_, mask, action, old_prob, adv)) in steps.iter().enumerate() {
+            let probs = all_probs.row(r);
+            let new_prob = probs[*action].max(1e-8);
+            let ratio = new_prob / old_prob;
+            // Clipped-objective gradient: zero where the min() selects
+            // the clipped (constant) branch.
+            let clipped_out = (*adv >= 0.0 && ratio > 1.0 + config.clip)
+                || (*adv < 0.0 && ratio < 1.0 - config.clip);
+            if clipped_out {
+                continue;
+            }
+            let grad_row = loss::policy_gradient_from_probs(probs, mask, *action, adv * ratio);
+            grad_out.data_mut()[r * cols..(r + 1) * cols].copy_from_slice(&grad_row);
+        }
+        policy.backward(&cache, grad_out)
+    }
+
+    /// The per-step reference implementation of one epoch (one
+    /// forward/backward per transition), retained as the parity anchor
+    /// the batched path is verified against.
+    fn epoch_grads_per_row(policy: &Mlp, config: &PpoConfig, steps: &[Step<'_>]) -> MlpGradients {
+        let mut grads = MlpGradients::zeros_like(policy);
+        for (features, mask, action, old_prob, adv) in steps {
+            let x = Matrix::row_vector((*features).clone());
+            let cache = policy.forward(&x);
+            let probs = loss::masked_softmax(cache.output().row(0), mask);
+            let new_prob = probs[*action].max(1e-8);
+            let ratio = new_prob / old_prob;
+            let clipped_out = (*adv >= 0.0 && ratio > 1.0 + config.clip)
+                || (*adv < 0.0 && ratio < 1.0 - config.clip);
+            if clipped_out {
+                continue;
+            }
+            let grad_row = loss::policy_gradient(cache.output().row(0), mask, *action, adv * ratio);
+            let g = policy.backward(&cache, Matrix::row_vector(grad_row));
+            grads.add(&g);
+        }
+        grads
+    }
 }
+
+/// One flattened PPO step: `(features, mask, action, old_prob,
+/// advantage)`.
+type Step<'a> = (&'a Vec<f32>, &'a Vec<bool>, usize, f32, f32);
 
 #[cfg(test)]
 mod tests {
@@ -225,6 +300,71 @@ mod tests {
         let (action, p) = agent.select_action(&[1.0], &[true; 4], &mut rng, true);
         assert_eq!(action, 2, "picked {action} at {p}");
         assert!(agent.episodes_seen() == 600);
+    }
+
+    /// The tentpole parity contract for PPO: every replay epoch of the
+    /// batched path — including its clipped-out zero rows — must leave
+    /// the policy bit-identical to the per-row reference.
+    #[test]
+    fn batched_ppo_update_is_bit_identical_to_per_row() {
+        let config = PpoConfig {
+            hidden: vec![12],
+            lr: 0.02,
+            batch_episodes: 4,
+            epochs: 3,
+            // A tight clip so some steps genuinely get clipped out and
+            // the zero-row path is exercised.
+            clip: 0.05,
+            ..Default::default()
+        };
+        let mut env = Bandit::new(vec![0.1, 0.8, 0.4]);
+        for seed in 0..3u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut batched = PpoAgent::new(1, 3, config.clone(), &mut rng);
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut per_row = PpoAgent::new(1, 3, config.clone(), &mut rng);
+            per_row.set_update_path(UpdatePath::PerRow);
+
+            let mut rng_a = StdRng::seed_from_u64(40 + seed);
+            let mut rng_b = StdRng::seed_from_u64(40 + seed);
+            let mut updates = 0;
+            for _ in 0..16 {
+                let ea = batched.run_episode(&mut env, &mut rng_a, false);
+                let eb = per_row.run_episode(&mut env, &mut rng_b, false);
+                let ua = batched.observe(ea);
+                assert_eq!(ua, per_row.observe(eb));
+                updates += usize::from(ua);
+                assert_eq!(
+                    batched.policy(),
+                    per_row.policy(),
+                    "seed {seed}: diverged after {} episodes",
+                    batched.episodes_seen()
+                );
+            }
+            assert!(updates >= 4);
+        }
+    }
+
+    /// Regression: zero-transition episodes must not panic the batched
+    /// path on a 0×0 forward; the update degrades to the historical
+    /// zero-gradient epochs on both paths.
+    #[test]
+    fn empty_transition_update_does_not_panic() {
+        for path in [UpdatePath::Batched, UpdatePath::PerRow] {
+            let mut rng = StdRng::seed_from_u64(8);
+            let config = PpoConfig {
+                hidden: vec![4],
+                batch_episodes: 2,
+                ..Default::default()
+            };
+            let mut agent = PpoAgent::new(1, 2, config, &mut rng);
+            agent.set_update_path(path);
+            let before = agent.policy().clone();
+            agent.observe(Episode::new());
+            agent.observe(Episode::new());
+            assert_eq!(agent.episodes_seen(), 2);
+            assert_eq!(&before, agent.policy(), "{path:?}");
+        }
     }
 
     #[test]

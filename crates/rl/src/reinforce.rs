@@ -6,6 +6,43 @@ use crate::rollout::PolicySnapshot;
 use hfqo_nn::{loss, Activation, Adam, Matrix, Mlp, MlpGradients, Optimizer};
 use rand::rngs::StdRng;
 
+/// Which implementation applies the network update.
+///
+/// The batched path assembles each update's transitions into one B×F
+/// feature matrix and runs a single forward and a single backward per
+/// minibatch; the per-row path runs one forward/backward per
+/// transition. They are **bit-identical** — the nn matmul kernels
+/// accumulate batched gradients in the same row order the per-row path
+/// sums them — so `PerRow` survives purely as the verification anchor,
+/// the way `execute_rows` anchors the batch executor. Parity is
+/// enforced by tests in this crate and by the PR 2 golden training log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum UpdatePath {
+    /// One fused forward/backward per minibatch (the production path).
+    #[default]
+    Batched,
+    /// One forward/backward per transition (the reference path).
+    PerRow,
+}
+
+/// Stacks per-transition feature vectors into one B×F matrix.
+pub(crate) fn stack_features<'a, I>(rows: I, len: usize) -> Matrix
+where
+    I: Iterator<Item = &'a [f32]>,
+{
+    let mut data: Vec<f32> = Vec::new();
+    let mut cols = 0usize;
+    for (i, row) in rows.enumerate() {
+        if i == 0 {
+            cols = row.len();
+            data.reserve(len * cols);
+        }
+        assert_eq!(row.len(), cols, "transition feature widths differ");
+        data.extend_from_slice(row);
+    }
+    Matrix::from_vec(len, cols, data)
+}
+
 /// REINFORCE hyperparameters.
 #[derive(Debug, Clone)]
 pub struct ReinforceConfig {
@@ -49,6 +86,7 @@ pub struct ReinforceAgent {
     policy: Mlp,
     optimizer: Adam,
     config: ReinforceConfig,
+    update_path: UpdatePath,
     baseline: f32,
     baseline_ready: bool,
     pending: Vec<Episode>,
@@ -73,12 +111,25 @@ impl ReinforceAgent {
             policy,
             optimizer,
             config,
+            update_path: UpdatePath::Batched,
             baseline: 0.0,
             baseline_ready: false,
             pending: Vec::new(),
             episodes_seen: 0,
             updates: 0,
         }
+    }
+
+    /// The active update implementation.
+    pub fn update_path(&self) -> UpdatePath {
+        self.update_path
+    }
+
+    /// Selects the update implementation (the per-row path is retained
+    /// for parity verification and benchmarking; results are
+    /// bit-identical).
+    pub fn set_update_path(&mut self, path: UpdatePath) {
+        self.update_path = path;
     }
 
     /// The policy network.
@@ -175,25 +226,16 @@ impl ReinforceAgent {
                 *a = (*a - mean) / std;
             }
         }
-        let mut grads = MlpGradients::zeros_like(&self.policy);
-        for (t, adv) in &all {
-            let x = Matrix::row_vector(t.features.clone());
-            let cache = self.policy.forward(&x);
-            let logits = cache.output().row(0);
-            let mut grad_row = loss::policy_gradient(logits, &t.mask, t.action, *adv);
-            if self.config.entropy_coef > 0.0 {
-                let probs = loss::masked_softmax(logits, &t.mask);
-                let h = loss::entropy(&probs);
-                for (j, g) in grad_row.iter_mut().enumerate() {
-                    if t.mask[j] && probs[j] > 0.0 {
-                        // Gradient of −entropy_coef · H w.r.t. logits.
-                        *g += self.config.entropy_coef * probs[j] * (probs[j].ln() + h);
-                    }
-                }
+        let mut grads = match self.update_path {
+            UpdatePath::Batched if !all.is_empty() => {
+                Self::policy_grads_batched(&self.policy, &self.config, &all)
             }
-            let g = self.policy.backward(&cache, Matrix::row_vector(grad_row));
-            grads.add(&g);
-        }
+            // The per-row loop also covers the degenerate all-empty
+            // case (every episode had zero transitions): it yields zero
+            // gradients, preserving the historical zero-grad optimizer
+            // step instead of panicking on a 0×0 forward.
+            _ => Self::policy_grads_per_row(&self.policy, &self.config, &all),
+        };
         grads.scale(1.0 / all.len().max(1) as f32);
         grads.clip_global_norm(self.config.grad_clip);
         self.optimizer.step(&mut self.policy, &grads);
@@ -222,20 +264,105 @@ impl ReinforceAgent {
         if batch.is_empty() {
             return 0.0;
         }
-        let mut grads = MlpGradients::zeros_like(&self.policy);
-        let mut total_loss = 0.0f32;
-        for (features, mask, action) in batch {
-            let x = Matrix::row_vector(features.clone());
-            let cache = self.policy.forward(&x);
-            let (l, grad_row) = loss::cross_entropy_grad(cache.output().row(0), mask, *action);
-            total_loss += l;
-            let g = self.policy.backward(&cache, Matrix::row_vector(grad_row));
-            grads.add(&g);
-        }
+        let (total_loss, mut grads) = match self.update_path {
+            UpdatePath::Batched => {
+                let x = stack_features(batch.iter().map(|(f, _, _)| f.as_slice()), batch.len());
+                let cache = self.policy.forward(&x);
+                let masks: Vec<&[bool]> = batch.iter().map(|(_, m, _)| m.as_slice()).collect();
+                let targets: Vec<usize> = batch.iter().map(|(_, _, a)| *a).collect();
+                let (l, grad_out) =
+                    loss::cross_entropy_grad_batch(cache.output(), &masks, &targets);
+                (l, self.policy.backward(&cache, grad_out))
+            }
+            UpdatePath::PerRow => {
+                let mut grads = MlpGradients::zeros_like(&self.policy);
+                let mut total_loss = 0.0f32;
+                for (features, mask, action) in batch {
+                    let x = Matrix::row_vector(features.clone());
+                    let cache = self.policy.forward(&x);
+                    let (l, grad_row) =
+                        loss::cross_entropy_grad(cache.output().row(0), mask, *action);
+                    total_loss += l;
+                    let g = self.policy.backward(&cache, Matrix::row_vector(grad_row));
+                    grads.add(&g);
+                }
+                (total_loss, grads)
+            }
+        };
         grads.scale(1.0 / batch.len() as f32);
         grads.clip_global_norm(self.config.grad_clip);
         self.optimizer.step(&mut self.policy, &grads);
         total_loss / batch.len() as f32
+    }
+
+    /// REINFORCE gradients over a prepared `(transition, advantage)`
+    /// batch via one fused forward/backward (the production path).
+    fn policy_grads_batched(
+        policy: &Mlp,
+        config: &ReinforceConfig,
+        all: &[(&Transition, f32)],
+    ) -> MlpGradients {
+        let x = stack_features(all.iter().map(|(t, _)| t.features.as_slice()), all.len());
+        let cache = policy.forward(&x);
+        let logits = cache.output();
+        let masks: Vec<&[bool]> = all.iter().map(|(t, _)| t.mask.as_slice()).collect();
+        let grad_out = if config.entropy_coef > 0.0 {
+            // One shared softmax per batch feeds both the policy
+            // gradient and the entropy bonus (the PPO epoch path uses
+            // the same pattern).
+            let probs = loss::masked_softmax_batch(logits, &masks);
+            let cols = logits.cols();
+            let mut grad_out = Matrix::zeros(all.len(), cols);
+            for (r, (t, adv)) in all.iter().enumerate() {
+                let mut grad_row =
+                    loss::policy_gradient_from_probs(probs.row(r), &t.mask, t.action, *adv);
+                add_entropy_grad(&mut grad_row, probs.row(r), &t.mask, config.entropy_coef);
+                grad_out.data_mut()[r * cols..(r + 1) * cols].copy_from_slice(&grad_row);
+            }
+            grad_out
+        } else {
+            let actions: Vec<usize> = all.iter().map(|(t, _)| t.action).collect();
+            let advantages: Vec<f32> = all.iter().map(|(_, adv)| *adv).collect();
+            loss::policy_gradient_batch(logits, &masks, &actions, &advantages)
+        };
+        policy.backward(&cache, grad_out)
+    }
+
+    /// The per-transition reference implementation: one forward and one
+    /// backward per row, gradients accumulated in transition order.
+    /// Retained (like the row executor) as the parity anchor the
+    /// batched path is verified against.
+    fn policy_grads_per_row(
+        policy: &Mlp,
+        config: &ReinforceConfig,
+        all: &[(&Transition, f32)],
+    ) -> MlpGradients {
+        let mut grads = MlpGradients::zeros_like(policy);
+        for (t, adv) in all {
+            let x = Matrix::row_vector(t.features.clone());
+            let cache = policy.forward(&x);
+            let logits = cache.output().row(0);
+            let mut grad_row = loss::policy_gradient(logits, &t.mask, t.action, *adv);
+            if config.entropy_coef > 0.0 {
+                let probs = loss::masked_softmax(logits, &t.mask);
+                add_entropy_grad(&mut grad_row, &probs, &t.mask, config.entropy_coef);
+            }
+            let g = policy.backward(&cache, Matrix::row_vector(grad_row));
+            grads.add(&g);
+        }
+        grads
+    }
+}
+
+/// Adds the gradient of `−entropy_coef · H(π)` w.r.t. the logits to a
+/// policy-gradient row (exploration pressure). Shared by both update
+/// paths so they cannot drift.
+fn add_entropy_grad(grad_row: &mut [f32], probs: &[f32], mask: &[bool], entropy_coef: f32) {
+    let h = loss::entropy(probs);
+    for (j, g) in grad_row.iter_mut().enumerate() {
+        if mask[j] && probs[j] > 0.0 {
+            *g += entropy_coef * probs[j] * (probs[j].ln() + h);
+        }
     }
 }
 
@@ -321,6 +448,96 @@ mod tests {
         assert_eq!(a, 0);
         let (a, _) = agent.select_action(&[0.0, 1.0], &[true; 3], &mut rng, true);
         assert_eq!(a, 2);
+    }
+
+    /// The tentpole parity contract: the batched update path (one B×F
+    /// forward + one backward per minibatch) must be **bit-identical**
+    /// to the per-row reference — same forward logits, same gradients,
+    /// same optimizer step — on random rollouts, so that switching the
+    /// production path to batched changes nothing but wall-clock.
+    #[test]
+    fn batched_update_is_bit_identical_to_per_row() {
+        let config = ReinforceConfig {
+            hidden: vec![16, 8],
+            lr: 0.01,
+            entropy_coef: 0.01,
+            batch_episodes: 6,
+            ..Default::default()
+        };
+        let mut env = Corridor::new(5);
+        for seed in 0..3u64 {
+            let mut init_rng = StdRng::seed_from_u64(seed);
+            let mut batched = ReinforceAgent::new(6, 2, config.clone(), &mut init_rng);
+            let mut init_rng = StdRng::seed_from_u64(seed);
+            let mut per_row = ReinforceAgent::new(6, 2, config.clone(), &mut init_rng);
+            per_row.set_update_path(UpdatePath::PerRow);
+            assert_eq!(batched.policy(), per_row.policy(), "identical init");
+
+            let mut rng_a = StdRng::seed_from_u64(100 + seed);
+            let mut rng_b = StdRng::seed_from_u64(100 + seed);
+            let mut updates = 0;
+            for _ in 0..24 {
+                let ea = batched.run_episode(&mut env, &mut rng_a, false);
+                let eb = per_row.run_episode(&mut env, &mut rng_b, false);
+                let ua = batched.observe(ea);
+                let ub = per_row.observe(eb);
+                assert_eq!(ua, ub);
+                updates += usize::from(ua);
+                assert_eq!(
+                    batched.policy(),
+                    per_row.policy(),
+                    "seed {seed}: policies diverged after {} episodes",
+                    batched.episodes_seen()
+                );
+            }
+            assert!(updates >= 4, "parity test must exercise real updates");
+        }
+    }
+
+    /// Same contract for the supervised imitation step: identical mean
+    /// loss and identical post-step weights.
+    #[test]
+    fn batched_imitation_is_bit_identical_to_per_row() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut batched = ReinforceAgent::new(3, 4, small_config(), &mut rng);
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut per_row = ReinforceAgent::new(3, 4, small_config(), &mut rng);
+        per_row.set_update_path(UpdatePath::PerRow);
+        let batch = vec![
+            (vec![1.0, 0.2, -0.3], vec![true, true, false, true], 0usize),
+            (vec![0.0, 1.0, 0.5], vec![true; 4], 2usize),
+            (vec![-0.5, 0.1, 0.9], vec![false, true, true, true], 3usize),
+        ];
+        for step in 0..50 {
+            let la = batched.imitate_step(&batch);
+            let lb = per_row.imitate_step(&batch);
+            assert_eq!(la, lb, "losses diverged at step {step}");
+            assert_eq!(
+                batched.policy(),
+                per_row.policy(),
+                "weights diverged at step {step}"
+            );
+        }
+    }
+
+    /// Regression: an update whose episodes carry zero transitions
+    /// (possible when an environment terminates before the first step)
+    /// must not panic on a 0×0 batched forward; both paths apply the
+    /// historical zero-gradient optimizer step and stay bit-identical.
+    #[test]
+    fn empty_transition_update_stays_bit_identical() {
+        for path in [UpdatePath::Batched, UpdatePath::PerRow] {
+            let mut rng = StdRng::seed_from_u64(6);
+            let mut agent = ReinforceAgent::new(1, 2, small_config(), &mut rng);
+            agent.set_update_path(path);
+            let before = agent.policy().clone();
+            for _ in 0..agent.config.batch_episodes {
+                agent.observe(Episode::new());
+            }
+            assert_eq!(agent.updates(), 1, "{path:?}: update must have run");
+            // Zero gradients with fresh Adam state move nothing.
+            assert_eq!(&before, agent.policy(), "{path:?}");
+        }
     }
 
     #[test]

@@ -136,6 +136,12 @@ impl RewardModel {
 
     /// One MSE training step over `(features, action, target)` samples;
     /// returns the batch loss.
+    ///
+    /// This is the batched NN path: the whole minibatch is one B×(S+A)
+    /// matrix, one forward, one backward. The nn kernels accumulate
+    /// batched gradients in row order, so the step is bit-identical to
+    /// accumulating one forward/backward per sample (see the
+    /// `batched_training_matches_per_row_reference` parity test).
     pub fn train_batch(&mut self, samples: &[(Vec<f32>, usize, f32)]) -> f32 {
         if samples.is_empty() {
             return 0.0;
@@ -224,6 +230,54 @@ mod tests {
             .map(|_| model.select_min(&[1.0], &[true, true], 1.0, &mut rng))
             .collect();
         assert!(explored.contains(&1), "ε=1 never explored");
+    }
+
+    /// Parity anchor for the reward model's batched training step: one
+    /// fused forward/backward over the B×(S+A) matrix must be
+    /// bit-identical — loss, gradients, and the Adam step — to running
+    /// one forward/backward per sample and accumulating the per-row MSE
+    /// gradients in sample order.
+    #[test]
+    fn batched_training_matches_per_row_reference() {
+        use hfqo_nn::MlpGradients;
+
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut model = RewardModel::new(2, 3, config(), &mut rng);
+        let mut reference = model.net.clone();
+        let mut ref_opt = Adam::new(model.optimizer.learning_rate());
+        let samples: Vec<(Vec<f32>, usize, f32)> = vec![
+            (vec![0.3, -0.7], 0, 4.0),
+            (vec![1.0, 0.0], 2, 1.5),
+            (vec![-0.2, 0.9], 1, 7.0),
+            (vec![0.0, 0.0], 0, 2.5),
+        ];
+        let n = samples.len() as f32;
+        for step in 0..25 {
+            // Per-row reference: one forward/backward per sample, MSE
+            // gradient 2·(pred − target)/n per row, accumulated in
+            // sample order.
+            let mut grads = MlpGradients::zeros_like(&reference);
+            let mut ref_loss = 0.0f32;
+            for (features, action, target) in &samples {
+                let row = {
+                    let mut row = features.clone();
+                    row.resize(2 + 3, 0.0);
+                    row[2 + action] = 1.0;
+                    row
+                };
+                let cache = reference.forward(&Matrix::row_vector(row));
+                let diff = cache.output().get(0, 0) - target;
+                ref_loss += diff * diff;
+                let g = reference.backward(&cache, Matrix::from_vec(1, 1, vec![2.0 * diff / n]));
+                grads.add(&g);
+            }
+            grads.clip_global_norm(model.grad_clip);
+            ref_opt.step(&mut reference, &grads);
+
+            let batch_loss = model.train_batch(&samples);
+            assert_eq!(batch_loss, ref_loss / n, "loss diverged at step {step}");
+            assert_eq!(&model.net, &reference, "weights diverged at step {step}");
+        }
     }
 
     #[test]

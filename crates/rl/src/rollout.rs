@@ -68,9 +68,25 @@ impl PolicySnapshot {
         rng: &mut StdRng,
         greedy: bool,
     ) -> (usize, f32) {
+        // Fail at the root cause: an all-masked row used to crawl
+        // through the softmax as zeros and only blow up in the sampling
+        // fallback below.
+        let first_valid = mask
+            .iter()
+            .position(|&m| m)
+            .expect("action mask has no valid action");
         let x = Matrix::row_vector(features.to_vec());
         let logits = policy.predict(&x);
-        let probs = loss::masked_softmax(logits.row(0), mask);
+        let row = logits.row(0);
+        let probs = loss::masked_softmax(row, mask);
+        // A NaN logit would poison every `partial_cmp` below: `max_by`
+        // treats incomparable pairs as Equal and silently picks an
+        // arbitrary — possibly masked — action. Detect it and fall back
+        // deterministically to the first valid action (whose uniform
+        // probability the degenerate softmax provides).
+        if row.iter().zip(mask).any(|(l, &m)| m && l.is_nan()) {
+            return (first_valid, probs[first_valid]);
+        }
         if greedy {
             let (best, p) = probs
                 .iter()
@@ -194,6 +210,51 @@ mod tests {
             assert_eq!(a.action, b.action);
             assert_eq!(a.reward, b.reward);
         }
+    }
+
+    /// Regression (NaN-unsafe greedy selection bugfix): a NaN logit
+    /// used to propagate through `masked_softmax` and
+    /// `max_by(partial_cmp…unwrap_or(Equal))`, silently picking an
+    /// arbitrary — possibly masked — action. Selection must now fall
+    /// back deterministically to the first valid action, greedy or
+    /// sampled.
+    #[test]
+    fn nan_logits_fall_back_to_first_valid_action() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut policy = Mlp::new(&[2, 4, 4], hfqo_nn::Activation::ReLU, &mut rng);
+        // Poison the network: every logit becomes NaN for any input.
+        for w in policy.layers_mut()[0].w.data_mut() {
+            *w = f32::NAN;
+        }
+        let mask = [false, true, true, false];
+        for greedy in [false, true] {
+            for _ in 0..10 {
+                let (a, p) =
+                    PolicySnapshot::select_with(&policy, &[0.5, -0.5], &mask, &mut rng, greedy);
+                assert_eq!(a, 1, "greedy={greedy}: must pick the first valid action");
+                assert!(mask[a], "greedy={greedy}: picked a masked action");
+                assert_eq!(p, 0.5, "uniform-over-valid probability");
+            }
+        }
+    }
+
+    /// Regression companion: an all-masked action space now panics at
+    /// the selection site with a root-cause message instead of the old
+    /// far-from-root-cause sampler panic.
+    #[test]
+    #[should_panic(expected = "action mask has no valid action")]
+    fn all_masked_action_space_panics_with_clear_message() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let agent = ReinforceAgent::new(
+            2,
+            3,
+            ReinforceConfig {
+                hidden: vec![4],
+                ..Default::default()
+            },
+            &mut rng,
+        );
+        let _ = agent.select_action(&[0.0, 1.0], &[false, false, false], &mut rng, false);
     }
 
     #[test]

@@ -46,6 +46,7 @@ fn main() {
         observe_episodes: 100,
         phase2_episodes: 400,
         scale_rewards: true,
+        ..Default::default()
     };
     let outcome = cost_bootstrap(&mut env, &mut agent, &config, &mut rng);
 

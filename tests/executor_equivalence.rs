@@ -180,88 +180,186 @@ fn budget_capped_plans_abort_identically() {
     }
 }
 
-/// Merge join with an empty input side: a selection filters one side to
-/// zero rows, and both engines must agree on the empty result (and on
-/// everything else `assert_equivalent` checks). Promoted from a PR 1
-/// review scratch test.
-#[test]
-fn merge_join_with_empty_input_side_is_equivalent() {
+mod empty_input {
+    //! Zero-batch coverage for the operator zoo: a selection filters an
+    //! input to zero rows, and the batch pipeline must agree with the
+    //! row engine everywhere a zero-batch can reach — merge join (the
+    //! original PR 2 fix), hash join build and probe sides, and both
+    //! aggregation algorithms. These pin the class of bug where an
+    //! operator indexes into a first batch that never arrives.
+
+    use super::*;
     use hfqo::catalog::{Column, ColumnId, ColumnType, TableSchema};
     use hfqo::query::{AccessPath, BoundColumn, JoinEdge, Lit, RelId, Relation, Selection};
     use hfqo::sql::CompareOp;
     use hfqo::storage::Value;
     use hfqo_query::JoinAlgo;
 
-    let mut cat = Catalog::new();
-    let a = cat
-        .add_table(TableSchema::new(
-            "a",
-            vec![Column::new("k", ColumnType::Int)],
-        ))
-        .unwrap();
-    let b = cat
-        .add_table(TableSchema::new(
-            "b",
-            vec![Column::new("k", ColumnType::Int)],
-        ))
-        .unwrap();
-    let mut db = Database::new(cat);
-    for i in 0..5i64 {
-        db.table_mut(a)
-            .unwrap()
-            .append_row(&[Value::Int(i)])
+    /// A two-table database (`a`, `b`, one int key column, 5 matching
+    /// rows each) and its join graph, with a never-matching selection
+    /// on each relation listed in `empty_rels`.
+    fn join_fixture(empty_rels: &[usize]) -> (Database, QueryGraph) {
+        let mut cat = Catalog::new();
+        let a = cat
+            .add_table(TableSchema::new(
+                "a",
+                vec![Column::new("k", ColumnType::Int)],
+            ))
             .unwrap();
-        db.table_mut(b)
-            .unwrap()
-            .append_row(&[Value::Int(i)])
+        let b = cat
+            .add_table(TableSchema::new(
+                "b",
+                vec![Column::new("k", ColumnType::Int)],
+            ))
             .unwrap();
+        let mut db = Database::new(cat);
+        for i in 0..5i64 {
+            db.table_mut(a)
+                .unwrap()
+                .append_row(&[Value::Int(i)])
+                .unwrap();
+            db.table_mut(b)
+                .unwrap()
+                .append_row(&[Value::Int(i)])
+                .unwrap();
+        }
+        let graph = QueryGraph::new(
+            vec![
+                Relation {
+                    table: a,
+                    alias: "a".into(),
+                },
+                Relation {
+                    table: b,
+                    alias: "b".into(),
+                },
+            ],
+            vec![JoinEdge {
+                left: BoundColumn::new(RelId(0), ColumnId(0)),
+                op: CompareOp::Eq,
+                right: BoundColumn::new(RelId(1), ColumnId(0)),
+            }],
+            // Never-matching selections empty the chosen sides.
+            empty_rels
+                .iter()
+                .map(|&r| Selection {
+                    column: BoundColumn::new(RelId(r as u32), ColumnId(0)),
+                    op: CompareOp::Lt,
+                    value: Lit::Int(-100),
+                })
+                .collect(),
+            vec![],
+            vec![],
+        );
+        (db, graph)
     }
-    let graph = QueryGraph::new(
-        vec![
-            Relation {
-                table: a,
-                alias: "a".into(),
-            },
-            Relation {
-                table: b,
-                alias: "b".into(),
-            },
-        ],
-        vec![JoinEdge {
-            left: BoundColumn::new(RelId(0), ColumnId(0)),
-            op: CompareOp::Eq,
-            right: BoundColumn::new(RelId(1), ColumnId(0)),
-        }],
-        // Selection matches nothing: a is empty after the filter.
-        vec![Selection {
-            column: BoundColumn::new(RelId(0), ColumnId(0)),
-            op: CompareOp::Lt,
-            value: Lit::Int(-100),
-        }],
-        vec![],
-        vec![],
-    );
-    let plan = PhysicalPlan::new(PlanNode::Join {
-        algo: JoinAlgo::Merge,
-        conds: vec![0],
-        left: Box::new(PlanNode::Scan {
-            rel: RelId(0),
-            path: AccessPath::SeqScan,
-        }),
-        right: Box::new(PlanNode::Scan {
-            rel: RelId(1),
-            path: AccessPath::SeqScan,
-        }),
-    });
-    assert_equivalent(
-        &db,
-        &graph,
-        &plan,
-        ExecConfig::default(),
-        "empty-side merge",
-    );
-    let out = hfqo::exec::execute(&db, &graph, &plan, ExecConfig::default()).unwrap();
-    assert_eq!(out.rows.len(), 0, "filtered side yields no join output");
+
+    fn join_plan(algo: JoinAlgo) -> PhysicalPlan {
+        PhysicalPlan::new(PlanNode::Join {
+            algo,
+            conds: vec![0],
+            left: Box::new(PlanNode::Scan {
+                rel: RelId(0),
+                path: AccessPath::SeqScan,
+            }),
+            right: Box::new(PlanNode::Scan {
+                rel: RelId(1),
+                path: AccessPath::SeqScan,
+            }),
+        })
+    }
+
+    /// Merge join with an empty input side. Promoted from a PR 1 review
+    /// scratch test; this exposed (and pins) the zero-batch key-column
+    /// sort panic fixed in PR 2.
+    #[test]
+    fn merge_join_with_empty_input_side_is_equivalent() {
+        let (db, graph) = join_fixture(&[0]);
+        let plan = join_plan(JoinAlgo::Merge);
+        assert_equivalent(
+            &db,
+            &graph,
+            &plan,
+            ExecConfig::default(),
+            "empty-side merge",
+        );
+        let out = hfqo::exec::execute(&db, &graph, &plan, ExecConfig::default()).unwrap();
+        assert_eq!(out.rows.len(), 0, "filtered side yields no join output");
+    }
+
+    /// Hash join whose *probe* side (the left input) is filtered to
+    /// zero rows: the probe loop must drain cleanly against a populated
+    /// build table.
+    #[test]
+    fn hash_join_with_empty_probe_side_is_equivalent() {
+        let (db, graph) = join_fixture(&[0]);
+        let plan = join_plan(JoinAlgo::Hash);
+        assert_equivalent(
+            &db,
+            &graph,
+            &plan,
+            ExecConfig::default(),
+            "empty-probe hash join",
+        );
+        let out = hfqo::exec::execute(&db, &graph, &plan, ExecConfig::default()).unwrap();
+        assert_eq!(out.rows.len(), 0);
+    }
+
+    /// Hash join whose *build* side (the right input) is filtered to
+    /// zero rows: building over no batches must leave a valid, empty
+    /// hash table for the probe phase.
+    #[test]
+    fn hash_join_with_empty_build_side_is_equivalent() {
+        let (db, graph) = join_fixture(&[1]);
+        let plan = join_plan(JoinAlgo::Hash);
+        assert_equivalent(
+            &db,
+            &graph,
+            &plan,
+            ExecConfig::default(),
+            "empty-build hash join",
+        );
+        let out = hfqo::exec::execute(&db, &graph, &plan, ExecConfig::default()).unwrap();
+        assert_eq!(out.rows.len(), 0);
+    }
+
+    /// Both sides empty at once, for every join algorithm.
+    #[test]
+    fn joins_with_both_sides_empty_are_equivalent() {
+        for algo in [JoinAlgo::Hash, JoinAlgo::Merge, JoinAlgo::NestedLoop] {
+            let (db, graph) = join_fixture(&[0, 1]);
+            let plan = join_plan(algo);
+            assert_equivalent(
+                &db,
+                &graph,
+                &plan,
+                ExecConfig::default(),
+                &format!("both-empty {algo:?}"),
+            );
+        }
+    }
+
+    /// Aggregation (hash- and sort-based) over an input filtered to
+    /// zero rows: the aggregate operator sees no batches at all, and
+    /// both engines must agree on the result of aggregating nothing.
+    #[test]
+    fn aggregation_over_empty_input_is_equivalent() {
+        for algo in [AggAlgo::Hash, AggAlgo::Sort] {
+            let (db, graph) = join_fixture(&[0, 1]);
+            let graph = hfqo::opt::test_support::with_count(graph);
+            let plan = PhysicalPlan::new(PlanNode::Aggregate {
+                algo,
+                input: Box::new(join_plan(JoinAlgo::Hash).root),
+            });
+            assert_equivalent(
+                &db,
+                &graph,
+                &plan,
+                ExecConfig::default(),
+                &format!("empty-input aggregate {algo:?}"),
+            );
+        }
+    }
 }
 
 #[test]

@@ -130,6 +130,7 @@ fn bootstrap_through_facade() {
         observe_episodes: 30,
         phase2_episodes: 40,
         scale_rewards: true,
+        ..Default::default()
     };
     let outcome = cost_bootstrap(&mut env, &mut agent, &config, &mut rng);
     assert_eq!(outcome.log.len(), 120);
@@ -317,6 +318,41 @@ fn golden_log_fixed_seed_synth_run() {
         "fixed-seed training log drifted from {golden_path}; if the \
          change is intentional, regenerate with HFQO_BLESS=1"
     );
+}
+
+/// The mini-batch tentpole's end-to-end statement: training with the
+/// batched update path (the default) and with the retained per-row
+/// reference path produces the **same log, bit for bit** — every
+/// forward, gradient, and optimizer step agrees, so every subsequent
+/// rollout consumes the RNG stream identically. Exercised for both
+/// policy backends.
+#[test]
+fn per_row_update_path_reproduces_batched_training_bitwise() {
+    use hfqo_rl::UpdatePath;
+
+    let (bundle, queries) = small_workload();
+    for kind in [PolicyKind::default_reinforce(), PolicyKind::default_ppo()] {
+        let run = |path: UpdatePath| {
+            let ctx = EnvContext::new(&bundle.db, &bundle.stats);
+            let mut env =
+                JoinOrderEnv::new(ctx, &queries, 5, QueryOrder::Cycle, RewardMode::LogRelative);
+            let mut rng = StdRng::seed_from_u64(19);
+            let mut agent =
+                ReJoinAgent::new(env.state_dim(), env.action_dim(), kind.clone(), &mut rng);
+            train(
+                &mut env,
+                &mut agent,
+                TrainerConfig::new(48).with_update_path(path),
+                &mut rng,
+            )
+        };
+        let batched = run(UpdatePath::Batched);
+        let per_row = run(UpdatePath::PerRow);
+        assert_eq!(
+            batched, per_row,
+            "{kind:?}: batched and per-row training logs must be bit-identical"
+        );
+    }
 }
 
 #[test]
