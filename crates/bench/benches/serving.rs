@@ -1,0 +1,209 @@
+//! Serving-layer benchmarks: end-to-end `QuerySession` throughput with
+//! the plan cache cold vs warm, and planner-vs-planner (traditional DP
+//! vs learned) planning latency, on JOB-like and synthetic workloads.
+//!
+//! The cold/warm pair is the tentpole claim: with the cache warm, the
+//! per-query planning cost collapses to a fingerprint lookup, so
+//! serving latency drops to execution cost alone — with identical
+//! results either way (asserted below before any timing runs).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hfqo_opt::{Planner, PlannerContext, TraditionalPlanner};
+use hfqo_query::QueryGraph;
+use hfqo_rejoin::{
+    train_parallel, EnvContext, Featurizer, JoinOrderEnv, LearnedPlanner, PolicyKind, QueryOrder,
+    ReJoinAgent, RewardMode, TrainerConfig,
+};
+use hfqo_rl::Environment as _;
+use hfqo_serve::QuerySession;
+use hfqo_workload::imdb::ImdbConfig;
+use hfqo_workload::synth::SynthConfig;
+use hfqo_workload::WorkloadBundle;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+/// DP-range queries (8–9 relations): planning is expensive, execution
+/// on the small benchmark databases is not — the regime where a plan
+/// cache pays. Queries whose expert plan exceeds the session's work
+/// budget are skipped (a handful of synthetic shapes explode even at
+/// 300-row tables).
+fn serving_queries(
+    bundle: &WorkloadBundle,
+    session: &QuerySession,
+    take: usize,
+) -> Vec<QueryGraph> {
+    let queries: Vec<QueryGraph> = bundle
+        .queries
+        .iter()
+        .filter(|q| (8..=9).contains(&q.relation_count()))
+        .filter(|q| session.serve_graph(q).is_ok())
+        .take(take)
+        .cloned()
+        .collect();
+    session.invalidate_cache();
+    queries
+}
+
+/// Asserts cold and warm serving return identical rows and work, then
+/// prints a one-shot qps summary (medians land in the criterion lines).
+fn verify_and_report_qps(label: &str, session: &QuerySession, queries: &[QueryGraph]) {
+    for q in queries {
+        session.invalidate_cache();
+        let cold = session.serve_graph(q).expect("cold serve");
+        let warm = session.serve_graph(q).expect("warm serve");
+        assert!(!cold.cache_hit && warm.cache_hit);
+        let (mut a, mut b) = (cold.outcome.rows.clone(), warm.outcome.rows.clone());
+        a.sort();
+        b.sort();
+        assert_eq!(a, b, "cache hit changed results");
+        assert_eq!(cold.outcome.stats.work, warm.outcome.stats.work);
+    }
+    const ROUNDS: usize = 20;
+    let cold_s = {
+        let start = Instant::now();
+        for _ in 0..ROUNDS {
+            session.invalidate_cache();
+            for q in queries {
+                std::hint::black_box(session.serve_graph(q).expect("serves"));
+            }
+        }
+        start.elapsed().as_secs_f64()
+    };
+    session.invalidate_cache();
+    for q in queries {
+        let _ = session.serve_graph(q).expect("warms");
+    }
+    let warm_s = {
+        let start = Instant::now();
+        for _ in 0..ROUNDS {
+            for q in queries {
+                std::hint::black_box(session.serve_graph(q).expect("serves"));
+            }
+        }
+        start.elapsed().as_secs_f64()
+    };
+    let served = (ROUNDS * queries.len()) as f64;
+    eprintln!(
+        "serving/{label}: cache-cold {:.0} qps, cache-warm {:.0} qps ({:.1}x)",
+        served / cold_s,
+        served / warm_s,
+        cold_s / warm_s
+    );
+}
+
+fn bench_serving(c: &mut Criterion) {
+    let job = WorkloadBundle::imdb_job(
+        ImdbConfig {
+            base_rows: 300,
+            seed: 21,
+        },
+        21,
+    );
+    let synth = WorkloadBundle::synthetic(
+        SynthConfig {
+            tables: 9,
+            rows: 300,
+            seed: 22,
+        },
+        &[8, 9],
+        2,
+    );
+
+    let mut group = c.benchmark_group("serving");
+    for (label, bundle) in [("job", &job), ("synth", &synth)] {
+        let session = QuerySession::traditional(bundle.db.clone(), bundle.stats.clone());
+        let queries = serving_queries(bundle, &session, 4);
+        assert!(
+            !queries.is_empty(),
+            "{label}: no servable 8-9 relation queries"
+        );
+        verify_and_report_qps(label, &session, &queries);
+        group.bench_with_input(
+            BenchmarkId::new("cache_cold", label),
+            &queries,
+            |b, queries| {
+                b.iter(|| {
+                    session.invalidate_cache();
+                    for q in queries {
+                        std::hint::black_box(session.serve_graph(q).expect("serves"));
+                    }
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("cache_warm", label),
+            &queries,
+            |b, queries| {
+                // Warm every fingerprint once, then time hit-path serves.
+                for q in queries {
+                    let _ = session.serve_graph(q).expect("warms");
+                }
+                b.iter(|| {
+                    for q in queries {
+                        std::hint::black_box(session.serve_graph(q).expect("serves"));
+                    }
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_planners(c: &mut Criterion) {
+    let bundle = WorkloadBundle::imdb_job(
+        ImdbConfig {
+            base_rows: 300,
+            seed: 23,
+        },
+        23,
+    );
+    // A briefly-trained policy: planning *time* is independent of policy
+    // quality, and the protocol measures a trained agent.
+    let make_env = |_w: usize| {
+        let ctx = EnvContext::new(&bundle.db, &bundle.stats);
+        let mut env = JoinOrderEnv::new(
+            ctx,
+            &bundle.queries,
+            bundle.max_rels().max(2),
+            QueryOrder::Shuffle,
+            RewardMode::LogRelative,
+        );
+        env.require_connected = true;
+        env
+    };
+    let mut rng = StdRng::seed_from_u64(7);
+    let env = make_env(0);
+    let mut agent = ReJoinAgent::new(
+        env.state_dim(),
+        env.action_dim(),
+        PolicyKind::default_reinforce(),
+        &mut rng,
+    );
+    drop(env);
+    let _ = train_parallel(make_env, &mut agent, TrainerConfig::new(60), &mut rng);
+
+    let expert = TraditionalPlanner::new();
+    let learned = LearnedPlanner::freeze(&agent, Featurizer::new(bundle.max_rels().max(2)))
+        .with_require_connected(true);
+    let ctx = PlannerContext::new(bundle.db.catalog(), &bundle.stats);
+
+    let mut group = c.benchmark_group("planner_latency");
+    for n in [6usize, 9, 12, 17] {
+        let Some(query) = bundle.queries.iter().find(|q| q.relation_count() == n) else {
+            continue;
+        };
+        for (name, planner) in [
+            ("traditional", &expert as &dyn Planner),
+            ("learned", &learned as &dyn Planner),
+        ] {
+            group.bench_with_input(BenchmarkId::new(name, n), query, |b, query| {
+                b.iter(|| planner.plan(&ctx, query).expect("plannable").cost)
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_serving, bench_planners);
+criterion_main!(benches);

@@ -10,7 +10,7 @@ fn main() {
     eprintln!("fig3b: building workload + training (fig3a protocol) ...");
     let bundle = common::imdb_bundle(scale, args.seed);
     let (_conv, agent) = fig3a::run(&bundle, scale, args.seed, args.workers);
-    let result = fig3b::run(&bundle, &agent, args.seed);
+    let result = fig3b::run(&bundle, &agent);
 
     println!("# Figure 3b — optimizer cost of final plans (expert vs trained ReJOIN)");
     let rows: Vec<Vec<String>> = result

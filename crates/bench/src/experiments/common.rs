@@ -1,7 +1,12 @@
-//! Shared experiment plumbing: scales, bundles, agents, environments.
+//! Shared experiment plumbing: scales, bundles, agents, environments,
+//! and the planner-trait adapters the unified pipeline runs on.
 
 use crate::args::RunArgs;
-use hfqo_rejoin::{EnvContext, JoinOrderEnv, PolicyKind, QueryOrder, ReJoinAgent, RewardMode};
+use hfqo_opt::PlannerContext;
+use hfqo_rejoin::{
+    EnvContext, Featurizer, JoinOrderEnv, LearnedPlanner, PolicyKind, QueryOrder, ReJoinAgent,
+    RewardMode,
+};
 use hfqo_rl::{Environment, ReinforceConfig};
 use hfqo_workload::imdb::ImdbConfig;
 use hfqo_workload::WorkloadBundle;
@@ -113,6 +118,21 @@ pub fn join_env<'a>(
 /// Builds an agent shaped to an environment.
 pub fn agent_for<E: Environment>(env: &E, kind: PolicyKind, rng: &mut StdRng) -> ReJoinAgent {
     ReJoinAgent::new(env.state_dim(), env.action_dim(), kind, rng)
+}
+
+/// The planner-trait context over a bundle, with the same
+/// PostgreSQL-like cost parameters the environments reward against.
+pub fn planner_context(bundle: &WorkloadBundle) -> PlannerContext<'_> {
+    PlannerContext::new(bundle.db.catalog(), &bundle.stats)
+}
+
+/// Freezes a trained agent into a [`LearnedPlanner`] shaped exactly
+/// like [`join_env`]'s environments: same featurizer width, same
+/// connected-pair masking. Plans it produces are identical to the
+/// environment's greedy evaluation episodes.
+pub fn learned_planner(bundle: &WorkloadBundle, agent: &ReJoinAgent) -> LearnedPlanner {
+    LearnedPlanner::freeze(agent, Featurizer::new(bundle.max_rels().max(2)))
+        .with_require_connected(true)
 }
 
 #[cfg(test)]

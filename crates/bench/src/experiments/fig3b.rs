@@ -1,18 +1,19 @@
 //! Figure 3b — cost of generated plans for the ten reported queries.
 //!
-//! After Figure 3a's training protocol, the trained agent plans each of
-//! the queries `1a, 1b, 1c, 1d, 8c, 12b, 13c, 15a, 16b, 22c` greedily;
-//! the figure compares the optimizer cost of its plan with the expert's.
-//! Expected shape: ReJOIN's cost is at or below the expert's on most
-//! queries (the trained policy exploits cost-model structure the DP
-//! search prices identically but weights differently).
+//! After Figure 3a's training protocol, the trained agent — frozen into
+//! a [`LearnedPlanner`] — plans each of the queries `1a, 1b, 1c, 1d,
+//! 8c, 12b, 13c, 15a, 16b, 22c` through the unified [`Planner`] trait,
+//! against the traditional expert planning the same queries through the
+//! same trait. (The learned planner reproduces a greedy evaluation
+//! episode exactly, so this is the same measurement the env-based
+//! harness used to make, minus the hand-rolled episode loop.) Expected
+//! shape: ReJOIN's cost is at or below the expert's on most queries.
 
-use super::common::join_env;
-use hfqo_rejoin::{evaluate_per_query, QueryOrder, ReJoinAgent, RewardMode};
+use super::common::{learned_planner, planner_context};
+use hfqo_opt::{Planner, TraditionalPlanner};
+use hfqo_rejoin::{LearnedPlanner, ReJoinAgent};
 use hfqo_workload::job::FIGURE3B_LABELS;
 use hfqo_workload::WorkloadBundle;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use serde::Serialize;
 
 /// One row of Figure 3b.
@@ -36,22 +37,25 @@ pub struct Fig3bResult {
     pub wins_or_ties: usize,
 }
 
-/// Evaluates a trained agent on the Figure 3b queries.
-pub fn run(bundle: &WorkloadBundle, agent: &ReJoinAgent, seed: u64) -> Fig3bResult {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut env = join_env(bundle, QueryOrder::Cycle, RewardMode::RelativeToExpert);
-    let records = evaluate_per_query(&mut env, agent, QueryOrder::Cycle, &mut rng);
+/// Evaluates a trained agent on the Figure 3b queries through the
+/// [`Planner`] trait.
+pub fn run(bundle: &WorkloadBundle, agent: &ReJoinAgent) -> Fig3bResult {
+    let ctx = planner_context(bundle);
+    let expert = TraditionalPlanner::new();
+    let rejoin: LearnedPlanner = learned_planner(bundle, agent);
     let rows: Vec<Fig3bRow> = FIGURE3B_LABELS
         .iter()
         .filter_map(|&label| {
-            records
+            let query = bundle
+                .queries
                 .iter()
-                .find(|r| r.label.as_deref() == Some(label))
-                .map(|r| Fig3bRow {
-                    label: label.to_string(),
-                    expert_cost: r.expert_cost,
-                    rejoin_cost: r.agent_cost,
-                })
+                .find(|q| q.label.as_deref() == Some(label))?;
+            let cost = |p: &dyn Planner| p.plan(&ctx, query).expect("plannable").cost;
+            Some(Fig3bRow {
+                label: label.to_string(),
+                expert_cost: cost(&expert),
+                rejoin_cost: cost(&rejoin),
+            })
         })
         .collect();
     let wins_or_ties = rows
@@ -63,9 +67,11 @@ pub fn run(bundle: &WorkloadBundle, agent: &ReJoinAgent, seed: u64) -> Fig3bResu
 
 #[cfg(test)]
 mod tests {
-    use super::super::common::{agent_for, default_policy, imdb_bundle, Scale};
+    use super::super::common::{agent_for, default_policy, imdb_bundle, join_env, Scale};
     use super::*;
-    use hfqo_rl::Environment as _;
+    use hfqo_rejoin::{evaluate_per_query, QueryOrder, RewardMode};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
 
     #[test]
     fn produces_all_ten_rows() {
@@ -77,16 +83,43 @@ mod tests {
         let bundle = imdb_bundle(scale, 9);
         let mut rng = StdRng::seed_from_u64(0);
         let env = join_env(&bundle, QueryOrder::Cycle, RewardMode::RelativeToExpert);
-        let state_dim = env.state_dim();
-        drop(env);
-        let env = join_env(&bundle, QueryOrder::Cycle, RewardMode::RelativeToExpert);
-        assert_eq!(env.state_dim(), state_dim);
         let agent = agent_for(&env, default_policy(), &mut rng);
         drop(env);
-        let result = run(&bundle, &agent, 1);
+        let result = run(&bundle, &agent);
         assert_eq!(result.rows.len(), 10);
         assert!(result.rows.iter().all(|r| r.expert_cost > 0.0));
         assert!(result.rows.iter().all(|r| r.rejoin_cost > 0.0));
         assert_eq!(result.rows[0].label, "1a");
+    }
+
+    /// The planner-trait evaluation must agree with the legacy env-based
+    /// greedy evaluation it replaced.
+    #[test]
+    fn matches_env_based_evaluation() {
+        let scale = Scale {
+            base_rows: 250,
+            episodes: 0,
+            ma_window: 10,
+        };
+        let bundle = imdb_bundle(scale, 13);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut env = join_env(&bundle, QueryOrder::Cycle, RewardMode::RelativeToExpert);
+        let agent = agent_for(&env, default_policy(), &mut rng);
+        let records = evaluate_per_query(&mut env, &agent, QueryOrder::Cycle, &mut rng);
+        let result = run(&bundle, &agent);
+        for row in &result.rows {
+            let record = records
+                .iter()
+                .find(|r| r.label.as_deref() == Some(row.label.as_str()))
+                .expect("label evaluated");
+            assert!(
+                (row.rejoin_cost - record.agent_cost).abs() < 1e-6,
+                "{}: planner {} vs env {}",
+                row.label,
+                row.rejoin_cost,
+                record.agent_cost
+            );
+            assert!((row.expert_cost - record.expert_cost).abs() < 1e-6);
+        }
     }
 }

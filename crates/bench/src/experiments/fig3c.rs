@@ -1,18 +1,20 @@
 //! Figure 3c — optimization (planning) time vs relation count.
 //!
-//! For each query size 4–17, measures the traditional optimizer's
+//! For each query size 4–17, measures the traditional planner's
 //! planning time (DP below its threshold, greedy above — like
 //! PostgreSQL's exhaustive search switching to GEQO at 12) against a
-//! trained ReJOIN agent's inference time (one greedy episode, including
-//! featurisation and the operator-selection hand-off). The paper's
-//! counter-intuitive shape: the learned enumerator's O(n) episodes beat
-//! the optimizer's super-linear search once queries grow past a
-//! crossover.
+//! trained [`LearnedPlanner`]'s inference time (one greedy-argmax
+//! episode, including featurisation and the operator-selection
+//! hand-off). Both strategies are timed through the same `&dyn
+//! Planner` call, so the comparison measures exactly what the serving
+//! layer pays. The paper's counter-intuitive shape: the learned
+//! enumerator's O(n) episodes beat the optimizer's super-linear search
+//! once queries grow past a crossover.
 
 use super::common::{agent_for, default_policy};
-use hfqo_opt::TraditionalOptimizer;
+use hfqo_opt::{Planner, PlannerContext, TraditionalPlanner};
 use hfqo_rejoin::{
-    train_parallel, EnvContext, JoinOrderEnv, QueryOrder, RewardMode, TrainerConfig,
+    train_parallel, EnvContext, JoinOrderEnv, LearnedPlanner, QueryOrder, RewardMode, TrainerConfig,
 };
 use hfqo_workload::synth::SynthConfig;
 use hfqo_workload::WorkloadBundle;
@@ -69,8 +71,10 @@ pub fn run(rows_per_table: usize, train_episodes: usize, seed: u64, workers: usi
         env.require_connected = true;
         env
     };
-    let mut env = make_env(0);
+    let env = make_env(0);
+    let featurizer = env.featurizer();
     let mut agent = agent_for(&env, default_policy(), &mut rng);
+    drop(env);
     let _ = train_parallel(
         make_env,
         &mut agent,
@@ -78,7 +82,12 @@ pub fn run(rows_per_table: usize, train_episodes: usize, seed: u64, workers: usi
         &mut rng,
     );
 
-    let optimizer = TraditionalOptimizer::new(bundle.db.catalog(), &bundle.stats);
+    // Both strategies behind the unified trait: the timings below
+    // measure exactly the `Planner::plan` call the serving layer makes.
+    let expert = TraditionalPlanner::new();
+    let rejoin = LearnedPlanner::freeze(&agent, featurizer).with_require_connected(true);
+    let planners: [&dyn Planner; 2] = [&expert, &rejoin];
+    let ctx = PlannerContext::new(bundle.db.catalog(), &bundle.stats);
     const REPEATS: usize = 15;
     let mut out_rows = Vec::new();
     for &n in &sizes {
@@ -90,38 +99,28 @@ pub fn run(rows_per_table: usize, train_episodes: usize, seed: u64, workers: usi
             .filter(|(_, q)| q.relation_count() == n)
             .map(|(i, _)| i)
             .collect();
-        // Expert planning time.
-        let mut expert_total = 0.0f64;
-        let mut expert_count = 0usize;
-        for &qi in &indices {
-            for _ in 0..REPEATS {
-                let start = Instant::now();
-                let planned = optimizer.plan(&bundle.queries[qi]).expect("plannable");
-                expert_total += start.elapsed().as_secs_f64() * 1e6;
-                expert_count += 1;
-                std::hint::black_box(planned.cost);
+        // Mean planning time per strategy, one warm-up per query.
+        let mut mean_us = [0.0f64; 2];
+        for (pi, planner) in planners.iter().enumerate() {
+            let mut total = 0.0f64;
+            let mut count = 0usize;
+            for &qi in &indices {
+                let query = &bundle.queries[qi];
+                let _ = planner.plan(&ctx, query).expect("plannable");
+                for _ in 0..REPEATS {
+                    let start = Instant::now();
+                    let planned = planner.plan(&ctx, query).expect("plannable");
+                    total += start.elapsed().as_secs_f64() * 1e6;
+                    count += 1;
+                    std::hint::black_box(planned.cost);
+                }
             }
-        }
-        // ReJOIN inference time: one greedy episode per repeat. Warm the
-        // expert-cost cache first so the timed episodes measure only the
-        // agent's own planning work.
-        let mut rejoin_total = 0.0f64;
-        let mut rejoin_count = 0usize;
-        for &qi in &indices {
-            env.set_order(QueryOrder::Fixed(qi));
-            let _ = agent.run_episode(&mut env, &mut rng, true); // warm-up
-            for _ in 0..REPEATS {
-                let start = Instant::now();
-                let ep = agent.run_episode(&mut env, &mut rng, true);
-                rejoin_total += start.elapsed().as_secs_f64() * 1e6;
-                rejoin_count += 1;
-                std::hint::black_box(ep.len());
-            }
+            mean_us[pi] = total / count.max(1) as f64;
         }
         out_rows.push(Fig3cRow {
             relations: n,
-            expert_us: expert_total / expert_count.max(1) as f64,
-            rejoin_us: rejoin_total / rejoin_count.max(1) as f64,
+            expert_us: mean_us[0],
+            rejoin_us: mean_us[1],
         });
     }
     let crossover = out_rows

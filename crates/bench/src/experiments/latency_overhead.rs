@@ -9,9 +9,8 @@
 //! cumulative simulated execution time, its distribution over the first
 //! vs last training quarter, and the count of catastrophic episodes.
 
-use super::common::{agent_for, default_policy, join_env, Scale};
-use hfqo_opt::expert_actions;
-use hfqo_opt::TraditionalOptimizer;
+use super::common::{agent_for, default_policy, join_env, planner_context, Scale};
+use hfqo_opt::{Planner, TraditionalPlanner};
 use hfqo_rejoin::{train_parallel, QueryOrder, RewardMode, TrainerConfig};
 use hfqo_workload::WorkloadBundle;
 use rand::rngs::StdRng;
@@ -50,13 +49,14 @@ pub fn run(
 ) -> LatencyOverheadResult {
     let mut rng = StdRng::seed_from_u64(seed);
 
-    // Expert latency baseline.
-    let optimizer = TraditionalOptimizer::new(bundle.db.catalog(), &bundle.stats);
+    // Expert latency baseline, planned through the unified trait.
+    let ctx = planner_context(bundle);
+    let expert: &dyn Planner = &TraditionalPlanner::new();
     let mut env = join_env(bundle, QueryOrder::Shuffle, RewardMode::InverseLatency);
     let mut expert_sum = 0.0;
     for (i, q) in bundle.queries.iter().enumerate() {
-        let episode = expert_actions(&optimizer, q).expect("plannable");
-        expert_sum += env.simulate_latency(i, &episode.plan, &mut rng);
+        let planned = expert.plan(&ctx, q).expect("plannable");
+        expert_sum += env.simulate_latency(i, &planned.plan, &mut rng);
     }
     let expert_mean_ms = expert_sum / bundle.queries.len().max(1) as f64;
 

@@ -7,8 +7,8 @@
 //! join-order-only agent and (b) a flat full-space agent for the *same*
 //! episode budget and compares both against (c) the random planner.
 
-use super::common::{agent_for, default_policy, join_env, Scale};
-use hfqo_opt::{random_plan, TraditionalOptimizer};
+use super::common::{agent_for, default_policy, join_env, planner_context, Scale};
+use hfqo_opt::{Planner, RandomPlanner, TraditionalPlanner};
 use hfqo_rejoin::{
     train_parallel, EnvContext, FullPlanEnv, QueryOrder, RewardMode, StageSet, TrainerConfig,
 };
@@ -65,16 +65,19 @@ pub fn run(bundle: &WorkloadBundle, scale: Scale, seed: u64, workers: usize) -> 
     let mut full_agent = agent_for(&make_full_env(0), default_policy(), &mut rng);
     let full_log = train_parallel(make_full_env, &mut full_agent, config, &mut rng);
 
-    // (c) Random plans.
-    let optimizer = TraditionalOptimizer::new(bundle.db.catalog(), &bundle.stats);
+    // (c) Random plans, drawn through the unified `Planner` trait (the
+    // same floor baseline the serving layer can mount).
+    let ctx = planner_context(bundle);
+    let expert: &dyn Planner = &TraditionalPlanner::new();
+    let random: &dyn Planner = &RandomPlanner::new(seed ^ 0xF100);
     // Geometric mean, matching the agents' reporting metric.
     let mut random_ln_sum = 0.0f64;
     let mut random_n = 0usize;
     for q in &bundle.queries {
-        let expert = optimizer.plan(q).expect("plannable").cost;
+        let expert_cost = expert.plan(&ctx, q).expect("plannable").cost;
         for _ in 0..3 {
-            let plan = random_plan(q, bundle.db.catalog(), &mut rng);
-            random_ln_sum += (optimizer.cost_of(q, &plan) / expert).max(1e-12).ln();
+            let drawn = random.plan(&ctx, q).expect("plannable").cost;
+            random_ln_sum += (drawn / expert_cost).max(1e-12).ln();
             random_n += 1;
         }
     }

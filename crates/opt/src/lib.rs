@@ -14,14 +14,19 @@
 //!   (standing in for GEQO; the paper's §3 notes PostgreSQL's greedy
 //!   bottom-up behaviour),
 //! * access-path and physical-operator selection ([`physical`]),
-//! * plus a **random planner** ([`random`]) used as the floor baseline in
+//! * a **random planner** ([`random`]) used as the floor baseline in
 //!   the §4 experiments and **expert traces** ([`trace`]) consumed by
-//!   learning-from-demonstration (§5.1).
+//!   learning-from-demonstration (§5.1),
+//! * plus the **unified [`Planner`] trait** ([`planner`]) every strategy
+//!   — traditional, pure greedy, random, and the learned ReJOIN policy —
+//!   implements, so the serving layer and the experiment harness swap
+//!   strategies behind one interface.
 
 pub mod dp;
 pub mod greedy;
 pub mod optimizer;
 pub mod physical;
+pub mod planner;
 pub mod random;
 pub mod trace;
 
@@ -29,5 +34,6 @@ pub mod trace;
 pub mod test_support;
 
 pub use optimizer::{OptError, PlannedQuery, PlannerMethod, TraditionalOptimizer};
+pub use planner::{GreedyPlanner, Planner, PlannerContext, RandomPlanner, TraditionalPlanner};
 pub use random::random_plan;
 pub use trace::{expert_actions, ExpertEpisode};

@@ -11,12 +11,35 @@ use std::fmt;
 use std::time::{Duration, Instant};
 
 /// Which search strategy produced a plan.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PlannerMethod {
     /// Exhaustive dynamic programming.
     DynamicProgramming,
-    /// Greedy bottom-up (beyond the DP threshold).
+    /// Greedy bottom-up (beyond the DP threshold, or the pure-greedy
+    /// planner).
     Greedy,
+    /// Uniformly random valid plan (the floor baseline).
+    Random,
+    /// A frozen learned policy (greedy-argmax ReJOIN inference).
+    Learned,
+}
+
+impl PlannerMethod {
+    /// Short lower-case label, for traces and experiment reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Self::DynamicProgramming => "dp",
+            Self::Greedy => "greedy",
+            Self::Random => "random",
+            Self::Learned => "learned",
+        }
+    }
+}
+
+impl fmt::Display for PlannerMethod {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
 }
 
 /// Optimizer errors.
@@ -24,12 +47,16 @@ pub enum PlannerMethod {
 pub enum OptError {
     /// The query has no relations.
     EmptyQuery,
+    /// The planner cannot handle this query (e.g. a learned policy
+    /// sized for fewer relations than the query has).
+    Unsupported(String),
 }
 
 impl fmt::Display for OptError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Self::EmptyQuery => write!(f, "cannot plan a query with no relations"),
+            Self::Unsupported(why) => write!(f, "planner cannot handle this query: {why}"),
         }
     }
 }

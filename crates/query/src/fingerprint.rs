@@ -1,0 +1,371 @@
+//! Query fingerprinting for the plan cache.
+//!
+//! A [`QueryFingerprint`] is a stable 128-bit hash of a bound
+//! [`QueryGraph`]'s *plan-relevant* content: two graphs share a
+//! fingerprint exactly when a physical plan produced for one is a valid,
+//! result-correct plan for the other. The serving layer keys its plan
+//! cache on it.
+//!
+//! ## Normalization rules
+//!
+//! What the fingerprint **includes** (all in stored order — plans
+//! reference join conditions, selections, and relations *by index*, so
+//! permuting any of these lists changes what a cached plan means):
+//!
+//! * relations, as catalog [`TableId`]s in FROM order;
+//! * join edges: `(left rel, left column, operator, right rel, right
+//!   column)` per edge (the binder already stores `left.rel <
+//!   right.rel`, so edge orientation is canonical);
+//! * selection predicates, *including their literal values* — a changed
+//!   literal changes selectivity and possibly the optimal plan, so there
+//!   is no parameterized-plan sharing;
+//! * aggregate expressions and GROUP BY columns (they decide whether a
+//!   plan carries an aggregate root and what it computes).
+//!
+//! What it **excludes** (plan-irrelevant presentation):
+//!
+//! * relation *aliases* — `FROM title t` and `FROM title x` bind to the
+//!   same positional [`RelId`]s, produce identical plans and identical
+//!   row values, and differ only in output column naming (recomputed per
+//!   execution, never cached);
+//! * the optional display `label`.
+//!
+//! ## Hash construction
+//!
+//! The content is folded through two independent FNV-1a-64 streams
+//! (different offset bases) concatenated into a `u128`. FNV is chosen
+//! over `std`'s `DefaultHasher` because it is *stable*: fingerprints are
+//! reproducible across processes, runs, and Rust versions, so cache
+//! behaviour is deterministic and testable. At 128 bits, accidental
+//! collisions are not a practical concern; the cache trusts the
+//! fingerprint and performs no structural verification on hit.
+
+use crate::graph::QueryGraph;
+use crate::predicate::{BoundColumn, Lit};
+use hfqo_catalog::TableId;
+use hfqo_sql::{AggFunc, CompareOp};
+use std::fmt;
+
+/// A stable 128-bit fingerprint of a query graph's plan-relevant
+/// content. See the [module docs](self) for the normalization rules.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct QueryFingerprint(pub u128);
+
+impl fmt::Display for QueryFingerprint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:032x}", self.0)
+    }
+}
+
+/// Two chained FNV-1a-64 streams with distinct offset bases.
+struct Fnv2 {
+    a: u64,
+    b: u64,
+}
+
+const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+const FNV_OFFSET_A: u64 = 0xCBF2_9CE4_8422_2325;
+// A second, independent stream: the standard offset basis folded over an
+// arbitrary odd constant so the two lanes decorrelate from byte one.
+const FNV_OFFSET_B: u64 = 0xCBF2_9CE4_8422_2325 ^ 0x9E37_79B9_7F4A_7C15;
+
+impl Fnv2 {
+    fn new() -> Self {
+        Self {
+            a: FNV_OFFSET_A,
+            b: FNV_OFFSET_B,
+        }
+    }
+
+    fn byte(&mut self, v: u8) {
+        self.a = (self.a ^ u64::from(v)).wrapping_mul(FNV_PRIME);
+        self.b = (self.b ^ u64::from(v)).wrapping_mul(FNV_PRIME);
+    }
+
+    fn bytes(&mut self, vs: &[u8]) {
+        for &v in vs {
+            self.byte(v);
+        }
+    }
+
+    fn u32(&mut self, v: u32) {
+        self.bytes(&v.to_le_bytes());
+    }
+
+    fn u64(&mut self, v: u64) {
+        self.bytes(&v.to_le_bytes());
+    }
+
+    /// Length-prefixed variable-size payload, so adjacent fields cannot
+    /// alias (`"ab" + "c"` vs `"a" + "bc"`).
+    fn str(&mut self, s: &str) {
+        self.u64(s.len() as u64);
+        self.bytes(s.as_bytes());
+    }
+
+    fn finish(self) -> u128 {
+        (u128::from(self.a) << 64) | u128::from(self.b)
+    }
+}
+
+fn column(h: &mut Fnv2, c: BoundColumn) {
+    h.u32(c.rel.0);
+    h.u32(c.column.0);
+}
+
+fn compare_op(h: &mut Fnv2, op: CompareOp) {
+    // Explicit discriminants: reordering the enum must not silently
+    // change fingerprints.
+    h.byte(match op {
+        CompareOp::Eq => 0,
+        CompareOp::Neq => 1,
+        CompareOp::Lt => 2,
+        CompareOp::Le => 3,
+        CompareOp::Gt => 4,
+        CompareOp::Ge => 5,
+    });
+}
+
+fn literal(h: &mut Fnv2, lit: &Lit) {
+    match lit {
+        Lit::Int(v) => {
+            h.byte(0);
+            h.u64(*v as u64);
+        }
+        Lit::Float(v) => {
+            h.byte(1);
+            h.u64(v.to_bits());
+        }
+        Lit::Str(s) => {
+            h.byte(2);
+            h.str(s);
+        }
+    }
+}
+
+fn agg_func(h: &mut Fnv2, f: AggFunc) {
+    h.byte(match f {
+        AggFunc::Count => 0,
+        AggFunc::Sum => 1,
+        AggFunc::Min => 2,
+        AggFunc::Max => 3,
+        AggFunc::Avg => 4,
+    });
+}
+
+/// Computes the fingerprint of `graph` under the normalization rules in
+/// the [module docs](self).
+pub fn fingerprint(graph: &QueryGraph) -> QueryFingerprint {
+    let mut h = Fnv2::new();
+    // Relations: catalog table per FROM slot. Aliases are presentation
+    // only (see module docs) and are deliberately not hashed.
+    h.u64(graph.relation_count() as u64);
+    for rel in graph.relations() {
+        let TableId(t) = rel.table;
+        h.u32(t);
+    }
+    // Join edges, in stored order (plans index into this list).
+    h.u64(graph.joins().len() as u64);
+    for edge in graph.joins() {
+        column(&mut h, edge.left);
+        compare_op(&mut h, edge.op);
+        column(&mut h, edge.right);
+    }
+    // Selections, in stored order, literals included (no parameterized
+    // plan sharing).
+    h.u64(graph.selections().len() as u64);
+    for sel in graph.selections() {
+        column(&mut h, sel.column);
+        compare_op(&mut h, sel.op);
+        literal(&mut h, &sel.value);
+    }
+    // Output shape: aggregates and grouping decide the aggregate root.
+    h.u64(graph.aggregates().len() as u64);
+    for agg in graph.aggregates() {
+        agg_func(&mut h, agg.func);
+        match agg.column {
+            Some(c) => {
+                h.byte(1);
+                column(&mut h, c);
+            }
+            None => h.byte(0),
+        }
+    }
+    h.u64(graph.group_by().len() as u64);
+    for &c in graph.group_by() {
+        column(&mut h, c);
+    }
+    QueryFingerprint(h.finish())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{RelId, Relation};
+    use crate::predicate::{AggExpr, JoinEdge, Selection};
+    use hfqo_catalog::ColumnId;
+
+    fn graph() -> QueryGraph {
+        let rels = (0..3)
+            .map(|i| Relation {
+                table: TableId(i),
+                alias: format!("t{i}"),
+            })
+            .collect();
+        let joins = vec![
+            JoinEdge {
+                left: BoundColumn::new(RelId(0), ColumnId(0)),
+                op: CompareOp::Eq,
+                right: BoundColumn::new(RelId(1), ColumnId(0)),
+            },
+            JoinEdge {
+                left: BoundColumn::new(RelId(1), ColumnId(1)),
+                op: CompareOp::Eq,
+                right: BoundColumn::new(RelId(2), ColumnId(0)),
+            },
+        ];
+        let sels = vec![Selection {
+            column: BoundColumn::new(RelId(1), ColumnId(2)),
+            op: CompareOp::Gt,
+            value: Lit::Int(5),
+        }];
+        let aggs = vec![AggExpr {
+            func: AggFunc::Count,
+            column: None,
+        }];
+        QueryGraph::new(rels, joins, sels, aggs, vec![])
+    }
+
+    #[test]
+    fn deterministic_and_stable() {
+        let g = graph();
+        assert_eq!(fingerprint(&g), fingerprint(&g));
+        assert_eq!(fingerprint(&g), fingerprint(&graph()));
+        // Pinned value: the fingerprint must be reproducible across
+        // processes, runs, and releases (cache keys are allowed to
+        // outlive a session). Update this constant deliberately if the
+        // normalization rules or hash construction change.
+        assert_eq!(
+            fingerprint(&g).to_string(),
+            "09b7d33011cbe9dc8ac1bd258a8ae4c5"
+        );
+    }
+
+    #[test]
+    fn aliases_and_labels_are_ignored() {
+        let base = fingerprint(&graph());
+        let mut renamed = graph();
+        renamed = QueryGraph::new(
+            renamed
+                .relations()
+                .iter()
+                .map(|r| Relation {
+                    table: r.table,
+                    alias: format!("x_{}", r.alias),
+                })
+                .collect(),
+            renamed.joins().to_vec(),
+            renamed.selections().to_vec(),
+            renamed.aggregates().to_vec(),
+            renamed.group_by().to_vec(),
+        );
+        assert_eq!(fingerprint(&renamed), base, "aliases are presentation");
+        let labelled = graph().with_label("8c");
+        assert_eq!(fingerprint(&labelled), base, "labels are presentation");
+    }
+
+    #[test]
+    fn literals_tables_and_operators_matter() {
+        let base = fingerprint(&graph());
+        // Changed literal.
+        let mut g = graph();
+        let mut sels = g.selections().to_vec();
+        sels[0].value = Lit::Int(6);
+        g = QueryGraph::new(
+            g.relations().to_vec(),
+            g.joins().to_vec(),
+            sels,
+            g.aggregates().to_vec(),
+            g.group_by().to_vec(),
+        );
+        assert_ne!(fingerprint(&g), base, "literal values are hashed");
+        // Changed comparison operator.
+        let mut g = graph();
+        let mut sels = g.selections().to_vec();
+        sels[0].op = CompareOp::Ge;
+        g = QueryGraph::new(
+            g.relations().to_vec(),
+            g.joins().to_vec(),
+            sels,
+            g.aggregates().to_vec(),
+            g.group_by().to_vec(),
+        );
+        assert_ne!(fingerprint(&g), base, "operators are hashed");
+        // Changed backing table.
+        let mut rels = graph().relations().to_vec();
+        rels[2].table = TableId(9);
+        let g = QueryGraph::new(
+            rels,
+            graph().joins().to_vec(),
+            graph().selections().to_vec(),
+            graph().aggregates().to_vec(),
+            graph().group_by().to_vec(),
+        );
+        assert_ne!(fingerprint(&g), base, "tables are hashed");
+    }
+
+    #[test]
+    fn list_order_matters() {
+        // Plans reference join conditions by index: a permuted join list
+        // is a *different* cache key even though the edge set is equal.
+        let g = graph();
+        let mut joins = g.joins().to_vec();
+        joins.swap(0, 1);
+        let permuted = QueryGraph::new(
+            g.relations().to_vec(),
+            joins,
+            g.selections().to_vec(),
+            g.aggregates().to_vec(),
+            g.group_by().to_vec(),
+        );
+        assert_ne!(fingerprint(&permuted), fingerprint(&g));
+    }
+
+    #[test]
+    fn output_shape_matters() {
+        let g = graph();
+        let no_agg = QueryGraph::new(
+            g.relations().to_vec(),
+            g.joins().to_vec(),
+            g.selections().to_vec(),
+            vec![],
+            vec![],
+        );
+        assert_ne!(fingerprint(&no_agg), fingerprint(&g));
+        let grouped = QueryGraph::new(
+            g.relations().to_vec(),
+            g.joins().to_vec(),
+            g.selections().to_vec(),
+            g.aggregates().to_vec(),
+            vec![BoundColumn::new(RelId(0), ColumnId(1))],
+        );
+        assert_ne!(fingerprint(&grouped), fingerprint(&g));
+    }
+
+    #[test]
+    fn adjacent_strings_cannot_alias() {
+        let a = {
+            let mut h = Fnv2::new();
+            h.str("ab");
+            h.str("c");
+            h.finish()
+        };
+        let b = {
+            let mut h = Fnv2::new();
+            h.str("a");
+            h.str("bc");
+            h.finish()
+        };
+        assert_ne!(a, b);
+    }
+}

@@ -30,6 +30,7 @@
 pub mod bind;
 pub mod display;
 pub mod error;
+pub mod fingerprint;
 pub mod graph;
 pub mod logical;
 pub mod physical;
@@ -37,6 +38,7 @@ pub mod predicate;
 
 pub use bind::bind_select;
 pub use error::QueryError;
+pub use fingerprint::{fingerprint, QueryFingerprint};
 pub use graph::{QueryGraph, RelId, RelSet, Relation};
 pub use logical::{tree_to_actions, Forest, JoinTree};
 pub use physical::{AccessPath, AggAlgo, JoinAlgo, PhysicalPlan, PlanNode};

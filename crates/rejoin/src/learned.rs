@@ -1,0 +1,299 @@
+//! The learned planner: a frozen ReJOIN policy behind the
+//! [`Planner`] trait.
+//!
+//! This is the paper's end state made concrete — the trained policy
+//! *replaces* the traditional enumerator in the serving path. A
+//! [`LearnedPlanner`] wraps a frozen [`PolicySnapshot`] (plain owned
+//! weights, no optimizer state, `Send + Sync`) plus the featurizer it
+//! was trained with, and plans by replaying one greedy-argmax episode:
+//! featurize the forest, take the policy's mode action, merge, repeat
+//! until one tree remains, then hand the ordering to the traditional
+//! machinery ([`crate::planfix::plan_from_tree`]) for access-path,
+//! join-operator, and aggregate selection — exactly what a greedy
+//! evaluation episode in [`crate::env_join::JoinOrderEnv`] does, which
+//! a parity test pins down.
+
+use crate::featurize::Featurizer;
+use crate::planfix::plan_from_tree;
+use hfqo_opt::{OptError, PlannedQuery, Planner, PlannerContext, PlannerMethod};
+use hfqo_query::{Forest, QueryGraph};
+use hfqo_rl::PolicySnapshot;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+/// A frozen learned policy serving as a query planner.
+#[derive(Debug, Clone)]
+pub struct LearnedPlanner {
+    snapshot: PolicySnapshot,
+    featurizer: Featurizer,
+    /// Restrict actions to join-connected pairs, as the training
+    /// environments do by default in the experiment harness. Must match
+    /// the setting the policy was trained under, or inference walks a
+    /// differently-masked action space than the one it learned.
+    require_connected: bool,
+}
+
+// The serving layer shares one learned planner across worker threads;
+// the snapshot is plain owned weights and the featurizer is `Copy`, so
+// this holds structurally — the assertion breaks the build if training
+// state ever leaks in.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<LearnedPlanner>();
+};
+
+impl LearnedPlanner {
+    /// Wraps a frozen policy. `featurizer` must be the one the policy
+    /// was trained with (same `max_rels`, hence same state/action
+    /// dimensions) — asserted here, at the root cause, rather than as
+    /// a shape panic deep in the matmul kernel at inference time.
+    /// Connected-pair masking defaults to `true`, matching the
+    /// experiment harness's training environments.
+    pub fn new(snapshot: PolicySnapshot, featurizer: Featurizer) -> Self {
+        assert_eq!(
+            featurizer.state_dim(),
+            snapshot.policy().input_size(),
+            "featurizer state width must match the policy's input size \
+             (was the policy trained at a different max_rels?)"
+        );
+        assert_eq!(
+            featurizer.action_dim(),
+            snapshot.policy().output_size(),
+            "featurizer action width must match the policy's output size \
+             (was the policy trained at a different max_rels?)"
+        );
+        Self {
+            snapshot,
+            featurizer,
+            require_connected: true,
+        }
+    }
+
+    /// Freezes the current policy of a live agent into a planner.
+    pub fn freeze(agent: &crate::agent::ReJoinAgent, featurizer: Featurizer) -> Self {
+        Self::new(agent.snapshot(), featurizer)
+    }
+
+    /// Overrides connected-pair masking (builder style).
+    pub fn with_require_connected(mut self, require_connected: bool) -> Self {
+        self.require_connected = require_connected;
+        self
+    }
+
+    /// The featurizer the planner infers with.
+    pub fn featurizer(&self) -> Featurizer {
+        self.featurizer
+    }
+}
+
+impl Planner for LearnedPlanner {
+    fn name(&self) -> &'static str {
+        "learned"
+    }
+
+    fn plan(&self, ctx: &PlannerContext<'_>, graph: &QueryGraph) -> Result<PlannedQuery, OptError> {
+        let n = graph.relation_count();
+        if n == 0 {
+            return Err(OptError::EmptyQuery);
+        }
+        if n > self.featurizer.max_rels() {
+            return Err(OptError::Unsupported(format!(
+                "policy trained for up to {} relations, query has {n}",
+                self.featurizer.max_rels()
+            )));
+        }
+        let start = Instant::now();
+        let est = ctx.estimator();
+        let mut forest = Forest::initial(n);
+        let mut features = Vec::with_capacity(self.featurizer.state_dim());
+        let mut mask = Vec::with_capacity(self.featurizer.action_dim());
+        // Greedy selection never consults the RNG; the seed only
+        // satisfies the shared `select_action` signature.
+        let mut rng = StdRng::seed_from_u64(0);
+        while !forest.is_terminal() {
+            self.featurizer
+                .featurize(graph, &forest, &est, &mut features);
+            self.featurizer
+                .action_mask(graph, &forest, self.require_connected, &mut mask);
+            let (action, _prob) = self
+                .snapshot
+                .select_action(&features, &mask, &mut rng, true);
+            let (x, y) = self.featurizer.decode_pair(action);
+            let merged = forest.merge(x, y);
+            debug_assert!(merged, "masked actions must be valid merges");
+        }
+        let tree = forest.into_tree().expect("terminal forest has one tree");
+        let model = ctx.cost_model();
+        let plan = plan_from_tree(graph, &tree, ctx.catalog, &model, &est);
+        let cost = model.plan_cost(graph, &plan, &est).total;
+        Ok(PlannedQuery {
+            plan,
+            cost,
+            planning_time: start.elapsed(),
+            method: PlannerMethod::Learned,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::agent::{PolicyKind, ReJoinAgent};
+    use crate::env_join::{EnvContext, JoinOrderEnv};
+    use crate::reward::RewardMode;
+    use crate::QueryOrder;
+    use hfqo_opt::test_support::{chain_query, TestDb};
+    use hfqo_rl::Environment as _;
+
+    fn fixture() -> (TestDb, Vec<QueryGraph>) {
+        let db = TestDb::chain(5, 300);
+        let queries = vec![chain_query(&db, 5), chain_query(&db, 3)];
+        (db, queries)
+    }
+
+    fn agent_for(env: &JoinOrderEnv<'_>, rng: &mut StdRng) -> ReJoinAgent {
+        ReJoinAgent::new(
+            env.state_dim(),
+            env.action_dim(),
+            PolicyKind::default_reinforce(),
+            rng,
+        )
+    }
+
+    /// The planner must reproduce a greedy evaluation episode exactly:
+    /// same featurizer, same mask, same argmax, same `planfix`
+    /// completion — so serving a frozen agent gives precisely the plans
+    /// the training-side evaluation reported.
+    #[test]
+    fn matches_env_greedy_episode_plan() {
+        let (db, queries) = fixture();
+        let ctx = EnvContext::new(&db.db, &db.stats);
+        let mut env = JoinOrderEnv::new(
+            ctx,
+            &queries,
+            6,
+            QueryOrder::Fixed(0),
+            RewardMode::InverseCost,
+        );
+        env.require_connected = true;
+        let mut rng = StdRng::seed_from_u64(3);
+        let agent = agent_for(&env, &mut rng);
+        let planner = LearnedPlanner::freeze(&agent, env.featurizer());
+        let plan_ctx = PlannerContext::new(db.db.catalog(), &db.stats);
+        for (idx, graph) in queries.iter().enumerate() {
+            env.set_order(QueryOrder::Fixed(idx));
+            let _ = agent.run_episode(&mut env, &mut rng, true);
+            let outcome = env.last_outcome().expect("episode finished").clone();
+            let planned = planner.plan(&plan_ctx, graph).unwrap();
+            assert_eq!(planned.plan, outcome.plan, "query {idx}");
+            assert!((planned.cost - outcome.agent_cost).abs() < 1e-9);
+        }
+    }
+
+    /// `PlannerMethod` attribution: learned plans are tagged `Learned`.
+    #[test]
+    fn attributes_learned_method() {
+        let (db, queries) = fixture();
+        let ctx = EnvContext::new(&db.db, &db.stats);
+        let env = JoinOrderEnv::new(
+            ctx,
+            &queries,
+            6,
+            QueryOrder::Fixed(0),
+            RewardMode::InverseCost,
+        );
+        let mut rng = StdRng::seed_from_u64(0);
+        let agent = agent_for(&env, &mut rng);
+        let planner = LearnedPlanner::freeze(&agent, env.featurizer());
+        let plan_ctx = PlannerContext::new(db.db.catalog(), &db.stats);
+        let planned = planner.plan(&plan_ctx, &queries[0]).unwrap();
+        assert_eq!(planned.method, PlannerMethod::Learned);
+        planned.plan.validate(&queries[0]).unwrap();
+        assert!(planned.cost > 0.0);
+        assert!(planned.planning_time.as_nanos() > 0);
+    }
+
+    #[test]
+    fn inference_is_deterministic() {
+        let (db, queries) = fixture();
+        let ctx = EnvContext::new(&db.db, &db.stats);
+        let env = JoinOrderEnv::new(
+            ctx,
+            &queries,
+            6,
+            QueryOrder::Fixed(0),
+            RewardMode::InverseCost,
+        );
+        let mut rng = StdRng::seed_from_u64(1);
+        let agent = agent_for(&env, &mut rng);
+        let planner = LearnedPlanner::freeze(&agent, env.featurizer());
+        let plan_ctx = PlannerContext::new(db.db.catalog(), &db.stats);
+        let a = planner.plan(&plan_ctx, &queries[0]).unwrap();
+        let b = planner.plan(&plan_ctx, &queries[0]).unwrap();
+        assert_eq!(a.plan, b.plan);
+        assert_eq!(a.cost, b.cost);
+    }
+
+    #[test]
+    fn oversized_queries_are_unsupported() {
+        let (db, queries) = fixture();
+        let mut rng = StdRng::seed_from_u64(2);
+        // A policy genuinely trained at 3-relation width: planning the
+        // 5-relation query must fail cleanly, not mis-featurize.
+        let narrow_f = Featurizer::new(3);
+        let narrow_agent = ReJoinAgent::new(
+            narrow_f.state_dim(),
+            narrow_f.action_dim(),
+            PolicyKind::default_reinforce(),
+            &mut rng,
+        );
+        let narrow = LearnedPlanner::freeze(&narrow_agent, narrow_f);
+        let plan_ctx = PlannerContext::new(db.db.catalog(), &db.stats);
+        assert!(matches!(
+            narrow.plan(&plan_ctx, &queries[0]),
+            Err(OptError::Unsupported(_))
+        ));
+        // But it still plans queries within its width.
+        let planned = narrow.plan(&plan_ctx, &queries[1]).unwrap();
+        planned.plan.validate(&queries[1]).unwrap();
+        let empty = QueryGraph::new(vec![], vec![], vec![], vec![], vec![]);
+        assert_eq!(narrow.plan(&plan_ctx, &empty), Err(OptError::EmptyQuery));
+    }
+
+    /// A featurizer whose dimensions do not match the frozen policy is
+    /// a construction bug; it must fail at the root cause, not as a
+    /// shape panic inside the matmul kernel at inference time.
+    #[test]
+    #[should_panic(expected = "featurizer state width")]
+    fn mismatched_featurizer_width_panics_at_construction() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let trained_at = Featurizer::new(6);
+        let agent = ReJoinAgent::new(
+            trained_at.state_dim(),
+            trained_at.action_dim(),
+            PolicyKind::default_reinforce(),
+            &mut rng,
+        );
+        let _ = LearnedPlanner::freeze(&agent, Featurizer::new(3));
+    }
+
+    /// Single-relation queries need no merges: the planner must still
+    /// produce a valid (scan + optional aggregate) plan.
+    #[test]
+    fn single_relation_queries_plan_without_actions() {
+        let db = TestDb::chain(1, 100);
+        let graph = chain_query(&db, 1);
+        let mut rng = StdRng::seed_from_u64(4);
+        let agent = ReJoinAgent::new(
+            Featurizer::new(2).state_dim(),
+            Featurizer::new(2).action_dim(),
+            PolicyKind::default_reinforce(),
+            &mut rng,
+        );
+        let planner = LearnedPlanner::new(agent.snapshot(), Featurizer::new(2));
+        let plan_ctx = PlannerContext::new(db.db.catalog(), &db.stats);
+        let planned = planner.plan(&plan_ctx, &graph).unwrap();
+        planned.plan.validate(&graph).unwrap();
+    }
+}

@@ -27,6 +27,9 @@
 //!   (`ParallelTrainer`): N threads over the shared read-only world,
 //!   A2C-style synchronous rounds, deterministic per-worker RNG
 //!   streams.
+//! * [`learned`] — the serving-side [`LearnedPlanner`]: a frozen
+//!   policy snapshot behind the unified `hfqo_opt::Planner` trait,
+//!   planning by greedy-argmax inference plus the [`planfix`] hand-off.
 //! * [`demonstration`], [`bootstrap`], [`incremental`] — the §5 methods.
 
 pub mod agent;
@@ -36,6 +39,7 @@ pub mod env_full;
 pub mod env_join;
 pub mod featurize;
 pub mod incremental;
+pub mod learned;
 pub mod metrics;
 pub mod parallel;
 pub mod planfix;
@@ -49,6 +53,7 @@ pub use env_full::{FullPlanEnv, Phase};
 pub use env_join::{EnvContext, EpisodeOutcome, JoinOrderEnv, LatencySource, QueryOrder};
 pub use featurize::Featurizer;
 pub use incremental::{Curriculum, StageSet};
+pub use learned::LearnedPlanner;
 pub use metrics::{MovingAverage, TrainingLog};
 pub use parallel::{train_parallel, ParallelTrainer};
 pub use reward::RewardMode;

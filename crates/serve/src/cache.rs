@@ -1,0 +1,227 @@
+//! The fingerprint-keyed plan cache.
+//!
+//! A capacity-bounded LRU mapping [`QueryFingerprint`]s (see
+//! `hfqo_query::fingerprint` for the normalization rules) to finished
+//! physical plans. The cache itself is single-threaded; the session
+//! wraps it in a mutex and keeps the critical sections to probe/insert
+//! only — planning happens outside the lock.
+
+use hfqo_opt::PlannerMethod;
+use hfqo_query::{PhysicalPlan, QueryFingerprint};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A cached plan: everything the session needs to answer a hit without
+/// re-planning.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CachedPlan {
+    /// The finished physical plan.
+    pub plan: PhysicalPlan,
+    /// Estimated cost at planning time.
+    pub cost: f64,
+    /// Which strategy produced it.
+    pub method: PlannerMethod,
+}
+
+/// Cache observability counters (monotonic over the cache's lifetime;
+/// `invalidations` counts whole-cache clears).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheMetrics {
+    /// Probe hits.
+    pub hits: u64,
+    /// Probe misses.
+    pub misses: u64,
+    /// Entries evicted by the capacity bound.
+    pub evictions: u64,
+    /// Whole-cache invalidations (stats rebuilds, planner swaps,
+    /// explicit clears).
+    pub invalidations: u64,
+    /// Entries currently cached.
+    pub len: usize,
+    /// Configured capacity.
+    pub capacity: usize,
+}
+
+#[derive(Debug)]
+struct Entry {
+    /// Shared so a hit hands the plan out without cloning the plan
+    /// tree inside the cache lock.
+    cached: Arc<CachedPlan>,
+    /// Last-use stamp from the monotonic counter below.
+    used: u64,
+}
+
+/// A capacity-bounded LRU plan cache.
+///
+/// Recency is tracked with a monotonic stamp per entry; eviction scans
+/// for the minimum stamp. That is O(capacity) per eviction, which is
+/// deliberate: capacities are small (a workload's worth of distinct
+/// query shapes, default 128) and the scan keeps the structure a single
+/// `HashMap` with no linked-list bookkeeping to corrupt.
+#[derive(Debug)]
+pub struct PlanCache {
+    entries: HashMap<QueryFingerprint, Entry>,
+    capacity: usize,
+    clock: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+    invalidations: u64,
+}
+
+/// Default capacity: comfortably above the JOB suite's 113 distinct
+/// queries.
+pub const DEFAULT_CACHE_CAPACITY: usize = 128;
+
+impl PlanCache {
+    /// An empty cache bounded at `capacity` entries (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            entries: HashMap::new(),
+            capacity: capacity.max(1),
+            clock: 0,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+            invalidations: 0,
+        }
+    }
+
+    /// Probes for `key`, refreshing its recency on a hit. The returned
+    /// `Arc` clone is O(1), so callers can hold the cache lock for no
+    /// longer than the probe itself.
+    pub fn get(&mut self, key: QueryFingerprint) -> Option<Arc<CachedPlan>> {
+        self.clock += 1;
+        match self.entries.get_mut(&key) {
+            Some(entry) => {
+                entry.used = self.clock;
+                self.hits += 1;
+                Some(Arc::clone(&entry.cached))
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts (or replaces) the plan for `key`, evicting the
+    /// least-recently-used entry when at capacity.
+    pub fn insert(&mut self, key: QueryFingerprint, cached: Arc<CachedPlan>) {
+        self.clock += 1;
+        if !self.entries.contains_key(&key) && self.entries.len() >= self.capacity {
+            if let Some((&lru, _)) = self.entries.iter().min_by_key(|(_, e)| e.used) {
+                self.entries.remove(&lru);
+                self.evictions += 1;
+            }
+        }
+        self.entries.insert(
+            key,
+            Entry {
+                cached,
+                used: self.clock,
+            },
+        );
+    }
+
+    /// Drops every entry (stats rebuild, planner swap, explicit clear).
+    pub fn invalidate(&mut self) {
+        self.entries.clear();
+        self.invalidations += 1;
+    }
+
+    /// Current observability counters.
+    pub fn metrics(&self) -> CacheMetrics {
+        CacheMetrics {
+            hits: self.hits,
+            misses: self.misses,
+            evictions: self.evictions,
+            invalidations: self.invalidations,
+            len: self.entries.len(),
+            capacity: self.capacity,
+        }
+    }
+
+    /// Whether `key` is currently cached (no recency effect; test aid).
+    pub fn contains(&self, key: QueryFingerprint) -> bool {
+        self.entries.contains_key(&key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hfqo_query::{AccessPath, PlanNode, RelId};
+
+    fn plan(tag: u32) -> Arc<CachedPlan> {
+        Arc::new(CachedPlan {
+            plan: PhysicalPlan::new(PlanNode::Scan {
+                rel: RelId(tag),
+                path: AccessPath::SeqScan,
+            }),
+            cost: f64::from(tag),
+            method: PlannerMethod::DynamicProgramming,
+        })
+    }
+
+    fn key(v: u128) -> QueryFingerprint {
+        QueryFingerprint(v)
+    }
+
+    #[test]
+    fn hit_returns_the_inserted_plan() {
+        let mut cache = PlanCache::new(4);
+        assert!(cache.get(key(1)).is_none());
+        cache.insert(key(1), plan(7));
+        assert_eq!(cache.get(key(1)), Some(plan(7)));
+        let m = cache.metrics();
+        assert_eq!((m.hits, m.misses, m.len), (1, 1, 1));
+    }
+
+    #[test]
+    fn lru_eviction_drops_the_coldest_entry() {
+        let mut cache = PlanCache::new(2);
+        cache.insert(key(1), plan(1));
+        cache.insert(key(2), plan(2));
+        // Touch 1 so 2 becomes the LRU entry.
+        assert!(cache.get(key(1)).is_some());
+        cache.insert(key(3), plan(3));
+        assert!(cache.contains(key(1)), "recently used survives");
+        assert!(!cache.contains(key(2)), "LRU entry evicted");
+        assert!(cache.contains(key(3)));
+        assert_eq!(cache.metrics().evictions, 1);
+        assert_eq!(cache.metrics().len, 2);
+    }
+
+    #[test]
+    fn replacing_an_existing_key_does_not_evict() {
+        let mut cache = PlanCache::new(2);
+        cache.insert(key(1), plan(1));
+        cache.insert(key(2), plan(2));
+        cache.insert(key(1), plan(9));
+        assert_eq!(cache.metrics().evictions, 0);
+        assert_eq!(cache.get(key(1)), Some(plan(9)));
+        assert!(cache.contains(key(2)));
+    }
+
+    #[test]
+    fn invalidate_clears_and_counts() {
+        let mut cache = PlanCache::new(4);
+        cache.insert(key(1), plan(1));
+        cache.insert(key(2), plan(2));
+        cache.invalidate();
+        assert_eq!(cache.metrics().len, 0);
+        assert_eq!(cache.metrics().invalidations, 1);
+        assert!(cache.get(key(1)).is_none());
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped_to_one() {
+        let mut cache = PlanCache::new(0);
+        cache.insert(key(1), plan(1));
+        assert!(cache.contains(key(1)));
+        cache.insert(key(2), plan(2));
+        assert!(!cache.contains(key(1)));
+        assert_eq!(cache.metrics().capacity, 1);
+    }
+}

@@ -1,0 +1,21 @@
+//! # hfqo-serve
+//!
+//! The query-serving layer: one [`QuerySession`] owns the database,
+//! statistics, a [`hfqo_opt::Planner`] strategy, and a
+//! fingerprint-keyed plan cache, and answers SQL end to end —
+//! parse → bind → plan → execute — from any number of threads.
+//!
+//! This is the ROADMAP's "serve heavy traffic" layer and the paper's
+//! end state: with a `hfqo_rejoin::LearnedPlanner` plugged in, the
+//! trained policy produces the plans at query time; with
+//! [`hfqo_opt::TraditionalPlanner`], the same session is the classical
+//! expert. The cache (see [`cache`]) amortises planning across repeated
+//! query shapes: keys are stable [`hfqo_query::QueryFingerprint`]s, the
+//! bound is a small LRU, and invalidation is explicit on statistics
+//! rebuilds and planner swaps.
+
+pub mod cache;
+pub mod session;
+
+pub use cache::{CacheMetrics, CachedPlan, PlanCache, DEFAULT_CACHE_CAPACITY};
+pub use session::{QuerySession, ServeError, ServedQuery};

@@ -1,0 +1,421 @@
+//! The query-serving session.
+//!
+//! [`QuerySession`] owns the whole serving world — database (with its
+//! catalog), statistics, cost parameters, a [`Planner`], and the plan
+//! cache — and runs the full pipeline as one call:
+//!
+//! ```text
+//!   serve(sql)
+//!     ├─ parse      hfqo_sql::parse_select
+//!     ├─ bind       hfqo_query::bind_select          → QueryGraph
+//!     ├─ plan       fingerprint → PlanCache ──hit──→ PhysicalPlan
+//!     │                        └──miss──→ Planner::plan → insert
+//!     └─ execute    hfqo_exec::execute (vectorized)  → rows + stats
+//! ```
+//!
+//! Serving is concurrent: `serve` takes `&self`, the owned world is
+//! read-only (`Database`/`StatsCatalog` are `Sync`), and the cache sits
+//! behind a mutex whose critical sections cover only the probe and the
+//! insert — planning and execution run outside the lock. N threads can
+//! therefore serve against one session; two threads racing on the same
+//! cold fingerprint may both plan it (no single-flight), and last
+//! insert wins, which is harmless because planning is deterministic for
+//! every strategy but [`hfqo_opt::RandomPlanner`].
+//!
+//! Mutation is explicit and exclusive: [`QuerySession::rebuild_stats`]
+//! re-scans the owned database and invalidates the cache (plans chosen
+//! under stale statistics may no longer be the ones the planner would
+//! pick), and [`QuerySession::set_planner`] swaps the strategy, also
+//! invalidating (cached plans would otherwise be attributed to the
+//! wrong strategy).
+
+use crate::cache::{CacheMetrics, CachedPlan, PlanCache, DEFAULT_CACHE_CAPACITY};
+use hfqo_catalog::Catalog;
+use hfqo_cost::CostParams;
+use hfqo_exec::{execute, ExecConfig, ExecError, ExecOutcome};
+use hfqo_opt::{OptError, PlannedQuery, Planner, PlannerContext, PlannerMethod};
+use hfqo_query::{bind_select, fingerprint, PhysicalPlan, QueryError, QueryGraph};
+use hfqo_sql::{parse_select, ParseError};
+use hfqo_stats::{build_database_stats, StatsCatalog};
+use hfqo_storage::Database;
+use std::fmt;
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Everything that can go wrong between SQL text and result rows.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// The SQL text did not parse.
+    Parse(ParseError),
+    /// The statement did not bind against the catalog.
+    Bind(QueryError),
+    /// The planner rejected the query.
+    Plan(OptError),
+    /// Execution failed (budget, bad plan, …).
+    Exec(ExecError),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Parse(e) => write!(f, "parse error: {e}"),
+            Self::Bind(e) => write!(f, "bind error: {e}"),
+            Self::Plan(e) => write!(f, "planning error: {e}"),
+            Self::Exec(e) => write!(f, "execution error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<ParseError> for ServeError {
+    fn from(e: ParseError) -> Self {
+        Self::Parse(e)
+    }
+}
+
+impl From<QueryError> for ServeError {
+    fn from(e: QueryError) -> Self {
+        Self::Bind(e)
+    }
+}
+
+impl From<OptError> for ServeError {
+    fn from(e: OptError) -> Self {
+        Self::Plan(e)
+    }
+}
+
+impl From<ExecError> for ServeError {
+    fn from(e: ExecError) -> Self {
+        Self::Exec(e)
+    }
+}
+
+/// One served query: the bound graph, the plan that ran (and where it
+/// came from), and the execution outcome.
+#[derive(Debug, Clone)]
+pub struct ServedQuery {
+    /// The bound query graph.
+    pub graph: QueryGraph,
+    /// The physical plan that executed.
+    pub plan: PhysicalPlan,
+    /// Estimated cost of the plan (at planning time).
+    pub cost: f64,
+    /// Which strategy produced the plan.
+    pub method: PlannerMethod,
+    /// Whether the plan came from the cache.
+    pub cache_hit: bool,
+    /// Planning wall-clock: the cache lookup on a hit, the planner run
+    /// on a miss.
+    pub planning_time: std::time::Duration,
+    /// Rows, schema, and execution statistics.
+    pub outcome: ExecOutcome,
+}
+
+/// The concurrent query-serving session. See the [module docs](self).
+pub struct QuerySession {
+    db: Database,
+    stats: StatsCatalog,
+    params: CostParams,
+    planner: Box<dyn Planner>,
+    cache: Mutex<PlanCache>,
+    exec_config: ExecConfig,
+}
+
+// N serving threads share one `&QuerySession`: the owned world is plain
+// read-only data, the planner is `Send + Sync` by trait bound, and the
+// cache is mutex-guarded. The assertion breaks the build if a
+// non-thread-safe member ever sneaks in.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<QuerySession>();
+};
+
+impl QuerySession {
+    /// A session owning `db` and `stats`, planning with `planner`.
+    pub fn new(db: Database, stats: StatsCatalog, planner: Box<dyn Planner>) -> Self {
+        Self {
+            db,
+            stats,
+            params: CostParams::postgres_like(),
+            planner,
+            cache: Mutex::new(PlanCache::new(DEFAULT_CACHE_CAPACITY)),
+            exec_config: ExecConfig::default(),
+        }
+    }
+
+    /// A session with the traditional DP/greedy expert planner.
+    pub fn traditional(db: Database, stats: StatsCatalog) -> Self {
+        Self::new(db, stats, Box::new(hfqo_opt::TraditionalPlanner::new()))
+    }
+
+    /// Overrides the execution configuration (builder style).
+    pub fn with_exec_config(mut self, config: ExecConfig) -> Self {
+        self.exec_config = config;
+        self
+    }
+
+    /// Overrides the cost parameters (builder style).
+    pub fn with_params(mut self, params: CostParams) -> Self {
+        self.params = params;
+        self
+    }
+
+    /// Overrides the plan-cache capacity (builder style; clears the
+    /// cache).
+    pub fn with_cache_capacity(self, capacity: usize) -> Self {
+        Self {
+            cache: Mutex::new(PlanCache::new(capacity)),
+            ..self
+        }
+    }
+
+    /// The owned database.
+    pub fn db(&self) -> &Database {
+        &self.db
+    }
+
+    /// Mutable access to the owned database — for loading data or
+    /// rebuilding indexes between serving phases. Data changes leave
+    /// cached plans *valid* (plans are data-independent) but the
+    /// statistics stale; call [`Self::rebuild_stats`] afterwards to
+    /// refresh them and invalidate the cache.
+    pub fn db_mut(&mut self) -> &mut Database {
+        &mut self.db
+    }
+
+    /// The catalog.
+    pub fn catalog(&self) -> &Catalog {
+        self.db.catalog()
+    }
+
+    /// The current statistics.
+    pub fn stats(&self) -> &StatsCatalog {
+        &self.stats
+    }
+
+    /// The active planner's strategy name.
+    pub fn planner_name(&self) -> &'static str {
+        self.planner.name()
+    }
+
+    /// Snapshot of the plan-cache counters.
+    pub fn cache_metrics(&self) -> CacheMetrics {
+        self.cache.lock().expect("plan cache poisoned").metrics()
+    }
+
+    /// Drops every cached plan.
+    pub fn invalidate_cache(&self) {
+        self.cache.lock().expect("plan cache poisoned").invalidate();
+    }
+
+    /// Swaps the planning strategy and invalidates the cache (cached
+    /// plans belong to the previous strategy).
+    pub fn set_planner(&mut self, planner: Box<dyn Planner>) {
+        self.planner = planner;
+        self.invalidate_cache();
+    }
+
+    /// Re-scans the owned database into fresh statistics and
+    /// invalidates the plan cache: plans chosen under the old estimates
+    /// may no longer be the planner's choice.
+    pub fn rebuild_stats(&mut self) {
+        self.stats = build_database_stats(&self.db);
+        self.invalidate_cache();
+    }
+
+    /// Plans `graph`, going through the cache. Returns the planned
+    /// query and whether it was a cache hit. On a hit the
+    /// `planning_time` is the lookup's wall-clock.
+    pub fn plan(&self, graph: &QueryGraph) -> Result<(PlannedQuery, bool), ServeError> {
+        let key = fingerprint(graph);
+        let start = Instant::now();
+        // The lock covers only the O(1) probe (the entry is behind an
+        // `Arc`); the plan-tree clone for the caller happens after the
+        // lock is released.
+        let hit = self.cache.lock().expect("plan cache poisoned").get(key);
+        if let Some(hit) = hit {
+            return Ok((
+                PlannedQuery {
+                    plan: hit.plan.clone(),
+                    cost: hit.cost,
+                    planning_time: start.elapsed(),
+                    method: hit.method,
+                },
+                true,
+            ));
+        }
+        // Plan outside the lock: misses on distinct queries proceed in
+        // parallel; a race on the same query plans twice, last insert
+        // wins.
+        let ctx =
+            PlannerContext::new(self.db.catalog(), &self.stats).with_params(self.params.clone());
+        let planned = self.planner.plan(&ctx, graph)?;
+        let entry = std::sync::Arc::new(CachedPlan {
+            plan: planned.plan.clone(),
+            cost: planned.cost,
+            method: planned.method,
+        });
+        self.cache
+            .lock()
+            .expect("plan cache poisoned")
+            .insert(key, entry);
+        Ok((planned, false))
+    }
+
+    /// Serves an already-bound query graph: plan (through the cache)
+    /// and execute.
+    pub fn serve_graph(&self, graph: &QueryGraph) -> Result<ServedQuery, ServeError> {
+        let (planned, cache_hit) = self.plan(graph)?;
+        let outcome = execute(&self.db, graph, &planned.plan, self.exec_config)?;
+        Ok(ServedQuery {
+            graph: graph.clone(),
+            plan: planned.plan,
+            cost: planned.cost,
+            method: planned.method,
+            cache_hit,
+            planning_time: planned.planning_time,
+            outcome,
+        })
+    }
+
+    /// Serves SQL text: parse, bind, plan (through the cache), execute.
+    pub fn serve(&self, sql: &str) -> Result<ServedQuery, ServeError> {
+        let stmt = parse_select(sql)?;
+        let graph = bind_select(&stmt, self.db.catalog())?;
+        self.serve_graph(&graph)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hfqo_opt::test_support::{chain_query, with_count, TestDb};
+    use hfqo_opt::{GreedyPlanner, RandomPlanner};
+
+    fn session(n: usize, rows: usize) -> (QuerySession, QueryGraph) {
+        let fixture = TestDb::chain(n, rows);
+        let graph = with_count(chain_query(&fixture, n));
+        let session = QuerySession::traditional(fixture.db, fixture.stats);
+        (session, graph)
+    }
+
+    #[test]
+    fn serves_a_graph_end_to_end() {
+        let (session, graph) = session(3, 200);
+        let served = session.serve_graph(&graph).unwrap();
+        assert!(!served.cache_hit);
+        assert_eq!(served.method, PlannerMethod::DynamicProgramming);
+        assert_eq!(served.outcome.rows.len(), 1, "COUNT(*) row");
+        served.plan.validate(&graph).unwrap();
+        assert!(served.cost > 0.0);
+        assert!(served.outcome.stats.work > 0);
+    }
+
+    #[test]
+    fn second_serve_hits_the_cache_with_identical_results() {
+        let (session, graph) = session(4, 200);
+        let cold = session.serve_graph(&graph).unwrap();
+        let warm = session.serve_graph(&graph).unwrap();
+        assert!(!cold.cache_hit);
+        assert!(warm.cache_hit);
+        assert_eq!(warm.plan, cold.plan);
+        assert_eq!(warm.cost, cold.cost);
+        assert_eq!(warm.method, cold.method);
+        assert_eq!(warm.outcome.rows, cold.outcome.rows);
+        assert_eq!(warm.outcome.stats.work, cold.outcome.stats.work);
+        let m = session.cache_metrics();
+        assert_eq!((m.hits, m.misses, m.len), (1, 1, 1));
+    }
+
+    #[test]
+    fn serves_sql_text_through_the_catalog() {
+        let (session, _) = session(2, 150);
+        // TestDb chains are t0(id, val), t1(id, fk, val).
+        let sql = "SELECT COUNT(*) FROM t0 a, t1 b WHERE a.id = b.fk AND a.val < 20";
+        let served = session.serve(sql).unwrap();
+        assert_eq!(served.outcome.rows.len(), 1);
+        // Alias changes normalise to the same fingerprint: serving the
+        // renamed text is a cache hit.
+        let renamed = "SELECT COUNT(*) FROM t0 x, t1 y WHERE x.id = y.fk AND x.val < 20";
+        assert!(session.serve(renamed).unwrap().cache_hit);
+        // A different literal is a different fingerprint.
+        let other = "SELECT COUNT(*) FROM t0 x, t1 y WHERE x.id = y.fk AND x.val < 21";
+        assert!(!session.serve(other).unwrap().cache_hit);
+    }
+
+    #[test]
+    fn errors_surface_per_stage() {
+        let (session, _) = session(2, 100);
+        assert!(matches!(
+            session.serve("SELEC nope"),
+            Err(ServeError::Parse(_))
+        ));
+        assert!(matches!(
+            session.serve("SELECT COUNT(*) FROM missing m"),
+            Err(ServeError::Bind(_))
+        ));
+        let empty = QueryGraph::new(vec![], vec![], vec![], vec![], vec![]);
+        assert!(matches!(
+            session.serve_graph(&empty),
+            Err(ServeError::Plan(OptError::EmptyQuery))
+        ));
+        // Budget exhaustion surfaces as an execution error.
+        let (tight, graph) = {
+            let fixture = TestDb::chain(3, 300);
+            let graph = with_count(chain_query(&fixture, 3));
+            (
+                QuerySession::traditional(fixture.db, fixture.stats)
+                    .with_exec_config(ExecConfig::with_budget(10)),
+                graph,
+            )
+        };
+        assert!(matches!(
+            tight.serve_graph(&graph),
+            Err(ServeError::Exec(ExecError::BudgetExceeded { .. }))
+        ));
+    }
+
+    #[test]
+    fn set_planner_invalidates_and_reattributes() {
+        let (mut session, graph) = session(3, 150);
+        let dp = session.serve_graph(&graph).unwrap();
+        assert_eq!(dp.method, PlannerMethod::DynamicProgramming);
+        session.set_planner(Box::new(GreedyPlanner));
+        assert_eq!(session.planner_name(), "greedy");
+        let greedy = session.serve_graph(&graph).unwrap();
+        assert!(!greedy.cache_hit, "planner swap invalidates the cache");
+        assert_eq!(greedy.method, PlannerMethod::Greedy);
+        assert_eq!(
+            greedy.outcome.rows, dp.outcome.rows,
+            "strategies agree on results"
+        );
+        session.set_planner(Box::new(RandomPlanner::new(1)));
+        let random = session.serve_graph(&graph).unwrap();
+        assert_eq!(random.method, PlannerMethod::Random);
+        assert_eq!(random.outcome.rows, dp.outcome.rows);
+    }
+
+    #[test]
+    fn rebuild_stats_invalidates_the_cache() {
+        let (mut session, graph) = session(3, 150);
+        let _ = session.serve_graph(&graph).unwrap();
+        assert!(session.serve_graph(&graph).unwrap().cache_hit);
+        session.rebuild_stats();
+        let after = session.serve_graph(&graph).unwrap();
+        assert!(!after.cache_hit, "stats rebuild must invalidate");
+        assert_eq!(session.cache_metrics().invalidations, 1);
+    }
+
+    #[test]
+    fn plan_returns_hit_flag_without_executing() {
+        let (session, graph) = session(3, 150);
+        let (first, hit_a) = session.plan(&graph).unwrap();
+        let (second, hit_b) = session.plan(&graph).unwrap();
+        assert!(!hit_a);
+        assert!(hit_b);
+        assert_eq!(first.plan, second.plan);
+        assert_eq!(first.method, second.method);
+    }
+}

@@ -1,5 +1,7 @@
-//! End-to-end SQL execution on the TPC-H-like database: parse → bind →
-//! optimize → execute, with EXPLAIN output and runtime statistics.
+//! End-to-end SQL serving on the TPC-H-like database through
+//! [`QuerySession`]: parse → bind → plan (fingerprint-keyed plan cache)
+//! → execute, with EXPLAIN output, runtime statistics, and the
+//! cache-warm second round showing planning amortised away.
 //!
 //! ```sh
 //! cargo run --release --example execute_sql
@@ -14,7 +16,9 @@ fn main() {
         lineitem_rows: 20_000,
         seed: 4,
     });
-    let optimizer = TraditionalOptimizer::new(db.catalog(), &stats);
+    // One session owns the whole serving world: database, statistics,
+    // the traditional DP/greedy planner, and the plan cache.
+    let session = QuerySession::traditional(db, stats);
 
     let queries = [
         "SELECT COUNT(*) FROM lineitem l WHERE l.l_shipdate < 1000 AND l.l_quantity > 45;",
@@ -29,24 +33,22 @@ fn main() {
     for sql in queries {
         println!("─────────────────────────────────────────────");
         println!("SQL: {sql}\n");
-        let stmt = parse_select(sql).expect("valid SQL");
-        let graph = bind_select(&stmt, db.catalog()).expect("binds");
-        let planned = optimizer.plan(&graph).expect("plannable");
+        let served = session.serve(sql).expect("serves");
         println!(
-            "plan ({:?}, estimated cost {:.1}, planned in {:?}):\n{}",
-            planned.method,
-            planned.cost,
-            planned.planning_time,
-            explain(&planned.plan.root, &graph)
+            "plan ({}, estimated cost {:.1}, planned in {:?}, cache {}):\n{}",
+            served.method,
+            served.cost,
+            served.planning_time,
+            if served.cache_hit { "hit" } else { "miss" },
+            explain(&served.plan.root, &served.graph)
         );
-        let out = execute(&db, &graph, &planned.plan, ExecConfig::default())
-            .expect("executes within budget");
         // The outcome carries the real output schema — for aggregated
         // queries: group keys followed by aggregate values.
-        println!("columns: {}", out.schema);
+        println!("columns: {}", served.outcome.schema);
         print!("result: ");
-        for row in out.rows.iter().take(3) {
-            let cells: Vec<String> = out
+        for row in served.outcome.rows.iter().take(3) {
+            let cells: Vec<String> = served
+                .outcome
                 .schema
                 .columns
                 .iter()
@@ -57,17 +59,38 @@ fn main() {
         }
         println!(
             "\nruntime: {} work units in {:?}",
-            out.stats.work, out.stats.elapsed
+            served.outcome.stats.work, served.outcome.stats.elapsed
         );
 
         // Cross-check the estimate against the truth.
-        let oracle = TrueCardinality::new(&db);
-        let est = EstimatedCardinality::new(&stats);
-        let estimated = est.set_rows(&graph, graph.all_rels());
-        let true_rows = oracle.set_rows(&graph, graph.all_rels());
+        let oracle = TrueCardinality::new(session.db());
+        let est = EstimatedCardinality::new(session.stats());
+        let graph = &served.graph;
+        let estimated = est.set_rows(graph, graph.all_rels());
+        let true_rows = oracle.set_rows(graph, graph.all_rels());
         println!(
             "cardinality: estimated {estimated:.0} vs true {true_rows:.0} (q-error {:.1})",
             (estimated / true_rows.max(1.0)).max(true_rows / estimated.max(1.0))
         );
     }
+
+    // Serve the workload again: every plan now comes from the cache, so
+    // the per-query planning cost is a lookup.
+    println!("─────────────────────────────────────────────");
+    println!("second round (cache-warm):");
+    for sql in queries {
+        let served = session.serve(sql).expect("serves");
+        assert!(served.cache_hit, "repeated query must hit the plan cache");
+        println!(
+            "  {} … cache hit, planned in {:?}, {} work units",
+            &sql[..40.min(sql.len())],
+            served.planning_time,
+            served.outcome.stats.work
+        );
+    }
+    let m = session.cache_metrics();
+    println!(
+        "cache: {} hits / {} misses, {} entries",
+        m.hits, m.misses, m.len
+    );
 }

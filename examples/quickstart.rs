@@ -1,9 +1,7 @@
-//! Quickstart: build a database, parse SQL, plan it two ways, execute.
-//!
-//! Walks the paper's Figure 2 example end to end: four relations, a
-//! ReJOIN episode choosing `[1,3]`, `[2,3]`, `[1,2]` (0-based `(0,2)`,
-//! `(0,1)`, `(0,1)`), the traditional optimizer completing the ordering
-//! into a physical plan, and the executor running it.
+//! Quickstart: build a database, walk the paper's Figure 2 episode,
+//! train an agent, then serve the query through [`QuerySession`] with
+//! the expert *and* the learned planner behind the same [`Planner`]
+//! trait.
 //!
 //! ```sh
 //! cargo run --release --example quickstart
@@ -36,56 +34,33 @@ fn main() {
     let stmt = parse_select(sql).expect("valid SQL");
     let graph = bind_select(&stmt, catalog).expect("binds against the catalog");
 
-    // 1. The traditional optimizer (the paper's "expert").
-    let expert = TraditionalOptimizer::new(catalog, &bundle.stats);
-    let planned = expert.plan(&graph).expect("plannable");
-    println!(
-        "expert plan (cost {:.1}, {:?}, planned in {:?}):\n{}",
-        planned.cost,
-        planned.method,
-        planned.planning_time,
-        explain(&planned.plan.root, &graph)
-    );
-
-    // 2. A ReJOIN episode, replaying Figure 2's actions by hand:
-    //    merge (A,C), then (B,D), then the two subtrees.
+    // 1. A ReJOIN episode, replaying Figure 2's actions by hand:
+    //    merge (A,C), then (B,D), then the two subtrees. The traditional
+    //    machinery completes the ordering into a physical plan — the
+    //    planfix hand-off every learned plan goes through.
     let mut forest = Forest::initial(4);
     forest.merge(0, 2); // A ⋈ C
     forest.merge(0, 1); // B ⋈ D
     forest.merge(0, 1); // (A ⋈ C) ⋈ (B ⋈ D)
     let tree = forest.into_tree().expect("terminal");
-    println!("ReJOIN episode's join ordering: {}", tree.compact());
+    println!("Figure 2 episode's join ordering: {}", tree.compact());
     let params = CostParams::postgres_like();
     let model = CostModel::new(&params, &bundle.stats);
     let est = EstimatedCardinality::new(&bundle.stats);
-    let rejoin_plan = plan_from_tree(&graph, &tree, catalog, &model, &est);
-    let rejoin_cost = model.plan_cost(&graph, &rejoin_plan, &est).total;
+    let figure2_plan = plan_from_tree(&graph, &tree, catalog, &model, &est);
+    let figure2_cost = model.plan_cost(&graph, &figure2_plan, &est).total;
     println!(
         "completed by the optimizer (cost {:.1}, reward 1/M(t) = {:.2e}):\n{}",
-        rejoin_cost,
-        1.0 / rejoin_cost,
-        explain(&rejoin_plan.root, &graph)
+        figure2_cost,
+        1.0 / figure2_cost,
+        explain(&figure2_plan.root, &graph)
     );
 
-    // 3. Execute both plans: same answer, possibly different work.
-    let expert_out = execute(&bundle.db, &graph, &planned.plan, ExecConfig::default())
-        .expect("expert plan executes");
-    let rejoin_out = execute(&bundle.db, &graph, &rejoin_plan, ExecConfig::default())
-        .expect("rejoin plan executes");
-    println!(
-        "expert:  COUNT(*) = {}   (work {}, {:?})",
-        expert_out.rows[0][0], expert_out.stats.work, expert_out.stats.elapsed
-    );
-    println!(
-        "rejoin:  COUNT(*) = {}   (work {}, {:?})",
-        rejoin_out.rows[0][0], rejoin_out.stats.work, rejoin_out.stats.elapsed
-    );
-    assert_eq!(expert_out.rows, rejoin_out.rows, "plans must agree");
-
-    // 4. Let an agent *learn* the ordering instead of hand-replaying it.
-    let queries = vec![graph];
+    // 2. Let an agent *learn* the ordering instead of hand-replaying it.
+    let queries = vec![graph.clone()];
     let ctx = EnvContext::new(&bundle.db, &bundle.stats);
     let mut env = JoinOrderEnv::new(ctx, &queries, 4, QueryOrder::Cycle, RewardMode::LogRelative);
+    let featurizer = env.featurizer();
     let mut rng = StdRng::seed_from_u64(0);
     let mut agent = ReJoinAgent::new(
         env.state_dim(),
@@ -98,5 +73,53 @@ fn main() {
         "\nafter 300 episodes on this query: cost ratio vs expert {:.3} (started at {:.3})",
         log.final_geo_ratio(30).expect("non-empty"),
         log.initial_geo_ratio(30).expect("non-empty"),
+    );
+
+    // 3. Serve the query for real. One session owns the world; the
+    //    planning strategy is swappable behind the `Planner` trait.
+    let mut session = QuerySession::traditional(bundle.db, bundle.stats);
+    let expert = session.serve(sql).expect("expert serves");
+    println!(
+        "\nexpert plan ({}, cost {:.1}, planned in {:?}):\n{}",
+        expert.method,
+        expert.cost,
+        expert.planning_time,
+        explain(&expert.plan.root, &expert.graph)
+    );
+
+    // Freeze the trained policy into a planner and swap it in (this
+    // invalidates the plan cache — cached plans belonged to the expert).
+    // The environment above allowed cross-join pairs, so inference must
+    // walk the same action space.
+    let learned = LearnedPlanner::freeze(&agent, featurizer).with_require_connected(false);
+    session.set_planner(Box::new(learned));
+    let served = session.serve(sql).expect("learned planner serves");
+    println!(
+        "learned plan ({}, cost {:.1}, planned in {:?}):\n{}",
+        served.method,
+        served.cost,
+        served.planning_time,
+        explain(&served.plan.root, &served.graph)
+    );
+
+    // Same answer either way; the work may differ with the plan.
+    println!(
+        "expert:  COUNT(*) = {}   (work {}, {:?})",
+        expert.outcome.rows[0][0], expert.outcome.stats.work, expert.outcome.stats.elapsed
+    );
+    println!(
+        "learned: COUNT(*) = {}   (work {}, {:?})",
+        served.outcome.rows[0][0], served.outcome.stats.work, served.outcome.stats.elapsed
+    );
+    assert_eq!(expert.outcome.rows, served.outcome.rows, "plans must agree");
+
+    // 4. Repeats hit the plan cache: planning cost becomes a lookup.
+    let again = session.serve(sql).expect("serves from cache");
+    assert!(again.cache_hit);
+    assert_eq!(again.outcome.rows, served.outcome.rows);
+    let m = session.cache_metrics();
+    println!(
+        "\nserved again from the plan cache in {:?} ({} hits / {} misses)",
+        again.planning_time, m.hits, m.misses
     );
 }

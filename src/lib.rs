@@ -59,6 +59,7 @@ pub use hfqo_opt as opt;
 pub use hfqo_query as query;
 pub use hfqo_rejoin as rejoin;
 pub use hfqo_rl as rl;
+pub use hfqo_serve as serve;
 pub use hfqo_sql as sql;
 pub use hfqo_stats as stats;
 pub use hfqo_storage as storage;
@@ -69,17 +70,22 @@ pub mod prelude {
     pub use hfqo_catalog::{Catalog, Column, ColumnType, IndexKind, TableSchema};
     pub use hfqo_cost::{CostModel, CostParams, LatencyModel, RewardScaler};
     pub use hfqo_exec::{execute, ExecConfig, TrueCardinality};
-    pub use hfqo_opt::{random_plan, PlannerMethod, TraditionalOptimizer};
+    pub use hfqo_opt::{
+        random_plan, GreedyPlanner, Planner, PlannerContext, PlannerMethod, RandomPlanner,
+        TraditionalOptimizer, TraditionalPlanner,
+    };
     pub use hfqo_query::{
-        bind_select, Forest, JoinTree, PhysicalPlan, PlanNode, QueryGraph, RelSet,
+        bind_select, fingerprint, Forest, JoinTree, PhysicalPlan, PlanNode, QueryFingerprint,
+        QueryGraph, RelSet,
     };
     pub use hfqo_rejoin::{
         cost_bootstrap, evaluate_per_query, learn_from_demonstration, train, train_parallel,
         BootstrapConfig, Curriculum, DemonstrationConfig, EnvContext, Featurizer, FullPlanEnv,
-        JoinOrderEnv, ParallelTrainer, PolicyKind, QueryOrder, ReJoinAgent, RewardMode, StageSet,
-        TrainerConfig, TrainingLog,
+        JoinOrderEnv, LearnedPlanner, ParallelTrainer, PolicyKind, QueryOrder, ReJoinAgent,
+        RewardMode, StageSet, TrainerConfig, TrainingLog,
     };
     pub use hfqo_rl::Environment;
+    pub use hfqo_serve::{CacheMetrics, QuerySession, ServeError, ServedQuery};
     pub use hfqo_sql::parse_select;
     pub use hfqo_stats::{build_database_stats, CardinalitySource, EstimatedCardinality};
     pub use hfqo_storage::{Database, Value};

@@ -1,0 +1,242 @@
+//! Serving-layer integration: plan-cache correctness, LRU eviction,
+//! stats-rebuild invalidation, the learned planner behind
+//! `QuerySession`, and concurrent serving (the CI smoke test runs this
+//! file at `HFQO_WORKERS=2`).
+
+use hfqo::prelude::*;
+use hfqo::workload::synth::{Shape, SynthConfig, SynthDb};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::OnceLock;
+
+fn synth_config() -> SynthConfig {
+    SynthConfig {
+        tables: 7,
+        rows: 150,
+        seed: 55,
+    }
+}
+
+/// One shared session for the property test (building a database per
+/// case would dominate the run time). The generator side is a second
+/// build of the same deterministic database.
+fn shared_session() -> &'static QuerySession {
+    static SESSION: OnceLock<QuerySession> = OnceLock::new();
+    SESSION.get_or_init(|| {
+        let synth = SynthDb::build(synth_config());
+        QuerySession::traditional(synth.db, synth.stats)
+    })
+}
+
+fn generator() -> &'static SynthDb {
+    static DB: OnceLock<SynthDb> = OnceLock::new();
+    DB.get_or_init(|| SynthDb::build(synth_config()))
+}
+
+fn shape_from(v: u8) -> Shape {
+    match v % 3 {
+        0 => Shape::Chain,
+        1 => Shape::Star,
+        _ => Shape::Cycle,
+    }
+}
+
+fn sorted_rows(served: &ServedQuery) -> Vec<Vec<hfqo::storage::Value>> {
+    let mut rows = served.outcome.rows.clone();
+    rows.sort();
+    rows
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Plan-cache correctness: a cache-hit serve must execute to the
+    /// identical row multiset and identical `ExecStats.work` as the
+    /// freshly planned serve of the same query.
+    #[test]
+    fn cache_hit_executes_identically_to_fresh_plan(
+        n in 2usize..6,
+        shape in 0u8..3,
+        qseed in 0u64..40,
+    ) {
+        let session = shared_session();
+        let graph = generator().query(shape_from(shape), n, 2, qseed);
+        session.invalidate_cache();
+        let fresh = session.serve_graph(&graph).expect("fresh serve");
+        let hit = session.serve_graph(&graph).expect("cached serve");
+        prop_assert!(!fresh.cache_hit);
+        prop_assert!(hit.cache_hit);
+        prop_assert_eq!(&hit.plan, &fresh.plan);
+        prop_assert_eq!(sorted_rows(&hit), sorted_rows(&fresh));
+        prop_assert_eq!(hit.outcome.stats.work, fresh.outcome.stats.work);
+        prop_assert_eq!(hit.method, fresh.method);
+    }
+}
+
+fn quad_queries(bundle: &SynthDb, count: usize) -> Vec<QueryGraph> {
+    (0..count as u64)
+        .map(|s| bundle.query(Shape::Chain, 3, 2, 100 + s))
+        .collect()
+}
+
+#[test]
+fn lru_eviction_drops_the_least_recently_used_plan() {
+    let synth = SynthDb::build(synth_config());
+    let queries = quad_queries(&synth, 3);
+    let session = QuerySession::traditional(synth.db, synth.stats).with_cache_capacity(2);
+    // Fill: q0, q1 (both miss).
+    assert!(!session.serve_graph(&queries[0]).unwrap().cache_hit);
+    assert!(!session.serve_graph(&queries[1]).unwrap().cache_hit);
+    // Touch q0 so q1 becomes LRU, then insert q2 → q1 evicted.
+    assert!(session.serve_graph(&queries[0]).unwrap().cache_hit);
+    assert!(!session.serve_graph(&queries[2]).unwrap().cache_hit);
+    assert_eq!(session.cache_metrics().evictions, 1);
+    // q0 survived; q1 must re-plan.
+    assert!(session.serve_graph(&queries[0]).unwrap().cache_hit);
+    assert!(!session.serve_graph(&queries[1]).unwrap().cache_hit);
+}
+
+#[test]
+fn stats_rebuild_invalidates_the_plan_cache() {
+    let synth = SynthDb::build(synth_config());
+    let graph = synth.query(Shape::Star, 4, 2, 7);
+    let mut session = QuerySession::traditional(synth.db, synth.stats);
+    let before = session.serve_graph(&graph).unwrap();
+    assert!(session.serve_graph(&graph).unwrap().cache_hit);
+    session.rebuild_stats();
+    let after = session.serve_graph(&graph).unwrap();
+    assert!(!after.cache_hit, "stats rebuild must invalidate the cache");
+    assert_eq!(session.cache_metrics().invalidations, 1);
+    // Rebuilding from the unchanged database re-derives the same
+    // statistics, so the re-planned query gives the same answer.
+    assert_eq!(sorted_rows(&after), sorted_rows(&before));
+}
+
+/// All four strategies serve through one session: swap planners behind
+/// the trait, get identical results, correctly attributed. The query
+/// carries a `COUNT(*)` root because non-aggregated output columns
+/// follow plan-leaf order — different join orders permute them, so only
+/// the aggregated shape is directly comparable across planners.
+#[test]
+fn all_four_planners_serve_through_the_session() {
+    let synth = SynthDb::build(synth_config());
+    let graph = hfqo::opt::test_support::with_count(synth.query(Shape::Chain, 4, 2, 11));
+
+    // Train (briefly) on the serving query so the learned planner is a
+    // real frozen policy, then freeze it.
+    let stats_clone = synth.stats.clone();
+    let db_clone = synth.db.clone();
+    let queries = vec![graph.clone()];
+    let ctx = EnvContext::new(&db_clone, &stats_clone);
+    let mut env = JoinOrderEnv::new(ctx, &queries, 4, QueryOrder::Cycle, RewardMode::LogRelative);
+    env.require_connected = true;
+    let mut rng = StdRng::seed_from_u64(2);
+    let mut agent = ReJoinAgent::new(
+        env.state_dim(),
+        env.action_dim(),
+        PolicyKind::default_reinforce(),
+        &mut rng,
+    );
+    let _ = train(&mut env, &mut agent, TrainerConfig::new(40), &mut rng);
+    let learned = LearnedPlanner::freeze(&agent, env.featurizer());
+
+    let mut session = QuerySession::traditional(synth.db, synth.stats);
+    let planners: Vec<(Box<dyn Planner>, PlannerMethod)> = vec![
+        (
+            Box::new(TraditionalPlanner::new()),
+            PlannerMethod::DynamicProgramming,
+        ),
+        (Box::new(GreedyPlanner), PlannerMethod::Greedy),
+        (Box::new(RandomPlanner::new(5)), PlannerMethod::Random),
+        (Box::new(learned), PlannerMethod::Learned),
+    ];
+    let mut reference: Option<Vec<Vec<hfqo::storage::Value>>> = None;
+    for (planner, method) in planners {
+        session.set_planner(planner);
+        let served = session.serve_graph(&graph).unwrap();
+        assert!(!served.cache_hit, "planner swap must invalidate");
+        assert_eq!(served.method, method);
+        served.plan.validate(&graph).unwrap();
+        let rows = sorted_rows(&served);
+        match &reference {
+            None => reference = Some(rows),
+            Some(expected) => assert_eq!(&rows, expected, "{method} changed results"),
+        }
+        // And each strategy's plans cache like any other.
+        assert!(session.serve_graph(&graph).unwrap().cache_hit);
+    }
+}
+
+/// Worker counts for the concurrency smoke test: `HFQO_WORKERS` (a
+/// count or comma-separated counts; CI runs 2), default 2.
+fn worker_counts() -> Vec<usize> {
+    match std::env::var("HFQO_WORKERS") {
+        Ok(v) => v
+            .split(',')
+            .map(|s| {
+                s.trim()
+                    .parse::<usize>()
+                    .unwrap_or_else(|_| panic!("invalid HFQO_WORKERS entry `{s}`"))
+                    .max(1)
+            })
+            .collect(),
+        Err(_) => vec![2],
+    }
+}
+
+/// N threads serve the same workload against one shared session; every
+/// thread must observe the sequential reference results, and the cache
+/// counters must add up.
+#[test]
+fn concurrent_serving_matches_sequential_results() {
+    let synth = SynthDb::build(synth_config());
+    let queries: Vec<QueryGraph> = (0..6u64)
+        .map(|s| synth.query(shape_from(s as u8), 2 + (s as usize % 4), 2, 200 + s))
+        .collect();
+    let session = QuerySession::traditional(synth.db, synth.stats);
+    let reference: Vec<_> = queries
+        .iter()
+        .map(|q| sorted_rows(&session.serve_graph(q).expect("reference serve")))
+        .collect();
+
+    for workers in worker_counts() {
+        session.invalidate_cache();
+        let before = session.cache_metrics();
+        std::thread::scope(|scope| {
+            for w in 0..workers {
+                let session = &session;
+                let queries = &queries;
+                let reference = &reference;
+                scope.spawn(move || {
+                    // Stagger starting offsets so threads race on
+                    // different fingerprints first.
+                    for round in 0..3 {
+                        for i in 0..queries.len() {
+                            let idx = (i + w + round) % queries.len();
+                            let served = session
+                                .serve_graph(&queries[idx])
+                                .expect("concurrent serve");
+                            assert_eq!(
+                                sorted_rows(&served),
+                                reference[idx],
+                                "worker {w} round {round} query {idx}"
+                            );
+                        }
+                    }
+                });
+            }
+        });
+        let after = session.cache_metrics();
+        let probes = (after.hits - before.hits) + (after.misses - before.misses);
+        assert_eq!(
+            probes as usize,
+            workers * 3 * queries.len(),
+            "every serve probes the cache exactly once"
+        );
+        assert!(
+            after.len <= queries.len(),
+            "at most one entry per distinct fingerprint"
+        );
+    }
+}
