@@ -1,0 +1,244 @@
+//! Online-learning serving experiment + micro-benchmarks: does closing
+//! the loop pay under live traffic?
+//!
+//! The experiment serves a JOB workload in rounds from a random-init
+//! learned policy, two ways:
+//!
+//! * **frozen** — the PR 4 path: the initial `PolicySnapshot` serves
+//!   every round, unchanged;
+//! * **online** — the same initial policy, but an [`OnlineTrainer`]
+//!   drains the experience log after every round, rewards each served
+//!   query on its observed executor work, and hot-swaps a retrained
+//!   generation into the session (invalidating the plan cache).
+//!
+//! Per round it reports p50/p95 of the work-derived serving latency;
+//! with learning enabled the tail should collapse toward the expert
+//! across generations while the frozen arm stays flat. Result identity
+//! against freshly-planned execution is asserted on every single serve
+//! before anything is timed or reported.
+//!
+//! The criterion group times the loop's two moving parts in isolation:
+//! one `OnlineTrainer::step` over a drained mini-batch, and one policy
+//! hot-swap (freeze + publish + cache invalidation).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hfqo_exec::ExecConfig;
+use hfqo_query::QueryGraph;
+use hfqo_rejoin::{Featurizer, LearnedPlanner, PolicyKind, ReJoinAgent};
+use hfqo_serve::{OnlineConfig, OnlineTrainer, QuerySession, ServedQuery};
+use hfqo_storage::Value;
+use hfqo_workload::imdb::ImdbConfig;
+use hfqo_workload::WorkloadBundle;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const ROUNDS: usize = 12;
+const WORK_BUDGET: u64 = 50_000_000;
+
+fn job_fixture() -> (WorkloadBundle, Vec<QueryGraph>, usize) {
+    let bundle = WorkloadBundle::imdb_job(
+        ImdbConfig {
+            base_rows: 200,
+            seed: 41,
+        },
+        41,
+    );
+    let queries: Vec<QueryGraph> = bundle
+        .queries
+        .iter()
+        .filter(|q| (4..=7).contains(&q.relation_count()))
+        .take(10)
+        .cloned()
+        .map(hfqo_opt::test_support::with_count)
+        .collect();
+    let max_rels = queries
+        .iter()
+        .map(QueryGraph::relation_count)
+        .max()
+        .unwrap_or(2);
+    (bundle, queries, max_rels)
+}
+
+fn fresh_agent(featurizer: &Featurizer, seed: u64) -> ReJoinAgent {
+    let mut rng = StdRng::seed_from_u64(seed);
+    ReJoinAgent::new(
+        featurizer.state_dim(),
+        featurizer.action_dim(),
+        PolicyKind::default_reinforce(),
+        &mut rng,
+    )
+}
+
+fn sorted_rows(served: &ServedQuery) -> Vec<Vec<Value>> {
+    let mut rows = served.outcome.rows.clone();
+    rows.sort();
+    rows
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return f64::NAN;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx]
+}
+
+/// Serves one round; asserts every result equals the freshly-planned
+/// reference; returns per-query work-derived latency in ms.
+fn serve_round(
+    session: &QuerySession,
+    queries: &[QueryGraph],
+    reference: &[Vec<Vec<Value>>],
+    ms_per_unit: f64,
+) -> Vec<f64> {
+    queries
+        .iter()
+        .zip(reference)
+        .map(|(q, expected)| {
+            let served = session.serve_graph(q).expect("serves within budget");
+            assert_eq!(&sorted_rows(&served), expected, "results must never change");
+            served.outcome.stats.work as f64 * ms_per_unit
+        })
+        .collect()
+}
+
+/// The experiment: frozen vs online tail latency across swap
+/// generations. Prints one line per round; criterion's timing lines
+/// follow from the group below.
+fn online_vs_frozen_experiment() {
+    let (bundle, queries, max_rels) = job_fixture();
+    assert!(queries.len() >= 6, "JOB fixture must yield queries");
+    let featurizer = Featurizer::new(max_rels);
+    let config = OnlineConfig::default()
+        .with_swap_every(queries.len())
+        .with_drain_batch(queries.len());
+    let ms_per_unit = config.ms_per_unit;
+
+    // Freshly-planned reference results, once.
+    let expert = QuerySession::traditional(bundle.db.clone(), bundle.stats.clone())
+        .with_exec_config(ExecConfig::with_budget(WORK_BUDGET));
+    let reference: Vec<_> = queries
+        .iter()
+        .map(|q| sorted_rows(&expert.serve_graph(q).expect("reference serve")))
+        .collect();
+    let expert_ms: Vec<f64> = queries
+        .iter()
+        .map(|q| {
+            expert.invalidate_cache();
+            expert
+                .serve_graph(q)
+                .expect("expert serve")
+                .outcome
+                .stats
+                .work as f64
+                * ms_per_unit
+        })
+        .collect();
+    let mut expert_sorted = expert_ms.clone();
+    expert_sorted.sort_by(f64::total_cmp);
+
+    // Frozen arm: the initial policy serves every round unchanged.
+    let mut frozen = QuerySession::traditional(bundle.db.clone(), bundle.stats.clone())
+        .with_exec_config(ExecConfig::with_budget(WORK_BUDGET));
+    frozen.set_planner(Box::new(
+        LearnedPlanner::freeze(&fresh_agent(&featurizer, 13), featurizer)
+            .with_require_connected(true),
+    ));
+
+    // Online arm: identical initial weights, trainer stepping per round.
+    let mut online = QuerySession::traditional(bundle.db, bundle.stats)
+        .with_exec_config(ExecConfig::with_budget(WORK_BUDGET));
+    let mut trainer = OnlineTrainer::attach(
+        &mut online,
+        fresh_agent(&featurizer, 13),
+        featurizer,
+        true,
+        config,
+    );
+
+    eprintln!(
+        "online/experiment: {} JOB queries (4-7 relations), {} rounds, swap per round; \
+         expert p50 {:.2} ms p95 {:.2} ms",
+        queries.len(),
+        ROUNDS,
+        percentile(&expert_sorted, 0.50),
+        percentile(&expert_sorted, 0.95),
+    );
+    for round in 0..ROUNDS {
+        let mut frozen_ms = serve_round(&frozen, &queries, &reference, ms_per_unit);
+        let mut online_ms = serve_round(&online, &queries, &reference, ms_per_unit);
+        let step = trainer.step(&online);
+        frozen_ms.sort_by(f64::total_cmp);
+        online_ms.sort_by(f64::total_cmp);
+        eprintln!(
+            "online/round {round:2} (gen {}): frozen p50 {:8.2} p95 {:9.2} ms | \
+             online p50 {:8.2} p95 {:9.2} ms{}",
+            trainer.generation(),
+            percentile(&frozen_ms, 0.50),
+            percentile(&frozen_ms, 0.95),
+            percentile(&online_ms, 0.50),
+            percentile(&online_ms, 0.95),
+            if step.swapped() { "  [swapped]" } else { "" },
+        );
+    }
+    assert!(
+        trainer.generation() >= 1,
+        "the online arm must publish at least one generation"
+    );
+}
+
+fn bench_online(c: &mut Criterion) {
+    online_vs_frozen_experiment();
+
+    let (bundle, queries, max_rels) = job_fixture();
+    let featurizer = Featurizer::new(max_rels);
+    let mut session = QuerySession::traditional(bundle.db, bundle.stats)
+        .with_exec_config(ExecConfig::with_budget(WORK_BUDGET));
+    let mut trainer = OnlineTrainer::attach(
+        &mut session,
+        fresh_agent(&featurizer, 29),
+        featurizer,
+        true,
+        OnlineConfig::default()
+            .with_swap_every(usize::MAX >> 1) // swaps timed separately below
+            .with_drain_batch(8),
+    );
+
+    // Capture one real 8-experience mini-batch up front, outside any
+    // timing: each iteration re-pushes clones (cheap — the graphs are
+    // behind `Arc`s) so the timed region is the step alone, not the
+    // serving that produced the experiences.
+    for q in &queries {
+        let _ = session.serve_graph(q).expect("serves");
+    }
+    let seed_batch = session.experience_log().expect("attached").drain(8);
+    assert_eq!(seed_batch.len(), 8);
+    session
+        .experience_log()
+        .expect("attached")
+        .drain(usize::MAX);
+
+    let mut group = c.benchmark_group("online");
+    // One trainer step over a full 8-experience mini-batch: the
+    // marginal cost of learning per 8 served queries.
+    group.bench_function("step_8_experiences", |b| {
+        b.iter(|| {
+            for exp in &seed_batch {
+                session
+                    .experience_log()
+                    .expect("attached")
+                    .push(exp.clone());
+            }
+            std::hint::black_box(trainer.step(&session))
+        })
+    });
+    // One policy hot-swap: flush + freeze + publish + invalidate — the
+    // serving-side cost of publishing a generation.
+    group.bench_function("hot_swap", |b| {
+        b.iter(|| std::hint::black_box(trainer.swap(&session)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_online);
+criterion_main!(benches);

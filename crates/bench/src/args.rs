@@ -72,7 +72,7 @@ impl RunArgs {
         }
     }
 
-    /// Parses from the process environment (skipping argv[0]).
+    /// Parses from the process environment (skipping `argv[0]`).
     pub fn from_env() -> Self {
         match Self::parse(std::env::args().skip(1)) {
             Ok(args) => args,

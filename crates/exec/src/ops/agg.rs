@@ -2,7 +2,7 @@
 //!
 //! [`AggOp`] drains its input pipeline batch-by-batch, folding rows into
 //! per-group accumulators, then emits the result as batches of *group
-//! keys followed by aggregate values*. The accumulator type [`Acc`] is
+//! keys followed by aggregate values*. The accumulator type `Acc` is
 //! shared with the reference row engine so both engines agree on
 //! aggregate semantics to the bit.
 

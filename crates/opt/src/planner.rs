@@ -68,6 +68,27 @@ impl<'a> PlannerContext<'a> {
 ///
 /// Implementations must be `Send + Sync` — the serving layer shares one
 /// planner across its worker threads.
+///
+/// Strategies swap behind `&dyn Planner` with no bespoke call sites:
+///
+/// ```
+/// use hfqo_opt::test_support::{chain_query, TestDb};
+/// use hfqo_opt::{GreedyPlanner, Planner, PlannerContext, RandomPlanner, TraditionalPlanner};
+///
+/// let fixture = TestDb::chain(4, 200);
+/// let graph = chain_query(&fixture, 4);
+/// let ctx = PlannerContext::new(fixture.db.catalog(), &fixture.stats);
+/// let strategies: [&dyn Planner; 3] = [
+///     &TraditionalPlanner::new(),
+///     &GreedyPlanner,
+///     &RandomPlanner::new(42),
+/// ];
+/// for planner in strategies {
+///     let planned = planner.plan(&ctx, &graph)?;
+///     planned.plan.validate(&graph).expect("every strategy plans validly");
+/// }
+/// # Ok::<(), hfqo_opt::OptError>(())
+/// ```
 pub trait Planner: Send + Sync {
     /// Short strategy name, for reports and benchmarks.
     fn name(&self) -> &'static str;

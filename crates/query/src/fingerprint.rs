@@ -25,7 +25,7 @@
 //! What it **excludes** (plan-irrelevant presentation):
 //!
 //! * relation *aliases* — `FROM title t` and `FROM title x` bind to the
-//!   same positional [`RelId`]s, produce identical plans and identical
+//!   same positional [`RelId`](crate::RelId)s, produce identical plans and identical
 //!   row values, and differ only in output column naming (recomputed per
 //!   execution, never cached);
 //! * the optional display `label`.

@@ -133,6 +133,17 @@ impl ReJoinAgent {
         }
     }
 
+    /// Whether the REINFORCE backend is active. Replay-based training
+    /// (online learning, which fabricates `action_prob = 1.0` because a
+    /// cache-hit serve never computes behavior probabilities) is only
+    /// sound for REINFORCE — its gradient re-derives `log π(a|s)` from
+    /// the live policy and never reads the recorded probability, while
+    /// PPO's importance ratios would silently divide by the fabricated
+    /// value.
+    pub fn is_reinforce(&self) -> bool {
+        matches!(self.inner, Inner::Reinforce(_))
+    }
+
     /// One supervised imitation step (cross-entropy toward expert
     /// actions). Supported by the REINFORCE backend; returns `None` for
     /// PPO (whose surrogate objective has no imitation analogue here).

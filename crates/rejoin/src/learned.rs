@@ -85,6 +85,23 @@ impl LearnedPlanner {
     pub fn featurizer(&self) -> Featurizer {
         self.featurizer
     }
+
+    /// The frozen policy weights the planner infers with.
+    pub fn snapshot(&self) -> &PolicySnapshot {
+        &self.snapshot
+    }
+
+    /// Whether actions are restricted to join-connected pairs.
+    pub fn require_connected(&self) -> bool {
+        self.require_connected
+    }
+
+    /// A planner with the same featurizer and masking but `snapshot`'s
+    /// weights — how the online trainer publishes a retrained policy
+    /// generation without re-deriving planner configuration.
+    pub fn with_snapshot(&self, snapshot: PolicySnapshot) -> Self {
+        Self::new(snapshot, self.featurizer).with_require_connected(self.require_connected)
+    }
 }
 
 impl Planner for LearnedPlanner {

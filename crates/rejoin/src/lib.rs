@@ -30,6 +30,9 @@
 //! * [`learned`] — the serving-side [`LearnedPlanner`]: a frozen
 //!   policy snapshot behind the unified `hfqo_opt::Planner` trait,
 //!   planning by greedy-argmax inference plus the [`planfix`] hand-off.
+//! * [`experience`] — the online-learning ingest path: replaying a
+//!   served query's recorded join decisions (plus its observed
+//!   execution) back into a training [`hfqo_rl::Episode`].
 //! * [`demonstration`], [`bootstrap`], [`incremental`] — the §5 methods.
 
 pub mod agent;
@@ -37,6 +40,7 @@ pub mod bootstrap;
 pub mod demonstration;
 pub mod env_full;
 pub mod env_join;
+pub mod experience;
 pub mod featurize;
 pub mod incremental;
 pub mod learned;
@@ -51,6 +55,7 @@ pub use bootstrap::{cost_bootstrap, BootstrapConfig, BootstrapOutcome};
 pub use demonstration::{learn_from_demonstration, DemonstrationConfig, DemonstrationOutcome};
 pub use env_full::{FullPlanEnv, Phase};
 pub use env_join::{EnvContext, EpisodeOutcome, JoinOrderEnv, LatencySource, QueryOrder};
+pub use experience::{episode_from_decisions, ReplayError};
 pub use featurize::Featurizer;
 pub use incremental::{Curriculum, StageSet};
 pub use learned::LearnedPlanner;

@@ -100,6 +100,37 @@ impl ParallelTrainer {
 /// Trains with `config.workers` episode-collection threads. See
 /// [`ParallelTrainer`] and the module docs for the determinism
 /// contract.
+///
+/// `make_env(w)` builds worker `w`'s environment over the shared
+/// read-only world:
+///
+/// ```
+/// use hfqo_opt::test_support::{chain_query, TestDb};
+/// use hfqo_rejoin::{
+///     train_parallel, EnvContext, Featurizer, JoinOrderEnv, PolicyKind, QueryOrder,
+///     ReJoinAgent, RewardMode, TrainerConfig,
+/// };
+/// use rand::rngs::StdRng;
+/// use rand::SeedableRng;
+///
+/// let fixture = TestDb::chain(3, 150);
+/// let queries = vec![chain_query(&fixture, 3)];
+/// let make_env = |_worker: usize| {
+///     let ctx = EnvContext::new(&fixture.db, &fixture.stats);
+///     JoinOrderEnv::new(ctx, &queries, 3, QueryOrder::Cycle, RewardMode::LogRelative)
+/// };
+/// let featurizer = Featurizer::new(3);
+/// let mut rng = StdRng::seed_from_u64(7);
+/// let mut agent = ReJoinAgent::new(
+///     featurizer.state_dim(),
+///     featurizer.action_dim(),
+///     PolicyKind::default_reinforce(),
+///     &mut rng,
+/// );
+/// let config = TrainerConfig::new(8).with_workers(2);
+/// let log = train_parallel(make_env, &mut agent, config, &mut rng);
+/// assert_eq!(log.len(), 8);
+/// ```
 pub fn train_parallel<E, F>(
     mut make_env: F,
     agent: &mut ReJoinAgent,

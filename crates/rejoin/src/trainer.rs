@@ -129,6 +129,32 @@ pub(crate) fn record_from(outcome: &EpisodeOutcome, episode: usize) -> EpisodeRe
 /// This is the sequential path; `config.workers` is ignored here. Use
 /// [`crate::parallel::train_parallel`] (or [`crate::ParallelTrainer`])
 /// to honor it.
+///
+/// ```
+/// use hfqo_opt::test_support::{chain_query, TestDb};
+/// use hfqo_rejoin::{
+///     train, EnvContext, JoinOrderEnv, PolicyKind, QueryOrder, ReJoinAgent, RewardMode,
+///     TrainerConfig,
+/// };
+/// use hfqo_rl::Environment as _;
+/// use rand::rngs::StdRng;
+/// use rand::SeedableRng;
+///
+/// let fixture = TestDb::chain(3, 150);
+/// let queries = vec![chain_query(&fixture, 3)];
+/// let ctx = EnvContext::new(&fixture.db, &fixture.stats);
+/// let mut env = JoinOrderEnv::new(ctx, &queries, 3, QueryOrder::Cycle, RewardMode::LogRelative);
+/// let mut rng = StdRng::seed_from_u64(0);
+/// let mut agent = ReJoinAgent::new(
+///     env.state_dim(),
+///     env.action_dim(),
+///     PolicyKind::default_reinforce(),
+///     &mut rng,
+/// );
+/// let log = train(&mut env, &mut agent, TrainerConfig::new(10), &mut rng);
+/// assert_eq!(log.len(), 10);
+/// assert_eq!(agent.episodes_seen(), 10);
+/// ```
 pub fn train<E: OutcomeEnv>(
     env: &mut E,
     agent: &mut ReJoinAgent,

@@ -36,6 +36,10 @@ pub struct CacheMetrics {
     /// Whole-cache invalidations (stats rebuilds, planner swaps,
     /// explicit clears).
     pub invalidations: u64,
+    /// Inserts rejected because an invalidation happened between the
+    /// probe and the insert (the plan was produced under a superseded
+    /// planner/statistics epoch).
+    pub stale_inserts: u64,
     /// Entries currently cached.
     pub len: usize,
     /// Configured capacity.
@@ -67,6 +71,7 @@ pub struct PlanCache {
     misses: u64,
     evictions: u64,
     invalidations: u64,
+    stale_inserts: u64,
 }
 
 /// Default capacity: comfortably above the JOB suite's 113 distinct
@@ -84,7 +89,17 @@ impl PlanCache {
             misses: 0,
             evictions: 0,
             invalidations: 0,
+            stale_inserts: 0,
         }
+    }
+
+    /// The current invalidation epoch. Callers that plan outside the
+    /// cache lock capture the epoch at probe time and pass it to
+    /// [`Self::insert_if_current`]; an invalidation in between bumps
+    /// the epoch, so the superseded plan is discarded instead of
+    /// resurrecting into the fresh cache.
+    pub fn epoch(&self) -> u64 {
+        self.invalidations
     }
 
     /// Probes for `key`, refreshing its recency on a hit. The returned
@@ -124,6 +139,23 @@ impl PlanCache {
         );
     }
 
+    /// Inserts like [`Self::insert`], but only when no invalidation has
+    /// happened since `epoch` was captured (see [`Self::epoch`]).
+    /// Returns whether the entry was inserted.
+    pub fn insert_if_current(
+        &mut self,
+        key: QueryFingerprint,
+        cached: Arc<CachedPlan>,
+        epoch: u64,
+    ) -> bool {
+        if epoch != self.epoch() {
+            self.stale_inserts += 1;
+            return false;
+        }
+        self.insert(key, cached);
+        true
+    }
+
     /// Drops every entry (stats rebuild, planner swap, explicit clear).
     pub fn invalidate(&mut self) {
         self.entries.clear();
@@ -137,6 +169,7 @@ impl PlanCache {
             misses: self.misses,
             evictions: self.evictions,
             invalidations: self.invalidations,
+            stale_inserts: self.stale_inserts,
             len: self.entries.len(),
             capacity: self.capacity,
         }
@@ -213,6 +246,24 @@ mod tests {
         assert_eq!(cache.metrics().len, 0);
         assert_eq!(cache.metrics().invalidations, 1);
         assert!(cache.get(key(1)).is_none());
+    }
+
+    /// Regression (online hot-swap stale-insert race): a plan produced
+    /// under epoch E must not enter the cache after an invalidation
+    /// bumped the epoch — it would resurrect a superseded generation's
+    /// plan as cache hits until the next invalidation.
+    #[test]
+    fn insert_if_current_rejects_superseded_epochs() {
+        let mut cache = PlanCache::new(4);
+        let epoch = cache.epoch();
+        assert!(cache.insert_if_current(key(1), plan(1), epoch));
+        cache.invalidate();
+        assert!(!cache.insert_if_current(key(2), plan(2), epoch));
+        assert!(!cache.contains(key(2)), "stale insert must be discarded");
+        assert_eq!(cache.metrics().stale_inserts, 1);
+        // The fresh epoch inserts normally.
+        assert!(cache.insert_if_current(key(2), plan(2), cache.epoch()));
+        assert!(cache.contains(key(2)));
     }
 
     #[test]

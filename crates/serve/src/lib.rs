@@ -6,16 +6,45 @@
 //! parse → bind → plan → execute — from any number of threads.
 //!
 //! This is the ROADMAP's "serve heavy traffic" layer and the paper's
-//! end state: with a `hfqo_rejoin::LearnedPlanner` plugged in, the
-//! trained policy produces the plans at query time; with
+//! end state: with a learned planner plugged in, the trained policy
+//! produces the plans at query time; with
 //! [`hfqo_opt::TraditionalPlanner`], the same session is the classical
 //! expert. The cache (see [`cache`]) amortises planning across repeated
 //! query shapes: keys are stable [`hfqo_query::QueryFingerprint`]s, the
 //! bound is a small LRU, and invalidation is explicit on statistics
 //! rebuilds and planner swaps.
+//!
+//! Since PR 5 the layer also **closes the hands-free loop** the paper
+//! is named for: a session can record every executed query into an
+//! [`ExperienceLog`] ([`experience`]), a background [`OnlineTrainer`]
+//! ([`online`]) replays those records into policy-gradient episodes
+//! rewarded on the *observed* execution work, and each retrained
+//! policy generation is hot-swapped into live serving through an
+//! atomic [`PlannerHandle`] ([`swap`]) — readers never block on
+//! training, a plan is always produced by exactly one frozen
+//! generation, and every swap invalidates the plan cache.
+//!
+//! ## Serving in five lines
+//!
+//! ```
+//! use hfqo_serve::QuerySession;
+//! # let fixture = hfqo_opt::test_support::TestDb::chain(3, 200);
+//! // `TestDb::chain(3, …)` builds tables t0(id, val), t1(id, fk, val), t2(…).
+//! let session = QuerySession::traditional(fixture.db, fixture.stats);
+//! let served = session.serve("SELECT COUNT(*) FROM t0 a, t1 b WHERE a.id = b.fk")?;
+//! assert_eq!(served.outcome.rows.len(), 1);
+//! assert!(session.serve("SELECT COUNT(*) FROM t0 x, t1 y WHERE x.id = y.fk")?.cache_hit);
+//! # Ok::<(), hfqo_serve::ServeError>(())
+//! ```
 
 pub mod cache;
+pub mod experience;
+pub mod online;
 pub mod session;
+pub mod swap;
 
 pub use cache::{CacheMetrics, CachedPlan, PlanCache, DEFAULT_CACHE_CAPACITY};
+pub use experience::{Experience, ExperienceLog, ExperienceMetrics, DEFAULT_EXPERIENCE_CAPACITY};
+pub use online::{OnlineConfig, OnlineMetrics, OnlineStep, OnlineTrainer};
 pub use session::{QuerySession, ServeError, ServedQuery};
+pub use swap::{HotSwapPlanner, PlannerHandle};

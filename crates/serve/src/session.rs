@@ -27,14 +27,21 @@
 //! under stale statistics may no longer be the ones the planner would
 //! pick), and [`QuerySession::set_planner`] swaps the strategy, also
 //! invalidating (cached plans would otherwise be attributed to the
-//! wrong strategy).
+//! wrong strategy). Because planning happens outside the cache lock, an
+//! invalidation can race an in-flight plan; inserts are epoch-guarded
+//! (see [`PlanCache::insert_if_current`]), so a plan produced under a
+//! superseded planner or statistics epoch is served once but never
+//! cached.
+//!
+//! [`PlanCache::insert_if_current`]: crate::cache::PlanCache::insert_if_current
 
 use crate::cache::{CacheMetrics, CachedPlan, PlanCache, DEFAULT_CACHE_CAPACITY};
+use crate::experience::{Experience, ExperienceLog};
 use hfqo_catalog::Catalog;
 use hfqo_cost::CostParams;
 use hfqo_exec::{execute, ExecConfig, ExecError, ExecOutcome};
 use hfqo_opt::{OptError, PlannedQuery, Planner, PlannerContext, PlannerMethod};
-use hfqo_query::{bind_select, fingerprint, PhysicalPlan, QueryError, QueryGraph};
+use hfqo_query::{bind_select, fingerprint, tree_to_actions, PhysicalPlan, QueryError, QueryGraph};
 use hfqo_sql::{parse_select, ParseError};
 use hfqo_stats::{build_database_stats, StatsCatalog};
 use hfqo_storage::Database;
@@ -96,8 +103,9 @@ impl From<ExecError> for ServeError {
 /// came from), and the execution outcome.
 #[derive(Debug, Clone)]
 pub struct ServedQuery {
-    /// The bound query graph.
-    pub graph: QueryGraph,
+    /// The bound query graph (shared with the experience log when one
+    /// is attached, so recording adds no extra deep clone).
+    pub graph: std::sync::Arc<QueryGraph>,
     /// The physical plan that executed.
     pub plan: PhysicalPlan,
     /// Estimated cost of the plan (at planning time).
@@ -121,6 +129,11 @@ pub struct QuerySession {
     planner: Box<dyn Planner>,
     cache: Mutex<PlanCache>,
     exec_config: ExecConfig,
+    /// When attached, every executed query is recorded for online
+    /// learning (see [`crate::online`]). Recording never influences
+    /// planning or execution — with no consumer draining the log,
+    /// serving output is identical to an unattached session.
+    experience: Option<std::sync::Arc<ExperienceLog>>,
 }
 
 // N serving threads share one `&QuerySession`: the owned world is plain
@@ -142,6 +155,7 @@ impl QuerySession {
             planner,
             cache: Mutex::new(PlanCache::new(DEFAULT_CACHE_CAPACITY)),
             exec_config: ExecConfig::default(),
+            experience: None,
         }
     }
 
@@ -217,6 +231,23 @@ impl QuerySession {
         self.invalidate_cache();
     }
 
+    /// Attaches (or detaches, with `None`) an experience log: every
+    /// subsequently executed query is recorded for online learning.
+    pub fn set_experience_log(&mut self, log: Option<std::sync::Arc<ExperienceLog>>) {
+        self.experience = log;
+    }
+
+    /// Attaches an experience log (builder style).
+    pub fn with_experience_log(mut self, log: std::sync::Arc<ExperienceLog>) -> Self {
+        self.experience = Some(log);
+        self
+    }
+
+    /// The attached experience log, if any.
+    pub fn experience_log(&self) -> Option<&std::sync::Arc<ExperienceLog>> {
+        self.experience.as_ref()
+    }
+
     /// Re-scans the owned database into fresh statistics and
     /// invalidates the plan cache: plans chosen under the old estimates
     /// may no longer be the planner's choice.
@@ -233,8 +264,13 @@ impl QuerySession {
         let start = Instant::now();
         // The lock covers only the O(1) probe (the entry is behind an
         // `Arc`); the plan-tree clone for the caller happens after the
-        // lock is released.
-        let hit = self.cache.lock().expect("plan cache poisoned").get(key);
+        // lock is released. The epoch is captured in the same critical
+        // section so a miss can detect invalidations that race the
+        // planning below.
+        let (hit, epoch) = {
+            let mut cache = self.cache.lock().expect("plan cache poisoned");
+            (cache.get(key), cache.epoch())
+        };
         if let Some(hit) = hit {
             return Ok((
                 PlannedQuery {
@@ -248,7 +284,10 @@ impl QuerySession {
         }
         // Plan outside the lock: misses on distinct queries proceed in
         // parallel; a race on the same query plans twice, last insert
-        // wins.
+        // wins. An invalidation racing the planning (stats rebuild,
+        // planner swap, online policy swap) bumps the cache epoch, so
+        // the superseded plan is served once but never cached — a
+        // stale generation's plan must not resurrect as cache hits.
         let ctx =
             PlannerContext::new(self.db.catalog(), &self.stats).with_params(self.params.clone());
         let planned = self.planner.plan(&ctx, graph)?;
@@ -260,7 +299,7 @@ impl QuerySession {
         self.cache
             .lock()
             .expect("plan cache poisoned")
-            .insert(key, entry);
+            .insert_if_current(key, entry, epoch);
         Ok((planned, false))
     }
 
@@ -269,8 +308,25 @@ impl QuerySession {
     pub fn serve_graph(&self, graph: &QueryGraph) -> Result<ServedQuery, ServeError> {
         let (planned, cache_hit) = self.plan(graph)?;
         let outcome = execute(&self.db, graph, &planned.plan, self.exec_config)?;
+        // One clone behind an `Arc`, shared by the result and the
+        // experience record — recording must not add hot-path work.
+        let graph = std::sync::Arc::new(graph.clone());
+        if let Some(log) = &self.experience {
+            // The join decisions are derived from the executed plan's
+            // tree skeleton, so cache hits and misses — and any
+            // planning strategy — leave the same kind of record.
+            log.push(Experience {
+                graph: std::sync::Arc::clone(&graph),
+                decisions: tree_to_actions(&planned.plan.root.join_tree(), graph.relation_count()),
+                executed_work: outcome.stats.work,
+                elapsed: outcome.stats.elapsed,
+                cost: planned.cost,
+                method: planned.method,
+                cache_hit,
+            });
+        }
         Ok(ServedQuery {
-            graph: graph.clone(),
+            graph,
             plan: planned.plan,
             cost: planned.cost,
             method: planned.method,

@@ -122,4 +122,42 @@ fn main() {
         "\nserved again from the plan cache in {:?} ({} hits / {} misses)",
         again.planning_time, m.hits, m.misses
     );
+
+    // 5. Close the hands-free loop: keep learning from the queries the
+    //    session actually executes. The trainer drains the experience
+    //    log, rewards on the executor's observed work, and hot-swaps
+    //    each retrained policy generation into live serving.
+    let trainer_agent = agent; // keep training the same policy online
+    let mut trainer = OnlineTrainer::attach(
+        &mut session,
+        trainer_agent,
+        featurizer,
+        false, // the training env above allowed cross-join pairs
+        OnlineConfig::default().with_swap_every(8),
+    );
+    for _burst in 0..4 {
+        for _ in 0..8 {
+            let _ = session.serve(sql).expect("serves under online training");
+        }
+        let step = trainer.step(&session);
+        if step.swapped() {
+            println!(
+                "online trainer published policy generation {} \
+                 (trained on {} served episodes so far)",
+                trainer.generation(),
+                trainer.metrics().trained
+            );
+        }
+    }
+    let online = session.serve(sql).expect("serves the latest generation");
+    assert_eq!(
+        online.outcome.rows, served.outcome.rows,
+        "results never change"
+    );
+    println!(
+        "after online learning (gen {}): cost {:.1}, work {}",
+        trainer.generation(),
+        online.cost,
+        online.outcome.stats.work
+    );
 }

@@ -85,7 +85,10 @@ pub mod prelude {
         RewardMode, StageSet, TrainerConfig, TrainingLog,
     };
     pub use hfqo_rl::Environment;
-    pub use hfqo_serve::{CacheMetrics, QuerySession, ServeError, ServedQuery};
+    pub use hfqo_serve::{
+        CacheMetrics, Experience, ExperienceLog, HotSwapPlanner, OnlineConfig, OnlineTrainer,
+        PlannerHandle, QuerySession, ServeError, ServedQuery,
+    };
     pub use hfqo_sql::parse_select;
     pub use hfqo_stats::{build_database_stats, CardinalitySource, EstimatedCardinality};
     pub use hfqo_storage::{Database, Value};
