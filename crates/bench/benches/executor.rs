@@ -1,5 +1,6 @@
 //! Executor operator throughput: reference row engine vs vectorized
-//! batch pipeline.
+//! batch pipeline, plus intra-query parallel scaling and bulk-load
+//! throughput.
 //!
 //! The workloads mirror what training actually executes — `COUNT(*)`
 //! joins (the paper's JOB-style queries) — plus a full-output join where
@@ -7,12 +8,20 @@
 //! case runs through `execute_rows` (row-at-a-time reference) and
 //! `execute` (batch pipeline) so the speedup is directly visible in one
 //! report.
+//!
+//! `parallel_scaling` times the morsel-driven evaluator at 1/2/4/8
+//! threads on join-heavy queries, asserting result identity against the
+//! serial engine before any timing. On single-CPU containers the
+//! medians stay flat (there is nothing to scale onto) — the numbers are
+//! only meaningful on multi-core hosts.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use hfqo_exec::{execute, execute_rows, ExecConfig};
 use hfqo_opt::test_support::with_count;
 use hfqo_query::{AccessPath, AggAlgo, JoinAlgo, PhysicalPlan, PlanNode, RelId};
+use hfqo_workload::loader::{load_imdb_csv_dir, LoaderOptions};
 use hfqo_workload::synth::{Shape, SynthConfig, SynthDb};
+use std::path::Path;
 
 fn scan(rel: u32) -> PlanNode {
     PlanNode::Scan {
@@ -146,5 +155,100 @@ fn bench_executor(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_executor);
+/// Morsel-driven parallel scaling on join-heavy queries. Before timing
+/// anything, every (plan, threads) pair is executed once and checked
+/// bit-identical to the serial result — a scaling number for a wrong
+/// answer is worthless.
+fn bench_parallel_scaling(c: &mut Criterion) {
+    let db = SynthDb::build(SynthConfig {
+        tables: 3,
+        rows: 20_000,
+        seed: 11,
+    });
+    let budget = ExecConfig::with_budget(200_000_000);
+    let mut group = c.benchmark_group("parallel_scaling");
+    group.sample_size(10);
+
+    let cases: Vec<(&str, _, PhysicalPlan)> = vec![
+        (
+            "hash_join_20k_x_20k_count",
+            with_count(db.query(Shape::Chain, 2, 1, 0)),
+            PhysicalPlan::new(count(join(JoinAlgo::Hash, vec![0], scan(0), scan(1)))),
+        ),
+        (
+            "hash_join_chain3_count",
+            with_count(db.query(Shape::Chain, 3, 1, 0)),
+            PhysicalPlan::new(count(join(
+                JoinAlgo::Hash,
+                vec![1],
+                join(JoinAlgo::Hash, vec![0], scan(0), scan(1)),
+                scan(2),
+            ))),
+        ),
+        (
+            "hash_join_20k_full_output",
+            db.query(Shape::Chain, 2, 1, 0),
+            PhysicalPlan::new(join(JoinAlgo::Hash, vec![0], scan(0), scan(1))),
+        ),
+    ];
+
+    for (name, graph, plan) in &cases {
+        let serial = execute(&db.db, graph, plan, budget).expect("fits");
+        for threads in [1usize, 2, 4, 8] {
+            let cfg = budget.threads(threads);
+            // Result identity gate: same rows in the same order, same
+            // work total, at every thread count.
+            let par = execute(&db.db, graph, plan, cfg).expect("fits");
+            assert_eq!(par.rows, serial.rows, "{name} t={threads}");
+            assert_eq!(par.stats.work, serial.stats.work, "{name} t={threads}");
+            group.bench_function(format!("{name}/t{threads}"), |b| {
+                b.iter(|| execute(&db.db, graph, plan, cfg).expect("fits").rows.len())
+            });
+        }
+    }
+
+    group.finish();
+}
+
+/// Bulk CSV ingest throughput over the checked-in IMDB sample (rows/s
+/// reported via the loader's own wall-clock; the bench measures the
+/// whole load including dictionary encoding, indexes, and statistics).
+fn bench_loader(c: &mut Criterion) {
+    let dir = Path::new(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../tests/data/imdb_sample"
+    ));
+    if !dir.exists() {
+        return;
+    }
+    let opts = LoaderOptions::default();
+    let (_, _, report) = load_imdb_csv_dir(dir, &opts).expect("sample loads");
+    let rows = report.total_rows();
+    assert_eq!(rows, 1007, "checked-in sample size");
+    println!(
+        "loader: {} rows, {} bytes, {:.0} rows/s (parse+insert only)",
+        rows,
+        report.total_bytes(),
+        report.rows_per_sec()
+    );
+
+    let mut group = c.benchmark_group("loader");
+    group.sample_size(10);
+    group.bench_function("imdb_sample_1k", |b| {
+        b.iter(|| {
+            load_imdb_csv_dir(dir, &opts)
+                .expect("sample loads")
+                .2
+                .total_rows()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_executor,
+    bench_parallel_scaling,
+    bench_loader
+);
 criterion_main!(benches);

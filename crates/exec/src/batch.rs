@@ -168,6 +168,25 @@ impl Batch {
         self.rows += row_ids.len();
     }
 
+    /// Appends the contiguous source range `start .. start + len`
+    /// column-wise (the unfiltered scan's fast path — a `memcpy` for
+    /// fixed-width columns instead of a per-row gather). `src` yields
+    /// one source column per output slot, in slot order.
+    pub fn append_range_from<'a>(
+        &mut self,
+        src: impl Iterator<Item = &'a ColumnVector>,
+        start: usize,
+        len: usize,
+    ) {
+        let mut copied = 0;
+        for (dst, s) in self.cols.iter_mut().zip(src) {
+            dst.append_range(s, start, len);
+            copied += 1;
+        }
+        debug_assert_eq!(copied, self.cols.len());
+        self.rows += len;
+    }
+
     /// Bumps the row count without touching columns — only meaningful
     /// for zero-width batches (e.g. a `COUNT(*)` pipeline).
     pub fn push_empty_rows(&mut self, n: usize) {

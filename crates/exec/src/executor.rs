@@ -24,6 +24,17 @@ pub struct ExecConfig {
     /// before the execution aborts. This is the "timeout" that makes
     /// catastrophic plans cheap to observe instead of hour-long runs.
     pub work_budget: u64,
+    /// Worker threads for intra-query parallelism. `1` (the default)
+    /// runs the serial pull pipeline; `> 1` dispatches to the
+    /// morsel-driven parallel evaluator ([`crate::parallel`]), whose
+    /// results and work totals are identical to the serial path at any
+    /// thread count. Worker teams are capped at the machine's available
+    /// parallelism — oversubscribing cores only adds scheduling
+    /// overhead.
+    pub threads: usize,
+    /// Rows per morsel claimed by parallel workers. Only read when
+    /// `threads > 1`; any positive value yields identical results.
+    pub morsel_rows: usize,
 }
 
 impl Default for ExecConfig {
@@ -34,6 +45,8 @@ impl Default for ExecConfig {
         // small enough that runaway cross joins abort quickly.
         Self {
             work_budget: 5_000_000,
+            threads: 1,
+            morsel_rows: 4096,
         }
     }
 }
@@ -41,7 +54,22 @@ impl Default for ExecConfig {
 impl ExecConfig {
     /// A configuration with the given budget.
     pub fn with_budget(work_budget: u64) -> Self {
-        Self { work_budget }
+        Self {
+            work_budget,
+            ..Self::default()
+        }
+    }
+
+    /// Sets the worker-thread count (clamped to at least 1).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Sets the morsel size in rows (clamped to at least 1).
+    pub fn morsel_rows(mut self, rows: usize) -> Self {
+        self.morsel_rows = rows.max(1);
+        self
     }
 }
 
@@ -225,29 +253,34 @@ pub fn execute(
 ) -> Result<ExecOutcome, ExecError> {
     plan.validate(graph)?;
     let start = Instant::now();
-    let mut budget = Budget::new(config.work_budget);
 
     let required: ColSet = match &plan.root {
         PlanNode::Aggregate { .. } => aggregate_inputs(graph),
         _ => all_columns(graph, db),
     };
-    let mut op = build_pipeline(db, graph, &plan.root, &required)?;
-    op.open(&mut budget)?;
-    let mut rows: Vec<Row> = Vec::new();
-    while let Some(batch) = op.next_batch(&mut budget)? {
-        rows.reserve(batch.rows());
-        for r in 0..batch.rows() {
-            rows.push(batch.row_values(r));
+    let (rows, work) = if config.threads > 1 {
+        crate::parallel::execute_materialized(db, graph, &plan.root, &required, config)?
+    } else {
+        let mut budget = Budget::new(config.work_budget);
+        let mut op = build_pipeline(db, graph, &plan.root, &required)?;
+        op.open(&mut budget)?;
+        let mut rows: Vec<Row> = Vec::new();
+        while let Some(batch) = op.next_batch(&mut budget)? {
+            rows.reserve(batch.rows());
+            for r in 0..batch.rows() {
+                rows.push(batch.row_values(r));
+            }
         }
-    }
-    op.close();
+        op.close();
+        (rows, budget.work)
+    };
 
     Ok(ExecOutcome {
         rows,
         layout: Layout::for_node(&plan.root, graph, db.catalog()),
         schema: OutputSchema::for_plan(graph, db.catalog(), plan),
         stats: ExecStats {
-            work: budget.work,
+            work,
             elapsed: start.elapsed(),
         },
     })
@@ -605,6 +638,12 @@ mod tests {
             rs.sort();
             assert_eq!(bs, rs, "{algo:?}");
             assert_eq!(out.stats.work, rows.stats.work, "{algo:?}");
+            // As does the parallel evaluator, in exact row order —
+            // NULL build/probe keys must stay unmatched there too.
+            let cfg = ExecConfig::default().threads(4).morsel_rows(1);
+            let par = execute(&db, &graph, &plan, cfg).unwrap();
+            assert_eq!(par.rows, out.rows, "{algo:?} parallel");
+            assert_eq!(par.stats.work, out.stats.work, "{algo:?} parallel work");
         }
     }
 
@@ -741,5 +780,135 @@ mod tests {
         let names: Vec<&str> = out.schema.columns.iter().map(|c| c.name()).collect();
         assert_eq!(names, vec!["d.id", "d.attr", "f.id", "f.dim_id", "f.val"]);
         assert_eq!(out.rows[0].len(), out.schema.columns.len());
+    }
+
+    #[test]
+    fn parallel_join_is_bit_identical_to_serial() {
+        let (db, graph) = setup();
+        for algo in [JoinAlgo::NestedLoop, JoinAlgo::Hash, JoinAlgo::Merge] {
+            let plan = PhysicalPlan::new(PlanNode::Join {
+                algo,
+                conds: vec![0],
+                left: Box::new(scan_node(0)),
+                right: Box::new(scan_node(1)),
+            });
+            let serial = execute(&db, &graph, &plan, ExecConfig::default()).unwrap();
+            for threads in [2, 4] {
+                for morsel in [1, 7, 64, 4096] {
+                    let cfg = ExecConfig::default().threads(threads).morsel_rows(morsel);
+                    let par = execute(&db, &graph, &plan, cfg).unwrap();
+                    // Exact row ORDER, not just the multiset: the
+                    // parallel evaluator reassembles morsel outputs in
+                    // order, so the full result must match bitwise.
+                    assert_eq!(par.rows, serial.rows, "{algo:?} t={threads} m={morsel}");
+                    assert_eq!(
+                        par.stats.work, serial.stats.work,
+                        "{algo:?} t={threads} m={morsel}"
+                    );
+                    assert_eq!(par.layout, serial.layout);
+                    assert_eq!(par.schema, serial.schema);
+                }
+            }
+        }
+    }
+
+    /// `ExecStats::work` is part of the reward signal, so it must not
+    /// depend on the thread count.
+    #[test]
+    fn work_is_identical_across_thread_counts() {
+        let (db, graph) = setup();
+        let plan = PhysicalPlan::new(PlanNode::Aggregate {
+            algo: AggAlgo::Hash,
+            input: Box::new(PlanNode::Join {
+                algo: JoinAlgo::Hash,
+                conds: vec![0],
+                left: Box::new(scan_node(1)),
+                right: Box::new(scan_node(0)),
+            }),
+        });
+        let outs: Vec<_> = [1usize, 2, 4]
+            .iter()
+            .map(|&t| execute(&db, &graph, &plan, ExecConfig::default().threads(t)).unwrap())
+            .collect();
+        for out in &outs[1..] {
+            assert_eq!(out.rows, outs[0].rows);
+            assert_eq!(out.stats.work, outs[0].stats.work);
+        }
+    }
+
+    #[test]
+    fn parallel_aggregate_matches_serial_bitwise() {
+        let (db, graph) = null_setup();
+        for algo in [AggAlgo::Hash, AggAlgo::Sort] {
+            let plan = PhysicalPlan::new(PlanNode::Aggregate {
+                algo,
+                input: Box::new(PlanNode::Join {
+                    algo: JoinAlgo::Hash,
+                    conds: vec![0],
+                    left: Box::new(scan_node(0)),
+                    right: Box::new(scan_node(1)),
+                }),
+            });
+            let serial = execute(&db, &graph, &plan, ExecConfig::default()).unwrap();
+            let cfg = ExecConfig::default().threads(4).morsel_rows(2);
+            let par = execute(&db, &graph, &plan, cfg).unwrap();
+            // One output row (no GROUP BY); the float SUM bits must
+            // match exactly because the fold order is preserved.
+            assert_eq!(par.rows, serial.rows, "{algo:?}");
+            assert_eq!(par.stats.work, serial.stats.work, "{algo:?}");
+        }
+    }
+
+    #[test]
+    fn parallel_index_scan_matches_serial() {
+        let (db, mut graph) = setup();
+        graph = QueryGraph::new(
+            graph.relations().to_vec(),
+            graph.joins().to_vec(),
+            vec![Selection {
+                column: BoundColumn::new(RelId(0), ColumnId(0)),
+                op: CompareOp::Lt,
+                value: Lit::Int(10),
+            }],
+            graph.aggregates().to_vec(),
+            vec![],
+        );
+        let plan = PhysicalPlan::new(PlanNode::Join {
+            algo: JoinAlgo::Hash,
+            conds: vec![0],
+            left: Box::new(PlanNode::Scan {
+                rel: RelId(0),
+                path: AccessPath::IndexScan {
+                    index: hfqo_catalog::IndexId(0),
+                    driving_selection: 0,
+                },
+            }),
+            right: Box::new(scan_node(1)),
+        });
+        let serial = execute(&db, &graph, &plan, ExecConfig::default()).unwrap();
+        let par = execute(&db, &graph, &plan, ExecConfig::default().threads(4)).unwrap();
+        assert_eq!(serial.rows.len(), 100);
+        assert_eq!(par.rows, serial.rows);
+        assert_eq!(par.stats.work, serial.stats.work);
+    }
+
+    #[test]
+    fn parallel_budget_abort_matches_serial() {
+        let (db, graph) = setup();
+        let cross = PhysicalPlan::new(PlanNode::Join {
+            algo: JoinAlgo::NestedLoop,
+            conds: vec![],
+            left: Box::new(scan_node(0)),
+            right: Box::new(scan_node(1)),
+        });
+        assert!(matches!(
+            execute(&db, &graph, &cross, ExecConfig::with_budget(300)),
+            Err(ExecError::BudgetExceeded { budget: 300, .. })
+        ));
+        // The parallel evaluator charges the same totals, so it aborts
+        // exactly when the serial engine does.
+        let err =
+            execute(&db, &graph, &cross, ExecConfig::with_budget(300).threads(4)).unwrap_err();
+        assert!(matches!(err, ExecError::BudgetExceeded { budget: 300, .. }));
     }
 }

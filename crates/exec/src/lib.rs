@@ -61,6 +61,18 @@
 //!   analytic latency model needs to disagree with the estimate-driven
 //!   cost model in a realistic way.
 //!
+//! ## Intra-query parallelism
+//!
+//! [`parallel`] adds a **morsel-driven parallel evaluator**: when
+//! [`ExecConfig::threads`] exceeds 1, the facade evaluates the plan
+//! stage by stage with worker teams pulling fixed-size row ranges from
+//! a shared atomic dispenser — parallel scans, radix-partitioned hash
+//! joins, and partitioned aggregation. Outputs reassemble in morsel
+//! order and budget charges flush to one shared counter, so results,
+//! row order, and `ExecStats::work` are bit-identical to the serial
+//! pipeline at any thread count (the serial path stays the verification
+//! anchor).
+//!
 //! ## Reference row engine
 //!
 //! [`rowexec::execute_rows`] is the original materialising executor,
@@ -73,6 +85,7 @@ pub mod error;
 pub mod executor;
 pub mod operator;
 pub mod ops;
+pub mod parallel;
 pub mod row;
 pub mod rowexec;
 pub mod truecard;

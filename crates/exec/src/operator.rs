@@ -176,7 +176,12 @@ pub fn build_pipeline<'a>(
 
 /// A scan's output projection: the required columns of `rel`, in
 /// column-id order.
-fn scan_projection(graph: &QueryGraph, db: &Database, rel: RelId, required: &ColSet) -> Projection {
+pub(crate) fn scan_projection(
+    graph: &QueryGraph,
+    db: &Database,
+    rel: RelId,
+    required: &ColSet,
+) -> Projection {
     let arity = db
         .catalog()
         .table(graph.relation(rel).table)

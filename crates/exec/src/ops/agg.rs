@@ -112,29 +112,25 @@ pub(crate) fn agg_output_type(func: AggFunc, input: Option<ColumnType>) -> Colum
     }
 }
 
-/// Vectorized hash/sort aggregation at the plan root.
-pub struct AggOp<'a> {
-    algo: AggAlgo,
-    input: Box<dyn Operator + 'a>,
-    key_slots: Vec<usize>,
-    agg_slots: Vec<Option<usize>>,
-    agg_funcs: Vec<AggFunc>,
-    builder: BatchBuilder,
-    drained: bool,
+/// The graph's aggregation resolved against an input projection: where
+/// the `GROUP BY` keys and aggregate inputs live in the input's slots,
+/// and the output column types (keys first, then aggregate values).
+/// Shared by [`AggOp`] and the parallel aggregation stage.
+pub(crate) struct AggSpec {
+    pub(crate) key_slots: Vec<usize>,
+    pub(crate) agg_slots: Vec<Option<usize>>,
+    pub(crate) agg_funcs: Vec<AggFunc>,
+    pub(crate) out_types: Vec<ColumnType>,
 }
 
-impl<'a> AggOp<'a> {
-    /// Builds the aggregation over a child pipeline whose projection must
-    /// carry every `GROUP BY` key and aggregate input column.
-    pub fn new(
+impl AggSpec {
+    /// Resolves the graph's `GROUP BY` keys and aggregate input columns
+    /// against `proj`, which must carry all of them.
+    pub(crate) fn resolve(
         graph: &QueryGraph,
         catalog: &Catalog,
-        algo: AggAlgo,
-        input: Box<dyn Operator + 'a>,
+        proj: &Projection,
     ) -> Result<Self, ExecError> {
-        let proj = input
-            .projection()
-            .ok_or_else(|| QueryError::InvalidPlan("aggregate over aggregate output".into()))?;
         let key_slots: Vec<usize> = graph
             .group_by()
             .iter()
@@ -166,12 +162,47 @@ impl<'a> AggOp<'a> {
         );
 
         Ok(Self {
-            algo,
-            input,
             key_slots,
             agg_slots,
             agg_funcs,
-            builder: BatchBuilder::new(out_types),
+            out_types,
+        })
+    }
+
+    /// A fresh accumulator row, one per aggregate expression.
+    pub(crate) fn new_accs(&self) -> Vec<Acc> {
+        self.agg_funcs.iter().map(|&f| Acc::new(f)).collect()
+    }
+}
+
+/// Vectorized hash/sort aggregation at the plan root.
+pub struct AggOp<'a> {
+    algo: AggAlgo,
+    input: Box<dyn Operator + 'a>,
+    spec: AggSpec,
+    builder: BatchBuilder,
+    drained: bool,
+}
+
+impl<'a> AggOp<'a> {
+    /// Builds the aggregation over a child pipeline whose projection must
+    /// carry every `GROUP BY` key and aggregate input column.
+    pub fn new(
+        graph: &QueryGraph,
+        catalog: &Catalog,
+        algo: AggAlgo,
+        input: Box<dyn Operator + 'a>,
+    ) -> Result<Self, ExecError> {
+        let proj = input
+            .projection()
+            .ok_or_else(|| QueryError::InvalidPlan("aggregate over aggregate output".into()))?;
+        let spec = AggSpec::resolve(graph, catalog, proj)?;
+        let builder = BatchBuilder::new(spec.out_types.clone());
+        Ok(Self {
+            algo,
+            input,
+            spec,
+            builder,
             drained: false,
         })
     }
@@ -188,14 +219,13 @@ impl<'a> AggOp<'a> {
                 budget.charge(1)?;
                 input_rows += 1;
                 let key: Vec<Value> = self
+                    .spec
                     .key_slots
                     .iter()
                     .map(|&s| batch.value_at(s, row))
                     .collect();
-                let accs = groups
-                    .entry(key)
-                    .or_insert_with(|| self.agg_funcs.iter().map(|&f| Acc::new(f)).collect());
-                for (acc, slot) in accs.iter_mut().zip(&self.agg_slots) {
+                let accs = groups.entry(key).or_insert_with(|| self.spec.new_accs());
+                for (acc, slot) in accs.iter_mut().zip(&self.spec.agg_slots) {
                     let v = slot.map(|s| batch.value_at(s, row));
                     acc.update(v.as_ref())?;
                 }
@@ -209,11 +239,8 @@ impl<'a> AggOp<'a> {
         }
         // An aggregate over zero rows with no GROUP BY still yields one
         // row (SQL semantics: COUNT(*) = 0).
-        if groups.is_empty() && self.key_slots.is_empty() {
-            groups.insert(
-                Vec::new(),
-                self.agg_funcs.iter().map(|&f| Acc::new(f)).collect(),
-            );
+        if groups.is_empty() && self.spec.key_slots.is_empty() {
+            groups.insert(Vec::new(), self.spec.new_accs());
         }
         let mut out_rows: Vec<Vec<Value>> = groups
             .into_iter()

@@ -17,11 +17,40 @@ use hfqo_query::{JoinAlgo, QueryError, QueryGraph};
 use hfqo_storage::Value;
 use std::collections::HashMap;
 
-/// Where an output column is gathered from.
+/// Where a join output column is gathered from: a slot of the left
+/// (probe) input or a slot of the right (build) input.
 #[derive(Debug, Clone, Copy)]
-enum Side {
+pub(crate) enum Side {
     Left(usize),
     Right(usize),
+}
+
+/// A join's output projection: the children's projected columns
+/// restricted to `required`, left columns first — identical slot order
+/// to the row engine's concatenated layout when everything is required.
+/// Returns the output columns and, per slot, which input it gathers
+/// from. Shared by [`JoinOp`] and the parallel join stages so the two
+/// evaluators cannot disagree on output shape.
+pub(crate) fn join_output(
+    l_proj: &Projection,
+    r_proj: &Projection,
+    required: &ColSet,
+) -> (Projection, Vec<Side>) {
+    let mut out_cols = Vec::new();
+    let mut out_map = Vec::new();
+    for (slot, &col) in l_proj.columns().iter().enumerate() {
+        if required.contains(col) {
+            out_cols.push(col);
+            out_map.push(Side::Left(slot));
+        }
+    }
+    for (slot, &col) in r_proj.columns().iter().enumerate() {
+        if required.contains(col) {
+            out_cols.push(col);
+            out_map.push(Side::Right(slot));
+        }
+    }
+    (Projection::new(out_cols), out_map)
 }
 
 /// The hash table keyed either on raw `i64`s (the fast path when both
@@ -96,22 +125,7 @@ impl<'a> JoinOp<'a> {
             .ok_or_else(|| QueryError::InvalidPlan("join over aggregate output".into()))?;
 
         let slot_conds = resolve_conds(graph, conds, |c| l_proj.slot(c), |c| r_proj.slot(c))?;
-
-        let mut out_cols = Vec::new();
-        let mut out_map = Vec::new();
-        for (slot, &col) in l_proj.columns().iter().enumerate() {
-            if required.contains(col) {
-                out_cols.push(col);
-                out_map.push(Side::Left(slot));
-            }
-        }
-        for (slot, &col) in r_proj.columns().iter().enumerate() {
-            if required.contains(col) {
-                out_cols.push(col);
-                out_map.push(Side::Right(slot));
-            }
-        }
-        let projection = Projection::new(out_cols);
+        let (projection, out_map) = join_output(l_proj, r_proj, required);
         let out_types = projection.column_types(graph, catalog);
 
         Ok(Self {

@@ -5,6 +5,12 @@
 //! against the table's column vectors (no row materialisation), and
 //! gathers only the *projected* columns of the passing rows into the
 //! output batch, column by column.
+//!
+//! The resolution work — binding selections to table columns, probing
+//! indexes, mapping projection slots to storage columns — lives in
+//! `ScanSpec` so the serial pull pipeline ([`ScanOp`]) and the
+//! morsel-driven parallel scan ([`crate::parallel`]) share one
+//! definition of what a scan *visits* and *emits*.
 
 use crate::batch::{Batch, Projection, BATCH_CAPACITY};
 use crate::error::ExecError;
@@ -14,7 +20,7 @@ use crate::row::lit_to_value;
 use hfqo_catalog::ColumnType;
 use hfqo_query::{AccessPath, QueryGraph, RelId};
 use hfqo_sql::CompareOp;
-use hfqo_storage::{Database, Table, Value};
+use hfqo_storage::{ColumnVector, Database, Table, Value};
 
 /// A selection resolved to a table column index.
 #[derive(Debug, Clone)]
@@ -32,32 +38,31 @@ enum Source {
     Index(Vec<u32>),
 }
 
-/// Vectorized scan of one relation.
-pub struct ScanOp<'a> {
+/// A fully-resolved scan: the table, the projected storage columns, the
+/// residual filters, and the visit order. Engine-agnostic — both the
+/// serial operator and the parallel morsel workers evaluate it.
+pub(crate) struct ScanSpec<'a> {
     table: &'a Table,
-    projection: Projection,
     /// Table column index per output slot.
-    col_idx: Vec<usize>,
-    out_types: Vec<ColumnType>,
+    pub(crate) col_idx: Vec<usize>,
+    pub(crate) out_types: Vec<ColumnType>,
     /// Predicates evaluated during the scan (for index scans: the
     /// residual predicates, the driving one being consumed by the probe).
     filters: Vec<ResolvedSel>,
     source: Source,
-    cursor: usize,
-    row_buf: Vec<u32>,
 }
 
-impl<'a> ScanOp<'a> {
-    /// Builds a scan of `rel` via `path`, producing `projection`. Index
+impl<'a> ScanSpec<'a> {
+    /// Resolves a scan of `rel` via `path` producing `projection`. Index
     /// probes run here (plan-shape errors surface at build time; the
     /// probe itself is charge-free in the row engine too — only row
     /// visits cost work).
-    pub fn new(
+    pub(crate) fn new(
         db: &'a Database,
         graph: &QueryGraph,
         rel: RelId,
         path: &AccessPath,
-        projection: Projection,
+        projection: &Projection,
     ) -> Result<Self, ExecError> {
         let table_id = graph.relation(rel).table;
         let table = db.table(table_id)?;
@@ -99,22 +104,85 @@ impl<'a> ScanOp<'a> {
 
         Ok(Self {
             table,
-            projection,
             col_idx,
             out_types,
             filters,
             source,
-            cursor: 0,
-            row_buf: Vec::with_capacity(BATCH_CAPACITY),
         })
     }
 
+    /// Number of rows the scan visits (each one costs a unit of work).
     #[inline]
-    fn passes(&self, row: usize) -> bool {
+    pub(crate) fn visit_count(&self) -> usize {
+        match &self.source {
+            Source::Seq => self.table.row_count(),
+            Source::Index(ids) => ids.len(),
+        }
+    }
+
+    /// The table row id of visit number `i`.
+    #[inline]
+    pub(crate) fn row_id(&self, i: usize) -> u32 {
+        match &self.source {
+            Source::Seq => i as u32,
+            Source::Index(ids) => ids[i],
+        }
+    }
+
+    /// An unfiltered sequential scan emits every visited row in storage
+    /// order — contiguous ranges copy column-wise without a gather.
+    #[inline]
+    pub(crate) fn is_plain_seq(&self) -> bool {
+        matches!(self.source, Source::Seq) && self.filters.is_empty()
+    }
+
+    /// Whether the table row passes every residual filter.
+    #[inline]
+    pub(crate) fn passes(&self, row: usize) -> bool {
         let cols = self.table.columns();
         self.filters
             .iter()
             .all(|f| eval_cmp(f.op, &cols[f.col].get(row), &f.value))
+    }
+
+    /// The projected storage columns, one per output slot.
+    #[inline]
+    pub(crate) fn projected_columns(&self) -> impl Iterator<Item = &ColumnVector> {
+        let cols = self.table.columns();
+        self.col_idx.iter().map(move |&c| &cols[c])
+    }
+
+    fn release(&mut self) {
+        if let Source::Index(rids) = &mut self.source {
+            rids.clear();
+        }
+    }
+}
+
+/// Vectorized scan of one relation.
+pub struct ScanOp<'a> {
+    spec: ScanSpec<'a>,
+    projection: Projection,
+    cursor: usize,
+    row_buf: Vec<u32>,
+}
+
+impl<'a> ScanOp<'a> {
+    /// Builds a scan of `rel` via `path`, producing `projection`.
+    pub fn new(
+        db: &'a Database,
+        graph: &QueryGraph,
+        rel: RelId,
+        path: &AccessPath,
+        projection: Projection,
+    ) -> Result<Self, ExecError> {
+        let spec = ScanSpec::new(db, graph, rel, path, &projection)?;
+        Ok(Self {
+            spec,
+            projection,
+            cursor: 0,
+            row_buf: Vec::with_capacity(BATCH_CAPACITY),
+        })
     }
 }
 
@@ -129,48 +197,53 @@ impl Operator for ScanOp<'_> {
     }
 
     fn next_batch(&mut self, budget: &mut Budget) -> Result<Option<Batch>, ExecError> {
+        let total = self.spec.visit_count();
+        // Unfiltered sequential scans emit exactly the rows they visit:
+        // skip the row-id gather and copy each column's contiguous range
+        // (a memcpy for fixed-width data) — the hot path of full-table
+        // scans.
+        if self.spec.is_plain_seq() {
+            let n = (total - self.cursor).min(BATCH_CAPACITY);
+            if n == 0 {
+                return Ok(None);
+            }
+            budget.charge(n as u64)?; // visited
+            budget.charge(n as u64)?; // emitted
+            let mut batch = Batch::new(&self.spec.out_types);
+            if self.spec.col_idx.is_empty() {
+                batch.push_empty_rows(n);
+            } else {
+                batch.append_range_from(self.spec.projected_columns(), self.cursor, n);
+            }
+            self.cursor += n;
+            return Ok(Some(batch));
+        }
+
         self.row_buf.clear();
-        match &self.source {
-            Source::Seq => {
-                let total = self.table.row_count();
-                while self.cursor < total && self.row_buf.len() < BATCH_CAPACITY {
-                    budget.charge(1)?;
-                    if self.passes(self.cursor) {
-                        self.row_buf.push(self.cursor as u32);
-                    }
-                    self.cursor += 1;
-                }
+        while self.cursor < total && self.row_buf.len() < BATCH_CAPACITY {
+            budget.charge(1)?;
+            let rid = self.spec.row_id(self.cursor);
+            if self.spec.passes(rid as usize) {
+                self.row_buf.push(rid);
             }
-            Source::Index(row_ids) => {
-                while self.cursor < row_ids.len() && self.row_buf.len() < BATCH_CAPACITY {
-                    budget.charge(1)?;
-                    let rid = row_ids[self.cursor];
-                    if self.passes(rid as usize) {
-                        self.row_buf.push(rid);
-                    }
-                    self.cursor += 1;
-                }
-            }
+            self.cursor += 1;
         }
         if self.row_buf.is_empty() {
             return Ok(None);
         }
         // Emitted rows are work, exactly as in the row engine.
         budget.charge(self.row_buf.len() as u64)?;
-        let mut batch = Batch::new(&self.out_types);
-        if self.col_idx.is_empty() {
+        let mut batch = Batch::new(&self.spec.out_types);
+        if self.spec.col_idx.is_empty() {
             batch.push_empty_rows(self.row_buf.len());
         } else {
-            let cols = self.table.columns();
-            batch.gather_rows_from(self.col_idx.iter().map(|&c| &cols[c]), &self.row_buf);
+            batch.gather_rows_from(self.spec.projected_columns(), &self.row_buf);
         }
         Ok(Some(batch))
     }
 
     fn close(&mut self) {
         self.row_buf = Vec::new();
-        if let Source::Index(rids) = &mut self.source {
-            rids.clear();
-        }
+        self.spec.release();
     }
 }

@@ -18,6 +18,14 @@ pub enum ColumnVector {
     Float(Vec<f64>, Vec<bool>),
     /// String data plus validity.
     Str(Vec<Arc<str>>, Vec<bool>),
+    /// Dictionary-encoded string data: per-row codes plus validity, and
+    /// the distinct string values the codes index into. Low-cardinality
+    /// text columns (IMDB's `kind`, `note`, `phonetic_code`, ...) shrink
+    /// from one `Arc<str>` per row to 4 bytes per row, and equality
+    /// comparisons stay on the decoded strings so the logical type is
+    /// still [`ColumnType::Text`]. Codes of NULL rows are always 0 and
+    /// must never be dereferenced — every accessor checks validity first.
+    Dict(Vec<u32>, Vec<bool>, Vec<Arc<str>>),
 }
 
 impl ColumnVector {
@@ -44,7 +52,7 @@ impl ColumnVector {
         match self {
             Self::Int(..) => ColumnType::Int,
             Self::Float(..) => ColumnType::Float,
-            Self::Str(..) => ColumnType::Text,
+            Self::Str(..) | Self::Dict(..) => ColumnType::Text,
         }
     }
 
@@ -54,6 +62,7 @@ impl ColumnVector {
             Self::Int(v, _) => v.len(),
             Self::Float(v, _) => v.len(),
             Self::Str(v, _) => v.len(),
+            Self::Dict(codes, _, _) => codes.len(),
         }
     }
 
@@ -94,6 +103,14 @@ impl ColumnVector {
                 v.push(Arc::from(""));
                 n.push(false);
             }
+            (Self::Dict(codes, n, values), Value::Str(s)) => {
+                codes.push(dict_code(values, s.as_ref()));
+                n.push(true);
+            }
+            (Self::Dict(codes, n, _), Value::Null) => {
+                codes.push(0);
+                n.push(false);
+            }
             _ => return false,
         }
         true
@@ -125,6 +142,13 @@ impl ColumnVector {
                     Value::Null
                 }
             }
+            Self::Dict(codes, n, values) => {
+                if n[row] {
+                    Value::Str(Arc::clone(&values[codes[row] as usize]))
+                } else {
+                    Value::Null
+                }
+            }
         }
     }
 
@@ -132,7 +156,18 @@ impl ColumnVector {
     #[inline]
     pub fn is_null(&self, row: usize) -> bool {
         match self {
-            Self::Int(_, n) | Self::Float(_, n) | Self::Str(_, n) => !n[row],
+            Self::Int(_, n) | Self::Float(_, n) | Self::Str(_, n) | Self::Dict(_, n, _) => !n[row],
+        }
+    }
+
+    /// The decoded string at `row` without cloning an `Arc`; `None` when
+    /// NULL or when the column is not a text column.
+    #[inline]
+    pub fn str_at(&self, row: usize) -> Option<&str> {
+        match self {
+            Self::Str(v, n) if n[row] => Some(v[row].as_ref()),
+            Self::Dict(codes, n, values) if n[row] => Some(values[codes[row] as usize].as_ref()),
+            _ => None,
         }
     }
 
@@ -175,8 +210,11 @@ impl ColumnVector {
                     .partial_cmp(&(b[other_row] as f64))
                     .unwrap_or(Ordering::Equal)
             }),
-            (Self::Str(a, an), Self::Str(b, bn)) => {
-                (an[row] && bn[other_row]).then(|| a[row].as_ref().cmp(b[other_row].as_ref()))
+            (Self::Str(..) | Self::Dict(..), Self::Str(..) | Self::Dict(..)) => {
+                match (self.str_at(row), other.str_at(other_row)) {
+                    (Some(a), Some(b)) => Some(a.cmp(b)),
+                    _ => None,
+                }
             }
             // Mixed numeric/text: delegate to the Value semantics.
             _ => self.get(row).sql_cmp(&other.get(other_row)),
@@ -222,8 +260,14 @@ impl ColumnVector {
                         .unwrap_or(Ordering::Equal)
                 })
             }
-            (Self::Str(a, an), Self::Str(b, bn)) => nulls(an[row], bn[other_row])
-                .unwrap_or_else(|| a[row].as_ref().cmp(b[other_row].as_ref())),
+            (Self::Str(..) | Self::Dict(..), Self::Str(..) | Self::Dict(..)) => {
+                match (self.str_at(row), other.str_at(other_row)) {
+                    (Some(a), Some(b)) => a.cmp(b),
+                    (None, None) => Ordering::Equal,
+                    (None, Some(_)) => Ordering::Greater,
+                    (Some(_), None) => Ordering::Less,
+                }
+            }
             // Mixed numeric/text: delegate to the Value semantics.
             _ => self.get(row).total_cmp(&other.get(other_row)),
         }
@@ -243,6 +287,11 @@ impl ColumnVector {
             Self::Str(v, n) => {
                 v.clear();
                 n.clear();
+            }
+            Self::Dict(codes, n, values) => {
+                codes.clear();
+                n.clear();
+                values.clear();
             }
         }
     }
@@ -266,6 +315,31 @@ impl ColumnVector {
             (Self::Str(v, n), Self::Str(sv, sn)) => {
                 v.push(Arc::clone(&sv[row]));
                 n.push(sn[row]);
+            }
+            (Self::Str(v, n), Self::Dict(codes, sn, values)) => {
+                if sn[row] {
+                    v.push(Arc::clone(&values[codes[row] as usize]));
+                    n.push(true);
+                } else {
+                    v.push(Arc::from(""));
+                    n.push(false);
+                }
+            }
+            (dst @ Self::Dict(..), src @ (Self::Str(..) | Self::Dict(..))) => {
+                let decoded = src.str_at(row);
+                let Self::Dict(codes, n, values) = dst else {
+                    unreachable!("guarded by the match arm")
+                };
+                match decoded {
+                    Some(s) => {
+                        codes.push(dict_code(values, s));
+                        n.push(true);
+                    }
+                    None => {
+                        codes.push(0);
+                        n.push(false);
+                    }
+                }
             }
             (dst, src) => panic!(
                 "column type mismatch: cannot append {} into {}",
@@ -292,8 +366,67 @@ impl ColumnVector {
                 v.extend(sv.iter().cloned());
                 n.extend_from_slice(sn);
             }
+            (Self::Dict(codes, n, values), Self::Dict(sc, sn, sv)) if values == sv => {
+                codes.extend_from_slice(sc);
+                n.extend_from_slice(sn);
+            }
+            (dst, src) if dst.ty() == src.ty() => {
+                // Mixed text representations (plain ↔ dictionary, or two
+                // dictionaries with different code spaces): re-encode row
+                // by row.
+                for row in 0..src.len() {
+                    dst.push_from(src, row);
+                }
+            }
             (dst, src) => panic!(
                 "column type mismatch: cannot append {} column into {}",
+                src.ty().name(),
+                dst.ty().name()
+            ),
+        }
+    }
+
+    /// Appends the contiguous range `src[start .. start + len]` to `self`
+    /// — the scan fast path for unfiltered table chunks, a `memcpy` for
+    /// fixed-width data instead of a value-by-value gather. Panics on
+    /// type mismatch, like [`ColumnVector::push_from`].
+    pub fn append_range(&mut self, src: &ColumnVector, start: usize, len: usize) {
+        let end = start + len;
+        match (self, src) {
+            (Self::Int(v, n), Self::Int(sv, sn)) => {
+                v.extend_from_slice(&sv[start..end]);
+                n.extend_from_slice(&sn[start..end]);
+            }
+            (Self::Float(v, n), Self::Float(sv, sn)) => {
+                v.extend_from_slice(&sv[start..end]);
+                n.extend_from_slice(&sn[start..end]);
+            }
+            (Self::Str(v, n), Self::Str(sv, sn)) => {
+                v.extend(sv[start..end].iter().cloned());
+                n.extend_from_slice(&sn[start..end]);
+            }
+            (Self::Str(v, n), Self::Dict(codes, sn, values)) => {
+                v.extend(
+                    codes[start..end]
+                        .iter()
+                        .zip(&sn[start..end])
+                        .map(|(&code, &valid)| {
+                            if valid {
+                                Arc::clone(&values[code as usize])
+                            } else {
+                                Arc::from("")
+                            }
+                        }),
+                );
+                n.extend_from_slice(&sn[start..end]);
+            }
+            (dst, src) if dst.ty() == src.ty() => {
+                for row in start..end {
+                    dst.push_from(src, row);
+                }
+            }
+            (dst, src) => panic!(
+                "column type mismatch: cannot append {} range into {}",
                 src.ty().name(),
                 dst.ty().name()
             ),
@@ -316,11 +449,73 @@ impl ColumnVector {
                 v.extend(rows.iter().map(|&r| Arc::clone(&sv[r as usize])));
                 n.extend(rows.iter().map(|&r| sn[r as usize]));
             }
+            (Self::Str(v, n), Self::Dict(codes, sn, values)) => {
+                v.extend(rows.iter().map(|&r| {
+                    if sn[r as usize] {
+                        Arc::clone(&values[codes[r as usize] as usize])
+                    } else {
+                        Arc::from("")
+                    }
+                }));
+                n.extend(rows.iter().map(|&r| sn[r as usize]));
+            }
+            (dst, src) if dst.ty() == src.ty() => {
+                for &r in rows {
+                    dst.push_from(src, r as usize);
+                }
+            }
             (dst, src) => panic!(
                 "column type mismatch: cannot gather {} into {}",
                 src.ty().name(),
                 dst.ty().name()
             ),
+        }
+    }
+
+    /// Whether this column is dictionary-encoded.
+    pub fn is_dictionary(&self) -> bool {
+        matches!(self, Self::Dict(..))
+    }
+
+    /// Dictionary-encodes a plain string column, returning `None` when
+    /// the column is not plain text or its cardinality exceeds
+    /// `max_distinct` (encoding a near-unique column would waste memory
+    /// on the dictionary without shrinking the rows).
+    pub fn dictionary_encoded(&self, max_distinct: usize) -> Option<ColumnVector> {
+        let Self::Str(v, n) = self else {
+            return None;
+        };
+        let mut lookup: std::collections::HashMap<&str, u32> = std::collections::HashMap::new();
+        let mut values: Vec<Arc<str>> = Vec::new();
+        let mut codes: Vec<u32> = Vec::with_capacity(v.len());
+        for (s, &valid) in v.iter().zip(n.iter()) {
+            if !valid {
+                codes.push(0);
+                continue;
+            }
+            let code = *lookup.entry(s.as_ref()).or_insert_with(|| {
+                values.push(Arc::clone(s));
+                (values.len() - 1) as u32
+            });
+            if values.len() > max_distinct {
+                return None;
+            }
+            codes.push(code);
+        }
+        Some(Self::Dict(codes, n.clone(), values))
+    }
+}
+
+/// Looks up `s` in a dictionary, appending it when absent. Linear scan:
+/// dictionaries are built for low-cardinality columns, and the engine's
+/// hot paths only decode (table columns are the dictionary sources;
+/// batch chunks stay plain).
+fn dict_code(values: &mut Vec<Arc<str>>, s: &str) -> u32 {
+    match values.iter().position(|v| v.as_ref() == s) {
+        Some(i) => i as u32,
+        None => {
+            values.push(Arc::from(s));
+            (values.len() - 1) as u32
         }
     }
 }
@@ -438,6 +633,118 @@ mod tests {
                 );
             }
         }
+    }
+
+    fn sample_str_column() -> ColumnVector {
+        let mut c = ColumnVector::new(ColumnType::Text);
+        for v in ["red", "blue", "red", "red"] {
+            c.push(&Value::str(v));
+        }
+        c.push(&Value::Null);
+        c.push(&Value::str("blue"));
+        c
+    }
+
+    #[test]
+    fn dictionary_round_trips_values_and_nulls() {
+        let plain = sample_str_column();
+        let dict = plain.dictionary_encoded(16).expect("low cardinality");
+        assert!(dict.is_dictionary());
+        assert_eq!(dict.ty(), ColumnType::Text);
+        assert_eq!(dict.len(), plain.len());
+        for row in 0..plain.len() {
+            assert_eq!(dict.get(row), plain.get(row), "row {row}");
+            assert_eq!(dict.is_null(row), plain.is_null(row));
+            assert_eq!(dict.str_at(row), plain.str_at(row));
+        }
+    }
+
+    #[test]
+    fn dictionary_refuses_high_cardinality() {
+        let plain = sample_str_column();
+        assert!(plain.dictionary_encoded(1).is_none());
+        assert!(plain.dictionary_encoded(2).is_some());
+        let ints = ColumnVector::new(ColumnType::Int);
+        assert!(ints.dictionary_encoded(16).is_none());
+    }
+
+    #[test]
+    fn dictionary_comparisons_match_plain() {
+        let plain = sample_str_column();
+        let dict = plain.dictionary_encoded(16).unwrap();
+        for a in 0..plain.len() {
+            for b in 0..plain.len() {
+                assert_eq!(dict.sql_cmp_at(a, &dict, b), plain.sql_cmp_at(a, &plain, b));
+                assert_eq!(
+                    dict.sql_cmp_at(a, &plain, b),
+                    plain.sql_cmp_at(a, &plain, b)
+                );
+                assert_eq!(
+                    plain.sql_cmp_at(a, &dict, b),
+                    plain.sql_cmp_at(a, &plain, b)
+                );
+                assert_eq!(
+                    dict.total_cmp_at(a, &dict, b),
+                    plain.total_cmp_at(a, &plain, b)
+                );
+                assert_eq!(
+                    dict.total_cmp_at(a, &plain, b),
+                    plain.total_cmp_at(a, &plain, b)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dictionary_interoperates_with_plain_copies() {
+        let plain = sample_str_column();
+        let dict = plain.dictionary_encoded(16).unwrap();
+        // push_from / gather / append_range decode into plain columns.
+        let mut out = ColumnVector::new(ColumnType::Text);
+        out.push_from(&dict, 0);
+        out.push_from(&dict, 4);
+        assert_eq!(out.get(0), Value::str("red"));
+        assert!(out.get(1).is_null());
+        let mut gathered = ColumnVector::new(ColumnType::Text);
+        dict.gather_into(&[5, 4, 0], &mut gathered);
+        assert_eq!(gathered.get(0), Value::str("blue"));
+        assert!(gathered.get(1).is_null());
+        let mut ranged = ColumnVector::new(ColumnType::Text);
+        ranged.append_range(&dict, 3, 3);
+        assert_eq!(ranged.len(), 3);
+        assert!(ranged.get(1).is_null());
+        assert_eq!(ranged.get(2), Value::str("blue"));
+        // Dictionary destinations re-encode on insert.
+        let mut dict_dst = ColumnVector::new(ColumnType::Text)
+            .dictionary_encoded(16)
+            .unwrap();
+        dict_dst.append_column(&plain);
+        dict_dst.append_column(&dict);
+        assert_eq!(dict_dst.len(), 2 * plain.len());
+        for row in 0..plain.len() {
+            assert_eq!(dict_dst.get(row), plain.get(row));
+            assert_eq!(dict_dst.get(plain.len() + row), plain.get(row));
+        }
+        assert!(dict_dst.push(&Value::str("green")));
+        assert!(dict_dst.push(&Value::Null));
+        assert!(!dict_dst.push(&Value::Int(1)));
+        assert_eq!(dict_dst.get(2 * plain.len()), Value::str("green"));
+        assert!(dict_dst.is_null(2 * plain.len() + 1));
+    }
+
+    #[test]
+    fn append_range_copies_contiguous_chunks() {
+        let mut src = ColumnVector::new(ColumnType::Int);
+        for v in [Value::Int(1), Value::Null, Value::Int(3), Value::Int(4)] {
+            src.push(&v);
+        }
+        let mut dst = ColumnVector::new(ColumnType::Int);
+        dst.append_range(&src, 1, 2);
+        assert_eq!(dst.len(), 2);
+        assert!(dst.get(0).is_null());
+        assert_eq!(dst.get(1), Value::Int(3));
+        dst.append_range(&src, 0, 0);
+        assert_eq!(dst.len(), 2);
     }
 
     #[test]

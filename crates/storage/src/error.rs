@@ -19,6 +19,13 @@ pub enum StorageError {
         /// Column name.
         column: String,
     },
+    /// A CSV record failed to parse or did not fit the target schema.
+    Csv {
+        /// 1-based record number (header included when present).
+        record: usize,
+        /// What went wrong.
+        msg: String,
+    },
 }
 
 impl fmt::Display for StorageError {
@@ -30,6 +37,7 @@ impl fmt::Display for StorageError {
             Self::NullViolation { table, column } => {
                 write!(f, "NULL in non-nullable column `{table}.{column}`")
             }
+            Self::Csv { record, msg } => write!(f, "CSV record {record}: {msg}"),
         }
     }
 }

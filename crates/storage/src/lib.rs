@@ -28,6 +28,7 @@
 
 pub mod btree;
 pub mod column;
+pub mod csv;
 pub mod database;
 pub mod datagen;
 pub mod error;
@@ -37,6 +38,7 @@ pub mod value;
 
 pub use btree::BTreeIndex;
 pub use column::ColumnVector;
+pub use csv::{read_csv_into, CsvLoadStats, CsvOptions};
 pub use database::Database;
 pub use datagen::{ColumnGen, Distribution, TableGen};
 pub use error::StorageError;

@@ -107,6 +107,68 @@ impl Table {
     pub fn columns(&self) -> &[ColumnVector] {
         &self.columns
     }
+
+    /// Appends a batch of pre-built column chunks — the bulk-loader path.
+    /// Each chunk must match the schema column's type, all chunks must
+    /// have the same length, and non-nullable columns reject chunks
+    /// containing NULLs. Validation happens before any mutation, so a
+    /// failed append leaves the table unchanged.
+    pub fn append_batch(&mut self, chunk: &[ColumnVector]) -> Result<usize, StorageError> {
+        if chunk.len() != self.schema.arity() {
+            return Err(StorageError::SchemaMismatch(format!(
+                "table `{}` expects {} columns, got a {}-column batch",
+                self.schema.name(),
+                self.schema.arity(),
+                chunk.len()
+            )));
+        }
+        let rows = chunk.first().map_or(0, |c| c.len());
+        for (i, col) in chunk.iter().enumerate() {
+            let col_def = &self.schema.columns()[i];
+            if col.len() != rows {
+                return Err(StorageError::SchemaMismatch(format!(
+                    "ragged batch for table `{}`: column `{}` has {} rows, expected {rows}",
+                    self.schema.name(),
+                    col_def.name(),
+                    col.len()
+                )));
+            }
+            if col.ty() != col_def.ty() {
+                return Err(StorageError::SchemaMismatch(format!(
+                    "batch column `{}.{}` is {}, expected {}",
+                    self.schema.name(),
+                    col_def.name(),
+                    col.ty().name(),
+                    col_def.ty().name()
+                )));
+            }
+            if !col_def.is_nullable() && (0..rows).any(|r| col.is_null(r)) {
+                return Err(StorageError::NullViolation {
+                    table: self.schema.name().to_string(),
+                    column: col_def.name().to_string(),
+                });
+            }
+        }
+        for (dst, src) in self.columns.iter_mut().zip(chunk) {
+            dst.append_column(src);
+        }
+        Ok(rows)
+    }
+
+    /// Dictionary-encodes every plain text column whose cardinality is at
+    /// most `max_distinct`, returning how many columns were converted.
+    /// Queries see identical values either way (the equivalence suite
+    /// pins this); the win is memory and scan locality at IMDB scale.
+    pub fn dictionary_encode_strings(&mut self, max_distinct: usize) -> usize {
+        let mut converted = 0;
+        for col in &mut self.columns {
+            if let Some(dict) = col.dictionary_encoded(max_distinct) {
+                *col = dict;
+                converted += 1;
+            }
+        }
+        converted
+    }
 }
 
 fn type_matches(ty: hfqo_catalog::ColumnType, v: &Value) -> bool {

@@ -18,8 +18,10 @@
 
 pub mod imdb;
 pub mod job;
+pub mod loader;
 pub mod suite;
 pub mod synth;
 pub mod tpch;
 
+pub use loader::{load_imdb_csv_dir, CsvLoadReport, LoaderOptions};
 pub use suite::WorkloadBundle;

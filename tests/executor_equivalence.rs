@@ -6,6 +6,13 @@
 //! every workload the experiments use — synthetic chain/star/cycle
 //! queries and the IMDB/JOB-like suite — across expert plans, random
 //! plans, every join algorithm, and budget-capped aborts.
+//!
+//! Every check also runs the **morsel-driven parallel evaluator** at
+//! each thread count in `HFQO_EXEC_THREADS` (default `2,4`): parallel
+//! results must match the serial batch pipeline *in exact row order*
+//! (hash-grouped aggregates excepted — their emission order is
+//! unspecified in both engines), with identical work totals, and abort
+//! on exactly the same budgets.
 
 use hfqo::exec::{execute_rows, ExecError};
 use hfqo::prelude::*;
@@ -14,6 +21,24 @@ use hfqo_query::{AggAlgo, PlanNode};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::sync::OnceLock;
+
+/// Thread counts for the parallel-vs-serial pass: `HFQO_EXEC_THREADS`
+/// (comma-separated), defaulting to `2,4`.
+fn exec_threads() -> &'static [usize] {
+    static COUNTS: OnceLock<Vec<usize>> = OnceLock::new();
+    COUNTS.get_or_init(|| match std::env::var("HFQO_EXEC_THREADS") {
+        Ok(raw) => raw
+            .split(',')
+            .map(|tok| {
+                tok.trim()
+                    .parse::<usize>()
+                    .unwrap_or_else(|_| panic!("invalid HFQO_EXEC_THREADS entry {tok:?}"))
+                    .max(1)
+            })
+            .collect(),
+        Err(_) => vec![2, 4],
+    })
+}
 
 fn synth() -> &'static SynthDb {
     static DB: OnceLock<SynthDb> = OnceLock::new();
@@ -40,7 +65,9 @@ fn imdb() -> &'static WorkloadBundle {
 }
 
 /// Asserts the two engines agree on `plan`: same row multiset, same
-/// work; or the same budget-exceeded outcome.
+/// work; or the same budget-exceeded outcome. Then re-runs the plan
+/// through the parallel evaluator at every [`exec_threads`] count and
+/// asserts it matches the serial batch outcome exactly.
 fn assert_equivalent(
     db: &Database,
     graph: &QueryGraph,
@@ -50,7 +77,7 @@ fn assert_equivalent(
 ) {
     let batch = hfqo::exec::execute(db, graph, plan, config);
     let row = execute_rows(db, graph, plan, config);
-    match (batch, row) {
+    match (&batch, row) {
         (Ok(b), Ok(r)) => {
             let mut bs = b.rows.clone();
             let mut rs = r.rows.clone();
@@ -65,13 +92,56 @@ fn assert_equivalent(
             Err(ExecError::BudgetExceeded { budget: b, .. }),
             Err(ExecError::BudgetExceeded { budget: r, .. }),
         ) => {
-            assert_eq!(b, r, "{what}: different budgets reported");
+            assert_eq!(*b, r, "{what}: different budgets reported");
         }
         (b, r) => panic!(
             "{what}: engines disagree on outcome: batch {:?} vs row {:?}",
-            b.map(|o| o.rows.len()),
+            b.as_ref().map(|o| o.rows.len()),
             r.map(|o| o.rows.len())
         ),
+    }
+    // Hash-grouped aggregates emit groups in unspecified order in both
+    // engines; everything else is order-deterministic and the parallel
+    // evaluator must reproduce the serial order bit-for-bit.
+    let order_stable = !matches!(
+        &plan.root,
+        PlanNode::Aggregate {
+            algo: AggAlgo::Hash,
+            ..
+        }
+    );
+    for &threads in exec_threads() {
+        let par = hfqo::exec::execute(db, graph, plan, config.threads(threads));
+        match (&batch, par) {
+            (Ok(b), Ok(p)) => {
+                if order_stable {
+                    assert_eq!(p.rows, b.rows, "{what}: parallel t={threads} row order");
+                } else {
+                    let mut ps = p.rows.clone();
+                    let mut bs = b.rows.clone();
+                    ps.sort();
+                    bs.sort();
+                    assert_eq!(ps, bs, "{what}: parallel t={threads} multiset");
+                }
+                assert_eq!(
+                    p.stats.work, b.stats.work,
+                    "{what}: parallel t={threads} work"
+                );
+                assert_eq!(p.layout, b.layout, "{what}: parallel t={threads} layout");
+                assert_eq!(p.schema, b.schema, "{what}: parallel t={threads} schema");
+            }
+            (
+                Err(ExecError::BudgetExceeded { budget: b, .. }),
+                Err(ExecError::BudgetExceeded { budget: p, .. }),
+            ) => {
+                assert_eq!(*b, p, "{what}: parallel t={threads} budget");
+            }
+            (b, p) => panic!(
+                "{what}: serial and parallel (t={threads}) disagree: {:?} vs {:?}",
+                b.as_ref().map(|o| o.rows.len()),
+                p.map(|o| o.rows.len())
+            ),
+        }
     }
 }
 
@@ -358,6 +428,53 @@ mod empty_input {
                 ExecConfig::default(),
                 &format!("empty-input aggregate {algo:?}"),
             );
+        }
+    }
+}
+
+mod morsel_geometry {
+    //! Property: parallel execution is invariant to morsel geometry.
+    //! Random (thread count, morsel size) pairs over expert plans must
+    //! reproduce the serial batch result bit-for-bit — row order, work
+    //! total, everything. This is the knob space a bug in morsel-order
+    //! reassembly or charge accounting would show up in.
+
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+        #[test]
+        fn parallel_execution_is_invariant_to_morsel_geometry(
+            threads in 2usize..6,
+            morsel in 1usize..700,
+            shape_ix in 0usize..3,
+            qseed in 0u64..4,
+        ) {
+            let db = synth();
+            let shape = [Shape::Chain, Shape::Star, Shape::Cycle][shape_ix];
+            let graph = db.query(shape, 3, 1, qseed);
+            let optimizer = TraditionalOptimizer::new(db.db.catalog(), &db.stats);
+            let plan = optimizer.plan(&graph).expect("plannable").plan;
+            let serial = hfqo::exec::execute(&db.db, &graph, &plan, ExecConfig::default())
+                .expect("serial executes");
+            let cfg = ExecConfig::default().threads(threads).morsel_rows(morsel);
+            let par = hfqo::exec::execute(&db.db, &graph, &plan, cfg)
+                .expect("parallel executes");
+            let order_stable = !matches!(
+                &plan.root,
+                PlanNode::Aggregate { algo: AggAlgo::Hash, .. }
+            );
+            if order_stable {
+                prop_assert_eq!(&par.rows, &serial.rows);
+            } else {
+                let mut ps = par.rows.clone();
+                let mut ss = serial.rows.clone();
+                ps.sort();
+                ss.sort();
+                prop_assert_eq!(ps, ss);
+            }
+            prop_assert_eq!(par.stats.work, serial.stats.work);
         }
     }
 }

@@ -185,6 +185,59 @@ fn worker_counts() -> Vec<usize> {
     }
 }
 
+/// Executor thread counts for the intra-query parallelism test:
+/// `HFQO_EXEC_THREADS` (comma-separated; CI runs 1, 2 and 4), default
+/// `2,4`.
+fn exec_thread_counts() -> Vec<usize> {
+    match std::env::var("HFQO_EXEC_THREADS") {
+        Ok(v) => v
+            .split(',')
+            .map(|s| {
+                s.trim()
+                    .parse::<usize>()
+                    .unwrap_or_else(|_| panic!("invalid HFQO_EXEC_THREADS entry `{s}`"))
+                    .max(1)
+            })
+            .collect(),
+        Err(_) => vec![2, 4],
+    }
+}
+
+/// A session configured for intra-query parallelism must serve the
+/// identical rows and the identical `ExecStats.work` as a single-thread
+/// session — the executor's thread count is invisible to everything
+/// above it, including online-learning reward signals derived from
+/// served work.
+#[test]
+fn served_results_are_independent_of_executor_threads() {
+    let synth = SynthDb::build(synth_config());
+    let queries: Vec<QueryGraph> = (0..6u64)
+        .map(|s| synth.query(shape_from(s as u8), 2 + (s as usize % 4), 2, 300 + s))
+        .collect();
+    let serial = QuerySession::traditional(synth.db.clone(), synth.stats.clone());
+    let reference: Vec<_> = queries
+        .iter()
+        .map(|q| serial.serve_graph(q).expect("serial serve"))
+        .collect();
+    for threads in exec_thread_counts() {
+        let session = QuerySession::traditional(synth.db.clone(), synth.stats.clone())
+            .with_exec_config(ExecConfig::default().threads(threads));
+        for (q, reference) in queries.iter().zip(&reference) {
+            let served = session.serve_graph(q).expect("parallel serve");
+            assert_eq!(
+                sorted_rows(&served),
+                sorted_rows(reference),
+                "threads={threads} rows"
+            );
+            assert_eq!(
+                served.outcome.stats.work, reference.outcome.stats.work,
+                "threads={threads} work"
+            );
+            assert_eq!(served.plan, reference.plan, "threads={threads} plan");
+        }
+    }
+}
+
 /// N threads serve the same workload against one shared session; every
 /// thread must observe the sequential reference results, and the cache
 /// counters must add up.
