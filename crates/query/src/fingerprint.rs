@@ -1,28 +1,53 @@
-//! Query fingerprinting for the plan cache.
+//! Query fingerprinting for the plan cache: the two-part
+//! (template, params) key plus the exact per-query fingerprint.
 //!
-//! A [`QueryFingerprint`] is a stable 128-bit hash of a bound
-//! [`QueryGraph`]'s *plan-relevant* content: two graphs share a
-//! fingerprint exactly when a physical plan produced for one is a valid,
-//! result-correct plan for the other. The serving layer keys its plan
-//! cache on it.
+//! Production traffic is overwhelmingly *templated*: one query shape
+//! served millions of times with different constants (`id = 3`,
+//! `id = 7141`, …). A cache keyed on literal values gets a 0% hit rate
+//! on exactly that workload, so fingerprinting is split in two:
+//!
+//! * [`TemplateFingerprint`] — a stable 128-bit hash of the query's
+//!   *structure*: relations, join edges, and for every selection
+//!   predicate its column, operator, and the literal's **type tag**
+//!   (int / float / string) — a typed *slot*, not the value. Two
+//!   queries share a template fingerprint exactly when they are the
+//!   same statement with different constants bound into the same
+//!   slots, which means a physical plan produced for one is
+//!   structurally valid (predicate indices and all) for the other.
+//! * [`ParamVector`] — the literal values extracted from the selection
+//!   slots, in slot (stored selection) order. Together with the
+//!   template it reconstitutes the exact query; on its own it is what
+//!   selectivity estimation scores to decide whether a cached plan
+//!   still fits the current constants (see
+//!   `hfqo_stats::param_selectivities`).
+//! * [`QueryFingerprint`] — the exact fingerprint, hashing literal
+//!   *values* as before. Two graphs share it exactly when they are the
+//!   same query, constants included. The serving cache keeps it as a
+//!   fast path *within* a template entry: a repeated exact query skips
+//!   selectivity scoring entirely.
 //!
 //! ## Normalization rules
 //!
-//! What the fingerprint **includes** (all in stored order — plans
-//! reference join conditions, selections, and relations *by index*, so
-//! permuting any of these lists changes what a cached plan means):
+//! Both fingerprints include (all in stored order — plans reference
+//! join conditions, selections, and relations *by index*, so permuting
+//! any of these lists changes what a cached plan means):
 //!
 //! * relations, as catalog [`TableId`]s in FROM order;
 //! * join edges: `(left rel, left column, operator, right rel, right
 //!   column)` per edge (the binder already stores `left.rel <
 //!   right.rel`, so edge orientation is canonical);
-//! * selection predicates, *including their literal values* — a changed
-//!   literal changes selectivity and possibly the optimal plan, so there
-//!   is no parameterized-plan sharing;
+//! * selection predicates' columns and operators, in stored order;
 //! * aggregate expressions and GROUP BY columns (they decide whether a
 //!   plan carries an aggregate root and what it computes).
 //!
-//! What it **excludes** (plan-irrelevant presentation):
+//! They differ on exactly one rule: the **exact** fingerprint hashes
+//! each selection literal's type tag *and value*, while the
+//! **template** fingerprint hashes only the type tag and exports the
+//! value through the [`ParamVector`]. A changed literal therefore
+//! changes the exact fingerprint but not the template; a changed
+//! literal *type* (e.g. `Int` → `Float`) changes both.
+//!
+//! Both exclude (plan-irrelevant presentation):
 //!
 //! * relation *aliases* — `FROM title t` and `FROM title x` bind to the
 //!   same positional [`RelId`](crate::RelId)s, produce identical plans and identical
@@ -38,7 +63,9 @@
 //! reproducible across processes, runs, and Rust versions, so cache
 //! behaviour is deterministic and testable. At 128 bits, accidental
 //! collisions are not a practical concern; the cache trusts the
-//! fingerprint and performs no structural verification on hit.
+//! fingerprint and performs no structural verification on hit. Template
+//! and exact fingerprints are distinct Rust types, so they can never be
+//! compared or keyed against each other by accident.
 
 use crate::graph::QueryGraph;
 use crate::predicate::{BoundColumn, Lit};
@@ -47,13 +74,69 @@ use hfqo_sql::{AggFunc, CompareOp};
 use std::fmt;
 
 /// A stable 128-bit fingerprint of a query graph's plan-relevant
-/// content. See the [module docs](self) for the normalization rules.
+/// content, literal values included. See the [module docs](self) for
+/// the normalization rules.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct QueryFingerprint(pub u128);
 
 impl fmt::Display for QueryFingerprint {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{:032x}", self.0)
+    }
+}
+
+/// A stable 128-bit fingerprint of a query graph's *structure*:
+/// literal values are reduced to typed slots, so every parameterization
+/// of one query template shares the same value. See the
+/// [module docs](self).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TemplateFingerprint(pub u128);
+
+impl fmt::Display for TemplateFingerprint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:032x}", self.0)
+    }
+}
+
+/// The literal values of a query's selection slots, in slot (stored
+/// selection) order. `(TemplateFingerprint, ParamVector)` identifies a
+/// query exactly; the vector alone is what selectivity estimation
+/// scores against a template's cached plans.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ParamVector(Vec<Lit>);
+
+impl ParamVector {
+    /// Wraps literals already in slot order.
+    pub fn new(params: Vec<Lit>) -> Self {
+        Self(params)
+    }
+
+    /// The literals, in slot order.
+    pub fn params(&self) -> &[Lit] {
+        &self.0
+    }
+
+    /// Number of slots.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the template has no literal slots.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+impl fmt::Display for ParamVector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, p) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{p}")?;
+        }
+        write!(f, "]")
     }
 }
 
@@ -126,20 +209,21 @@ fn compare_op(h: &mut Fnv2, op: CompareOp) {
     });
 }
 
-fn literal(h: &mut Fnv2, lit: &Lit) {
+/// The literal's type tag: the part of a literal the template hashes.
+fn lit_tag(lit: &Lit) -> u8 {
     match lit {
-        Lit::Int(v) => {
-            h.byte(0);
-            h.u64(*v as u64);
-        }
-        Lit::Float(v) => {
-            h.byte(1);
-            h.u64(v.to_bits());
-        }
-        Lit::Str(s) => {
-            h.byte(2);
-            h.str(s);
-        }
+        Lit::Int(_) => 0,
+        Lit::Float(_) => 1,
+        Lit::Str(_) => 2,
+    }
+}
+
+fn literal(h: &mut Fnv2, lit: &Lit) {
+    h.byte(lit_tag(lit));
+    match lit {
+        Lit::Int(v) => h.u64(*v as u64),
+        Lit::Float(v) => h.u64(v.to_bits()),
+        Lit::Str(s) => h.str(s),
     }
 }
 
@@ -153,10 +237,13 @@ fn agg_func(h: &mut Fnv2, f: AggFunc) {
     });
 }
 
-/// Computes the fingerprint of `graph` under the normalization rules in
-/// the [module docs](self).
-pub fn fingerprint(graph: &QueryGraph) -> QueryFingerprint {
-    let mut h = Fnv2::new();
+/// Folds the graph's plan-relevant content into `h`. With
+/// `params: None` the selection literals are hashed by value (the exact
+/// fingerprint); with `Some`, only their type tags are hashed and the
+/// values are pushed, in slot order, into the vector (the template
+/// fingerprint). Everything else is byte-identical between the two
+/// modes.
+fn fold_graph(h: &mut Fnv2, graph: &QueryGraph, mut params: Option<&mut Vec<Lit>>) {
     // Relations: catalog table per FROM slot. Aliases are presentation
     // only (see module docs) and are deliberately not hashed.
     h.u64(graph.relation_count() as u64);
@@ -167,35 +254,59 @@ pub fn fingerprint(graph: &QueryGraph) -> QueryFingerprint {
     // Join edges, in stored order (plans index into this list).
     h.u64(graph.joins().len() as u64);
     for edge in graph.joins() {
-        column(&mut h, edge.left);
-        compare_op(&mut h, edge.op);
-        column(&mut h, edge.right);
+        column(h, edge.left);
+        compare_op(h, edge.op);
+        column(h, edge.right);
     }
-    // Selections, in stored order, literals included (no parameterized
-    // plan sharing).
+    // Selections, in stored order. The exact fingerprint hashes the
+    // literal values; the template hashes only their type tags and
+    // extracts the values as the parameter vector.
     h.u64(graph.selections().len() as u64);
     for sel in graph.selections() {
-        column(&mut h, sel.column);
-        compare_op(&mut h, sel.op);
-        literal(&mut h, &sel.value);
+        column(h, sel.column);
+        compare_op(h, sel.op);
+        match params.as_deref_mut() {
+            None => literal(h, &sel.value),
+            Some(out) => {
+                h.byte(lit_tag(&sel.value));
+                out.push(sel.value.clone());
+            }
+        }
     }
     // Output shape: aggregates and grouping decide the aggregate root.
     h.u64(graph.aggregates().len() as u64);
     for agg in graph.aggregates() {
-        agg_func(&mut h, agg.func);
+        agg_func(h, agg.func);
         match agg.column {
             Some(c) => {
                 h.byte(1);
-                column(&mut h, c);
+                column(h, c);
             }
             None => h.byte(0),
         }
     }
     h.u64(graph.group_by().len() as u64);
     for &c in graph.group_by() {
-        column(&mut h, c);
+        column(h, c);
     }
+}
+
+/// Computes the exact fingerprint of `graph` (literal values included)
+/// under the normalization rules in the [module docs](self).
+pub fn fingerprint(graph: &QueryGraph) -> QueryFingerprint {
+    let mut h = Fnv2::new();
+    fold_graph(&mut h, graph, None);
     QueryFingerprint(h.finish())
+}
+
+/// Computes the template fingerprint of `graph` (literal values reduced
+/// to typed slots) and extracts the parameter vector, in slot order.
+/// See the [module docs](self).
+pub fn template_fingerprint(graph: &QueryGraph) -> (TemplateFingerprint, ParamVector) {
+    let mut h = Fnv2::new();
+    let mut params = Vec::with_capacity(graph.selections().len());
+    fold_graph(&mut h, graph, Some(&mut params));
+    (TemplateFingerprint(h.finish()), ParamVector::new(params))
 }
 
 #[cfg(test)]
@@ -236,6 +347,17 @@ mod tests {
         QueryGraph::new(rels, joins, sels, aggs, vec![])
     }
 
+    /// Rebuilds `g` with its selections replaced.
+    fn with_selections(g: &QueryGraph, sels: Vec<Selection>) -> QueryGraph {
+        QueryGraph::new(
+            g.relations().to_vec(),
+            g.joins().to_vec(),
+            sels,
+            g.aggregates().to_vec(),
+            g.group_by().to_vec(),
+        )
+    }
+
     #[test]
     fn deterministic_and_stable() {
         let g = graph();
@@ -249,6 +371,122 @@ mod tests {
             fingerprint(&g).to_string(),
             "09b7d33011cbe9dc8ac1bd258a8ae4c5"
         );
+    }
+
+    #[test]
+    fn template_is_deterministic_and_stable() {
+        let g = graph();
+        let (t1, p1) = template_fingerprint(&g);
+        let (t2, p2) = template_fingerprint(&graph());
+        assert_eq!(t1, t2);
+        assert_eq!(p1, p2);
+        assert_eq!(p1.params(), &[Lit::Int(5)]);
+        // Pinned like the exact fingerprint: template keys may outlive
+        // a session too. Update deliberately on rule changes.
+        assert_eq!(t1.to_string(), "e90d1cc838be9301f3d7f13dedd93638");
+    }
+
+    #[test]
+    fn different_literals_share_a_template_but_not_an_exact_fingerprint() {
+        let base = graph();
+        let changed = with_selections(
+            &base,
+            vec![Selection {
+                column: BoundColumn::new(RelId(1), ColumnId(2)),
+                op: CompareOp::Gt,
+                value: Lit::Int(99_999),
+            }],
+        );
+        let (tb, pb) = template_fingerprint(&base);
+        let (tc, pc) = template_fingerprint(&changed);
+        assert_eq!(tb, tc, "literal values are not part of the template");
+        assert_ne!(pb, pc, "parameter vectors carry the values");
+        assert_ne!(
+            fingerprint(&base),
+            fingerprint(&changed),
+            "exact fingerprints keep hashing values"
+        );
+    }
+
+    #[test]
+    fn literal_type_tags_are_part_of_the_template() {
+        let base = graph();
+        let float = with_selections(
+            &base,
+            vec![Selection {
+                column: BoundColumn::new(RelId(1), ColumnId(2)),
+                op: CompareOp::Gt,
+                value: Lit::Float(5.0),
+            }],
+        );
+        let (tb, _) = template_fingerprint(&base);
+        let (tf, _) = template_fingerprint(&float);
+        assert_ne!(tb, tf, "Int and Float slots are different templates");
+    }
+
+    #[test]
+    fn template_slot_order_matters() {
+        let two = with_selections(
+            &graph(),
+            vec![
+                Selection {
+                    column: BoundColumn::new(RelId(0), ColumnId(1)),
+                    op: CompareOp::Lt,
+                    value: Lit::Int(1),
+                },
+                Selection {
+                    column: BoundColumn::new(RelId(1), ColumnId(2)),
+                    op: CompareOp::Gt,
+                    value: Lit::Int(2),
+                },
+            ],
+        );
+        let mut sels = two.selections().to_vec();
+        sels.swap(0, 1);
+        let permuted = with_selections(&two, sels);
+        let (t, p) = template_fingerprint(&two);
+        let (tp, pp) = template_fingerprint(&permuted);
+        assert_ne!(t, tp, "plans index selections by slot");
+        assert_ne!(p, pp, "params are extracted in slot order");
+    }
+
+    #[test]
+    fn template_hashes_structure() {
+        let base = graph();
+        let (t_base, _) = template_fingerprint(&base);
+        // Changed comparison operator.
+        let mut sels = base.selections().to_vec();
+        sels[0].op = CompareOp::Ge;
+        let (t_op, _) = template_fingerprint(&with_selections(&base, sels));
+        assert_ne!(t_op, t_base, "operators are structural");
+        // Changed backing table.
+        let mut rels = base.relations().to_vec();
+        rels[2].table = TableId(9);
+        let g = QueryGraph::new(
+            rels,
+            base.joins().to_vec(),
+            base.selections().to_vec(),
+            base.aggregates().to_vec(),
+            base.group_by().to_vec(),
+        );
+        let (t_table, _) = template_fingerprint(&g);
+        assert_ne!(t_table, t_base, "tables are structural");
+        // Aliases stay presentation-only.
+        let renamed = QueryGraph::new(
+            base.relations()
+                .iter()
+                .map(|r| Relation {
+                    table: r.table,
+                    alias: format!("x_{}", r.alias),
+                })
+                .collect(),
+            base.joins().to_vec(),
+            base.selections().to_vec(),
+            base.aggregates().to_vec(),
+            base.group_by().to_vec(),
+        );
+        let (t_renamed, _) = template_fingerprint(&renamed);
+        assert_eq!(t_renamed, t_base, "aliases are presentation");
     }
 
     #[test]
@@ -281,25 +519,13 @@ mod tests {
         let mut g = graph();
         let mut sels = g.selections().to_vec();
         sels[0].value = Lit::Int(6);
-        g = QueryGraph::new(
-            g.relations().to_vec(),
-            g.joins().to_vec(),
-            sels,
-            g.aggregates().to_vec(),
-            g.group_by().to_vec(),
-        );
+        g = with_selections(&g, sels);
         assert_ne!(fingerprint(&g), base, "literal values are hashed");
         // Changed comparison operator.
         let mut g = graph();
         let mut sels = g.selections().to_vec();
         sels[0].op = CompareOp::Ge;
-        g = QueryGraph::new(
-            g.relations().to_vec(),
-            g.joins().to_vec(),
-            sels,
-            g.aggregates().to_vec(),
-            g.group_by().to_vec(),
-        );
+        g = with_selections(&g, sels);
         assert_ne!(fingerprint(&g), base, "operators are hashed");
         // Changed backing table.
         let mut rels = graph().relations().to_vec();
@@ -350,6 +576,9 @@ mod tests {
             vec![BoundColumn::new(RelId(0), ColumnId(1))],
         );
         assert_ne!(fingerprint(&grouped), fingerprint(&g));
+        let (t_no_agg, _) = template_fingerprint(&no_agg);
+        let (t_g, _) = template_fingerprint(&g);
+        assert_ne!(t_no_agg, t_g, "output shape is structural");
     }
 
     #[test]

@@ -38,7 +38,9 @@ pub mod predicate;
 
 pub use bind::bind_select;
 pub use error::QueryError;
-pub use fingerprint::{fingerprint, QueryFingerprint};
+pub use fingerprint::{
+    fingerprint, template_fingerprint, ParamVector, QueryFingerprint, TemplateFingerprint,
+};
 pub use graph::{QueryGraph, RelId, RelSet, Relation};
 pub use logical::{tree_to_actions, Forest, JoinTree};
 pub use physical::{AccessPath, AggAlgo, JoinAlgo, PhysicalPlan, PlanNode};

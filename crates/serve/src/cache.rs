@@ -1,15 +1,50 @@
-//! The fingerprint-keyed plan cache.
+//! The sharded, template-keyed plan cache.
 //!
-//! A capacity-bounded LRU mapping [`QueryFingerprint`]s (see
-//! `hfqo_query::fingerprint` for the normalization rules) to finished
-//! physical plans. The cache itself is single-threaded; the session
-//! wraps it in a mutex and keeps the critical sections to probe/insert
-//! only — planning happens outside the lock.
+//! Keys are two-part (see `hfqo_query::fingerprint`): a
+//! [`TemplateFingerprint`] groups every parameterization of one query
+//! template into a single entry, and the exact [`QueryFingerprint`] is
+//! kept as a fast path *within* that entry. A template entry holds a
+//! small set of plan *buckets*; each bucket records the
+//! stats-estimated selectivity signature of the parameter vector it
+//! was planned for, and a probe whose current parameters' estimated
+//! selectivities deviate outside a configurable band from every bucket
+//! re-plans into a new bucket instead of serving a mismatched plan
+//! (the plan that is good for `id = rare_value` may be terrible for
+//! `id = common_value`).
+//!
+//! ## Concurrency
+//!
+//! The cache is internally synchronized (`probe`/`insert` take
+//! `&self`): entries live in `shards` power-of-two shards selected by
+//! template-fingerprint bits, each behind its own mutex, so N serving
+//! threads only contend when they touch the same shard — not on one
+//! global lock. Metrics are kept per shard and aggregated by
+//! [`PlanCache::metrics`].
+//!
+//! Cold misses are **single-flighted per shard**: the first thread to
+//! miss a key registers an in-flight marker and plans; concurrent
+//! threads probing the same exact key wait on the flight and then
+//! re-probe, so a racing burst on one cold fingerprint burns exactly
+//! one planner run. If the leader fails (planner error, stale epoch),
+//! waiters wake, miss again, and one of them becomes the next leader.
+//! Should two planner runs for one key ever still race (e.g. a caller
+//! bypassing the flight guard), the insert is last-write-wins and the
+//! race is *observable*: it increments the `duplicate_plans` counter.
+//!
+//! ## Invalidation epochs
+//!
+//! Invalidation must stay atomic across shards: a single global
+//! [`PlanCache::epoch`] counter is bumped *before* the shards are
+//! swept, and [`PlanCache::insert_if_current`] rejects any plan whose
+//! probe-time epoch is stale. A plan produced under a superseded
+//! planner/statistics generation is therefore served once but can
+//! never resurrect as cache hits, no matter which shard it lands in.
 
 use hfqo_opt::PlannerMethod;
-use hfqo_query::{PhysicalPlan, QueryFingerprint};
+use hfqo_query::{PhysicalPlan, QueryFingerprint, TemplateFingerprint};
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 
 /// A cached plan: everything the session needs to answer a hit without
 /// re-planning.
@@ -21,164 +56,640 @@ pub struct CachedPlan {
     pub cost: f64,
     /// Which strategy produced it.
     pub method: PlannerMethod,
+    /// Stats-estimated selectivity of each selection slot's literal at
+    /// planning time, in slot order — what probes compare against the
+    /// current parameters to decide hit vs re-plan.
+    pub selectivities: Vec<f64>,
 }
 
-/// Cache observability counters (monotonic over the cache's lifetime;
-/// `invalidations` counts whole-cache clears).
+/// The cache's two-part key: the template the entry is grouped under
+/// and the exact fingerprint used as the intra-template fast path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PlanKey {
+    /// Structure-only fingerprint: selects the template entry (and the
+    /// shard).
+    pub template: TemplateFingerprint,
+    /// Value-inclusive fingerprint: the exact fast path within the
+    /// entry.
+    pub exact: QueryFingerprint,
+}
+
+impl PlanKey {
+    /// Computes both fingerprints of `graph`.
+    pub fn of(graph: &hfqo_query::QueryGraph) -> Self {
+        let (template, _) = hfqo_query::template_fingerprint(graph);
+        Self {
+            template,
+            exact: hfqo_query::fingerprint(graph),
+        }
+    }
+}
+
+/// How a probe was answered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheOutcome {
+    /// The exact fingerprint was already mapped: served without even
+    /// scoring selectivities.
+    ExactHit,
+    /// First sight of these constants, but an existing bucket's
+    /// selectivity signature is within the band: the template's plan is
+    /// shared.
+    TemplateHit,
+    /// The template is cached but every bucket's signature is outside
+    /// the band: the caller must plan (into a new bucket).
+    Replan,
+    /// The template itself is not cached: the caller must plan.
+    Miss,
+}
+
+impl CacheOutcome {
+    /// Whether a cached plan was served (no planner run).
+    pub fn is_hit(self) -> bool {
+        matches!(self, Self::ExactHit | Self::TemplateHit)
+    }
+
+    /// Whether the probe found the template at all — hits plus
+    /// intra-template re-plans. This is the "cache sharing" rate's
+    /// numerator: only a [`CacheOutcome::Miss`] means the workload's
+    /// template structure was new to the cache.
+    pub fn shares_template(self) -> bool {
+        !matches!(self, Self::Miss)
+    }
+}
+
+/// Cache observability counters, aggregated across shards (monotonic
+/// over the cache's lifetime and carried across capacity rebuilds).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct CacheMetrics {
-    /// Probe hits.
+    /// Probe hits (`exact_hits + template_hits`).
     pub hits: u64,
-    /// Probe misses.
+    /// Hits through the exact-fingerprint fast path.
+    pub exact_hits: u64,
+    /// Hits through selectivity-band matching (new constants served by
+    /// an existing bucket).
+    pub template_hits: u64,
+    /// Probes that found the template but re-planned because the
+    /// current parameters' selectivities fell outside every bucket's
+    /// band.
+    pub replans: u64,
+    /// Probes that found no template entry.
     pub misses: u64,
-    /// Entries evicted by the capacity bound.
+    /// Template entries evicted by the capacity bound.
     pub evictions: u64,
     /// Whole-cache invalidations (stats rebuilds, planner swaps,
-    /// explicit clears).
+    /// capacity rebuilds, explicit clears). Equal to the epoch.
     pub invalidations: u64,
     /// Inserts rejected because an invalidation happened between the
     /// probe and the insert (the plan was produced under a superseded
     /// planner/statistics epoch).
     pub stale_inserts: u64,
-    /// Entries currently cached.
+    /// Inserts that found their exact fingerprint already cached: two
+    /// threads both planned the same query (last write wins). With
+    /// single-flight this stays 0; a nonzero value makes a
+    /// double-planning race observable instead of silent.
+    pub duplicate_plans: u64,
+    /// Probes that waited on another thread's in-flight planner run
+    /// instead of planning the same key themselves.
+    pub flight_waits: u64,
+    /// Template entries currently cached.
     pub len: usize,
-    /// Configured capacity.
+    /// Plan buckets currently cached (≥ `len`; a template entry holds
+    /// one bucket per distinct selectivity regime).
+    pub plans: usize,
+    /// Configured capacity (template entries, across all shards).
     pub capacity: usize,
+    /// Number of shards.
+    pub shards: usize,
 }
 
-#[derive(Debug)]
-struct Entry {
-    /// Shared so a hit hands the plan out without cloning the plan
-    /// tree inside the cache lock.
-    cached: Arc<CachedPlan>,
-    /// Last-use stamp from the monotonic counter below.
-    used: u64,
+impl CacheMetrics {
+    /// Fraction of probes that found their template (hits plus
+    /// intra-template re-plans) — the parameterized-sharing rate.
+    /// `1.0` when nothing has been probed.
+    pub fn sharing_rate(&self) -> f64 {
+        let probes = self.hits + self.replans + self.misses;
+        if probes == 0 {
+            return 1.0;
+        }
+        (self.hits + self.replans) as f64 / probes as f64
+    }
 }
 
-/// A capacity-bounded LRU plan cache.
-///
-/// Recency is tracked with a monotonic stamp per entry; eviction scans
-/// for the minimum stamp. That is O(capacity) per eviction, which is
-/// deliberate: capacities are small (a workload's worth of distinct
-/// query shapes, default 128) and the scan keeps the structure a single
-/// `HashMap` with no linked-list bookkeeping to corrupt.
-#[derive(Debug)]
-pub struct PlanCache {
-    entries: HashMap<QueryFingerprint, Entry>,
-    capacity: usize,
-    clock: u64,
-    hits: u64,
-    misses: u64,
-    evictions: u64,
-    invalidations: u64,
-    stale_inserts: u64,
+/// Cache geometry and re-plan policy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CacheConfig {
+    /// Maximum template entries across all shards (minimum 1).
+    pub capacity: usize,
+    /// Shard count; rounded up to the next power of two (minimum 1).
+    pub shards: usize,
+    /// Re-plan band: a bucket matches when, for every selection slot,
+    /// the ratio between the current and recorded selectivity estimate
+    /// is at most this factor (clamped to ≥ 1). Larger bands share
+    /// more aggressively; `1.0` shares only identical signatures.
+    pub selectivity_band: f64,
+    /// Maximum plan buckets per template entry (minimum 1). When full,
+    /// the oldest bucket is overwritten round-robin.
+    pub plans_per_template: usize,
 }
 
 /// Default capacity: comfortably above the JOB suite's 113 distinct
-/// queries.
+/// templates.
 pub const DEFAULT_CACHE_CAPACITY: usize = 128;
 
-impl PlanCache {
-    /// An empty cache bounded at `capacity` entries (minimum 1).
-    pub fn new(capacity: usize) -> Self {
+/// Default shard count: enough to keep 64 serving threads from
+/// serializing on one mutex, small enough that per-shard capacity stays
+/// meaningful at the default 128-entry bound.
+pub const DEFAULT_CACHE_SHARDS: usize = 16;
+
+/// Default selectivity band factor (4×): parameters whose estimated
+/// selectivity is within 4× of a bucket's recorded signature share its
+/// plan; beyond that the optimal join order is likely different and the
+/// probe re-plans.
+pub const DEFAULT_SELECTIVITY_BAND: f64 = 4.0;
+
+/// Default bucket bound per template entry.
+pub const DEFAULT_PLANS_PER_TEMPLATE: usize = 8;
+
+impl Default for CacheConfig {
+    fn default() -> Self {
         Self {
-            entries: HashMap::new(),
-            capacity: capacity.max(1),
-            clock: 0,
-            hits: 0,
-            misses: 0,
-            evictions: 0,
-            invalidations: 0,
-            stale_inserts: 0,
+            capacity: DEFAULT_CACHE_CAPACITY,
+            shards: DEFAULT_CACHE_SHARDS,
+            selectivity_band: DEFAULT_SELECTIVITY_BAND,
+            plans_per_template: DEFAULT_PLANS_PER_TEMPLATE,
         }
+    }
+}
+
+impl CacheConfig {
+    fn normalized(mut self) -> Self {
+        self.capacity = self.capacity.max(1);
+        self.shards = self.shards.max(1).next_power_of_two();
+        self.selectivity_band = if self.selectivity_band.is_finite() {
+            self.selectivity_band.max(1.0)
+        } else {
+            f64::INFINITY
+        };
+        self.plans_per_template = self.plans_per_template.max(1);
+        self
+    }
+}
+
+/// One plan bucket: a plan plus the selectivity signature it was
+/// planned for.
+#[derive(Debug)]
+struct Bucket {
+    cached: Arc<CachedPlan>,
+}
+
+/// One template's worth of cached plans.
+#[derive(Debug, Default)]
+struct TemplateEntry {
+    /// Exact fingerprint → bucket index: the fast path that skips
+    /// selectivity scoring for repeated exact queries.
+    exact: HashMap<QueryFingerprint, usize>,
+    /// Plan buckets, one per distinct selectivity regime seen.
+    buckets: Vec<Bucket>,
+    /// Round-robin victim cursor once `buckets` is full.
+    next_victim: usize,
+    /// Last-use stamp from the shard's monotonic clock.
+    used: u64,
+}
+
+/// A cold-miss flight: the leader plans, waiters block here until the
+/// leader's insert (or failure) completes the flight.
+#[derive(Debug, Default)]
+struct Flight {
+    done: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl Flight {
+    fn wait(&self) {
+        let mut done = self.done.lock().expect("flight poisoned");
+        while !*done {
+            done = self.cv.wait(done).expect("flight poisoned");
+        }
+    }
+
+    fn complete(&self) {
+        *self.done.lock().expect("flight poisoned") = true;
+        self.cv.notify_all();
+    }
+}
+
+/// Per-shard counters; folded into [`CacheMetrics`] on demand.
+#[derive(Debug, Default, Clone, Copy)]
+struct Counters {
+    exact_hits: u64,
+    template_hits: u64,
+    replans: u64,
+    misses: u64,
+    evictions: u64,
+    stale_inserts: u64,
+    duplicate_plans: u64,
+    flight_waits: u64,
+}
+
+impl Counters {
+    fn add(&mut self, other: &Counters) {
+        self.exact_hits += other.exact_hits;
+        self.template_hits += other.template_hits;
+        self.replans += other.replans;
+        self.misses += other.misses;
+        self.evictions += other.evictions;
+        self.stale_inserts += other.stale_inserts;
+        self.duplicate_plans += other.duplicate_plans;
+        self.flight_waits += other.flight_waits;
+    }
+}
+
+#[derive(Debug, Default)]
+struct Shard {
+    entries: HashMap<TemplateFingerprint, TemplateEntry>,
+    inflight: HashMap<QueryFingerprint, Arc<Flight>>,
+    clock: u64,
+    counters: Counters,
+}
+
+/// Completes (and unregisters) a cold-miss flight when dropped, whether
+/// the leader inserted a plan, hit a planner error, or panicked —
+/// waiters must never hang on a dead leader.
+#[derive(Debug)]
+pub struct FlightGuard<'a> {
+    cache: &'a PlanCache,
+    shard: usize,
+    key: QueryFingerprint,
+}
+
+impl Drop for FlightGuard<'_> {
+    fn drop(&mut self) {
+        let flight = {
+            let mut shard = self.cache.lock_shard(self.shard);
+            shard.inflight.remove(&self.key)
+        };
+        if let Some(flight) = flight {
+            flight.complete();
+        }
+    }
+}
+
+/// A probe's answer: either a plan to serve, or the obligation to plan
+/// (as the single-flight leader for this key).
+#[derive(Debug)]
+pub enum Probe<'a> {
+    /// A cached plan was served.
+    Hit {
+        /// The bucket's plan (O(1) `Arc` clone; the plan tree is cloned
+        /// outside the shard lock by the caller).
+        plan: Arc<CachedPlan>,
+        /// [`CacheOutcome::ExactHit`] or [`CacheOutcome::TemplateHit`].
+        outcome: CacheOutcome,
+    },
+    /// The caller is the planning leader for this key: plan, then
+    /// [`PlanCache::insert_if_current`] with `epoch`, then drop the
+    /// guard (dropping without inserting — e.g. on planner error —
+    /// releases the waiters to retry).
+    Plan {
+        /// Completes the flight on drop.
+        guard: FlightGuard<'a>,
+        /// Epoch captured at probe time; pass to `insert_if_current`.
+        epoch: u64,
+        /// [`CacheOutcome::Miss`] or [`CacheOutcome::Replan`].
+        outcome: CacheOutcome,
+    },
+}
+
+/// What the entry lookup found, separated from counter updates to keep
+/// the borrow of the entry map short.
+enum Lookup {
+    Exact(Arc<CachedPlan>),
+    Band(Arc<CachedPlan>),
+    OutOfBand,
+    NoTemplate,
+}
+
+/// The sharded, template-keyed plan cache. See the [module docs](self).
+#[derive(Debug)]
+pub struct PlanCache {
+    shards: Vec<Mutex<Shard>>,
+    /// Per-shard template-entry bound.
+    shard_capacity: usize,
+    /// Global invalidation epoch; bumped before the shard sweep so a
+    /// stale insert can never land in an already-swept shard.
+    epoch: AtomicU64,
+    /// Counters carried over from before a capacity rebuild.
+    base: Counters,
+    config: CacheConfig,
+}
+
+impl PlanCache {
+    /// An empty cache bounded at `capacity` template entries (minimum
+    /// 1), with default sharding and re-plan policy.
+    pub fn new(capacity: usize) -> Self {
+        Self::with_config(CacheConfig {
+            capacity,
+            ..CacheConfig::default()
+        })
+    }
+
+    /// An empty cache with explicit geometry and re-plan policy.
+    pub fn with_config(config: CacheConfig) -> Self {
+        let config = config.normalized();
+        let shards = (0..config.shards).map(|_| Mutex::default()).collect();
+        Self {
+            shards,
+            shard_capacity: config.capacity.div_ceil(config.shards).max(1),
+            epoch: AtomicU64::new(0),
+            base: Counters::default(),
+            config,
+        }
+    }
+
+    /// The active configuration (normalized).
+    pub fn config(&self) -> CacheConfig {
+        self.config
+    }
+
+    /// Rebuilds the cache with `config`, **carrying the accumulated
+    /// metrics and the invalidation epoch across**: entries are
+    /// dropped (counted as one invalidation, so the epoch also fences
+    /// any in-flight plans from before the rebuild), but counters never
+    /// silently reset.
+    pub fn rebuilt_with(self, config: CacheConfig) -> Self {
+        let mut base = self.base;
+        for shard in &self.shards {
+            base.add(&self.lock_shard_of(shard).counters);
+        }
+        let epoch = self.epoch.load(Ordering::SeqCst) + 1;
+        let mut next = Self::with_config(config);
+        next.base = base;
+        next.epoch = AtomicU64::new(epoch);
+        next
+    }
+
+    /// [`Self::rebuilt_with`] changing only the capacity.
+    pub fn rebuilt_with_capacity(self, capacity: usize) -> Self {
+        let config = CacheConfig {
+            capacity,
+            ..self.config
+        };
+        self.rebuilt_with(config)
+    }
+
+    fn shard_index(&self, template: TemplateFingerprint) -> usize {
+        // Power-of-two shard count: select by fingerprint bits, folding
+        // both 64-bit lanes so either lane's entropy suffices.
+        let folded = (template.0 as u64) ^ ((template.0 >> 64) as u64);
+        (folded as usize) & (self.shards.len() - 1)
+    }
+
+    fn lock_shard(&self, index: usize) -> MutexGuard<'_, Shard> {
+        self.lock_shard_of(&self.shards[index])
+    }
+
+    fn lock_shard_of<'a>(&self, shard: &'a Mutex<Shard>) -> MutexGuard<'a, Shard> {
+        shard.lock().expect("plan cache shard poisoned")
     }
 
     /// The current invalidation epoch. Callers that plan outside the
-    /// cache lock capture the epoch at probe time and pass it to
-    /// [`Self::insert_if_current`]; an invalidation in between bumps
-    /// the epoch, so the superseded plan is discarded instead of
-    /// resurrecting into the fresh cache.
+    /// shard locks capture the epoch at probe time (it is part of
+    /// [`Probe::Plan`]) and pass it to [`Self::insert_if_current`]; an
+    /// invalidation in between bumps the epoch, so the superseded plan
+    /// is discarded instead of resurrecting into the fresh cache.
     pub fn epoch(&self) -> u64 {
-        self.invalidations
+        self.epoch.load(Ordering::SeqCst)
     }
 
-    /// Probes for `key`, refreshing its recency on a hit. The returned
-    /// `Arc` clone is O(1), so callers can hold the cache lock for no
-    /// longer than the probe itself.
-    pub fn get(&mut self, key: QueryFingerprint) -> Option<Arc<CachedPlan>> {
-        self.clock += 1;
-        match self.entries.get_mut(&key) {
-            Some(entry) => {
-                entry.used = self.clock;
-                self.hits += 1;
-                Some(Arc::clone(&entry.cached))
+    /// Probes for `key`, with `current` the stats-estimated selectivity
+    /// signature of the query's parameter vector (slot order, see
+    /// `hfqo_stats::selection_selectivities`).
+    ///
+    /// Returns either a plan to serve or a [`Probe::Plan`] obligation.
+    /// When another thread is already planning the same exact key, the
+    /// call blocks until that flight completes and then re-probes
+    /// (single-flight; see the [module docs](self)).
+    pub fn probe(&self, key: &PlanKey, current: &[f64]) -> Probe<'_> {
+        let si = self.shard_index(key.template);
+        loop {
+            let mut shard = self.lock_shard(si);
+            shard.clock += 1;
+            let clock = shard.clock;
+            let band = self.config.selectivity_band;
+            let lookup = match shard.entries.get_mut(&key.template) {
+                None => Lookup::NoTemplate,
+                Some(entry) => {
+                    entry.used = clock;
+                    if let Some(&i) = entry.exact.get(&key.exact) {
+                        Lookup::Exact(Arc::clone(&entry.buckets[i].cached))
+                    } else if let Some(i) = entry
+                        .buckets
+                        .iter()
+                        .position(|b| within_band(current, &b.cached.selectivities, band))
+                    {
+                        // Pin the fast path so these constants skip
+                        // selectivity scoring from now on.
+                        entry.exact.insert(key.exact, i);
+                        Lookup::Band(Arc::clone(&entry.buckets[i].cached))
+                    } else {
+                        Lookup::OutOfBand
+                    }
+                }
+            };
+            let outcome = match lookup {
+                Lookup::Exact(plan) => {
+                    shard.counters.exact_hits += 1;
+                    return Probe::Hit {
+                        plan,
+                        outcome: CacheOutcome::ExactHit,
+                    };
+                }
+                Lookup::Band(plan) => {
+                    shard.counters.template_hits += 1;
+                    return Probe::Hit {
+                        plan,
+                        outcome: CacheOutcome::TemplateHit,
+                    };
+                }
+                Lookup::OutOfBand => CacheOutcome::Replan,
+                Lookup::NoTemplate => CacheOutcome::Miss,
+            };
+            // No servable plan. Single-flight: wait for an in-flight
+            // planner run on the same key, or become the leader.
+            if let Some(flight) = shard.inflight.get(&key.exact) {
+                let flight = Arc::clone(flight);
+                shard.counters.flight_waits += 1;
+                drop(shard);
+                flight.wait();
+                // The leader finished (insert, stale reject, or
+                // failure): re-probe. A successful insert turns this
+                // into an exact hit; otherwise this thread may become
+                // the next leader.
+                continue;
             }
-            None => {
-                self.misses += 1;
-                None
+            shard
+                .inflight
+                .insert(key.exact, Arc::new(Flight::default()));
+            match outcome {
+                CacheOutcome::Replan => shard.counters.replans += 1,
+                _ => shard.counters.misses += 1,
             }
+            let epoch = self.epoch.load(Ordering::SeqCst);
+            return Probe::Plan {
+                guard: FlightGuard {
+                    cache: self,
+                    shard: si,
+                    key: key.exact,
+                },
+                epoch,
+                outcome,
+            };
         }
     }
 
-    /// Inserts (or replaces) the plan for `key`, evicting the
-    /// least-recently-used entry when at capacity.
-    pub fn insert(&mut self, key: QueryFingerprint, cached: Arc<CachedPlan>) {
-        self.clock += 1;
-        if !self.entries.contains_key(&key) && self.entries.len() >= self.capacity {
-            if let Some((&lru, _)) = self.entries.iter().min_by_key(|(_, e)| e.used) {
-                self.entries.remove(&lru);
-                self.evictions += 1;
-            }
-        }
-        self.entries.insert(
-            key,
-            Entry {
-                cached,
-                used: self.clock,
-            },
-        );
-    }
-
-    /// Inserts like [`Self::insert`], but only when no invalidation has
-    /// happened since `epoch` was captured (see [`Self::epoch`]).
-    /// Returns whether the entry was inserted.
-    pub fn insert_if_current(
-        &mut self,
-        key: QueryFingerprint,
-        cached: Arc<CachedPlan>,
-        epoch: u64,
-    ) -> bool {
-        if epoch != self.epoch() {
-            self.stale_inserts += 1;
+    /// Inserts (or, for a racing duplicate, replaces) the plan for
+    /// `key`, but only when no invalidation has happened since `epoch`
+    /// was captured (see [`Self::epoch`]). Evicts the shard's
+    /// least-recently-used template entry when a new template arrives
+    /// at capacity. Returns whether the plan was inserted.
+    pub fn insert_if_current(&self, key: &PlanKey, cached: Arc<CachedPlan>, epoch: u64) -> bool {
+        let si = self.shard_index(key.template);
+        let mut shard = self.lock_shard(si);
+        if epoch != self.epoch.load(Ordering::SeqCst) {
+            shard.counters.stale_inserts += 1;
             return false;
         }
-        self.insert(key, cached);
+        shard.clock += 1;
+        let clock = shard.clock;
+        // Evict at template granularity: a new template at capacity
+        // displaces the least-recently-used template (all its buckets).
+        if !shard.entries.contains_key(&key.template) && shard.entries.len() >= self.shard_capacity
+        {
+            if let Some(&lru) = shard
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.used)
+                .map(|(t, _)| t)
+            {
+                shard.entries.remove(&lru);
+                shard.counters.evictions += 1;
+            }
+        }
+        let plans_per_template = self.config.plans_per_template;
+        let entry = shard.entries.entry(key.template).or_default();
+        entry.used = clock;
+        let duplicate = if let Some(&i) = entry.exact.get(&key.exact) {
+            // Two threads planned the same exact query (single-flight
+            // bypassed or raced): last write wins, observably.
+            entry.buckets[i].cached = cached;
+            true
+        } else {
+            let idx = if entry.buckets.len() < plans_per_template {
+                entry.buckets.push(Bucket { cached });
+                entry.buckets.len() - 1
+            } else {
+                // Bucket bound reached: overwrite round-robin and drop
+                // fast-path pointers into the overwritten bucket.
+                let v = entry.next_victim % plans_per_template;
+                entry.next_victim = (v + 1) % plans_per_template;
+                entry.exact.retain(|_, i| *i != v);
+                entry.buckets[v] = Bucket { cached };
+                v
+            };
+            entry.exact.insert(key.exact, idx);
+            false
+        };
+        if duplicate {
+            shard.counters.duplicate_plans += 1;
+        }
         true
     }
 
-    /// Drops every entry (stats rebuild, planner swap, explicit clear).
-    pub fn invalidate(&mut self) {
-        self.entries.clear();
-        self.invalidations += 1;
+    /// Inserts unconditionally under the current epoch (test aid and
+    /// single-threaded use).
+    pub fn insert(&self, key: &PlanKey, cached: Arc<CachedPlan>) {
+        let epoch = self.epoch();
+        self.insert_if_current(key, cached, epoch);
     }
 
-    /// Current observability counters.
-    pub fn metrics(&self) -> CacheMetrics {
-        CacheMetrics {
-            hits: self.hits,
-            misses: self.misses,
-            evictions: self.evictions,
-            invalidations: self.invalidations,
-            stale_inserts: self.stale_inserts,
-            len: self.entries.len(),
-            capacity: self.capacity,
+    /// Drops every entry (stats rebuild, planner swap, explicit
+    /// clear). The epoch is bumped *before* the shard sweep, so an
+    /// insert racing this call either lands in a shard that is still
+    /// about to be swept or is rejected as stale — a superseded plan
+    /// can never survive the invalidation.
+    pub fn invalidate(&self) {
+        self.epoch.fetch_add(1, Ordering::SeqCst);
+        for shard in &self.shards {
+            self.lock_shard_of(shard).entries.clear();
         }
     }
 
-    /// Whether `key` is currently cached (no recency effect; test aid).
-    pub fn contains(&self, key: QueryFingerprint) -> bool {
-        self.entries.contains_key(&key)
+    /// Current observability counters, aggregated across shards (plus
+    /// counters carried over from before any capacity rebuild).
+    pub fn metrics(&self) -> CacheMetrics {
+        let mut sum = self.base;
+        let mut len = 0;
+        let mut plans = 0;
+        for shard in &self.shards {
+            let shard = self.lock_shard_of(shard);
+            sum.add(&shard.counters);
+            len += shard.entries.len();
+            plans += shard
+                .entries
+                .values()
+                .map(|e| e.buckets.len())
+                .sum::<usize>();
+        }
+        CacheMetrics {
+            hits: sum.exact_hits + sum.template_hits,
+            exact_hits: sum.exact_hits,
+            template_hits: sum.template_hits,
+            replans: sum.replans,
+            misses: sum.misses,
+            evictions: sum.evictions,
+            invalidations: self.epoch(),
+            stale_inserts: sum.stale_inserts,
+            duplicate_plans: sum.duplicate_plans,
+            flight_waits: sum.flight_waits,
+            len,
+            plans,
+            capacity: self.config.capacity,
+            shards: self.shards.len(),
+        }
     }
+
+    /// Whether `key`'s exact fingerprint is currently cached (no
+    /// recency effect; test aid).
+    pub fn contains_exact(&self, key: &PlanKey) -> bool {
+        let shard = self.lock_shard(self.shard_index(key.template));
+        shard
+            .entries
+            .get(&key.template)
+            .is_some_and(|e| e.exact.contains_key(&key.exact))
+    }
+
+    /// Whether `template` has a cached entry (test aid).
+    pub fn contains_template(&self, template: TemplateFingerprint) -> bool {
+        let shard = self.lock_shard(self.shard_index(template));
+        shard.entries.contains_key(&template)
+    }
+}
+
+/// Whether `current` is within `band` of `recorded` on every slot.
+/// Signatures of different lengths never match (they belong to
+/// different templates and would mean a fingerprint collision).
+fn within_band(current: &[f64], recorded: &[f64], band: f64) -> bool {
+    if current.len() != recorded.len() {
+        return false;
+    }
+    // Floor far below any real selectivity (estimates clamp at 1e-9):
+    // keeps the ratio finite without masking genuine differences.
+    const FLOOR: f64 = 1e-12;
+    current.iter().zip(recorded).all(|(&c, &r)| {
+        let (c, r) = (c.max(FLOOR), r.max(FLOOR));
+        let ratio = if c > r { c / r } else { r / c };
+        ratio <= band
+    })
 }
 
 #[cfg(test)]
@@ -187,6 +698,10 @@ mod tests {
     use hfqo_query::{AccessPath, PlanNode, RelId};
 
     fn plan(tag: u32) -> Arc<CachedPlan> {
+        plan_with_sel(tag, vec![])
+    }
+
+    fn plan_with_sel(tag: u32, selectivities: Vec<f64>) -> Arc<CachedPlan> {
         Arc::new(CachedPlan {
             plan: PhysicalPlan::new(PlanNode::Scan {
                 rel: RelId(tag),
@@ -194,58 +709,179 @@ mod tests {
             }),
             cost: f64::from(tag),
             method: PlannerMethod::DynamicProgramming,
+            selectivities,
         })
     }
 
-    fn key(v: u128) -> QueryFingerprint {
-        QueryFingerprint(v)
+    fn key(template: u128, exact: u128) -> PlanKey {
+        PlanKey {
+            template: TemplateFingerprint(template),
+            exact: QueryFingerprint(exact),
+        }
+    }
+
+    /// Single shard makes capacity/eviction deterministic in tests.
+    fn single_shard(capacity: usize) -> PlanCache {
+        PlanCache::with_config(CacheConfig {
+            capacity,
+            shards: 1,
+            ..CacheConfig::default()
+        })
+    }
+
+    /// Serves the probe's plan or panics — for tests that expect hits.
+    fn expect_hit(
+        cache: &PlanCache,
+        key: &PlanKey,
+        current: &[f64],
+    ) -> (Arc<CachedPlan>, CacheOutcome) {
+        match cache.probe(key, current) {
+            Probe::Hit { plan, outcome } => (plan, outcome),
+            Probe::Plan { outcome, .. } => panic!("expected hit, got {outcome:?}"),
+        }
+    }
+
+    /// Runs the miss path: asserts the probe demands planning and
+    /// inserts `plan` under the probe's epoch.
+    fn miss_and_insert(
+        cache: &PlanCache,
+        key: &PlanKey,
+        current: &[f64],
+        plan: Arc<CachedPlan>,
+    ) -> CacheOutcome {
+        match cache.probe(key, current) {
+            Probe::Hit { outcome, .. } => panic!("expected miss, got {outcome:?}"),
+            Probe::Plan {
+                guard,
+                epoch,
+                outcome,
+            } => {
+                cache.insert_if_current(key, plan, epoch);
+                drop(guard);
+                outcome
+            }
+        }
     }
 
     #[test]
-    fn hit_returns_the_inserted_plan() {
-        let mut cache = PlanCache::new(4);
-        assert!(cache.get(key(1)).is_none());
-        cache.insert(key(1), plan(7));
-        assert_eq!(cache.get(key(1)), Some(plan(7)));
+    fn exact_hit_returns_the_inserted_plan() {
+        let cache = PlanCache::new(4);
+        let k = key(1, 10);
+        assert_eq!(
+            miss_and_insert(&cache, &k, &[], plan(7)),
+            CacheOutcome::Miss
+        );
+        let (p, outcome) = expect_hit(&cache, &k, &[]);
+        assert_eq!(p, plan(7));
+        assert_eq!(outcome, CacheOutcome::ExactHit);
         let m = cache.metrics();
-        assert_eq!((m.hits, m.misses, m.len), (1, 1, 1));
+        assert_eq!(
+            (m.hits, m.exact_hits, m.misses, m.len, m.plans),
+            (1, 1, 1, 1, 1)
+        );
     }
 
     #[test]
-    fn lru_eviction_drops_the_coldest_entry() {
-        let mut cache = PlanCache::new(2);
-        cache.insert(key(1), plan(1));
-        cache.insert(key(2), plan(2));
-        // Touch 1 so 2 becomes the LRU entry.
-        assert!(cache.get(key(1)).is_some());
-        cache.insert(key(3), plan(3));
-        assert!(cache.contains(key(1)), "recently used survives");
-        assert!(!cache.contains(key(2)), "LRU entry evicted");
-        assert!(cache.contains(key(3)));
+    fn different_params_share_a_template_within_the_band() {
+        let cache = PlanCache::new(4);
+        let a = key(1, 10);
+        let b = key(1, 11); // same template, different constants
+        miss_and_insert(&cache, &a, &[0.010], plan_with_sel(1, vec![0.010]));
+        // 0.02 vs 0.01 is within the default 4× band: shared.
+        let (p, outcome) = expect_hit(&cache, &b, &[0.020]);
+        assert_eq!(p, plan_with_sel(1, vec![0.010]));
+        assert_eq!(outcome, CacheOutcome::TemplateHit);
+        // …and the fast path was pinned: the same constants now hit
+        // without selectivity scoring.
+        let (_, outcome) = expect_hit(&cache, &b, &[0.020]);
+        assert_eq!(outcome, CacheOutcome::ExactHit);
+        let m = cache.metrics();
+        assert_eq!((m.template_hits, m.exact_hits, m.misses), (1, 1, 1));
+        assert_eq!((m.len, m.plans), (1, 1), "one template, one bucket");
+    }
+
+    #[test]
+    fn out_of_band_params_replan_into_a_new_bucket() {
+        let cache = PlanCache::new(4);
+        let common = key(1, 10);
+        let rare = key(1, 12);
+        miss_and_insert(&cache, &common, &[0.2], plan_with_sel(1, vec![0.2]));
+        // 0.001 vs 0.2 is 200× outside the band: must re-plan.
+        let outcome = miss_and_insert(&cache, &rare, &[0.001], plan_with_sel(2, vec![0.001]));
+        assert_eq!(outcome, CacheOutcome::Replan);
+        let m = cache.metrics();
+        assert_eq!((m.replans, m.misses), (1, 1));
+        assert_eq!((m.len, m.plans), (1, 2), "one template, two buckets");
+        // Each regime now hits its own bucket.
+        let (p, _) = expect_hit(&cache, &common, &[0.2]);
+        assert_eq!(p.cost, 1.0);
+        let (p, _) = expect_hit(&cache, &rare, &[0.001]);
+        assert_eq!(p.cost, 2.0);
+        // A third set of constants lands in whichever bucket matches:
+        // 0.003 is within 4x of 0.001 (rare) but 66x off 0.2 (common).
+        let (p, outcome) = expect_hit(&cache, &key(1, 13), &[0.003]);
+        assert_eq!(outcome, CacheOutcome::TemplateHit);
+        assert_eq!(p.cost, 2.0, "matched the rare-constant bucket");
+    }
+
+    #[test]
+    fn band_matching_is_per_slot() {
+        assert!(within_band(&[0.1, 0.01], &[0.2, 0.02], 4.0));
+        assert!(!within_band(&[0.1, 0.0001], &[0.2, 0.02], 4.0));
+        assert!(!within_band(&[0.1], &[0.1, 0.1], 4.0), "length mismatch");
+        assert!(within_band(&[], &[], 4.0), "no slots always match");
+        assert!(within_band(&[0.0], &[0.0], 1.0), "floor keeps zeros finite");
+    }
+
+    #[test]
+    fn lru_eviction_drops_the_coldest_template() {
+        let cache = single_shard(2);
+        miss_and_insert(&cache, &key(1, 10), &[], plan(1));
+        miss_and_insert(&cache, &key(2, 20), &[], plan(2));
+        // Touch template 1 so template 2 becomes LRU.
+        expect_hit(&cache, &key(1, 10), &[]);
+        miss_and_insert(&cache, &key(3, 30), &[], plan(3));
+        assert!(cache.contains_template(TemplateFingerprint(1)));
+        assert!(!cache.contains_template(TemplateFingerprint(2)));
+        assert!(cache.contains_template(TemplateFingerprint(3)));
         assert_eq!(cache.metrics().evictions, 1);
         assert_eq!(cache.metrics().len, 2);
     }
 
     #[test]
-    fn replacing_an_existing_key_does_not_evict() {
-        let mut cache = PlanCache::new(2);
-        cache.insert(key(1), plan(1));
-        cache.insert(key(2), plan(2));
-        cache.insert(key(1), plan(9));
-        assert_eq!(cache.metrics().evictions, 0);
-        assert_eq!(cache.get(key(1)), Some(plan(9)));
-        assert!(cache.contains(key(2)));
+    fn duplicate_insert_is_last_write_wins_and_counted() {
+        // Documents the double-planning contract: if two planner runs
+        // for one exact key ever race past the single-flight (or a
+        // caller inserts directly), the second insert replaces the
+        // first *and* increments `duplicate_plans` — the race is
+        // observable, never silent.
+        let cache = PlanCache::new(4);
+        let k = key(1, 10);
+        cache.insert(&k, plan(1));
+        cache.insert(&k, plan(9));
+        let m = cache.metrics();
+        assert_eq!(m.duplicate_plans, 1);
+        assert_eq!((m.len, m.plans), (1, 1), "no second bucket");
+        let (p, _) = expect_hit(&cache, &k, &[]);
+        assert_eq!(p, plan(9), "last insert wins");
     }
 
     #[test]
     fn invalidate_clears_and_counts() {
-        let mut cache = PlanCache::new(4);
-        cache.insert(key(1), plan(1));
-        cache.insert(key(2), plan(2));
+        let cache = PlanCache::new(4);
+        cache.insert(&key(1, 10), plan(1));
+        cache.insert(&key(2, 20), plan(2));
         cache.invalidate();
-        assert_eq!(cache.metrics().len, 0);
-        assert_eq!(cache.metrics().invalidations, 1);
-        assert!(cache.get(key(1)).is_none());
+        let m = cache.metrics();
+        assert_eq!((m.len, m.plans), (0, 0));
+        assert_eq!(m.invalidations, 1);
+        assert!(matches!(
+            cache.probe(&key(1, 10), &[]),
+            Probe::Plan {
+                outcome: CacheOutcome::Miss,
+                ..
+            }
+        ));
     }
 
     /// Regression (online hot-swap stale-insert race): a plan produced
@@ -254,25 +890,145 @@ mod tests {
     /// plan as cache hits until the next invalidation.
     #[test]
     fn insert_if_current_rejects_superseded_epochs() {
-        let mut cache = PlanCache::new(4);
+        let cache = PlanCache::new(4);
         let epoch = cache.epoch();
-        assert!(cache.insert_if_current(key(1), plan(1), epoch));
+        assert!(cache.insert_if_current(&key(1, 10), plan(1), epoch));
         cache.invalidate();
-        assert!(!cache.insert_if_current(key(2), plan(2), epoch));
-        assert!(!cache.contains(key(2)), "stale insert must be discarded");
+        assert!(!cache.insert_if_current(&key(2, 20), plan(2), epoch));
+        assert!(
+            !cache.contains_exact(&key(2, 20)),
+            "stale insert must be discarded"
+        );
         assert_eq!(cache.metrics().stale_inserts, 1);
         // The fresh epoch inserts normally.
-        assert!(cache.insert_if_current(key(2), plan(2), cache.epoch()));
-        assert!(cache.contains(key(2)));
+        assert!(cache.insert_if_current(&key(2, 20), plan(2), cache.epoch()));
+        assert!(cache.contains_exact(&key(2, 20)));
     }
 
     #[test]
-    fn zero_capacity_is_clamped_to_one() {
-        let mut cache = PlanCache::new(0);
-        cache.insert(key(1), plan(1));
-        assert!(cache.contains(key(1)));
-        cache.insert(key(2), plan(2));
-        assert!(!cache.contains(key(1)));
-        assert_eq!(cache.metrics().capacity, 1);
+    fn bucket_bound_overwrites_round_robin() {
+        let cache = PlanCache::with_config(CacheConfig {
+            plans_per_template: 2,
+            selectivity_band: 1.0, // only identical signatures share
+            ..CacheConfig::default()
+        });
+        cache.insert(&key(1, 10), plan_with_sel(1, vec![0.5]));
+        cache.insert(&key(1, 11), plan_with_sel(2, vec![0.05]));
+        assert_eq!(cache.metrics().plans, 2);
+        // Third regime overwrites bucket 0; its fast-path pointer dies.
+        cache.insert(&key(1, 12), plan_with_sel(3, vec![0.005]));
+        assert_eq!(cache.metrics().plans, 2, "bucket bound holds");
+        assert!(!cache.contains_exact(&key(1, 10)));
+        assert!(cache.contains_exact(&key(1, 11)));
+        assert!(cache.contains_exact(&key(1, 12)));
+    }
+
+    #[test]
+    fn rebuild_carries_metrics_and_epoch() {
+        let cache = PlanCache::new(4);
+        let k = key(1, 10);
+        miss_and_insert(&cache, &k, &[], plan(1));
+        expect_hit(&cache, &k, &[]);
+        cache.invalidate();
+        let before = cache.metrics();
+        assert_eq!(
+            (before.hits, before.misses, before.invalidations),
+            (1, 1, 1)
+        );
+        let stale_epoch = 0; // captured before the invalidation above
+        let cache = cache.rebuilt_with_capacity(64);
+        let after = cache.metrics();
+        assert_eq!(after.hits, before.hits, "hits carried");
+        assert_eq!(after.misses, before.misses, "misses carried");
+        assert_eq!(
+            after.invalidations,
+            before.invalidations + 1,
+            "the rebuild itself counts as an invalidation"
+        );
+        assert_eq!(after.capacity, 64);
+        assert_eq!((after.len, after.plans), (0, 0), "entries drop");
+        // The epoch fence survives the rebuild: a plan from before it
+        // is still rejected.
+        assert!(!cache.insert_if_current(&k, plan(1), stale_epoch));
+        assert_eq!(cache.metrics().stale_inserts, 1);
+    }
+
+    #[test]
+    fn shard_count_rounds_to_power_of_two_and_capacity_clamps() {
+        let cache = PlanCache::with_config(CacheConfig {
+            capacity: 0,
+            shards: 5,
+            selectivity_band: 0.1,
+            plans_per_template: 0,
+        });
+        let config = cache.config();
+        assert_eq!(config.shards, 8);
+        assert_eq!(config.capacity, 1);
+        assert_eq!(config.selectivity_band, 1.0);
+        assert_eq!(config.plans_per_template, 1);
+        assert_eq!(cache.metrics().shards, 8);
+        // Still stores and serves.
+        cache.insert(&key(1, 10), plan(1));
+        expect_hit(&cache, &key(1, 10), &[]);
+    }
+
+    #[test]
+    fn sharing_rate_counts_hits_and_replans() {
+        let m = CacheMetrics {
+            hits: 80,
+            replans: 15,
+            misses: 5,
+            ..CacheMetrics::default()
+        };
+        assert!((m.sharing_rate() - 0.95).abs() < 1e-12);
+        assert_eq!(CacheMetrics::default().sharing_rate(), 1.0);
+    }
+
+    #[test]
+    fn concurrent_cold_misses_single_flight() {
+        use std::sync::atomic::AtomicUsize;
+        let cache = PlanCache::new(16);
+        let k = key(7, 70);
+        let planned = AtomicUsize::new(0);
+        let barrier = std::sync::Barrier::new(8);
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| {
+                    barrier.wait();
+                    match cache.probe(&k, &[]) {
+                        Probe::Hit { plan: p, .. } => assert_eq!(p, plan(1)),
+                        Probe::Plan { guard, epoch, .. } => {
+                            planned.fetch_add(1, Ordering::SeqCst);
+                            cache.insert_if_current(&k, plan(1), epoch);
+                            drop(guard);
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(
+            planned.load(Ordering::SeqCst),
+            1,
+            "exactly one leader plans a racing cold miss"
+        );
+        let m = cache.metrics();
+        assert_eq!(m.duplicate_plans, 0);
+        assert_eq!(m.misses, 1);
+        assert_eq!(m.hits + m.flight_waits, 7 + m.flight_waits);
+        assert_eq!(m.hits + m.misses + m.replans, 8, "every probe counted once");
+    }
+
+    #[test]
+    fn abandoned_flight_releases_waiters() {
+        let cache = PlanCache::new(4);
+        let k = key(3, 30);
+        // Leader probes, then drops the guard without inserting
+        // (planner failure): a subsequent probe must become the new
+        // leader instead of hanging.
+        match cache.probe(&k, &[]) {
+            Probe::Plan { guard, .. } => drop(guard),
+            Probe::Hit { .. } => panic!("cold cache cannot hit"),
+        }
+        assert!(matches!(cache.probe(&k, &[]), Probe::Plan { .. }));
     }
 }

@@ -10,9 +10,15 @@
 //! produces the plans at query time; with
 //! [`hfqo_opt::TraditionalPlanner`], the same session is the classical
 //! expert. The cache (see [`cache`]) amortises planning across repeated
-//! query shapes: keys are stable [`hfqo_query::QueryFingerprint`]s, the
-//! bound is a small LRU, and invalidation is explicit on statistics
-//! rebuilds and planner swaps.
+//! query shapes under a two-part key: a structure-only
+//! [`hfqo_query::TemplateFingerprint`] groups every parameterization of
+//! a template into one sharded entry (so `val < 20` and `val < 90`
+//! share plans), the exact [`hfqo_query::QueryFingerprint`] is the
+//! intra-template fast path, and a selectivity band re-plans when the
+//! current constants' estimated selectivity diverges from every cached
+//! bucket. The bound is a template-granular LRU, cold misses are
+//! single-flighted, and invalidation is explicit (and epoch-fenced) on
+//! statistics rebuilds and planner swaps.
 //!
 //! Since PR 5 the layer also **closes the hands-free loop** the paper
 //! is named for: a session can record every executed query into an
@@ -43,7 +49,11 @@ pub mod online;
 pub mod session;
 pub mod swap;
 
-pub use cache::{CacheMetrics, CachedPlan, PlanCache, DEFAULT_CACHE_CAPACITY};
+pub use cache::{
+    CacheConfig, CacheMetrics, CacheOutcome, CachedPlan, PlanCache, PlanKey, Probe,
+    DEFAULT_CACHE_CAPACITY, DEFAULT_CACHE_SHARDS, DEFAULT_PLANS_PER_TEMPLATE,
+    DEFAULT_SELECTIVITY_BAND,
+};
 pub use experience::{Experience, ExperienceLog, ExperienceMetrics, DEFAULT_EXPERIENCE_CAPACITY};
 pub use online::{OnlineConfig, OnlineMetrics, OnlineStep, OnlineTrainer};
 pub use session::{QuerySession, ServeError, ServedQuery};

@@ -7,46 +7,63 @@
 //! ```text
 //!   serve(sql)
 //!     ├─ parse      hfqo_sql::parse_select
-//!     ├─ bind       hfqo_query::bind_select          → QueryGraph
-//!     ├─ plan       fingerprint → PlanCache ──hit──→ PhysicalPlan
-//!     │                        └──miss──→ Planner::plan → insert
-//!     └─ execute    hfqo_exec::execute (vectorized)  → rows + stats
+//!     ├─ bind       hfqo_query::bind_select            → QueryGraph
+//!     ├─ plan       (template, exact) fingerprints
+//!     │               → PlanCache::probe ──hit───────→ PhysicalPlan
+//!     │                        └──miss/replan──→ Planner::plan → insert
+//!     └─ execute    hfqo_exec::execute (vectorized)    → rows + stats
 //! ```
 //!
+//! Planning is cached under the **two-part key** of
+//! [`mod@hfqo_query::fingerprint`]: the structure-only
+//! [`hfqo_query::TemplateFingerprint`] groups every parameterization of
+//! a query template into one cache entry, and the exact
+//! [`hfqo_query::QueryFingerprint`] stays as the fast path within it.
+//! On a probe the session also passes the statistics' selectivity
+//! signature of the query's current literals
+//! ([`hfqo_stats::selection_selectivities`]); a template hit whose
+//! signature falls outside the configured band of every cached plan
+//! re-plans into a separate per-template plan bucket (see
+//! [`crate::cache`]) — templated workloads share plans, but a
+//! rare-constant probe is not served a common-constant plan.
+//!
 //! Serving is concurrent: `serve` takes `&self`, the owned world is
-//! read-only (`Database`/`StatsCatalog` are `Sync`), and the cache sits
-//! behind a mutex whose critical sections cover only the probe and the
-//! insert — planning and execution run outside the lock. N threads can
-//! therefore serve against one session; two threads racing on the same
-//! cold fingerprint may both plan it (no single-flight), and last
-//! insert wins, which is harmless because planning is deterministic for
-//! every strategy but [`hfqo_opt::RandomPlanner`].
+//! read-only (`Database`/`StatsCatalog` are `Sync`), and the cache is
+//! internally sharded — N threads contend per shard, not on one global
+//! mutex, and planning and execution run outside any lock. Cold misses
+//! are single-flighted per exact fingerprint: threads racing on the
+//! same cold query run the planner exactly once, the rest wait and hit.
 //!
 //! Mutation is explicit and exclusive: [`QuerySession::rebuild_stats`]
 //! re-scans the owned database and invalidates the cache (plans chosen
 //! under stale statistics may no longer be the ones the planner would
 //! pick), and [`QuerySession::set_planner`] swaps the strategy, also
 //! invalidating (cached plans would otherwise be attributed to the
-//! wrong strategy). Because planning happens outside the cache lock, an
-//! invalidation can race an in-flight plan; inserts are epoch-guarded
-//! (see [`PlanCache::insert_if_current`]), so a plan produced under a
-//! superseded planner or statistics epoch is served once but never
-//! cached.
+//! wrong strategy). Because planning happens outside the cache locks,
+//! an invalidation can race an in-flight plan; inserts are
+//! epoch-guarded (see [`PlanCache::insert_if_current`]), so a plan
+//! produced under a superseded planner or statistics epoch is served
+//! once but never cached.
 //!
 //! [`PlanCache::insert_if_current`]: crate::cache::PlanCache::insert_if_current
 
-use crate::cache::{CacheMetrics, CachedPlan, PlanCache, DEFAULT_CACHE_CAPACITY};
+use crate::cache::{
+    CacheConfig, CacheMetrics, CacheOutcome, CachedPlan, PlanCache, PlanKey, Probe,
+};
 use crate::experience::{Experience, ExperienceLog};
 use hfqo_catalog::Catalog;
 use hfqo_cost::CostParams;
 use hfqo_exec::{execute, ExecConfig, ExecError, ExecOutcome};
 use hfqo_opt::{OptError, PlannedQuery, Planner, PlannerContext, PlannerMethod};
-use hfqo_query::{bind_select, fingerprint, tree_to_actions, PhysicalPlan, QueryError, QueryGraph};
+use hfqo_query::{
+    bind_select, fingerprint, template_fingerprint, tree_to_actions, PhysicalPlan, QueryError,
+    QueryGraph,
+};
 use hfqo_sql::{parse_select, ParseError};
-use hfqo_stats::{build_database_stats, StatsCatalog};
+use hfqo_stats::{build_database_stats, selection_selectivities, StatsCatalog};
 use hfqo_storage::Database;
 use std::fmt;
-use std::sync::Mutex;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Everything that can go wrong between SQL text and result rows.
@@ -104,16 +121,22 @@ impl From<ExecError> for ServeError {
 #[derive(Debug, Clone)]
 pub struct ServedQuery {
     /// The bound query graph (shared with the experience log when one
-    /// is attached, so recording adds no extra deep clone).
-    pub graph: std::sync::Arc<QueryGraph>,
+    /// is attached; callers going through [`QuerySession::serve_shared`]
+    /// share their own `Arc` — no deep clone on the serve path).
+    pub graph: Arc<QueryGraph>,
     /// The physical plan that executed.
     pub plan: PhysicalPlan,
     /// Estimated cost of the plan (at planning time).
     pub cost: f64,
     /// Which strategy produced the plan.
     pub method: PlannerMethod,
-    /// Whether the plan came from the cache.
+    /// Whether the plan came from the cache
+    /// (`cache.is_hit()`; kept alongside [`Self::cache`] for callers
+    /// that only care hit-or-not).
     pub cache_hit: bool,
+    /// How the cache answered: exact hit, intra-template (band) hit,
+    /// out-of-band re-plan, or cold miss.
+    pub cache: CacheOutcome,
     /// Planning wall-clock: the cache lookup on a hit, the planner run
     /// on a miss.
     pub planning_time: std::time::Duration,
@@ -127,18 +150,19 @@ pub struct QuerySession {
     stats: StatsCatalog,
     params: CostParams,
     planner: Box<dyn Planner>,
-    cache: Mutex<PlanCache>,
+    /// Internally sharded and synchronized; see [`crate::cache`].
+    cache: PlanCache,
     exec_config: ExecConfig,
     /// When attached, every executed query is recorded for online
     /// learning (see [`crate::online`]). Recording never influences
     /// planning or execution — with no consumer draining the log,
     /// serving output is identical to an unattached session.
-    experience: Option<std::sync::Arc<ExperienceLog>>,
+    experience: Option<Arc<ExperienceLog>>,
 }
 
 // N serving threads share one `&QuerySession`: the owned world is plain
 // read-only data, the planner is `Send + Sync` by trait bound, and the
-// cache is mutex-guarded. The assertion breaks the build if a
+// cache is internally synchronized. The assertion breaks the build if a
 // non-thread-safe member ever sneaks in.
 const _: () = {
     const fn assert_send_sync<T: Send + Sync>() {}
@@ -153,7 +177,7 @@ impl QuerySession {
             stats,
             params: CostParams::postgres_like(),
             planner,
-            cache: Mutex::new(PlanCache::new(DEFAULT_CACHE_CAPACITY)),
+            cache: PlanCache::with_config(CacheConfig::default()),
             exec_config: ExecConfig::default(),
             experience: None,
         }
@@ -176,11 +200,24 @@ impl QuerySession {
         self
     }
 
-    /// Overrides the plan-cache capacity (builder style; clears the
-    /// cache).
+    /// Overrides the plan-cache capacity (builder style). Cached
+    /// entries are dropped (counted as one invalidation), but the
+    /// accumulated cache metrics and the invalidation epoch **carry
+    /// across** — a capacity change never silently zeroes the counters
+    /// or un-fences in-flight stale inserts.
     pub fn with_cache_capacity(self, capacity: usize) -> Self {
         Self {
-            cache: Mutex::new(PlanCache::new(capacity)),
+            cache: self.cache.rebuilt_with_capacity(capacity),
+            ..self
+        }
+    }
+
+    /// Overrides the full cache geometry and re-plan policy (builder
+    /// style). Same carry-across semantics as
+    /// [`Self::with_cache_capacity`].
+    pub fn with_cache_config(self, config: CacheConfig) -> Self {
+        Self {
+            cache: self.cache.rebuilt_with(config),
             ..self
         }
     }
@@ -214,14 +251,14 @@ impl QuerySession {
         self.planner.name()
     }
 
-    /// Snapshot of the plan-cache counters.
+    /// Snapshot of the plan-cache counters (aggregated across shards).
     pub fn cache_metrics(&self) -> CacheMetrics {
-        self.cache.lock().expect("plan cache poisoned").metrics()
+        self.cache.metrics()
     }
 
     /// Drops every cached plan.
     pub fn invalidate_cache(&self) {
-        self.cache.lock().expect("plan cache poisoned").invalidate();
+        self.cache.invalidate();
     }
 
     /// Swaps the planning strategy and invalidates the cache (cached
@@ -233,18 +270,18 @@ impl QuerySession {
 
     /// Attaches (or detaches, with `None`) an experience log: every
     /// subsequently executed query is recorded for online learning.
-    pub fn set_experience_log(&mut self, log: Option<std::sync::Arc<ExperienceLog>>) {
+    pub fn set_experience_log(&mut self, log: Option<Arc<ExperienceLog>>) {
         self.experience = log;
     }
 
     /// Attaches an experience log (builder style).
-    pub fn with_experience_log(mut self, log: std::sync::Arc<ExperienceLog>) -> Self {
+    pub fn with_experience_log(mut self, log: Arc<ExperienceLog>) -> Self {
         self.experience = Some(log);
         self
     }
 
     /// The attached experience log, if any.
-    pub fn experience_log(&self) -> Option<&std::sync::Arc<ExperienceLog>> {
+    pub fn experience_log(&self) -> Option<&Arc<ExperienceLog>> {
         self.experience.as_ref()
     }
 
@@ -257,72 +294,77 @@ impl QuerySession {
     }
 
     /// Plans `graph`, going through the cache. Returns the planned
-    /// query and whether it was a cache hit. On a hit the
-    /// `planning_time` is the lookup's wall-clock.
-    pub fn plan(&self, graph: &QueryGraph) -> Result<(PlannedQuery, bool), ServeError> {
-        let key = fingerprint(graph);
-        let start = Instant::now();
-        // The lock covers only the O(1) probe (the entry is behind an
-        // `Arc`); the plan-tree clone for the caller happens after the
-        // lock is released. The epoch is captured in the same critical
-        // section so a miss can detect invalidations that race the
-        // planning below.
-        let (hit, epoch) = {
-            let mut cache = self.cache.lock().expect("plan cache poisoned");
-            (cache.get(key), cache.epoch())
+    /// query and how the cache answered. On a hit the `planning_time`
+    /// is the lookup's wall-clock.
+    pub fn plan(&self, graph: &QueryGraph) -> Result<(PlannedQuery, CacheOutcome), ServeError> {
+        let (template, _params) = template_fingerprint(graph);
+        let key = PlanKey {
+            template,
+            exact: fingerprint(graph),
         };
-        if let Some(hit) = hit {
-            return Ok((
+        // The current parameters' selectivity signature: recorded at
+        // planning time, compared by the band on template hits.
+        let current = selection_selectivities(&self.stats, graph);
+        let start = Instant::now();
+        match self.cache.probe(&key, &current) {
+            Probe::Hit { plan, outcome } => Ok((
                 PlannedQuery {
-                    plan: hit.plan.clone(),
-                    cost: hit.cost,
+                    plan: plan.plan.clone(),
+                    cost: plan.cost,
                     planning_time: start.elapsed(),
-                    method: hit.method,
+                    method: plan.method,
                 },
-                true,
-            ));
+                outcome,
+            )),
+            Probe::Plan {
+                guard,
+                epoch,
+                outcome,
+            } => {
+                // This thread is the single-flight leader for the key:
+                // plan outside the cache locks (misses on distinct
+                // queries proceed in parallel), then insert under the
+                // probe-time epoch. An invalidation racing the planning
+                // (stats rebuild, planner swap, online policy swap)
+                // bumps the cache epoch, so the superseded plan is
+                // served once but never cached — a stale generation's
+                // plan must not resurrect as cache hits. On planner
+                // error the guard's drop releases any waiters to retry.
+                let ctx = PlannerContext::new(self.db.catalog(), &self.stats)
+                    .with_params(self.params.clone());
+                let planned = self.planner.plan(&ctx, graph)?;
+                let entry = Arc::new(CachedPlan {
+                    plan: planned.plan.clone(),
+                    cost: planned.cost,
+                    method: planned.method,
+                    selectivities: current,
+                });
+                self.cache.insert_if_current(&key, entry, epoch);
+                drop(guard);
+                Ok((planned, outcome))
+            }
         }
-        // Plan outside the lock: misses on distinct queries proceed in
-        // parallel; a race on the same query plans twice, last insert
-        // wins. An invalidation racing the planning (stats rebuild,
-        // planner swap, online policy swap) bumps the cache epoch, so
-        // the superseded plan is served once but never cached — a
-        // stale generation's plan must not resurrect as cache hits.
-        let ctx =
-            PlannerContext::new(self.db.catalog(), &self.stats).with_params(self.params.clone());
-        let planned = self.planner.plan(&ctx, graph)?;
-        let entry = std::sync::Arc::new(CachedPlan {
-            plan: planned.plan.clone(),
-            cost: planned.cost,
-            method: planned.method,
-        });
-        self.cache
-            .lock()
-            .expect("plan cache poisoned")
-            .insert_if_current(key, entry, epoch);
-        Ok((planned, false))
     }
 
-    /// Serves an already-bound query graph: plan (through the cache)
-    /// and execute.
-    pub fn serve_graph(&self, graph: &QueryGraph) -> Result<ServedQuery, ServeError> {
-        let (planned, cache_hit) = self.plan(graph)?;
-        let outcome = execute(&self.db, graph, &planned.plan, self.exec_config)?;
-        // One clone behind an `Arc`, shared by the result and the
-        // experience record — recording must not add hot-path work.
-        let graph = std::sync::Arc::new(graph.clone());
+    /// Serves an already-bound, already-shared query graph: plan
+    /// (through the cache) and execute. This is the zero-copy serve
+    /// path — the `Arc` is shared with the result (and the experience
+    /// record when a log is attached); the graph is never deep-cloned.
+    pub fn serve_shared(&self, graph: Arc<QueryGraph>) -> Result<ServedQuery, ServeError> {
+        let (planned, cache) = self.plan(&graph)?;
+        let outcome = execute(&self.db, &graph, &planned.plan, self.exec_config)?;
         if let Some(log) = &self.experience {
             // The join decisions are derived from the executed plan's
             // tree skeleton, so cache hits and misses — and any
             // planning strategy — leave the same kind of record.
             log.push(Experience {
-                graph: std::sync::Arc::clone(&graph),
+                graph: Arc::clone(&graph),
                 decisions: tree_to_actions(&planned.plan.root.join_tree(), graph.relation_count()),
                 executed_work: outcome.stats.work,
                 elapsed: outcome.stats.elapsed,
                 cost: planned.cost,
                 method: planned.method,
-                cache_hit,
+                cache_hit: cache.is_hit(),
             });
         }
         Ok(ServedQuery {
@@ -330,17 +372,27 @@ impl QuerySession {
             plan: planned.plan,
             cost: planned.cost,
             method: planned.method,
-            cache_hit,
+            cache_hit: cache.is_hit(),
+            cache,
             planning_time: planned.planning_time,
             outcome,
         })
     }
 
+    /// Serves an already-bound query graph: one clone up front to share
+    /// it, then [`Self::serve_shared`]. Callers that already hold an
+    /// `Arc<QueryGraph>` (repeated templated serves) should call
+    /// `serve_shared` directly and skip the clone entirely.
+    pub fn serve_graph(&self, graph: &QueryGraph) -> Result<ServedQuery, ServeError> {
+        self.serve_shared(Arc::new(graph.clone()))
+    }
+
     /// Serves SQL text: parse, bind, plan (through the cache), execute.
+    /// The freshly bound graph is moved into its `Arc` — no deep clone.
     pub fn serve(&self, sql: &str) -> Result<ServedQuery, ServeError> {
         let stmt = parse_select(sql)?;
         let graph = bind_select(&stmt, self.db.catalog())?;
-        self.serve_graph(&graph)
+        self.serve_shared(Arc::new(graph))
     }
 }
 
@@ -362,6 +414,7 @@ mod tests {
         let (session, graph) = session(3, 200);
         let served = session.serve_graph(&graph).unwrap();
         assert!(!served.cache_hit);
+        assert_eq!(served.cache, CacheOutcome::Miss);
         assert_eq!(served.method, PlannerMethod::DynamicProgramming);
         assert_eq!(served.outcome.rows.len(), 1, "COUNT(*) row");
         served.plan.validate(&graph).unwrap();
@@ -376,6 +429,7 @@ mod tests {
         let warm = session.serve_graph(&graph).unwrap();
         assert!(!cold.cache_hit);
         assert!(warm.cache_hit);
+        assert_eq!(warm.cache, CacheOutcome::ExactHit);
         assert_eq!(warm.plan, cold.plan);
         assert_eq!(warm.cost, cold.cost);
         assert_eq!(warm.method, cold.method);
@@ -383,6 +437,32 @@ mod tests {
         assert_eq!(warm.outcome.stats.work, cold.outcome.stats.work);
         let m = session.cache_metrics();
         assert_eq!((m.hits, m.misses, m.len), (1, 1, 1));
+    }
+
+    /// Satellite regression: the shared-`Arc` serve path must produce
+    /// output identical to the clone-up-front path — the deep-clone
+    /// removal is a pure performance fix.
+    #[test]
+    fn serve_shared_matches_serve_graph_exactly() {
+        let (session, graph) = session(3, 200);
+        let via_ref = session.serve_graph(&graph).unwrap();
+        let shared = Arc::new(graph.clone());
+        let via_arc = session.serve_shared(Arc::clone(&shared)).unwrap();
+        assert_eq!(via_arc.plan, via_ref.plan);
+        assert_eq!(via_arc.cost, via_ref.cost);
+        assert_eq!(via_arc.method, via_ref.method);
+        assert_eq!(via_arc.outcome.rows, via_ref.outcome.rows);
+        assert_eq!(via_arc.outcome.stats.work, via_ref.outcome.stats.work);
+        // The result's graph IS the caller's Arc — not a clone of it.
+        assert!(Arc::ptr_eq(&via_arc.graph, &shared));
+        // …and with an experience log attached the record shares it too.
+        let (mut logged, graph2) = self::session(3, 200);
+        let log = Arc::new(ExperienceLog::new(8));
+        logged.set_experience_log(Some(Arc::clone(&log)));
+        let shared2 = Arc::new(graph2);
+        let served = logged.serve_shared(Arc::clone(&shared2)).unwrap();
+        assert!(Arc::ptr_eq(&served.graph, &shared2));
+        assert_eq!(log.len(), 1);
     }
 
     #[test]
@@ -393,12 +473,22 @@ mod tests {
         let served = session.serve(sql).unwrap();
         assert_eq!(served.outcome.rows.len(), 1);
         // Alias changes normalise to the same fingerprint: serving the
-        // renamed text is a cache hit.
+        // renamed text is an exact cache hit.
         let renamed = "SELECT COUNT(*) FROM t0 x, t1 y WHERE x.id = y.fk AND x.val < 20";
-        assert!(session.serve(renamed).unwrap().cache_hit);
-        // A different literal is a different fingerprint.
+        assert_eq!(
+            session.serve(renamed).unwrap().cache,
+            CacheOutcome::ExactHit
+        );
+        // A different literal is a different *exact* fingerprint but the
+        // same template; its selectivity is within the band, so the plan
+        // is shared — this is the templated-workload fix.
         let other = "SELECT COUNT(*) FROM t0 x, t1 y WHERE x.id = y.fk AND x.val < 21";
-        assert!(!session.serve(other).unwrap().cache_hit);
+        let other = session.serve(other).unwrap();
+        assert!(other.cache_hit);
+        assert_eq!(other.cache, CacheOutcome::TemplateHit);
+        // A different *structure* (operator) is a true miss.
+        let op = "SELECT COUNT(*) FROM t0 x, t1 y WHERE x.id = y.fk AND x.val >= 21";
+        assert_eq!(session.serve(op).unwrap().cache, CacheOutcome::Miss);
     }
 
     #[test]
@@ -413,6 +503,12 @@ mod tests {
             Err(ServeError::Bind(_))
         ));
         let empty = QueryGraph::new(vec![], vec![], vec![], vec![], vec![]);
+        assert!(matches!(
+            session.serve_graph(&empty),
+            Err(ServeError::Plan(OptError::EmptyQuery))
+        ));
+        // A planner error abandons the single-flight; the next probe of
+        // the same graph must plan again rather than hang or hit.
         assert!(matches!(
             session.serve_graph(&empty),
             Err(ServeError::Plan(OptError::EmptyQuery))
@@ -465,13 +561,49 @@ mod tests {
     }
 
     #[test]
-    fn plan_returns_hit_flag_without_executing() {
+    fn plan_returns_outcome_without_executing() {
         let (session, graph) = session(3, 150);
-        let (first, hit_a) = session.plan(&graph).unwrap();
-        let (second, hit_b) = session.plan(&graph).unwrap();
-        assert!(!hit_a);
-        assert!(hit_b);
+        let (first, outcome_a) = session.plan(&graph).unwrap();
+        let (second, outcome_b) = session.plan(&graph).unwrap();
+        assert_eq!(outcome_a, CacheOutcome::Miss);
+        assert_eq!(outcome_b, CacheOutcome::ExactHit);
+        assert!(!outcome_a.is_hit());
+        assert!(outcome_b.is_hit());
         assert_eq!(first.plan, second.plan);
         assert_eq!(first.method, second.method);
+    }
+
+    /// Satellite regression: `with_cache_capacity` used to rebuild the
+    /// cache from scratch, silently zeroing the accumulated metrics and
+    /// resetting the invalidation epoch (so a pre-rebuild in-flight
+    /// plan could slip past the epoch fence). Both must carry across.
+    #[test]
+    fn with_cache_capacity_carries_metrics_and_epoch() {
+        let (session, graph) = session(3, 150);
+        let _ = session.serve_graph(&graph).unwrap();
+        let _ = session.serve_graph(&graph).unwrap();
+        session.invalidate_cache();
+        let before = session.cache_metrics();
+        assert_eq!(
+            (before.hits, before.misses, before.invalidations),
+            (1, 1, 1)
+        );
+        let session = session.with_cache_capacity(64);
+        let after = session.cache_metrics();
+        assert_eq!(after.hits, before.hits, "hits survive the rebuild");
+        assert_eq!(after.misses, before.misses, "misses survive the rebuild");
+        assert_eq!(
+            after.invalidations,
+            before.invalidations + 1,
+            "the rebuild itself counts as an invalidation"
+        );
+        assert_eq!(after.capacity, 64);
+        assert_eq!(after.len, 0, "entries do not survive");
+        // The epoch advanced, so the session keeps serving correctly.
+        assert_eq!(
+            session.serve_graph(&graph).unwrap().cache,
+            CacheOutcome::Miss
+        );
+        assert!(session.serve_graph(&graph).unwrap().cache_hit);
     }
 }

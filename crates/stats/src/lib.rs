@@ -22,4 +22,7 @@ pub use builder::{build_database_stats, build_table_stats};
 pub use cardinality::{CardinalitySource, EstimatedCardinality, StatsCatalog};
 pub use column_stats::{ColumnStats, TableStats};
 pub use histogram::Histogram;
-pub use selectivity::{selection_selectivity, DEFAULT_EQ_SELECTIVITY, DEFAULT_RANGE_SELECTIVITY};
+pub use selectivity::{
+    param_selectivities, selection_selectivities, selection_selectivity, DEFAULT_EQ_SELECTIVITY,
+    DEFAULT_RANGE_SELECTIVITY,
+};

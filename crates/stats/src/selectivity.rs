@@ -1,7 +1,7 @@
 //! Selection selectivity estimation.
 
 use crate::cardinality::StatsCatalog;
-use hfqo_query::{QueryGraph, Selection};
+use hfqo_query::{ParamVector, QueryGraph, Selection};
 use hfqo_sql::CompareOp;
 
 /// Fallback equality selectivity when no statistics exist (PostgreSQL uses
@@ -37,6 +37,54 @@ pub fn selection_selectivity(stats: &StatsCatalog, graph: &QueryGraph, sel: &Sel
         CompareOp::Ge => range_fraction(col, Some(proxy), None),
     };
     (sel_frac.clamp(0.0, 1.0) * non_null).max(MIN_SEL)
+}
+
+/// Estimates every selection slot's selectivity, in stored (slot)
+/// order: the per-parameter signature the serving layer's template
+/// cache records at planning time and compares on every probe.
+pub fn selection_selectivities(stats: &StatsCatalog, graph: &QueryGraph) -> Vec<f64> {
+    graph
+        .selections()
+        .iter()
+        .map(|sel| selection_selectivity(stats, graph, sel))
+        .collect()
+}
+
+/// Estimates the selectivity signature a *different* parameter vector
+/// would have in `graph`'s template: slot `i`'s column and operator
+/// come from the graph, the literal from `params`. This is the
+/// "(template, params) → selectivity" lookup — it scores a parameter
+/// vector against a template without rebuilding the bound graph.
+///
+/// # Panics
+///
+/// Panics if `params` has a different slot count than the graph's
+/// selection list (the vector belongs to another template).
+pub fn param_selectivities(
+    stats: &StatsCatalog,
+    graph: &QueryGraph,
+    params: &ParamVector,
+) -> Vec<f64> {
+    assert_eq!(
+        params.len(),
+        graph.selections().len(),
+        "parameter vector has {} slots but the template has {}",
+        params.len(),
+        graph.selections().len()
+    );
+    graph
+        .selections()
+        .iter()
+        .zip(params.params())
+        .map(|(slot, value)| {
+            let sel = Selection {
+                column: slot.column,
+                op: slot.op,
+                value: value.clone(),
+            };
+            selection_selectivity(stats, graph, &sel)
+        })
+        .collect()
 }
 
 /// Fraction of non-null rows equal to `proxy`.
@@ -149,5 +197,54 @@ mod tests {
         let (stats, graph) = setup();
         let s = selection_selectivity(&stats, &graph, &sel(CompareOp::Le, 99));
         assert!(s > 0.95, "got {s}");
+    }
+
+    /// Rebinds the graph's single selection slot to `v`.
+    fn with_value(graph: &QueryGraph, op: CompareOp, v: i64) -> QueryGraph {
+        QueryGraph::new(
+            graph.relations().to_vec(),
+            graph.joins().to_vec(),
+            vec![sel(op, v)],
+            graph.aggregates().to_vec(),
+            graph.group_by().to_vec(),
+        )
+    }
+
+    #[test]
+    fn selectivities_follow_slot_order() {
+        let (stats, graph) = setup();
+        let bound = with_value(&graph, CompareOp::Lt, 50);
+        let sels = selection_selectivities(&stats, &bound);
+        assert_eq!(sels.len(), 1);
+        assert_eq!(
+            sels[0],
+            selection_selectivity(&stats, &bound, &bound.selections()[0])
+        );
+        let empty = selection_selectivities(&stats, &graph);
+        assert!(empty.is_empty(), "no slots, no signature");
+    }
+
+    /// The param-vector lookup must score exactly as if the literals
+    /// were bound into the graph — it is the same estimator, addressed
+    /// by (template, params) instead of a rebuilt graph.
+    #[test]
+    fn param_selectivities_match_rebound_graph() {
+        let (stats, graph) = setup();
+        let bound = with_value(&graph, CompareOp::Lt, 50);
+        let other = hfqo_query::ParamVector::new(vec![Lit::Int(90)]);
+        let via_params = param_selectivities(&stats, &bound, &other);
+        let rebound = with_value(&graph, CompareOp::Lt, 90);
+        assert_eq!(via_params, selection_selectivities(&stats, &rebound));
+        // Different constants on a skewed histogram really do move the
+        // signature — this is what the re-plan band compares.
+        assert_ne!(via_params, selection_selectivities(&stats, &bound));
+    }
+
+    #[test]
+    #[should_panic(expected = "parameter vector has 0 slots")]
+    fn param_vector_slot_count_mismatch_panics() {
+        let (stats, graph) = setup();
+        let bound = with_value(&graph, CompareOp::Eq, 5);
+        let _ = param_selectivities(&stats, &bound, &hfqo_query::ParamVector::default());
     }
 }

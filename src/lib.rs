@@ -75,8 +75,8 @@ pub mod prelude {
         TraditionalOptimizer, TraditionalPlanner,
     };
     pub use hfqo_query::{
-        bind_select, fingerprint, Forest, JoinTree, PhysicalPlan, PlanNode, QueryFingerprint,
-        QueryGraph, RelSet,
+        bind_select, fingerprint, template_fingerprint, Forest, JoinTree, ParamVector,
+        PhysicalPlan, PlanNode, QueryFingerprint, QueryGraph, RelSet, TemplateFingerprint,
     };
     pub use hfqo_rejoin::{
         cost_bootstrap, evaluate_per_query, learn_from_demonstration, train, train_parallel,
@@ -86,11 +86,12 @@ pub mod prelude {
     };
     pub use hfqo_rl::Environment;
     pub use hfqo_serve::{
-        CacheMetrics, Experience, ExperienceLog, HotSwapPlanner, OnlineConfig, OnlineTrainer,
-        PlannerHandle, QuerySession, ServeError, ServedQuery,
+        CacheConfig, CacheMetrics, CacheOutcome, Experience, ExperienceLog, HotSwapPlanner,
+        OnlineConfig, OnlineTrainer, PlanKey, PlannerHandle, QuerySession, ServeError, ServedQuery,
     };
     pub use hfqo_sql::parse_select;
     pub use hfqo_stats::{build_database_stats, CardinalitySource, EstimatedCardinality};
+    pub use hfqo_stats::{param_selectivities, selection_selectivities};
     pub use hfqo_storage::{Database, Value};
     pub use hfqo_workload::imdb::ImdbConfig;
     pub use hfqo_workload::WorkloadBundle;

@@ -74,17 +74,29 @@ proptest! {
     }
 }
 
-fn quad_queries(bundle: &SynthDb, count: usize) -> Vec<QueryGraph> {
-    (0..count as u64)
-        .map(|s| bundle.query(Shape::Chain, 3, 2, 100 + s))
-        .collect()
+/// Structurally distinct queries (different shapes/sizes), so each has
+/// its own template fingerprint. Same-shape queries differing only in
+/// seed now share a template — exactly what the old version of the LRU
+/// test below unknowingly relied on *not* happening.
+fn distinct_template_queries(bundle: &SynthDb) -> Vec<QueryGraph> {
+    vec![
+        bundle.query(Shape::Chain, 3, 2, 100),
+        bundle.query(Shape::Star, 4, 2, 101),
+        bundle.query(Shape::Cycle, 5, 2, 102),
+    ]
 }
 
 #[test]
 fn lru_eviction_drops_the_least_recently_used_plan() {
     let synth = SynthDb::build(synth_config());
-    let queries = quad_queries(&synth, 3);
-    let session = QuerySession::traditional(synth.db, synth.stats).with_cache_capacity(2);
+    let queries = distinct_template_queries(&synth);
+    // One shard so the two-template capacity (eviction is per shard)
+    // and the LRU order are deterministic.
+    let session = QuerySession::traditional(synth.db, synth.stats).with_cache_config(CacheConfig {
+        capacity: 2,
+        shards: 1,
+        ..CacheConfig::default()
+    });
     // Fill: q0, q1 (both miss).
     assert!(!session.serve_graph(&queries[0]).unwrap().cache_hit);
     assert!(!session.serve_graph(&queries[1]).unwrap().cache_hit);
@@ -281,15 +293,24 @@ fn concurrent_serving_matches_sequential_results() {
             }
         });
         let after = session.cache_metrics();
-        let probes = (after.hits - before.hits) + (after.misses - before.misses);
+        // Every serve accounts as exactly one of hit / miss / re-plan —
+        // a thread that waits on another's in-flight planner run counts
+        // only its final (post-wait) probe.
+        let probes = (after.hits - before.hits)
+            + (after.misses - before.misses)
+            + (after.replans - before.replans);
         assert_eq!(
             probes as usize,
             workers * 3 * queries.len(),
             "every serve probes the cache exactly once"
         );
+        assert_eq!(
+            after.duplicate_plans, before.duplicate_plans,
+            "single-flight: racing cold misses must not double-plan"
+        );
         assert!(
             after.len <= queries.len(),
-            "at most one entry per distinct fingerprint"
+            "at most one template entry per distinct structure"
         );
     }
 }
