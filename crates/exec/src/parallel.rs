@@ -89,6 +89,9 @@ impl SharedBudget {
         if n == 0 {
             return Ok(());
         }
+        // Relaxed: a commutative sum — every interleaving of the
+        // fetch_adds yields the same total, and the scope join orders
+        // the final read; no other memory piggybacks on this counter.
         let total = self.used.fetch_add(n, AtomicOrdering::Relaxed) + n;
         if total > self.limit {
             Err(ExecError::BudgetExceeded {
@@ -101,6 +104,8 @@ impl SharedBudget {
     }
 
     fn used(&self) -> u64 {
+        // Relaxed: read after the worker-scope join, which already
+        // ordered every flush.
         self.used.load(AtomicOrdering::Relaxed)
     }
 }
@@ -165,6 +170,9 @@ impl Morsels {
 
     /// Claims the next unclaimed morsel: its index and row range.
     fn claim(&self) -> Option<(usize, Range<usize>)> {
+        // Relaxed: the RMW's atomicity alone makes every index unique,
+        // which is the entire claim protocol; the claimed rows are
+        // read-only input published before the workers were spawned.
         let idx = self.next.fetch_add(1, AtomicOrdering::Relaxed);
         if idx >= self.count {
             return None;

@@ -1,0 +1,10 @@
+// Fixture: violates L1 — raw std::sync lock type outside crates/sync.
+use std::sync::Mutex;
+
+pub struct Holder {
+    slot: Mutex<u64>,
+}
+
+pub fn bump(h: &Holder) {
+    *h.slot.lock().expect("slot") += 1;
+}

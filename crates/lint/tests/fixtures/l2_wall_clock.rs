@@ -1,0 +1,7 @@
+// Fixture: violates L2 — wall-clock reads on a library path.
+use std::time::Instant;
+
+pub fn reward() -> f64 {
+    let start = Instant::now();
+    start.elapsed().as_secs_f64()
+}

@@ -1,0 +1,12 @@
+// Fixture: violates L3 — a non-Relaxed ordering with no `// ordering:`
+// justification, next to a justified one and a Relaxed one (neither of
+// which may fire).
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn observe(flag: &AtomicU64) -> (u64, u64, u64) {
+    let bare = flag.load(Ordering::Acquire);
+    // ordering: Acquire — pairs with the publisher's Release store.
+    let justified = flag.load(Ordering::Acquire);
+    let relaxed = flag.load(Ordering::Relaxed);
+    (bare, justified, relaxed)
+}

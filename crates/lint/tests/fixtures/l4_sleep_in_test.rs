@@ -1,0 +1,15 @@
+// Fixture: violates L4 — thread::sleep inside a cfg(test) region.
+// The same call in the library function above it must NOT fire.
+use std::time::Duration;
+
+pub fn backoff(d: Duration) {
+    std::thread::sleep(d); // library code: allowed
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn hopes_the_race_resolves() {
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+}

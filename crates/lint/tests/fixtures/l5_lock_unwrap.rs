@@ -1,0 +1,10 @@
+// Fixture: violates L5 — context-free unwraps on lock and channel
+// results in library code.
+use std::sync::mpsc::Receiver;
+use std::sync::Mutex as StdMutex;
+
+pub fn drain(m: &StdMutex<Vec<u64>>, rx: &Receiver<u64>) -> u64 {
+    let mut buf = m.lock().unwrap();
+    buf.push(rx.recv().unwrap());
+    buf.len() as u64
+}

@@ -21,9 +21,9 @@ use hfqo_catalog::Catalog;
 use hfqo_cost::{CostModel, CostParams};
 use hfqo_query::QueryGraph;
 use hfqo_stats::{EstimatedCardinality, StatsCatalog};
+use hfqo_sync::Mutex;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::sync::Mutex;
 use std::time::Instant;
 
 /// The read-only world a planner plans against, handed in per call.
@@ -174,7 +174,7 @@ impl RandomPlanner {
     /// A random planner with its own seeded RNG stream.
     pub fn new(seed: u64) -> Self {
         Self {
-            rng: Mutex::new(StdRng::seed_from_u64(seed)),
+            rng: Mutex::new("opt.random_planner.rng", StdRng::seed_from_u64(seed)),
         }
     }
 }
@@ -190,7 +190,7 @@ impl Planner for RandomPlanner {
         }
         let start = Instant::now();
         let plan = {
-            let mut rng = self.rng.lock().expect("random planner rng poisoned");
+            let mut rng = self.rng.lock();
             random_plan(graph, ctx.catalog, &mut rng)
         };
         let cost = ctx

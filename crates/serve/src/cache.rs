@@ -42,9 +42,10 @@
 
 use hfqo_opt::PlannerMethod;
 use hfqo_query::{PhysicalPlan, QueryFingerprint, TemplateFingerprint};
+use hfqo_sync::{Condvar, Mutex, MutexGuard};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::sync::Arc;
 
 /// A cached plan: everything the session needs to answer a hit without
 /// re-planning.
@@ -258,22 +259,29 @@ struct TemplateEntry {
 
 /// A cold-miss flight: the leader plans, waiters block here until the
 /// leader's insert (or failure) completes the flight.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 struct Flight {
     done: Mutex<bool>,
     cv: Condvar,
 }
 
 impl Flight {
+    fn new() -> Self {
+        Self {
+            done: Mutex::new("serve.cache.flight", false),
+            cv: Condvar::new(),
+        }
+    }
+
     fn wait(&self) {
-        let mut done = self.done.lock().expect("flight poisoned");
+        let mut done = self.done.lock();
         while !*done {
-            done = self.cv.wait(done).expect("flight poisoned");
+            done = self.cv.wait(done);
         }
     }
 
     fn complete(&self) {
-        *self.done.lock().expect("flight poisoned") = true;
+        *self.done.lock() = true;
         self.cv.notify_all();
     }
 }
@@ -377,6 +385,16 @@ pub struct PlanCache {
     shard_capacity: usize,
     /// Global invalidation epoch; bumped before the shard sweep so a
     /// stale insert can never land in an already-swept shard.
+    ///
+    /// All accesses are `Relaxed`: every epoch read that feeds a
+    /// decision (`probe` capture, `insert_if_current` compare) happens
+    /// under the shard mutex, and `invalidate` locks every shard after
+    /// the bump. The mutex's release→acquire edges order the bump
+    /// against any insert that locks a shard after its sweep; an insert
+    /// that locks a shard *before* its sweep may read the pre-bump
+    /// epoch, land, and then be swept — the same outcome `SeqCst` gave.
+    /// (Was `SeqCst`; downgraded in the PR 8 ordering audit. Regression
+    /// test: `invalidate_racing_inserts_never_resurrects_plans`.)
     epoch: AtomicU64,
     /// Counters carried over from before a capacity rebuild.
     base: Counters,
@@ -396,7 +414,9 @@ impl PlanCache {
     /// An empty cache with explicit geometry and re-plan policy.
     pub fn with_config(config: CacheConfig) -> Self {
         let config = config.normalized();
-        let shards = (0..config.shards).map(|_| Mutex::default()).collect();
+        let shards = (0..config.shards)
+            .map(|_| Mutex::new("serve.cache.shard", Shard::default()))
+            .collect();
         Self {
             shards,
             shard_capacity: config.capacity.div_ceil(config.shards).max(1),
@@ -421,7 +441,8 @@ impl PlanCache {
         for shard in &self.shards {
             base.add(&self.lock_shard_of(shard).counters);
         }
-        let epoch = self.epoch.load(Ordering::SeqCst) + 1;
+        // `self` is owned here, so no other thread can touch the epoch.
+        let epoch = self.epoch.load(Ordering::Relaxed) + 1;
         let mut next = Self::with_config(config);
         next.base = base;
         next.epoch = AtomicU64::new(epoch);
@@ -449,7 +470,8 @@ impl PlanCache {
     }
 
     fn lock_shard_of<'a>(&self, shard: &'a Mutex<Shard>) -> MutexGuard<'a, Shard> {
-        shard.lock().expect("plan cache shard poisoned")
+        // Poison panics with the site label via hfqo_sync's unified path.
+        shard.lock()
     }
 
     /// The current invalidation epoch. Callers that plan outside the
@@ -458,7 +480,9 @@ impl PlanCache {
     /// invalidation in between bumps the epoch, so the superseded plan
     /// is discarded instead of resurrecting into the fresh cache.
     pub fn epoch(&self) -> u64 {
-        self.epoch.load(Ordering::SeqCst)
+        // Relaxed: see the `epoch` field docs — the shard mutexes carry
+        // the synchronization; this value is only compared under them.
+        self.epoch.load(Ordering::Relaxed)
     }
 
     /// Probes for `key`, with `current` the stats-estimated selectivity
@@ -527,14 +551,13 @@ impl PlanCache {
                 // the next leader.
                 continue;
             }
-            shard
-                .inflight
-                .insert(key.exact, Arc::new(Flight::default()));
+            shard.inflight.insert(key.exact, Arc::new(Flight::new()));
             match outcome {
                 CacheOutcome::Replan => shard.counters.replans += 1,
                 _ => shard.counters.misses += 1,
             }
-            let epoch = self.epoch.load(Ordering::SeqCst);
+            // Relaxed: captured under the shard lock; see the field docs.
+            let epoch = self.epoch.load(Ordering::Relaxed);
             return Probe::Plan {
                 guard: FlightGuard {
                     cache: self,
@@ -555,7 +578,8 @@ impl PlanCache {
     pub fn insert_if_current(&self, key: &PlanKey, cached: Arc<CachedPlan>, epoch: u64) -> bool {
         let si = self.shard_index(key.template);
         let mut shard = self.lock_shard(si);
-        if epoch != self.epoch.load(Ordering::SeqCst) {
+        // Relaxed: compared under the shard lock; see the field docs.
+        if epoch != self.epoch.load(Ordering::Relaxed) {
             shard.counters.stale_inserts += 1;
             return false;
         }
@@ -618,7 +642,10 @@ impl PlanCache {
     /// about to be swept or is rejected as stale — a superseded plan
     /// can never survive the invalidation.
     pub fn invalidate(&self) {
-        self.epoch.fetch_add(1, Ordering::SeqCst);
+        // Relaxed: the shard lock/unlock in the sweep below publishes
+        // the bump to every insert that locks a shard after its sweep;
+        // see the `epoch` field docs.
+        self.epoch.fetch_add(1, Ordering::Relaxed);
         for shard in &self.shards {
             self.lock_shard_of(shard).entries.clear();
         }
@@ -998,7 +1025,9 @@ mod tests {
                     match cache.probe(&k, &[]) {
                         Probe::Hit { plan: p, .. } => assert_eq!(p, plan(1)),
                         Probe::Plan { guard, epoch, .. } => {
-                            planned.fetch_add(1, Ordering::SeqCst);
+                            // Relaxed: the scope join below orders this
+                            // against the final load.
+                            planned.fetch_add(1, Ordering::Relaxed);
                             cache.insert_if_current(&k, plan(1), epoch);
                             drop(guard);
                         }
@@ -1007,7 +1036,7 @@ mod tests {
             }
         });
         assert_eq!(
-            planned.load(Ordering::SeqCst),
+            planned.load(Ordering::Relaxed),
             1,
             "exactly one leader plans a racing cold miss"
         );
@@ -1016,6 +1045,45 @@ mod tests {
         assert_eq!(m.misses, 1);
         assert_eq!(m.hits + m.flight_waits, 7 + m.flight_waits);
         assert_eq!(m.hits + m.misses + m.replans, 8, "every probe counted once");
+    }
+
+    /// Regression test for the PR 8 ordering audit, which downgraded
+    /// the invalidation epoch from `SeqCst` to `Relaxed`: once
+    /// `invalidate` returns, inserts carrying a pre-invalidation epoch
+    /// must be rejected as stale, and no plan inserted before the sweep
+    /// may survive — even while inserters are still hammering the
+    /// cache with the stale epoch.
+    #[test]
+    fn invalidate_racing_inserts_never_resurrects_plans() {
+        let cache = PlanCache::new(64);
+        let barrier = std::sync::Barrier::new(5);
+        std::thread::scope(|scope| {
+            for t in 0..4u128 {
+                let (cache, barrier) = (&cache, &barrier);
+                scope.spawn(move || {
+                    // Epoch captured strictly before the invalidation.
+                    let epoch = cache.epoch();
+                    barrier.wait();
+                    // Bounded (not flag-driven): the loop must finish on
+                    // its own even on a single-CPU box where spinners
+                    // starve the main thread.
+                    for i in 0..500u128 {
+                        cache.insert_if_current(&key(t * 1000 + i, i), plan(1), epoch);
+                    }
+                });
+            }
+            barrier.wait();
+            cache.invalidate();
+            // The sweep has visited every shard: entries inserted before
+            // it are gone, and the still-running inserters carry a
+            // pre-invalidation epoch, so nothing can land from here on.
+            assert_eq!(cache.metrics().len, 0, "swept entries must stay gone");
+        });
+        assert_eq!(cache.metrics().len, 0);
+        assert!(
+            !cache.insert_if_current(&key(9999, 9999), plan(1), cache.epoch() - 1),
+            "a pre-invalidation epoch must be rejected as stale"
+        );
     }
 
     #[test]

@@ -18,8 +18,9 @@
 
 use hfqo_opt::PlannerMethod;
 use hfqo_query::QueryGraph;
+use hfqo_sync::Mutex;
 use std::collections::VecDeque;
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// One executed query, as remembered for online learning.
@@ -82,7 +83,7 @@ impl ExperienceLog {
     /// An empty log bounded at `capacity` experiences (minimum 1).
     pub fn new(capacity: usize) -> Self {
         Self {
-            inner: Mutex::new(Inner::default()),
+            inner: Mutex::new("serve.experience.log", Inner::default()),
             capacity: capacity.max(1),
         }
     }
@@ -90,7 +91,7 @@ impl ExperienceLog {
     /// Appends an experience, evicting the oldest buffered one when at
     /// capacity.
     pub fn push(&self, experience: Experience) {
-        let mut inner = self.inner.lock().expect("experience log poisoned");
+        let mut inner = self.inner.lock();
         if inner.buf.len() >= self.capacity {
             inner.buf.pop_front();
             inner.dropped += 1;
@@ -101,7 +102,7 @@ impl ExperienceLog {
 
     /// Removes and returns up to `max` experiences, oldest first.
     pub fn drain(&self, max: usize) -> Vec<Experience> {
-        let mut inner = self.inner.lock().expect("experience log poisoned");
+        let mut inner = self.inner.lock();
         let take = max.min(inner.buf.len());
         let out: Vec<Experience> = inner.buf.drain(..take).collect();
         inner.drained += out.len() as u64;
@@ -110,11 +111,7 @@ impl ExperienceLog {
 
     /// Experiences currently buffered.
     pub fn len(&self) -> usize {
-        self.inner
-            .lock()
-            .expect("experience log poisoned")
-            .buf
-            .len()
+        self.inner.lock().buf.len()
     }
 
     /// Whether the log is currently empty.
@@ -124,7 +121,7 @@ impl ExperienceLog {
 
     /// Snapshot of the lifetime counters.
     pub fn metrics(&self) -> ExperienceMetrics {
-        let inner = self.inner.lock().expect("experience log poisoned");
+        let inner = self.inner.lock();
         ExperienceMetrics {
             recorded: inner.recorded,
             dropped: inner.dropped,

@@ -284,6 +284,9 @@ impl OnlineTrainer {
     /// (never calling this, or stopping it) leaves serving bit-identical
     /// to the frozen-policy path.
     pub fn run(&mut self, session: &QuerySession, stop: &AtomicBool, idle: Duration) {
+        // ordering: Acquire — pairs with the Release store by the
+        // stopping thread, so everything it wrote before requesting the
+        // stop is visible to the trainer's final loop exit.
         while !stop.load(Ordering::Acquire) {
             let step = self.step(session);
             if step.drained == 0 {

@@ -28,8 +28,9 @@
 use hfqo_opt::{OptError, PlannedQuery, Planner, PlannerContext};
 use hfqo_query::QueryGraph;
 use hfqo_rejoin::LearnedPlanner;
+use hfqo_sync::RwLock;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::Arc;
 
 /// The shared cell holding the current learned-planner generation.
 #[derive(Debug)]
@@ -42,7 +43,7 @@ impl PlannerHandle {
     /// A handle whose generation 0 is `planner`.
     pub fn new(planner: LearnedPlanner) -> Arc<Self> {
         Arc::new(Self {
-            current: RwLock::new(Arc::new(planner)),
+            current: RwLock::new("serve.swap.handle", Arc::new(planner)),
             generation: AtomicU64::new(0),
         })
     }
@@ -50,7 +51,7 @@ impl PlannerHandle {
     /// The current generation's planner (O(1): read-lock + `Arc`
     /// clone).
     pub fn load(&self) -> Arc<LearnedPlanner> {
-        Arc::clone(&self.current.read().expect("planner handle poisoned"))
+        Arc::clone(&self.current.read())
     }
 
     /// Publishes `planner` as the next generation and returns the new
@@ -59,12 +60,20 @@ impl PlannerHandle {
     /// generation they already loaded.
     pub fn store(&self, planner: LearnedPlanner) -> u64 {
         let next = Arc::new(planner);
-        *self.current.write().expect("planner handle poisoned") = next;
+        *self.current.write() = next;
+        // ordering: AcqRel — the release half publishes the pointer
+        // store above to any thread whose Acquire `generation()` read
+        // observes the bump (a thread that sees generation N can load a
+        // planner at least that new); the acquire half orders
+        // back-to-back stores from different trainer threads.
         self.generation.fetch_add(1, Ordering::AcqRel) + 1
     }
 
     /// Generations published so far (0 = still the initial policy).
     pub fn generation(&self) -> u64 {
+        // ordering: Acquire — pairs with the AcqRel bump in `store` so
+        // an observed generation implies the matching planner swap is
+        // visible too.
         self.generation.load(Ordering::Acquire)
     }
 }

@@ -1,0 +1,333 @@
+//! Debug-build lock checker: a global site-level lock-order graph plus
+//! a per-thread held-lock chain. Compiled only under
+//! `cfg(debug_assertions)`; the public wrappers in `lib.rs` call in
+//! before every acquisition.
+//!
+//! Design notes:
+//!
+//! * Nodes in the order graph are **sites** (static labels passed to
+//!   `Mutex::new`/`RwLock::new`), not lock instances. Two locks of the
+//!   same site share ordering constraints — which is what makes the
+//!   checker flag same-site nesting (two cache shards taken by two
+//!   threads in opposite order is a deadlock even though the edges are
+//!   instance-distinct).
+//! * Cycles are detected **before blocking** on the underlying lock, so
+//!   an inversion panics deterministically on first occurrence instead
+//!   of deadlocking only under the losing interleaving.
+//! * Re-entrancy is tracked by **instance id** (a process-unique u64
+//!   per lock), since re-acquiring a *different* instance of the same
+//!   site is an ordering hazard, not re-entrancy.
+//! * The graph is cumulative for the process lifetime and edges are
+//!   never removed: an order once established is a contract.
+//!
+//! This module is the one place in the workspace allowed to use
+//! `std::sync` lock types directly (lint rule L1 exempts `crates/sync`):
+//! the checker's own registry lock is deliberately *not* instrumented.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// Runtime kill-switch: `HFQO_LOCKCHECK=0` (or `off`/`false`) disables
+/// checking in debug builds, e.g. for debug-profile benchmarking. Read
+/// once; checking is on by default.
+fn enabled() -> bool {
+    static ENABLED: OnceLock<bool> = OnceLock::new();
+    *ENABLED.get_or_init(|| {
+        !matches!(
+            std::env::var("HFQO_LOCKCHECK").as_deref(),
+            Ok("0") | Ok("off") | Ok("false")
+        )
+    })
+}
+
+/// Interned sites and the directed order graph over them.
+struct Registry {
+    /// Site label → node id.
+    ids: HashMap<&'static str, usize>,
+    /// Node id → site label (reverse of `ids`).
+    labels: Vec<&'static str>,
+    /// `edges[a]` holds every `b` such that some thread acquired a lock
+    /// of site `b` while holding a lock of site `a`.
+    edges: Vec<Vec<usize>>,
+}
+
+fn registry() -> &'static Mutex<Registry> {
+    static REGISTRY: OnceLock<Mutex<Registry>> = OnceLock::new();
+    REGISTRY.get_or_init(|| {
+        Mutex::new(Registry {
+            ids: HashMap::new(),
+            labels: Vec::new(),
+            edges: Vec::new(),
+        })
+    })
+}
+
+impl Registry {
+    fn intern(&mut self, site: &'static str) -> usize {
+        if let Some(&id) = self.ids.get(site) {
+            return id;
+        }
+        let id = self.labels.len();
+        self.ids.insert(site, id);
+        self.labels.push(site);
+        self.edges.push(Vec::new());
+        id
+    }
+
+    /// Is `to` reachable from `from` along established edges? If so,
+    /// returns the path as site labels (`from … to`), used to print the
+    /// established order that a new inverse edge would contradict.
+    fn path(&self, from: usize, to: usize) -> Option<Vec<&'static str>> {
+        let mut parent: HashMap<usize, usize> = HashMap::new();
+        let mut stack = vec![from];
+        parent.insert(from, from);
+        while let Some(n) = stack.pop() {
+            if n == to {
+                let mut path = vec![self.labels[to]];
+                let mut cur = to;
+                while cur != from {
+                    cur = parent[&cur];
+                    path.push(self.labels[cur]);
+                }
+                path.reverse();
+                return Some(path);
+            }
+            for &next in &self.edges[n] {
+                if let std::collections::hash_map::Entry::Vacant(e) = parent.entry(next) {
+                    e.insert(n);
+                    stack.push(next);
+                }
+            }
+        }
+        None
+    }
+}
+
+thread_local! {
+    /// The chain of instrumented locks this thread currently holds, in
+    /// acquisition order: `(instance id, site id, site label)`.
+    static HELD: RefCell<Vec<(u64, usize, &'static str)>> =
+        const { RefCell::new(Vec::new()) };
+}
+
+fn held_chain() -> Vec<&'static str> {
+    HELD.with(|h| h.borrow().iter().map(|&(_, _, site)| site).collect())
+}
+
+/// Per-lock checker state, embedded in each `Mutex`/`RwLock` in debug
+/// builds.
+pub(crate) struct LockMeta {
+    site: &'static str,
+    site_id: usize,
+    /// Process-unique instance id, for re-entrancy detection.
+    instance: u64,
+}
+
+impl LockMeta {
+    pub(crate) fn register(site: &'static str) -> Self {
+        static NEXT_INSTANCE: AtomicU64 = AtomicU64::new(1);
+        let site_id = if enabled() {
+            registry().lock().expect("lockcheck registry").intern(site)
+        } else {
+            0
+        };
+        Self {
+            site,
+            site_id,
+            // ordering: Relaxed — a process-unique counter; uniqueness is
+            // all that matters, no other memory depends on it.
+            instance: NEXT_INSTANCE.fetch_add(1, Ordering::Relaxed),
+        }
+    }
+
+    pub(crate) fn site(&self) -> &'static str {
+        self.site
+    }
+
+    /// Checks an acquisition of this lock against the thread's held
+    /// chain and the global order graph. Panics on re-entrancy,
+    /// same-site nesting, or a lock-order cycle; otherwise records the
+    /// new edges and returns a pending token to complete once the
+    /// underlying lock is actually held.
+    pub(crate) fn before_acquire(&self) -> PendingAcquire {
+        if !enabled() {
+            return PendingAcquire {
+                instance: self.instance,
+                site_id: self.site_id,
+                site: self.site,
+                registered: false,
+            };
+        }
+        let held: Vec<(u64, usize, &'static str)> = HELD.with(|h| h.borrow().clone());
+        // Deadlock-on-self checks first: they need no graph.
+        for &(instance, site_id, site) in &held {
+            if instance == self.instance {
+                panic!(
+                    "re-entrant lock acquisition: \"{}\" is already held by this thread \
+                     (held chain: {:?})",
+                    self.site,
+                    held_chain(),
+                );
+            }
+            if site_id == self.site_id {
+                panic!(
+                    "lock-order hazard: acquiring \"{}\" while holding another lock of the \
+                     same site \"{site}\" — two threads taking same-site locks in opposite \
+                     order deadlock (held chain: {:?})",
+                    self.site,
+                    held_chain(),
+                );
+            }
+        }
+        if !held.is_empty() {
+            // The panic message is assembled while the registry guard is
+            // held, but the panic itself fires after releasing it — so a
+            // `should_panic` test does not poison the registry for every
+            // later test in the binary.
+            let mut cycle: Option<String> = None;
+            {
+                let mut reg = registry().lock().expect("lockcheck registry");
+                for &(_, held_site_id, held_site) in &held {
+                    if reg.edges[held_site_id].contains(&self.site_id) {
+                        continue; // established edge, already validated
+                    }
+                    if let Some(path) = reg.path(self.site_id, held_site_id) {
+                        cycle = Some(format!(
+                            "lock-order cycle: acquiring \"{}\" while holding \"{held_site}\" \
+                             inverts the established order {} -> \"{held_site}\"; a deadlock \
+                             is possible (held chain: {:?})",
+                            self.site,
+                            path.iter()
+                                .map(|s| format!("\"{s}\""))
+                                .collect::<Vec<_>>()
+                                .join(" -> "),
+                            held.iter().map(|&(_, _, s)| s).collect::<Vec<_>>(),
+                        ));
+                        break;
+                    }
+                    reg.edges[held_site_id].push(self.site_id);
+                }
+            }
+            if let Some(msg) = cycle {
+                panic!("{msg}");
+            }
+        }
+        PendingAcquire {
+            instance: self.instance,
+            site_id: self.site_id,
+            site: self.site,
+            registered: true,
+        }
+    }
+}
+
+/// Result of a passed pre-acquisition check; turned into a
+/// [`HeldToken`] once the underlying lock is held. Split so that a
+/// poison panic between check and acquisition never leaves a stale
+/// held-chain entry.
+pub(crate) struct PendingAcquire {
+    instance: u64,
+    site_id: usize,
+    site: &'static str,
+    registered: bool,
+}
+
+impl PendingAcquire {
+    pub(crate) fn site(&self) -> &'static str {
+        self.site
+    }
+
+    /// The underlying lock is now held: push it onto the thread's chain.
+    pub(crate) fn acquired(self) -> HeldToken {
+        if self.registered {
+            HELD.with(|h| {
+                h.borrow_mut()
+                    .push((self.instance, self.site_id, self.site))
+            });
+        }
+        HeldToken {
+            instance: self.instance,
+            site_id: self.site_id,
+            site: self.site,
+            registered: self.registered,
+        }
+    }
+
+    /// Re-entry after a condvar wait: the mutex is held again. No order
+    /// checks are needed — the wait discipline guarantees the chain was
+    /// empty while blocked (this thread could not have acquired
+    /// anything while parked).
+    pub(crate) fn reacquired(self) -> HeldToken {
+        self.acquired()
+    }
+}
+
+/// Registration of one held lock; embedded in each guard. Dropping the
+/// token (when the guard drops) removes the lock from the thread's
+/// held chain.
+pub(crate) struct HeldToken {
+    instance: u64,
+    site_id: usize,
+    site: &'static str,
+    registered: bool,
+}
+
+impl HeldToken {
+    /// Condvar wait: the mutex is about to be released for the duration
+    /// of the block. Enforces the sole-lock discipline (waiting while
+    /// holding anything else parks that lock unboundedly), then removes
+    /// this entry from the chain and hands back a `PendingAcquire` for
+    /// re-registration on wakeup.
+    pub(crate) fn release_for_wait(self) -> PendingAcquire {
+        if self.registered {
+            let others: Vec<&'static str> = HELD.with(|h| {
+                h.borrow()
+                    .iter()
+                    .filter(|&&(instance, _, _)| instance != self.instance)
+                    .map(|&(_, _, site)| site)
+                    .collect()
+            });
+            if !others.is_empty() {
+                // The token's own Drop will unregister when this panic
+                // unwinds the guard.
+                panic!(
+                    "condvar wait while holding other locks: waiting on \"{}\" would keep \
+                     {others:?} held for an unbounded time",
+                    self.site,
+                );
+            }
+        }
+        let pending = PendingAcquire {
+            instance: self.instance,
+            site_id: self.site_id,
+            site: self.site,
+            registered: self.registered,
+        };
+        // `self` is consumed; suppress its Drop-time unregistration in
+        // favor of doing it here, exactly once.
+        unregister(self.instance, self.registered);
+        std::mem::forget(self);
+        pending
+    }
+}
+
+impl Drop for HeldToken {
+    fn drop(&mut self) {
+        unregister(self.instance, self.registered);
+    }
+}
+
+fn unregister(instance: u64, registered: bool) {
+    if !registered {
+        return;
+    }
+    HELD.with(|h| {
+        let mut held = h.borrow_mut();
+        // Guards are usually dropped LIFO; search from the back.
+        if let Some(pos) = held.iter().rposition(|&(i, _, _)| i == instance) {
+            held.remove(pos);
+        }
+    });
+}

@@ -1,0 +1,148 @@
+//! Coverage for the `hfqo_sync` lock checker itself: deliberate
+//! lock-order inversions, re-entrancy, same-site nesting, and condvar
+//! misuse must all panic in debug builds with messages naming the
+//! offending sites — and the wrappers must stay invisible otherwise.
+//!
+//! The panic tests are `cfg(debug_assertions)`: in release the checker
+//! is compiled out entirely (the compile-time size assertions in
+//! `hfqo_sync` — evaluated by the tier-1 `cargo build --release` —
+//! pin the pass-through), so there is nothing to fire.
+//!
+//! The lock-order graph is global to the test binary, so every test
+//! here uses its own site labels; orders established by one test must
+//! not constrain another.
+
+use hfqo_sync::{Condvar, Mutex, RwLock};
+
+/// The acceptance-criteria test: an A→B order established once, then a
+/// B→A acquisition — a latent deadlock that would only bite under the
+/// losing interleaving — panics deterministically at the inverted
+/// acquisition, in a single thread, on the first run.
+#[cfg(debug_assertions)]
+#[test]
+#[should_panic(expected = "lock-order cycle")]
+fn deliberate_lock_order_inversion_is_caught() {
+    let a = Mutex::new("lockcheck.inversion.a", ());
+    let b = Mutex::new("lockcheck.inversion.b", ());
+    {
+        let _ga = a.lock();
+        let _gb = b.lock(); // establishes a → b
+    }
+    let _gb = b.lock();
+    let _ga = a.lock(); // b → a: cycle, panics here
+}
+
+/// The cycle message must name both ends of the inversion and the held
+/// chain — that is what makes the panic actionable.
+#[cfg(debug_assertions)]
+#[test]
+fn cycle_panic_names_both_sites_and_the_held_chain() {
+    let a = Mutex::new("lockcheck.named.a", ());
+    let b = Mutex::new("lockcheck.named.b", ());
+    {
+        let _ga = a.lock();
+        let _gb = b.lock();
+    }
+    let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let _gb = b.lock();
+        let _ga = a.lock();
+    }))
+    .expect_err("the inverted acquisition must panic");
+    let msg = err
+        .downcast_ref::<String>()
+        .cloned()
+        .expect("panic carries a message");
+    assert!(msg.contains("lock-order cycle"), "got: {msg}");
+    assert!(msg.contains("lockcheck.named.a"), "got: {msg}");
+    assert!(msg.contains("lockcheck.named.b"), "got: {msg}");
+    assert!(msg.contains("held chain"), "got: {msg}");
+}
+
+/// Re-entrant acquisition panics at the root cause instead of
+/// deadlocking (std's documented behavior for `Mutex` self-lock).
+#[cfg(debug_assertions)]
+#[test]
+#[should_panic(expected = "re-entrant lock acquisition")]
+fn reentrant_lock_panics_at_root_cause() {
+    let m = Mutex::new("lockcheck.reentrant", 0);
+    let _g1 = m.lock();
+    let _g2 = m.lock();
+}
+
+/// Holding one lock of a site while acquiring another lock of the same
+/// site (e.g. two cache shards) is flagged: with many instances per
+/// site there is always an interleaving where two threads take them in
+/// opposite order.
+#[cfg(debug_assertions)]
+#[test]
+#[should_panic(expected = "lock-order hazard")]
+fn same_site_nesting_panics() {
+    let s1 = Mutex::new("lockcheck.same-site", 1);
+    let s2 = Mutex::new("lockcheck.same-site", 2);
+    let _g1 = s1.lock();
+    let _g2 = s2.lock();
+}
+
+/// Waiting on a condvar while holding any lock other than the one being
+/// released parks that lock for an unbounded time — the checker refuses.
+#[cfg(debug_assertions)]
+#[test]
+#[should_panic(expected = "condvar wait while holding other locks")]
+fn condvar_wait_while_holding_another_lock_panics() {
+    let outer = Mutex::new("lockcheck.cv.outer", ());
+    let inner = Mutex::new("lockcheck.cv.inner", false);
+    let cv = Condvar::new();
+    let _outer = outer.lock();
+    let guard = inner.lock();
+    let _guard = cv.wait(guard);
+}
+
+/// RwLocks participate in the same order graph as mutexes: a read
+/// acquisition closing a write-established cycle is an inversion too
+/// (a queued writer makes reader/writer deadlocks real).
+#[cfg(debug_assertions)]
+#[test]
+#[should_panic(expected = "lock-order cycle")]
+fn rwlock_inversion_is_caught() {
+    let m = Mutex::new("lockcheck.rw.mutex", ());
+    let rw = RwLock::new("lockcheck.rw.lock", 0);
+    {
+        let _gm = m.lock();
+        let _gw = rw.write(); // establishes mutex → rwlock
+    }
+    let _gr = rw.read();
+    let _gm = m.lock(); // rwlock → mutex: cycle
+}
+
+/// Consistent nesting never trips the checker, in either profile, and
+/// the wrappers behave exactly like the std primitives. (The zero-cost
+/// half of the release contract — size equality with `std::sync` — is a
+/// compile-time assertion inside `hfqo_sync`, evaluated by the tier-1
+/// release build.)
+#[test]
+fn consistent_order_and_plain_use_stay_silent() {
+    let a = Mutex::new("lockcheck.quiet.a", 1);
+    let b = Mutex::new("lockcheck.quiet.b", 2);
+    for _ in 0..3 {
+        let ga = a.lock();
+        let gb = b.lock();
+        assert_eq!(*ga + *gb, 3);
+    }
+    let rw = RwLock::new("lockcheck.quiet.rw", vec![1]);
+    rw.write().push(2);
+    assert_eq!(rw.read().len(), 2);
+
+    // Condvar roundtrip under the sole-lock discipline.
+    let ready = Mutex::new("lockcheck.quiet.cv", false);
+    let cv = Condvar::new();
+    std::thread::scope(|s| {
+        s.spawn(|| {
+            *ready.lock() = true;
+            cv.notify_all();
+        });
+        let mut g = ready.lock();
+        while !*g {
+            g = cv.wait(g);
+        }
+    });
+}

@@ -25,7 +25,7 @@ use hfqo::prelude::*;
 use hfqo::storage::Value;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 fn sorted_rows(served: &ServedQuery) -> Vec<Vec<Value>> {
@@ -250,14 +250,17 @@ fn hot_swap_mid_traffic_never_serves_torn_plans() {
         .and_then(|v| v.split(',').next_back()?.trim().parse().ok())
         .unwrap_or(2);
     let stop = AtomicBool::new(false);
+    let serves = AtomicU64::new(0);
     std::thread::scope(|scope| {
         for w in 0..workers {
             let session = &session;
             let queries = &queries;
             let (reference, plans_a, plans_b) = (&reference, &plans_a, &plans_b);
-            let stop = &stop;
+            let (stop, serves) = (&stop, &serves);
             scope.spawn(move || {
                 let mut i = w;
+                // ordering: Acquire — pairs with the Release store after
+                // the swap loop; loop exit implies all swaps are visible.
                 while !stop.load(Ordering::Acquire) {
                     let idx = i % queries.len();
                     let served = session.serve_graph(&queries[idx]).expect("serves");
@@ -266,18 +269,33 @@ fn hot_swap_mid_traffic_never_serves_torn_plans() {
                         "worker {w}: torn or unknown plan for query {idx}"
                     );
                     assert_eq!(sorted_rows(&served), reference[idx], "query {idx}");
+                    // Relaxed: progress counter, only paces the swap loop.
+                    serves.fetch_add(1, Ordering::Relaxed);
                     i += 1;
                 }
             });
         }
         // Swap generations mid-traffic, exactly as OnlineTrainer::swap
         // does: publish a complete frozen planner, then invalidate.
+        // Between swaps, wait for demonstrable serving progress (one
+        // serve per worker) instead of sleeping: every swap then really
+        // races live serves, and the pacing cannot under- or overshoot
+        // on a loaded runner. Bounded so wedged workers fail loudly.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(60);
         for swap in 0..SWAPS {
             let next = if swap % 2 == 0 { &gen_b } else { &gen_a };
             handle.store(next.clone());
             session.invalidate_cache();
-            std::thread::sleep(std::time::Duration::from_millis(2));
+            let target = serves.load(Ordering::Relaxed) + workers as u64;
+            while serves.load(Ordering::Relaxed) < target {
+                assert!(
+                    std::time::Instant::now() < deadline,
+                    "workers made no serving progress within 60 s of swap {swap}"
+                );
+                std::thread::yield_now();
+            }
         }
+        // ordering: Release — pairs with the workers' Acquire loop check.
         stop.store(true, Ordering::Release);
     });
     assert_eq!(handle.generation(), SWAPS);
@@ -333,6 +351,8 @@ fn background_trainer_swaps_while_serving() {
                 "background trainer published no generation within 60 s"
             );
         }
+        // ordering: Release — pairs with the trainer's Acquire stop
+        // check in `OnlineTrainer::run`.
         stop.store(true, Ordering::Release);
         let trainer = thread.join().expect("trainer thread");
         assert!(

@@ -215,10 +215,16 @@ fn selectivity_band_replan_triggers_new_plan_bucket() {
 }
 
 /// A planner wrapper that counts how many times `plan` actually runs —
-/// the observable for the single-flight guarantee.
+/// the observable for the single-flight guarantee. `plan` refuses to
+/// finish until every racing thread has arrived at its probe, so the
+/// race window is held open *deterministically*: without single-flight,
+/// all racers end up in here and the run count explodes; with it, the
+/// one leader waits for the stragglers and everyone else hits.
 struct CountingPlanner {
     inner: TraditionalPlanner,
     runs: std::sync::Arc<AtomicUsize>,
+    arrived: std::sync::Arc<AtomicUsize>,
+    workers: usize,
 }
 
 impl Planner for CountingPlanner {
@@ -231,10 +237,12 @@ impl Planner for CountingPlanner {
         ctx: &PlannerContext<'_>,
         graph: &QueryGraph,
     ) -> Result<hfqo::opt::PlannedQuery, hfqo::opt::OptError> {
-        self.runs.fetch_add(1, Ordering::SeqCst);
-        // Widen the race window so non-single-flight implementations
-        // reliably double-plan here.
-        std::thread::sleep(std::time::Duration::from_millis(20));
+        // Relaxed: counters/gates only; the scope join orders the final
+        // asserts, and atomic visibility alone drives the gate below.
+        self.runs.fetch_add(1, Ordering::Relaxed);
+        while self.arrived.load(Ordering::Relaxed) < self.workers {
+            std::thread::yield_now();
+        }
         self.inner.plan(ctx, graph)
     }
 }
@@ -248,26 +256,33 @@ fn racing_cold_misses_plan_exactly_once() {
     let synth = SynthDb::build(synth_config());
     let graph = synth.query(Shape::Chain, 4, 2, 9);
     let runs = std::sync::Arc::new(AtomicUsize::new(0));
+    let arrived = std::sync::Arc::new(AtomicUsize::new(0));
+    let workers = 8;
     let planner = CountingPlanner {
         inner: TraditionalPlanner::new(),
         runs: std::sync::Arc::clone(&runs),
+        arrived: std::sync::Arc::clone(&arrived),
+        workers,
     };
     let session = QuerySession::new(synth.db, synth.stats, Box::new(planner));
-    let workers = 8;
     let barrier = std::sync::Barrier::new(workers);
     std::thread::scope(|scope| {
         for _ in 0..workers {
             let session = &session;
             let graph = &graph;
-            let barrier = &barrier;
+            let (barrier, arrived) = (&barrier, &arrived);
             scope.spawn(move || {
                 barrier.wait();
+                // Announce arrival before probing: the planning leader
+                // holds its flight open until all racers are past this
+                // point (see CountingPlanner::plan).
+                arrived.fetch_add(1, Ordering::Relaxed);
                 session.plan(graph).expect("plan");
             });
         }
     });
     assert_eq!(
-        runs.load(Ordering::SeqCst),
+        runs.load(Ordering::Relaxed),
         1,
         "exactly one planner run for {workers} racing threads"
     );
