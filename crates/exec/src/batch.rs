@@ -168,6 +168,35 @@ impl Batch {
         self.rows += row_ids.len();
     }
 
+    /// Appends the rows named by an ascending selection vector,
+    /// column-wise — the filtered scan's bulk gather. Dense selections
+    /// (long contiguous spans of survivors) take the span-copy path,
+    /// sparse ones the per-row gather; see
+    /// [`ColumnVector::append_selected`]. Row order is the selection
+    /// order, so results are identical to a per-row gather.
+    pub fn append_selected_from<'a>(
+        &mut self,
+        src: impl Iterator<Item = &'a ColumnVector>,
+        sel: &[u32],
+    ) {
+        // Span detection runs once for the whole batch, not per column.
+        let spans = hfqo_storage::coalesce_spans(sel);
+        let mut copied = 0;
+        for (dst, s) in self.cols.iter_mut().zip(src) {
+            match &spans {
+                Some(spans) => {
+                    for &(start, len) in spans {
+                        dst.append_range(s, start, len);
+                    }
+                }
+                None => s.gather_into(sel, dst),
+            }
+            copied += 1;
+        }
+        debug_assert_eq!(copied, self.cols.len());
+        self.rows += sel.len();
+    }
+
     /// Appends the contiguous source range `start .. start + len`
     /// column-wise (the unfiltered scan's fast path — a `memcpy` for
     /// fixed-width columns instead of a per-row gather). `src` yields
@@ -198,6 +227,19 @@ impl Batch {
     /// conversion; not used between operators).
     pub fn row_values(&self, row: usize) -> Vec<Value> {
         self.cols.iter().map(|c| c.get(row)).collect()
+    }
+
+    /// Appends every row to `out`, materialised column-wise: each
+    /// column's values are exported in one monomorphic pass
+    /// ([`ColumnVector::values_onto`]) instead of a per-cell dispatch.
+    /// Row order and contents are identical to pushing
+    /// [`Batch::row_values`] per row — the facade's bulk output path.
+    pub fn export_rows(&self, out: &mut Vec<Vec<Value>>) {
+        let base = out.len();
+        out.resize_with(base + self.rows, || Vec::with_capacity(self.cols.len()));
+        for col in &self.cols {
+            col.values_onto(&mut out[base..]);
+        }
     }
 }
 

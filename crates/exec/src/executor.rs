@@ -266,10 +266,7 @@ pub fn execute(
         op.open(&mut budget)?;
         let mut rows: Vec<Row> = Vec::new();
         while let Some(batch) = op.next_batch(&mut budget)? {
-            rows.reserve(batch.rows());
-            for r in 0..batch.rows() {
-                rows.push(batch.row_values(r));
-            }
+            batch.export_rows(&mut rows);
         }
         op.close();
         (rows, budget.work)

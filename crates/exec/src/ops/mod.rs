@@ -10,6 +10,7 @@
 //! by vectorization; only the per-batch abort granularity differs.
 
 pub mod agg;
+pub(crate) mod filter;
 pub mod join;
 pub mod scan;
 
@@ -209,6 +210,20 @@ impl Budget {
             })
         } else {
             Ok(())
+        }
+    }
+
+    /// Bulk-charges `n` single-unit rows with the same trip point and
+    /// the same `work_done` at abort as calling [`Budget::charge`]`(1)`
+    /// `n` times — vectorized operators charge whole windows without
+    /// changing the exhaustion state the per-row engine would report.
+    #[inline]
+    pub fn charge_rows(&mut self, n: u64) -> Result<(), ExecError> {
+        let headroom = self.limit.saturating_sub(self.work);
+        if n > headroom {
+            self.charge(headroom + 1)
+        } else {
+            self.charge(n)
         }
     }
 }

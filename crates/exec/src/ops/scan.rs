@@ -1,10 +1,11 @@
 //! Vectorized sequential and index scans.
 //!
 //! The scan is the only operator that reads storage. It visits rows in
-//! windows, evaluates the relation's selection predicates directly
-//! against the table's column vectors (no row materialisation), and
-//! gathers only the *projected* columns of the passing rows into the
-//! output batch, column by column.
+//! windows, evaluates the relation's selection predicates with typed
+//! kernels compiled once per scan (see `crate::ops::filter`) into a
+//! selection vector of passing row ids, and bulk-gathers only the
+//! *projected* columns of those rows into the output batch, column by
+//! column.
 //!
 //! The resolution work — binding selections to table columns, probing
 //! indexes, mapping projection slots to storage columns — lives in
@@ -15,20 +16,12 @@
 use crate::batch::{Batch, Projection, BATCH_CAPACITY};
 use crate::error::ExecError;
 use crate::operator::Operator;
-use crate::ops::{eval_cmp, Budget};
+use crate::ops::filter::Pred;
+use crate::ops::Budget;
 use crate::row::lit_to_value;
 use hfqo_catalog::ColumnType;
 use hfqo_query::{AccessPath, QueryGraph, RelId};
-use hfqo_sql::CompareOp;
-use hfqo_storage::{ColumnVector, Database, Table, Value};
-
-/// A selection resolved to a table column index.
-#[derive(Debug, Clone)]
-struct ResolvedSel {
-    col: usize,
-    op: CompareOp,
-    value: Value,
-}
+use hfqo_storage::{ColumnVector, Database, Table};
 
 #[derive(Debug)]
 enum Source {
@@ -47,8 +40,10 @@ pub(crate) struct ScanSpec<'a> {
     pub(crate) col_idx: Vec<usize>,
     pub(crate) out_types: Vec<ColumnType>,
     /// Predicates evaluated during the scan (for index scans: the
-    /// residual predicates, the driving one being consumed by the probe).
-    filters: Vec<ResolvedSel>,
+    /// residual predicates, the driving one being consumed by the
+    /// probe), compiled once against the table's column encodings (see
+    /// [`crate::ops::filter`]).
+    filters: Vec<Pred>,
     source: Source,
 }
 
@@ -74,13 +69,11 @@ impl<'a> ScanSpec<'a> {
             .collect();
 
         let sel_indices: Vec<usize> = graph.selections_on(rel).collect();
+        let cols = table.columns();
         let resolve = |i: usize| {
             let sel = &graph.selections()[i];
-            ResolvedSel {
-                col: sel.column.column.index(),
-                op: sel.op,
-                value: lit_to_value(&sel.value),
-            }
+            let col = sel.column.column.index();
+            Pred::compile(col, sel.op, lit_to_value(&sel.value), &cols[col])
         };
 
         let (filters, source) = match path {
@@ -120,15 +113,6 @@ impl<'a> ScanSpec<'a> {
         }
     }
 
-    /// The table row id of visit number `i`.
-    #[inline]
-    pub(crate) fn row_id(&self, i: usize) -> u32 {
-        match &self.source {
-            Source::Seq => i as u32,
-            Source::Index(ids) => ids[i],
-        }
-    }
-
     /// An unfiltered sequential scan emits every visited row in storage
     /// order — contiguous ranges copy column-wise without a gather.
     #[inline]
@@ -136,13 +120,37 @@ impl<'a> ScanSpec<'a> {
         matches!(self.source, Source::Seq) && self.filters.is_empty()
     }
 
-    /// Whether the table row passes every residual filter.
-    #[inline]
-    pub(crate) fn passes(&self, row: usize) -> bool {
+    /// Appends to `sel` the table row ids of visits `from .. from + n`
+    /// that pass every filter, in visit order: the first predicate's
+    /// kernel fills the selection vector over the whole window, the
+    /// rest intersect it ([`Pred::refine`]). Both engines call this —
+    /// it is the single definition of which rows a scan emits.
+    pub(crate) fn filter_visits(&self, from: usize, n: usize, sel: &mut Vec<u32>) {
         let cols = self.table.columns();
-        self.filters
-            .iter()
-            .all(|f| eval_cmp(f.op, &cols[f.col].get(row), &f.value))
+        match &self.source {
+            Source::Seq => {
+                let Some((first, rest)) = self.filters.split_first() else {
+                    sel.extend(from as u32..(from + n) as u32);
+                    return;
+                };
+                first.filter_range(cols, from, from + n, sel);
+                for f in rest {
+                    if sel.is_empty() {
+                        return;
+                    }
+                    f.refine(cols, sel);
+                }
+            }
+            Source::Index(ids) => {
+                sel.extend_from_slice(&ids[from..from + n]);
+                for f in &self.filters {
+                    if sel.is_empty() {
+                        return;
+                    }
+                    f.refine(cols, sel);
+                }
+            }
+        }
     }
 
     /// The projected storage columns, one per output slot.
@@ -219,14 +227,17 @@ impl Operator for ScanOp<'_> {
             return Ok(Some(batch));
         }
 
+        // Filtered scans visit whole windows at a time: the predicate
+        // kernels fill the selection vector per window, and the loop
+        // keeps visiting until a batch worth of survivors (or the end).
+        // Every visited row is charged, pass or fail, exactly as in the
+        // row engine.
         self.row_buf.clear();
         while self.cursor < total && self.row_buf.len() < BATCH_CAPACITY {
-            budget.charge(1)?;
-            let rid = self.spec.row_id(self.cursor);
-            if self.spec.passes(rid as usize) {
-                self.row_buf.push(rid);
-            }
-            self.cursor += 1;
+            let n = (total - self.cursor).min(BATCH_CAPACITY);
+            budget.charge_rows(n as u64)?;
+            self.spec.filter_visits(self.cursor, n, &mut self.row_buf);
+            self.cursor += n;
         }
         if self.row_buf.is_empty() {
             return Ok(None);
@@ -237,7 +248,7 @@ impl Operator for ScanOp<'_> {
         if self.spec.col_idx.is_empty() {
             batch.push_empty_rows(self.row_buf.len());
         } else {
-            batch.gather_rows_from(self.spec.projected_columns(), &self.row_buf);
+            batch.append_selected_from(self.spec.projected_columns(), &self.row_buf);
         }
         Ok(Some(batch))
     }

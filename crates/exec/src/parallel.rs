@@ -284,9 +284,11 @@ pub(crate) fn execute_materialized(
         }
         node => eval_node(&ctx, node, required)?.data,
     };
-    let mut rows: Vec<Row> = Vec::with_capacity(out.rows);
-    for r in 0..out.rows {
-        rows.push(out.cols.iter().map(|c| c.get(r)).collect());
+    // Column-wise export, like the serial facade's `Batch::export_rows`.
+    let mut rows: Vec<Row> = Vec::new();
+    rows.resize_with(out.rows, || Vec::with_capacity(out.cols.len()));
+    for col in &out.cols {
+        col.values_onto(&mut rows);
     }
     Ok((rows, budget.used()))
 }
@@ -350,16 +352,21 @@ fn eval_scan(
                     dst.append_range(src, range.start, range.len());
                 }
             } else {
+                // Same kernels as the serial scan: one selection vector
+                // per morsel, then a column-wise bulk gather.
                 rid_buf.clear();
-                for i in range {
-                    let rid = spec.row_id(i);
-                    if spec.passes(rid as usize) {
-                        rid_buf.push(rid);
-                    }
-                }
+                spec.filter_visits(range.start, range.len(), &mut rid_buf);
                 chunk.rows = rid_buf.len();
+                let spans = hfqo_storage::coalesce_spans(&rid_buf);
                 for (dst, src) in chunk.cols.iter_mut().zip(spec.projected_columns()) {
-                    src.gather_into(&rid_buf, dst);
+                    match &spans {
+                        Some(spans) => {
+                            for &(start, len) in spans {
+                                dst.append_range(src, start, len);
+                            }
+                        }
+                        None => src.gather_into(&rid_buf, dst),
+                    }
                 }
             }
             charger.charge(chunk.rows as u64)?; // emitted rows

@@ -1,4 +1,29 @@
 //! Typed column vectors with null bitmaps.
+//!
+//! Three physical encodings back the two logical scalar types beyond the
+//! plain dense vectors: [`ColumnVector::Dict`] stores low-cardinality text
+//! as per-row `u32` codes into a distinct-value dictionary, and
+//! [`ColumnVector::Rle`] run-length-encodes integer or dictionary-coded
+//! data when adjacent rows repeat. Both are transparent to every accessor
+//! (`get`, `is_null`, `str_at`, `sql_cmp_at`, `total_cmp_at`, the bulk
+//! copy/gather paths): the logical row sequence, type, and comparison
+//! semantics are identical to the plain encoding, so query results and
+//! the executor's work accounting never depend on the physical layout.
+//!
+//! [`RleColumn`] invariants (checked by construction in
+//! [`ColumnVector::rle_encoded`] and `RleColumn::push_value`):
+//!
+//! - `ends` holds the *exclusive* end row of each run, is strictly
+//!   increasing, and its last entry equals the row count; run `k` covers
+//!   rows `ends[k-1] .. ends[k]` (run 0 starts at row 0).
+//! - `valid` and the value vector inside [`RleValues`] have exactly one
+//!   entry per run; a run is either all-NULL (`valid[k] == false`) or
+//!   all-present — NULL runs keep a placeholder value (0) that is never
+//!   dereferenced, mirroring the `Dict` NULL-code rule.
+//! - Only integer and dictionary-coded text domains are run-length
+//!   encoded ([`RleValues::Int`] / [`RleValues::Dict`]); floats and plain
+//!   strings never are, so float bit patterns are never re-derived from a
+//!   run representative.
 
 use crate::value::Value;
 use hfqo_catalog::ColumnType;
@@ -26,6 +51,158 @@ pub enum ColumnVector {
     /// still [`ColumnType::Text`]. Codes of NULL rows are always 0 and
     /// must never be dereferenced — every accessor checks validity first.
     Dict(Vec<u32>, Vec<bool>, Vec<Arc<str>>),
+    /// Run-length-encoded data over integer values or dictionary codes.
+    /// Chosen automatically at load time when the average run length
+    /// clears a threshold (see [`ColumnVector::rle_encoded`]); sorted or
+    /// blocky columns (foreign keys clustered by parent, enum-ish flags)
+    /// shrink to one entry per run and let run-aware scan kernels accept
+    /// or reject whole runs at once. See the module docs for the
+    /// invariants.
+    Rle(RleColumn),
+}
+
+/// The runs of a [`ColumnVector::Rle`] column. See the module docs for
+/// the structural invariants.
+#[derive(Debug, Clone)]
+pub struct RleColumn {
+    /// Exclusive end row of each run; strictly increasing, last entry
+    /// equals the row count.
+    pub ends: Vec<u32>,
+    /// Per-run validity (`true` = the run's rows are present).
+    pub valid: Vec<bool>,
+    /// Per-run values.
+    pub values: RleValues,
+}
+
+/// Per-run payload of a [`RleColumn`].
+#[derive(Debug, Clone)]
+pub enum RleValues {
+    /// One integer per run.
+    Int(Vec<i64>),
+    /// One dictionary code per run, plus the shared dictionary. Codes of
+    /// NULL runs are 0 and never dereferenced.
+    Dict(Vec<u32>, Vec<Arc<str>>),
+}
+
+impl RleColumn {
+    /// The column's logical type.
+    pub fn ty(&self) -> ColumnType {
+        match self.values {
+            RleValues::Int(_) => ColumnType::Int,
+            RleValues::Dict(..) => ColumnType::Text,
+        }
+    }
+
+    /// Number of rows (not runs).
+    pub fn len(&self) -> usize {
+        self.ends.last().map_or(0, |&e| e as usize)
+    }
+
+    /// Whether the column holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.ends.is_empty()
+    }
+
+    /// Number of runs.
+    pub fn run_count(&self) -> usize {
+        self.ends.len()
+    }
+
+    /// The run covering `row` (binary search over run ends).
+    #[inline]
+    pub fn run_of(&self, row: usize) -> usize {
+        self.ends.partition_point(|&e| e as usize <= row)
+    }
+
+    /// First row of run `k`.
+    #[inline]
+    pub fn run_start(&self, k: usize) -> usize {
+        if k == 0 {
+            0
+        } else {
+            self.ends[k - 1] as usize
+        }
+    }
+
+    /// One-past-the-last row of run `k`.
+    #[inline]
+    pub fn run_end(&self, k: usize) -> usize {
+        self.ends[k] as usize
+    }
+
+    /// The value shared by every row of run `k` (`Value::Null` for a
+    /// NULL run).
+    pub fn run_value(&self, k: usize) -> Value {
+        if !self.valid[k] {
+            return Value::Null;
+        }
+        match &self.values {
+            RleValues::Int(vals) => Value::Int(vals[k]),
+            RleValues::Dict(codes, dict) => Value::Str(Arc::clone(&dict[codes[k] as usize])),
+        }
+    }
+
+    /// Advances a run cursor `k` to the run covering `row`. Linear for
+    /// forward steps (the common monotone-scan case), binary search when
+    /// the target row is behind the cursor.
+    #[inline]
+    pub fn seek(&self, k: usize, row: usize) -> usize {
+        if row < self.run_start(k) {
+            return self.run_of(row);
+        }
+        let mut k = k;
+        while self.ends[k] as usize <= row {
+            k += 1;
+        }
+        k
+    }
+
+    /// Appends one logical row, extending the last run when the value
+    /// matches it. Returns `false` on a type mismatch.
+    fn push_value(&mut self, value: &Value) -> bool {
+        let last = self.ends.len().checked_sub(1);
+        let new_end = self.len() as u32 + 1;
+        match (&mut self.values, value) {
+            (RleValues::Int(vals), Value::Int(x)) => {
+                if let Some(k) = last {
+                    if self.valid[k] && vals[k] == *x {
+                        self.ends[k] += 1;
+                        return true;
+                    }
+                }
+                vals.push(*x);
+            }
+            (RleValues::Dict(codes, dict), Value::Str(s)) => {
+                let code = dict_code(dict, s.as_ref());
+                if let Some(k) = last {
+                    if self.valid[k] && codes[k] == code {
+                        self.ends[k] += 1;
+                        return true;
+                    }
+                }
+                codes.push(code);
+            }
+            (vals, Value::Null) => {
+                if let Some(k) = last {
+                    if !self.valid[k] {
+                        self.ends[k] += 1;
+                        return true;
+                    }
+                }
+                match vals {
+                    RleValues::Int(vals) => vals.push(0),
+                    RleValues::Dict(codes, _) => codes.push(0),
+                }
+                self.valid.push(false);
+                self.ends.push(new_end);
+                return true;
+            }
+            _ => return false,
+        }
+        self.valid.push(true);
+        self.ends.push(new_end);
+        true
+    }
 }
 
 impl ColumnVector {
@@ -53,6 +230,7 @@ impl ColumnVector {
             Self::Int(..) => ColumnType::Int,
             Self::Float(..) => ColumnType::Float,
             Self::Str(..) | Self::Dict(..) => ColumnType::Text,
+            Self::Rle(r) => r.ty(),
         }
     }
 
@@ -63,6 +241,7 @@ impl ColumnVector {
             Self::Float(v, _) => v.len(),
             Self::Str(v, _) => v.len(),
             Self::Dict(codes, _, _) => codes.len(),
+            Self::Rle(r) => r.len(),
         }
     }
 
@@ -111,6 +290,7 @@ impl ColumnVector {
                 codes.push(0);
                 n.push(false);
             }
+            (Self::Rle(r), v) => return r.push_value(v),
             _ => return false,
         }
         true
@@ -149,6 +329,56 @@ impl ColumnVector {
                     Value::Null
                 }
             }
+            Self::Rle(r) => r.run_value(r.run_of(row)),
+        }
+    }
+
+    /// Appends the value of row `i` onto `out[i]`, for every row — the
+    /// executor's bulk row export. One monomorphic loop per variant
+    /// (run-aware for RLE) instead of a per-cell [`ColumnVector::get`]
+    /// match; results are identical. `out` must hold exactly `len()`
+    /// rows.
+    pub fn values_onto(&self, out: &mut [Vec<Value>]) {
+        debug_assert_eq!(out.len(), self.len());
+        match self {
+            Self::Int(v, n) => {
+                for ((slot, v), ok) in out.iter_mut().zip(v).zip(n) {
+                    slot.push(if *ok { Value::Int(*v) } else { Value::Null });
+                }
+            }
+            Self::Float(v, n) => {
+                for ((slot, v), ok) in out.iter_mut().zip(v).zip(n) {
+                    slot.push(if *ok { Value::Float(*v) } else { Value::Null });
+                }
+            }
+            Self::Str(v, n) => {
+                for ((slot, v), ok) in out.iter_mut().zip(v).zip(n) {
+                    slot.push(if *ok {
+                        Value::Str(Arc::clone(v))
+                    } else {
+                        Value::Null
+                    });
+                }
+            }
+            Self::Dict(codes, n, values) => {
+                for ((slot, code), ok) in out.iter_mut().zip(codes).zip(n) {
+                    slot.push(if *ok {
+                        Value::Str(Arc::clone(&values[*code as usize]))
+                    } else {
+                        Value::Null
+                    });
+                }
+            }
+            Self::Rle(r) => {
+                // One value materialisation per run, cloned across it.
+                let mut rows = out.iter_mut();
+                for k in 0..r.run_count() {
+                    let v = r.run_value(k);
+                    for slot in rows.by_ref().take(r.run_end(k) - r.run_start(k)) {
+                        slot.push(v.clone());
+                    }
+                }
+            }
         }
     }
 
@@ -157,6 +387,7 @@ impl ColumnVector {
     pub fn is_null(&self, row: usize) -> bool {
         match self {
             Self::Int(_, n) | Self::Float(_, n) | Self::Str(_, n) | Self::Dict(_, n, _) => !n[row],
+            Self::Rle(r) => !r.valid[r.run_of(row)],
         }
     }
 
@@ -167,6 +398,12 @@ impl ColumnVector {
         match self {
             Self::Str(v, n) if n[row] => Some(v[row].as_ref()),
             Self::Dict(codes, n, values) if n[row] => Some(values[codes[row] as usize].as_ref()),
+            Self::Rle(r) => match (&r.values, r.run_of(row)) {
+                (RleValues::Dict(codes, dict), k) if r.valid[k] => {
+                    Some(dict[codes[k] as usize].as_ref())
+                }
+                _ => None,
+            },
             _ => None,
         }
     }
@@ -177,6 +414,10 @@ impl ColumnVector {
     pub fn int_at(&self, row: usize) -> Option<i64> {
         match self {
             Self::Int(v, n) if n[row] => Some(v[row]),
+            Self::Rle(r) => match (&r.values, r.run_of(row)) {
+                (RleValues::Int(vals), k) if r.valid[k] => Some(vals[k]),
+                _ => None,
+            },
             _ => None,
         }
     }
@@ -216,7 +457,9 @@ impl ColumnVector {
                     _ => None,
                 }
             }
-            // Mixed numeric/text: delegate to the Value semantics.
+            // Mixed numeric/text and run-length-encoded operands:
+            // delegate to the Value semantics (RLE pairs only appear on
+            // cold paths — executor chunks are always plain).
             _ => self.get(row).sql_cmp(&other.get(other_row)),
         }
     }
@@ -268,7 +511,8 @@ impl ColumnVector {
                     (Some(_), None) => Ordering::Less,
                 }
             }
-            // Mixed numeric/text: delegate to the Value semantics.
+            // Mixed numeric/text and run-length-encoded operands:
+            // delegate to the Value semantics.
             _ => self.get(row).total_cmp(&other.get(other_row)),
         }
     }
@@ -292,6 +536,17 @@ impl ColumnVector {
                 codes.clear();
                 n.clear();
                 values.clear();
+            }
+            Self::Rle(r) => {
+                r.ends.clear();
+                r.valid.clear();
+                match &mut r.values {
+                    RleValues::Int(vals) => vals.clear(),
+                    RleValues::Dict(codes, dict) => {
+                        codes.clear();
+                        dict.clear();
+                    }
+                }
             }
         }
     }
@@ -325,7 +580,30 @@ impl ColumnVector {
                     n.push(false);
                 }
             }
-            (dst @ Self::Dict(..), src @ (Self::Str(..) | Self::Dict(..))) => {
+            (Self::Int(v, n), Self::Rle(r)) if matches!(r.values, RleValues::Int(_)) => {
+                let k = r.run_of(row);
+                let RleValues::Int(vals) = &r.values else {
+                    unreachable!("guarded by the match arm")
+                };
+                v.push(vals[k]);
+                n.push(r.valid[k]);
+            }
+            (Self::Str(v, n), Self::Rle(r)) if r.ty() == ColumnType::Text => {
+                let k = r.run_of(row);
+                let RleValues::Dict(codes, dict) = &r.values else {
+                    unreachable!("guarded by the match arm")
+                };
+                if r.valid[k] {
+                    v.push(Arc::clone(&dict[codes[k] as usize]));
+                    n.push(true);
+                } else {
+                    v.push(Arc::from(""));
+                    n.push(false);
+                }
+            }
+            (dst @ Self::Dict(..), src @ (Self::Str(..) | Self::Dict(..) | Self::Rle(..)))
+                if src.ty() == ColumnType::Text =>
+            {
                 let decoded = src.str_at(row);
                 let Self::Dict(codes, n, values) = dst else {
                     unreachable!("guarded by the match arm")
@@ -340,6 +618,12 @@ impl ColumnVector {
                         n.push(false);
                     }
                 }
+            }
+            (dst @ Self::Rle(..), src) if dst.ty() == src.ty() => {
+                // RLE destinations re-encode on insert (cold path: the
+                // executor never builds RLE chunks, only reads them).
+                let ok = dst.push(&src.get(row));
+                debug_assert!(ok, "type equality checked by the match guard");
             }
             (dst, src) => panic!(
                 "column type mismatch: cannot append {} into {}",
@@ -420,6 +704,41 @@ impl ColumnVector {
                 );
                 n.extend_from_slice(&sn[start..end]);
             }
+            (Self::Int(v, n), Self::Rle(r)) if matches!(r.values, RleValues::Int(_)) => {
+                // Run-aware decode: one repeat-fill per run instead of a
+                // binary search per row.
+                let RleValues::Int(vals) = &r.values else {
+                    unreachable!("guarded by the match arm")
+                };
+                let mut k = r.run_of(start);
+                let mut row = start;
+                while row < end {
+                    let stop = r.run_end(k).min(end);
+                    v.extend(std::iter::repeat_n(vals[k], stop - row));
+                    n.extend(std::iter::repeat_n(r.valid[k], stop - row));
+                    row = stop;
+                    k += 1;
+                }
+            }
+            (Self::Str(v, n), Self::Rle(r)) if r.ty() == ColumnType::Text => {
+                let RleValues::Dict(codes, dict) = &r.values else {
+                    unreachable!("guarded by the match arm")
+                };
+                let mut k = r.run_of(start);
+                let mut row = start;
+                while row < end {
+                    let stop = r.run_end(k).min(end);
+                    let s: Arc<str> = if r.valid[k] {
+                        Arc::clone(&dict[codes[k] as usize])
+                    } else {
+                        Arc::from("")
+                    };
+                    v.extend((row..stop).map(|_| Arc::clone(&s)));
+                    n.extend(std::iter::repeat_n(r.valid[k], stop - row));
+                    row = stop;
+                    k += 1;
+                }
+            }
             (dst, src) if dst.ty() == src.ty() => {
                 for row in start..end {
                     dst.push_from(src, row);
@@ -458,6 +777,35 @@ impl ColumnVector {
                     }
                 }));
                 n.extend(rows.iter().map(|&r| sn[r as usize]));
+            }
+            (Self::Int(v, n), Self::Rle(r)) if matches!(r.values, RleValues::Int(_)) => {
+                // Selection vectors are (mostly) ascending, so a linear
+                // run cursor amortises the per-row run lookup.
+                let RleValues::Int(vals) = &r.values else {
+                    unreachable!("guarded by the match arm")
+                };
+                let mut k = 0usize;
+                for &row in rows {
+                    k = r.seek(k, row as usize);
+                    v.push(vals[k]);
+                    n.push(r.valid[k]);
+                }
+            }
+            (Self::Str(v, n), Self::Rle(r)) if r.ty() == ColumnType::Text => {
+                let RleValues::Dict(codes, dict) = &r.values else {
+                    unreachable!("guarded by the match arm")
+                };
+                let mut k = 0usize;
+                for &row in rows {
+                    k = r.seek(k, row as usize);
+                    if r.valid[k] {
+                        v.push(Arc::clone(&dict[codes[k] as usize]));
+                        n.push(true);
+                    } else {
+                        v.push(Arc::from(""));
+                        n.push(false);
+                    }
+                }
             }
             (dst, src) if dst.ty() == src.ty() => {
                 for &r in rows {
@@ -504,6 +852,136 @@ impl ColumnVector {
         }
         Some(Self::Dict(codes, n.clone(), values))
     }
+
+    /// Whether this column is run-length-encoded.
+    pub fn is_rle(&self) -> bool {
+        matches!(self, Self::Rle(..))
+    }
+
+    /// Run-length-encodes an integer or dictionary-coded column,
+    /// returning `None` when the column's domain is not run-length
+    /// encodable (floats, plain strings, already-RLE), when it is empty,
+    /// or when the average run length falls below `min_avg_run` (short
+    /// runs would grow the footprint and defeat run skipping). Adjacent
+    /// NULLs coalesce into NULL runs. `min_avg_run = 1` forces encoding
+    /// of any non-empty eligible column.
+    pub fn rle_encoded(&self, min_avg_run: usize) -> Option<ColumnVector> {
+        let len = self.len();
+        if len == 0 {
+            return None;
+        }
+        let rle = match self {
+            Self::Int(v, n) => {
+                let mut ends: Vec<u32> = Vec::new();
+                let mut valid: Vec<bool> = Vec::new();
+                let mut vals: Vec<i64> = Vec::new();
+                for row in 0..len {
+                    let same = match (valid.last(), n[row]) {
+                        (Some(&false), false) => true,
+                        (Some(&was), is) => was && is && *vals.last().unwrap() == v[row],
+                        (None, _) => false,
+                    };
+                    if same {
+                        *ends.last_mut().unwrap() += 1;
+                    } else {
+                        ends.push(row as u32 + 1);
+                        valid.push(n[row]);
+                        vals.push(if n[row] { v[row] } else { 0 });
+                    }
+                }
+                RleColumn {
+                    ends,
+                    valid,
+                    values: RleValues::Int(vals),
+                }
+            }
+            Self::Dict(codes, n, dict) => {
+                let mut ends: Vec<u32> = Vec::new();
+                let mut valid: Vec<bool> = Vec::new();
+                let mut run_codes: Vec<u32> = Vec::new();
+                for row in 0..len {
+                    let same = match (valid.last(), n[row]) {
+                        (Some(&false), false) => true,
+                        (Some(&was), is) => was && is && *run_codes.last().unwrap() == codes[row],
+                        (None, _) => false,
+                    };
+                    if same {
+                        *ends.last_mut().unwrap() += 1;
+                    } else {
+                        ends.push(row as u32 + 1);
+                        valid.push(n[row]);
+                        run_codes.push(if n[row] { codes[row] } else { 0 });
+                    }
+                }
+                RleColumn {
+                    ends,
+                    valid,
+                    values: RleValues::Dict(run_codes, dict.clone()),
+                }
+            }
+            _ => return None,
+        };
+        if rle.run_count() * min_avg_run.max(1) > len {
+            return None;
+        }
+        Some(Self::Rle(rle))
+    }
+
+    /// A fully-decoded plain copy of this column (`Dict` → `Str`,
+    /// `Rle` → `Int`/`Str`). Plain columns are cloned as-is.
+    pub fn decoded(&self) -> ColumnVector {
+        match self {
+            Self::Int(..) | Self::Float(..) | Self::Str(..) => self.clone(),
+            Self::Dict(..) | Self::Rle(..) => {
+                let mut out = ColumnVector::with_capacity(self.ty(), self.len());
+                out.append_range(self, 0, self.len());
+                out
+            }
+        }
+    }
+
+    /// Appends `src[row]` for every row id in the selection vector `sel`
+    /// — the scan's bulk gather of filter survivors. Dense selections
+    /// (average contiguous span of 4+ rows) take the `append_range`
+    /// copy path per span; sparse ones fall back to the per-row gather.
+    pub fn append_selected(&self, sel: &[u32], out: &mut ColumnVector) {
+        match coalesce_spans(sel) {
+            Some(spans) => {
+                for &(start, len) in &spans {
+                    out.append_range(self, start, len);
+                }
+            }
+            None => self.gather_into(sel, out),
+        }
+    }
+}
+
+/// Splits an ascending selection vector into contiguous `(start, len)`
+/// spans when doing so pays off — `None` when the selection is sparse
+/// (average span below 4 rows) and a per-row gather is cheaper than the
+/// span bookkeeping.
+pub fn coalesce_spans(sel: &[u32]) -> Option<Vec<(usize, usize)>> {
+    if sel.is_empty() {
+        return None;
+    }
+    let mut spans = 1usize;
+    for w in sel.windows(2) {
+        if w[1] != w[0] + 1 {
+            spans += 1;
+        }
+    }
+    if sel.len() < spans * 4 {
+        return None;
+    }
+    let mut out = Vec::with_capacity(spans);
+    let mut start = 0usize;
+    for i in 1..=sel.len() {
+        if i == sel.len() || sel[i] != sel[i - 1] + 1 {
+            out.push((sel[start] as usize, i - start));
+            start = i;
+        }
+    }
+    Some(out)
 }
 
 /// Looks up `s` in a dictionary, appending it when absent. Linear scan:
@@ -745,6 +1223,179 @@ mod tests {
         assert_eq!(dst.get(1), Value::Int(3));
         dst.append_range(&src, 0, 0);
         assert_eq!(dst.len(), 2);
+    }
+
+    fn sample_runs_int_column() -> ColumnVector {
+        let mut c = ColumnVector::new(ColumnType::Int);
+        for v in [7, 7, 7, 3, 3] {
+            c.push(&Value::Int(v));
+        }
+        c.push(&Value::Null);
+        c.push(&Value::Null);
+        c.push(&Value::Int(3));
+        c
+    }
+
+    #[test]
+    fn rle_round_trips_values_and_nulls() {
+        let plain = sample_runs_int_column();
+        let rle = plain.rle_encoded(2).expect("avg run length 2");
+        assert!(rle.is_rle());
+        assert_eq!(rle.ty(), ColumnType::Int);
+        assert_eq!(rle.len(), plain.len());
+        let ColumnVector::Rle(r) = &rle else {
+            unreachable!()
+        };
+        assert_eq!(r.run_count(), 4);
+        assert_eq!(r.ends, vec![3, 5, 7, 8]);
+        for row in 0..plain.len() {
+            assert_eq!(rle.get(row), plain.get(row), "row {row}");
+            assert_eq!(rle.is_null(row), plain.is_null(row));
+            assert_eq!(rle.int_at(row), plain.int_at(row));
+        }
+        let decoded = rle.decoded();
+        assert!(!decoded.is_rle());
+        for row in 0..plain.len() {
+            assert_eq!(decoded.get(row), plain.get(row));
+        }
+    }
+
+    #[test]
+    fn values_onto_matches_get_for_every_encoding() {
+        let plain = sample_runs_int_column();
+        let rle = plain.rle_encoded(2).expect("avg run length 2");
+        let mut text = ColumnVector::new(ColumnType::Text);
+        for v in ["a", "a", "b", "b", "b"] {
+            text.push(&Value::str(v));
+        }
+        text.push(&Value::Null);
+        text.push(&Value::Null);
+        text.push(&Value::str("b"));
+        let dict = text.dictionary_encoded(16).unwrap();
+        let dict_rle = dict.rle_encoded(2).expect("runs over codes");
+        let mut float = ColumnVector::new(ColumnType::Float);
+        for v in [Value::Float(1.5), Value::Null, Value::Float(-0.0)] {
+            float.push(&v);
+        }
+        for col in [&plain, &rle, &text, &dict, &dict_rle, &float] {
+            let mut rows: Vec<Vec<Value>> = vec![Vec::new(); col.len()];
+            col.values_onto(&mut rows);
+            for (row, slot) in rows.iter().enumerate() {
+                assert_eq!(slot.len(), 1);
+                assert_eq!(slot[0], col.get(row), "row {row}");
+            }
+        }
+    }
+
+    #[test]
+    fn rle_over_dictionary_codes() {
+        let mut plain = ColumnVector::new(ColumnType::Text);
+        for v in ["a", "a", "b", "b", "b"] {
+            plain.push(&Value::str(v));
+        }
+        plain.push(&Value::Null);
+        let dict = plain.dictionary_encoded(16).unwrap();
+        let rle = dict.rle_encoded(2).expect("three runs over six rows");
+        assert_eq!(rle.ty(), ColumnType::Text);
+        for row in 0..plain.len() {
+            assert_eq!(rle.get(row), plain.get(row), "row {row}");
+            assert_eq!(rle.str_at(row), plain.str_at(row));
+        }
+        // Plain strings are never run-length encoded directly.
+        assert!(plain.rle_encoded(1).is_none());
+    }
+
+    #[test]
+    fn rle_refuses_short_runs_floats_and_empty() {
+        let mut distinct = ColumnVector::new(ColumnType::Int);
+        for v in [1, 2, 3, 4] {
+            distinct.push(&Value::Int(v));
+        }
+        assert!(distinct.rle_encoded(2).is_none());
+        assert!(distinct.rle_encoded(1).is_some());
+        let mut floats = ColumnVector::new(ColumnType::Float);
+        floats.push(&Value::Float(1.0));
+        floats.push(&Value::Float(1.0));
+        assert!(floats.rle_encoded(1).is_none());
+        assert!(ColumnVector::new(ColumnType::Int).rle_encoded(1).is_none());
+    }
+
+    #[test]
+    fn rle_comparisons_match_plain() {
+        let plain = sample_runs_int_column();
+        let rle = plain.rle_encoded(1).unwrap();
+        for a in 0..plain.len() {
+            for b in 0..plain.len() {
+                assert_eq!(rle.sql_cmp_at(a, &rle, b), plain.sql_cmp_at(a, &plain, b));
+                assert_eq!(rle.sql_cmp_at(a, &plain, b), plain.sql_cmp_at(a, &plain, b));
+                assert_eq!(
+                    rle.total_cmp_at(a, &rle, b),
+                    plain.total_cmp_at(a, &plain, b)
+                );
+                assert_eq!(
+                    rle.total_cmp_at(a, &plain, b),
+                    plain.total_cmp_at(a, &plain, b)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rle_interoperates_with_plain_copies() {
+        let plain = sample_runs_int_column();
+        let rle = plain.rle_encoded(1).unwrap();
+        let mut out = ColumnVector::new(ColumnType::Int);
+        out.push_from(&rle, 0);
+        out.push_from(&rle, 5);
+        assert_eq!(out.get(0), Value::Int(7));
+        assert!(out.get(1).is_null());
+        let mut gathered = ColumnVector::new(ColumnType::Int);
+        rle.gather_into(&[7, 6, 0, 4], &mut gathered);
+        assert_eq!(gathered.get(0), Value::Int(3));
+        assert!(gathered.get(1).is_null());
+        assert_eq!(gathered.get(2), Value::Int(7));
+        assert_eq!(gathered.get(3), Value::Int(3));
+        let mut ranged = ColumnVector::new(ColumnType::Int);
+        ranged.append_range(&rle, 2, 4);
+        assert_eq!(ranged.len(), 4);
+        assert_eq!(ranged.get(0), Value::Int(7));
+        assert_eq!(ranged.get(1), Value::Int(3));
+        assert!(ranged.get(3).is_null());
+        // RLE destinations re-encode on insert and stay run-compressed.
+        assert!(ColumnVector::new(ColumnType::Int).rle_encoded(1).is_none());
+        let mut rle_dst = sample_runs_int_column().rle_encoded(1).unwrap();
+        rle_dst.append_column(&plain);
+        assert_eq!(rle_dst.len(), 2 * plain.len());
+        for row in 0..plain.len() {
+            assert_eq!(rle_dst.get(plain.len() + row), plain.get(row));
+        }
+        assert!(rle_dst.push(&Value::Int(3)));
+        assert!(!rle_dst.push(&Value::str("no")));
+        let ColumnVector::Rle(r) = &rle_dst else {
+            unreachable!()
+        };
+        // The trailing Int(3) extends the final run instead of opening
+        // a new one.
+        assert_eq!(r.run_end(r.run_count() - 1), rle_dst.len());
+    }
+
+    #[test]
+    fn selection_span_coalescing() {
+        assert!(coalesce_spans(&[]).is_none());
+        assert!(coalesce_spans(&[1, 5, 9]).is_none());
+        assert_eq!(
+            coalesce_spans(&[2, 3, 4, 5, 10, 11, 12, 13]),
+            Some(vec![(2, 4), (10, 4)])
+        );
+        let plain = sample_runs_int_column();
+        let mut dense = ColumnVector::new(ColumnType::Int);
+        plain.append_selected(&[1, 2, 3, 4, 5, 6, 7], &mut dense);
+        let mut sparse = ColumnVector::new(ColumnType::Int);
+        plain.append_selected(&[1, 4, 7], &mut sparse);
+        assert_eq!(dense.len(), 7);
+        assert_eq!(sparse.len(), 3);
+        assert_eq!(dense.get(0), plain.get(1));
+        assert_eq!(sparse.get(2), plain.get(7));
     }
 
     #[test]

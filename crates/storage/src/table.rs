@@ -169,6 +169,31 @@ impl Table {
         }
         converted
     }
+
+    /// Run-length-encodes every integer or dictionary-coded column whose
+    /// average run length is at least `min_avg_run` (see
+    /// [`ColumnVector::rle_encoded`]). Returns the number of columns
+    /// converted. Call after [`Table::dictionary_encode_strings`] so text
+    /// columns are code-backed and eligible.
+    pub fn rle_encode_columns(&mut self, min_avg_run: usize) -> usize {
+        let mut converted = 0;
+        for col in &mut self.columns {
+            if let Some(rle) = col.rle_encoded(min_avg_run) {
+                *col = rle;
+                converted += 1;
+            }
+        }
+        converted
+    }
+
+    /// Decodes every column back to its plain representation
+    /// (dictionary → strings, RLE → dense rows) — the test-path inverse
+    /// of the two encode passes.
+    pub fn decode_columns(&mut self) {
+        for col in &mut self.columns {
+            *col = col.decoded();
+        }
+    }
 }
 
 fn type_matches(ty: hfqo_catalog::ColumnType, v: &Value) -> bool {

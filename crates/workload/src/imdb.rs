@@ -138,7 +138,9 @@ pub fn build_catalog() -> Catalog {
         match table {
             "title" => {
                 cols.push(Column::new("kind_id", ColumnType::Int));
-                cols.push(Column::new("production_year", ColumnType::Int));
+                // Real IMDB dumps leave production_year unset for many
+                // titles; the CSV sample carries \N rows for it.
+                cols.push(Column::nullable("production_year", ColumnType::Int));
                 cols.push(Column::new("phonetic_code", ColumnType::Int));
             }
             "kind_type" => cols.push(Column::new("kind", ColumnType::Text)),
@@ -152,7 +154,7 @@ pub fn build_catalog() -> Catalog {
                 cols.push(Column::new("movie_id", ColumnType::Int));
                 cols.push(Column::new("company_id", ColumnType::Int));
                 cols.push(Column::new("company_type_id", ColumnType::Int));
-                cols.push(Column::new("note", ColumnType::Text));
+                cols.push(Column::nullable("note", ColumnType::Text));
             }
             "movie_info" | "movie_info_idx" => {
                 cols.push(Column::new("movie_id", ColumnType::Int));

@@ -13,6 +13,11 @@
 //! (hash-grouped aggregates excepted — their emission order is
 //! unspecified in both engines), with identical work totals, and abort
 //! on exactly the same budgets.
+//!
+//! A third axis covers **storage encodings**: the same workload
+//! materialised plain, dictionary-encoded, and run-length encoded must
+//! yield identical results and work everywhere (see
+//! [`encoding_equivalence`], gated by `HFQO_FORCE_ENCODING`).
 
 use hfqo::exec::{execute_rows, ExecError};
 use hfqo::prelude::*;
@@ -475,6 +480,150 @@ mod morsel_geometry {
                 prop_assert_eq!(ps, ss);
             }
             prop_assert_eq!(par.stats.work, serial.stats.work);
+        }
+    }
+}
+
+mod encoding_equivalence {
+    //! Property: results and work are invariant to storage encoding.
+    //! The same IMDB workload is materialised three ways — plain
+    //! columns, dictionary-encoded text, and run-length encoding
+    //! stacked on top — and every plan must produce the same row
+    //! multiset and the *same `ExecStats.work`* on each, across the row
+    //! engine, the batch engine, and the parallel evaluator at every
+    //! thread count. Work charges per *visited row*, so compression
+    //! must never change what a query costs.
+    //!
+    //! `HFQO_FORCE_ENCODING` (comma-separated `plain,dict,rle`)
+    //! restricts the encodings exercised — the CI matrix uses it to run
+    //! each encoding in its own job; the default covers all three and
+    //! cross-checks them against each other.
+
+    use super::*;
+    use proptest::prelude::*;
+
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    enum Enc {
+        Plain,
+        Dict,
+        Rle,
+    }
+
+    impl Enc {
+        fn parse(tok: &str) -> Self {
+            match tok.trim() {
+                "plain" => Self::Plain,
+                "dict" => Self::Dict,
+                "rle" => Self::Rle,
+                other => panic!("invalid HFQO_FORCE_ENCODING entry {other:?}"),
+            }
+        }
+    }
+
+    /// Encodings under test: `HFQO_FORCE_ENCODING` or all three.
+    fn forced_encodings() -> &'static [Enc] {
+        static ENCS: OnceLock<Vec<Enc>> = OnceLock::new();
+        ENCS.get_or_init(|| match std::env::var("HFQO_FORCE_ENCODING") {
+            Ok(raw) => raw.split(',').map(Enc::parse).collect(),
+            Err(_) => vec![Enc::Plain, Enc::Dict, Enc::Rle],
+        })
+    }
+
+    /// The [`super::imdb`] workload, re-encoded wholesale: every column
+    /// decoded to plain storage first, then pushed into `enc`. Thresholds
+    /// are maximal (`usize::MAX` distinct values, average run ≥ 1) so the
+    /// encoding applies to every eligible column, not just favourable
+    /// ones. Indexes are rebuilt over the re-encoded columns.
+    fn encoded(enc: Enc) -> &'static WorkloadBundle {
+        static PLAIN: OnceLock<WorkloadBundle> = OnceLock::new();
+        static DICT: OnceLock<WorkloadBundle> = OnceLock::new();
+        static RLE: OnceLock<WorkloadBundle> = OnceLock::new();
+        let cell = match enc {
+            Enc::Plain => &PLAIN,
+            Enc::Dict => &DICT,
+            Enc::Rle => &RLE,
+        };
+        cell.get_or_init(|| {
+            let mut bundle = WorkloadBundle::imdb_job(
+                ImdbConfig {
+                    base_rows: 300,
+                    seed: 9,
+                },
+                6,
+            );
+            let tids: Vec<_> = bundle.db.catalog().tables().map(|(tid, _)| tid).collect();
+            for tid in tids {
+                let table = bundle.db.table_mut(tid).expect("table exists");
+                table.decode_columns();
+                match enc {
+                    Enc::Plain => {}
+                    Enc::Dict => {
+                        table.dictionary_encode_strings(usize::MAX);
+                    }
+                    Enc::Rle => {
+                        table.dictionary_encode_strings(usize::MAX);
+                        table.rle_encode_columns(1);
+                    }
+                }
+            }
+            bundle.db.build_indexes().expect("indexes rebuild");
+            bundle
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+        #[test]
+        fn results_and_work_are_encoding_invariant(
+            qi in 0usize..20,
+            budget_k in 0u64..40,
+        ) {
+            // Each encoding first proves row/batch/parallel agreement
+            // internally, then its serial batch outcome is compared
+            // against the first encoding's — including budget aborts,
+            // which must trip at the same work count everywhere.
+            let mut baseline = None;
+            for &enc in forced_encodings() {
+                let bundle = encoded(enc);
+                let graph = &bundle.queries[qi % bundle.queries.len()];
+                let optimizer = TraditionalOptimizer::new(bundle.db.catalog(), &bundle.stats);
+                let plan = optimizer.plan(graph).expect("plannable").plan;
+                // budget_k == 0 means unlimited; small multiples force
+                // mid-plan aborts.
+                let config = match budget_k {
+                    0 => ExecConfig::default(),
+                    k => ExecConfig::with_budget(k * 5_000),
+                };
+                assert_equivalent(
+                    &bundle.db,
+                    graph,
+                    &plan,
+                    config,
+                    &format!("encoding {enc:?} q{qi}"),
+                );
+                let outcome = match hfqo::exec::execute(&bundle.db, graph, &plan, config) {
+                    Ok(out) => {
+                        let mut rows = out.rows;
+                        rows.sort();
+                        Ok((rows, out.stats.work))
+                    }
+                    Err(ExecError::BudgetExceeded { work_done, budget }) => {
+                        Err((work_done, budget))
+                    }
+                    Err(e) => panic!("encoding {enc:?} q{qi}: {e:?}"),
+                };
+                match &baseline {
+                    None => baseline = Some((enc, outcome)),
+                    Some((base_enc, base)) => prop_assert_eq!(
+                        &outcome,
+                        base,
+                        "q{} encoding {:?} vs {:?}",
+                        qi,
+                        enc,
+                        base_enc
+                    ),
+                }
+            }
         }
     }
 }

@@ -1,13 +1,15 @@
 //! Bulk-loader smoke test over the checked-in IMDB CSV sample.
 //!
-//! `tests/data/imdb_sample/` holds a ~1k-row slice in the real JOB dump
-//! layout (`<table>.csv`, no headers, RFC 4180 quoting — the
+//! `tests/data/imdb_sample/` holds a ~1.4k-row slice in the real JOB
+//! dump layout (`<table>.csv`, no headers, RFC 4180 quoting — the
 //! `movie_companies.note` column carries quoted commas and embedded
-//! quotes). The loader must ingest it through the typed batched path,
-//! dictionary-encode the low-cardinality text columns, and produce a
-//! database that answers joins identically across the row engine, the
-//! batch engine, the parallel evaluator, and a plain (non-dictionary)
-//! load.
+//! quotes; `title.production_year` and `movie_companies.note` carry
+//! `\N` NULLs; the appended `movie_companies` block repeats values in
+//! long runs). The loader must ingest it through the typed batched
+//! path, dictionary-encode the low-cardinality text columns,
+//! run-length-encode the run-structured ones, and produce a database
+//! that answers joins identically across the row engine, the batch
+//! engine, the parallel evaluator, and a plain (unencoded) load.
 
 use hfqo::catalog::ColumnId;
 use hfqo::exec::execute_rows;
@@ -25,9 +27,10 @@ fn sample_dir() -> &'static Path {
     ))
 }
 
-fn load(dict_max_distinct: usize) -> (Database, hfqo::stats::StatsCatalog) {
+fn load(dict_max_distinct: usize, rle_min_avg_run: usize) -> (Database, hfqo::stats::StatsCatalog) {
     let opts = LoaderOptions {
         dict_max_distinct,
+        rle_min_avg_run,
         ..LoaderOptions::default()
     };
     let (db, stats, _) = load_imdb_csv_dir(sample_dir(), &opts).expect("sample loads");
@@ -96,14 +99,14 @@ fn sample_loads_through_the_typed_path() {
         .collect();
     assert_eq!(
         counts,
-        vec![("title", 700), ("kind_type", 7), ("movie_companies", 300)]
+        vec![("title", 800), ("kind_type", 7), ("movie_companies", 630)]
     );
-    assert_eq!(report.total_rows(), 1007);
+    assert_eq!(report.total_rows(), 1437);
     assert!(report.total_bytes() > 0);
 
     // Typed ingestion, spot-checked against the raw file contents.
     let t = imdb::table_id(&db, "title");
-    assert_eq!(db.table(t).unwrap().row_count(), 700);
+    assert_eq!(db.table(t).unwrap().row_count(), 800);
     assert_eq!(
         db.table(t).unwrap().value_at(0, ColumnId(2)),
         hfqo::storage::Value::Int(1963)
@@ -131,23 +134,29 @@ fn sample_loads_through_the_typed_path() {
         dicts,
         vec![("title", 0), ("kind_type", 1), ("movie_companies", 1)]
     );
-    assert!(db
-        .table(mc)
-        .unwrap()
-        .column(ColumnId(4))
-        .unwrap()
-        .is_dictionary());
-    assert_eq!(stats.table(t).row_count, 700.0);
+    // The run-structured block appended to movie_companies pushes its
+    // fk/flag/note columns over the RLE threshold; note stacks RLE on
+    // top of its dictionary codes.
+    assert!(db.table(mc).unwrap().column(ColumnId(4)).unwrap().is_rle());
+    assert_eq!(stats.table(t).row_count, 800.0);
+
+    // NULLs ingest as NULLs: odd appended title ids have \N years, and
+    // the middle appended movie_companies block has \N notes.
+    let title = db.table(t).unwrap();
+    assert!(title.value_at(700, ColumnId(2)).is_null(), "id 701 year");
+    assert!(!title.value_at(701, ColumnId(2)).is_null(), "id 702 year");
+    assert!(db.table(mc).unwrap().value_at(450, ColumnId(4)).is_null());
 }
 
 #[test]
 fn loaded_sample_serves_joins_identically_everywhere() {
-    let (db, _) = load(LoaderOptions::default().dict_max_distinct);
+    let defaults = LoaderOptions::default();
+    let (db, _) = load(defaults.dict_max_distinct, defaults.rle_min_avg_run);
     let (graph, plan) = three_way_join(&db);
 
     let row = execute_rows(&db, &graph, &plan, ExecConfig::default()).expect("row engine");
     let batch = hfqo::exec::execute(&db, &graph, &plan, ExecConfig::default()).expect("batch");
-    assert_eq!(batch.rows.len(), 300, "one output row per movie_companies");
+    assert_eq!(batch.rows.len(), 630, "one output row per movie_companies");
     let (mut bs, mut rs) = (batch.rows.clone(), row.rows.clone());
     bs.sort();
     rs.sort();
@@ -164,8 +173,9 @@ fn loaded_sample_serves_joins_identically_everywhere() {
 
 #[test]
 fn dictionary_encoding_round_trips_identically_to_plain() {
-    let (dict_db, _) = load(LoaderOptions::default().dict_max_distinct);
-    let (plain_db, _) = load(0);
+    // RLE disabled on both sides: this test isolates the dictionary.
+    let (dict_db, _) = load(LoaderOptions::default().dict_max_distinct, 0);
+    let (plain_db, _) = load(0, 0);
 
     // Cell-by-cell: decoding the dictionary column reproduces the plain
     // load exactly.
@@ -198,4 +208,71 @@ fn dictionary_encoding_round_trips_identically_to_plain() {
     .unwrap();
     assert_eq!(par.rows, from_dict.rows);
     assert_eq!(par.stats.work, from_dict.stats.work);
+}
+
+#[test]
+fn rle_auto_selects_only_run_structured_columns() {
+    let opts = LoaderOptions::default();
+    let (db, _, report) = load_imdb_csv_dir(sample_dir(), &opts).expect("sample loads");
+
+    // title's appended rows cycle their values (no runs) and kind_type
+    // is tiny; only movie_companies' clustered block compresses.
+    let rles: Vec<(&str, usize)> = report
+        .tables
+        .iter()
+        .map(|t| (t.table.as_str(), t.rle_columns))
+        .collect();
+    assert_eq!(
+        rles,
+        vec![("title", 0), ("kind_type", 0), ("movie_companies", 4)]
+    );
+
+    let mc = imdb::table_id(&db, "movie_companies");
+    let table = db.table(mc).unwrap();
+    assert!(!table.column(ColumnId(0)).unwrap().is_rle(), "id is unique");
+    for col in [1, 2, 3, 4] {
+        assert!(table.column(ColumnId(col)).unwrap().is_rle(), "col {col}");
+    }
+}
+
+#[test]
+fn rle_encoding_round_trips_identically_to_plain() {
+    // Dictionary on both sides: this test isolates the run-length layer
+    // (mirroring the dictionary round-trip test above).
+    let defaults = LoaderOptions::default();
+    let (rle_db, _) = load(defaults.dict_max_distinct, defaults.rle_min_avg_run);
+    let (plain_db, _) = load(defaults.dict_max_distinct, 0);
+
+    // Cell-by-cell over every movie_companies column, NULLs included.
+    let mc = imdb::table_id(&rle_db, "movie_companies");
+    let rle_table = rle_db.table(mc).unwrap();
+    let plain_table = plain_db.table(mc).unwrap();
+    let width = rle_table.schema().columns().len();
+    for col in 0..width {
+        assert!(!plain_table.column(ColumnId(col as u32)).unwrap().is_rle());
+        for row in 0..rle_table.row_count() {
+            assert_eq!(
+                rle_table.value_at(row, ColumnId(col as u32)),
+                plain_table.value_at(row, ColumnId(col as u32)),
+                "col {col} row {row}"
+            );
+        }
+    }
+
+    // And query results over the run-length database match the plain
+    // one, serial and parallel.
+    let (graph, plan) = three_way_join(&rle_db);
+    let from_rle = hfqo::exec::execute(&rle_db, &graph, &plan, ExecConfig::default()).unwrap();
+    let from_plain = hfqo::exec::execute(&plain_db, &graph, &plan, ExecConfig::default()).unwrap();
+    assert_eq!(from_rle.rows, from_plain.rows);
+    assert_eq!(from_rle.stats.work, from_plain.stats.work);
+    let par = hfqo::exec::execute(
+        &rle_db,
+        &graph,
+        &plan,
+        ExecConfig::default().threads(4).morsel_rows(64),
+    )
+    .unwrap();
+    assert_eq!(par.rows, from_rle.rows);
+    assert_eq!(par.stats.work, from_rle.stats.work);
 }

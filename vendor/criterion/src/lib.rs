@@ -8,6 +8,7 @@
 
 use std::fmt::Display;
 use std::hint::black_box as std_black_box;
+use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
 /// Re-export of `std::hint::black_box` under criterion's name.
@@ -43,9 +44,30 @@ impl From<String> for BenchmarkId {
     }
 }
 
-/// Top-level handle passed to every benchmark function.
+/// One benchmark's timing summary, as recorded for the JSON report.
+#[derive(Debug, Clone)]
+pub struct SummaryEntry {
+    /// Group name (`benchmark_group` argument).
+    pub group: String,
+    /// Benchmark id within the group (`name` or `name/parameter`).
+    pub id: String,
+    /// Median wall-clock nanoseconds per iteration.
+    pub median_ns: u128,
+    /// Fastest sample.
+    pub min_ns: u128,
+    /// Slowest sample.
+    pub max_ns: u128,
+    /// Number of timed samples.
+    pub samples: usize,
+}
+
+/// Top-level handle passed to every benchmark function. Accumulates a
+/// [`SummaryEntry`] per benchmark; `criterion_main!` drains them into
+/// `results/bench_<binary>.json` at the workspace root.
 #[derive(Debug, Default)]
-pub struct Criterion {}
+pub struct Criterion {
+    entries: Vec<SummaryEntry>,
+}
 
 impl Criterion {
     /// Starts a named group of related benchmarks.
@@ -53,16 +75,21 @@ impl Criterion {
         let name = name.into();
         eprintln!("\n== group {name}");
         BenchmarkGroup {
-            _c: self,
+            c: self,
             name,
             sample_size: 20,
         }
+    }
+
+    /// The summaries recorded so far, in run order.
+    pub fn into_entries(self) -> Vec<SummaryEntry> {
+        self.entries
     }
 }
 
 /// A group of benchmarks sharing configuration.
 pub struct BenchmarkGroup<'a> {
-    _c: &'a mut Criterion,
+    c: &'a mut Criterion,
     name: String,
     sample_size: usize,
 }
@@ -90,7 +117,9 @@ impl BenchmarkGroup<'_> {
             sample_size: self.sample_size,
         };
         f(&mut b);
-        b.report(&self.name, &id.id);
+        if let Some(entry) = b.report(&self.name, &id.id) {
+            self.c.entries.push(entry);
+        }
         self
     }
 
@@ -110,7 +139,9 @@ impl BenchmarkGroup<'_> {
             sample_size: self.sample_size,
         };
         f(&mut b, input);
-        b.report(&self.name, &id.id);
+        if let Some(entry) = b.report(&self.name, &id.id) {
+            self.c.entries.push(entry);
+        }
         self
     }
 
@@ -137,10 +168,10 @@ impl Bencher {
         }
     }
 
-    fn report(&mut self, group: &str, id: &str) {
+    fn report(&mut self, group: &str, id: &str) -> Option<SummaryEntry> {
         if self.samples.is_empty() {
             eprintln!("{group}/{id}: no samples (iter was never called)");
-            return;
+            return None;
         }
         self.samples.sort();
         let median = self.samples[self.samples.len() / 2];
@@ -153,6 +184,96 @@ impl Bencher {
             fmt_duration(max),
             self.samples.len()
         );
+        Some(SummaryEntry {
+            group: group.to_string(),
+            id: id.to_string(),
+            median_ns: median.as_nanos(),
+            min_ns: min.as_nanos(),
+            max_ns: max.as_nanos(),
+            samples: self.samples.len(),
+        })
+    }
+}
+
+/// The workspace root: the nearest ancestor of the current directory
+/// holding a `Cargo.lock` (`cargo bench` runs benches with the package
+/// directory as cwd, which for this workspace is below the root).
+fn workspace_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        if dir.join("Cargo.lock").exists() {
+            return Some(dir);
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+/// The bench binary's stem with cargo's `-<hash>` suffix stripped:
+/// `target/release/deps/executor-1f2e3d…` → `executor`.
+fn bench_name() -> String {
+    let arg0 = std::env::args().next().unwrap_or_default();
+    let stem = std::path::Path::new(&arg0)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("bench");
+    match stem.rsplit_once('-') {
+        Some((name, hash))
+            if !name.is_empty()
+                && hash.len() == 16
+                && hash.bytes().all(|b| b.is_ascii_hexdigit()) =>
+        {
+            name.to_string()
+        }
+        _ => stem.to_string(),
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Writes the run's summaries to `results/bench_<binary>.json` at the
+/// workspace root. Never fails the bench run: reporting problems go to
+/// stderr and the process still exits 0. Called by `criterion_main!`.
+pub fn write_summary(entries: &[SummaryEntry]) {
+    if entries.is_empty() {
+        return;
+    }
+    let Some(root) = workspace_root() else {
+        eprintln!("bench summary: no Cargo.lock ancestor; skipping JSON report");
+        return;
+    };
+    let dir = root.join("results");
+    let path = dir.join(format!("bench_{}.json", bench_name()));
+    let mut body = String::from("[\n");
+    for (i, e) in entries.iter().enumerate() {
+        body.push_str(&format!(
+            "  {{\"group\": \"{}\", \"id\": \"{}\", \"median_ns\": {}, \"min_ns\": {}, \"max_ns\": {}, \"samples\": {}}}{}\n",
+            json_escape(&e.group),
+            json_escape(&e.id),
+            e.median_ns,
+            e.min_ns,
+            e.max_ns,
+            e.samples,
+            if i + 1 < entries.len() { "," } else { "" },
+        ));
+    }
+    body.push_str("]\n");
+    let written = std::fs::create_dir_all(&dir).and_then(|()| std::fs::write(&path, body));
+    match written {
+        Ok(()) => eprintln!("\nbench summary: wrote {}", path.display()),
+        Err(e) => eprintln!("\nbench summary: cannot write {}: {e}", path.display()),
     }
 }
 
@@ -169,23 +290,30 @@ fn fmt_duration(d: Duration) -> String {
     }
 }
 
-/// Declares a group of benchmark functions, mirroring criterion's macro.
+/// Declares a group of benchmark functions, mirroring criterion's
+/// macro. The generated function returns the group's summaries so
+/// `criterion_main!` can write one JSON report per bench binary.
 #[macro_export]
 macro_rules! criterion_group {
     ($group:ident, $($target:path),+ $(,)?) => {
-        pub fn $group() {
+        pub fn $group() -> Vec<$crate::SummaryEntry> {
             let mut c = $crate::Criterion::default();
             $( $target(&mut c); )+
+            c.into_entries()
         }
     };
 }
 
 /// Declares the benchmark binary's `main`, mirroring criterion's macro.
+/// After all groups run, their summaries land in
+/// `results/bench_<binary>.json` at the workspace root.
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
-            $( $group(); )+
+            let mut entries: Vec<$crate::SummaryEntry> = Vec::new();
+            $( entries.extend($group()); )+
+            $crate::write_summary(&entries);
         }
     };
 }
@@ -215,6 +343,29 @@ mod tests {
     fn benchmark_id_renders_name_and_param() {
         let id = BenchmarkId::new("expert", 7);
         assert_eq!(id.id, "expert/7");
+    }
+
+    #[test]
+    fn group_collects_summaries() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(2);
+        group.bench_function("a", |b| b.iter(|| 1));
+        group.bench_with_input(BenchmarkId::new("b", 7), &3, |b, &x| b.iter(|| x));
+        group.finish();
+        let entries = c.into_entries();
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].group, "shim");
+        assert_eq!(entries[0].id, "a");
+        assert_eq!(entries[1].id, "b/7");
+        assert_eq!(entries[1].samples, 2);
+        assert!(entries[1].min_ns <= entries[1].median_ns);
+    }
+
+    #[test]
+    fn json_strings_escape() {
+        assert_eq!(json_escape("plain/1%"), "plain/1%");
+        assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
     }
 
     #[test]
