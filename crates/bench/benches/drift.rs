@@ -1,0 +1,109 @@
+//! Drift experiment + micro-benchmarks: what does a changing world
+//! cost the hands-free loop?
+//!
+//! The experiment runs the standard scripted drift scenario
+//! ([`DriftScenario::imdb_job`]): JOB-like templates served under
+//! online training, hit by the full shock battery — append growth,
+//! skew shift, a new template arriving mid-run, and a bulk delete.
+//! Per shock it reports the expert p95 on the post-shock world, the
+//! shock's statistics-drift magnitude, and how many policy swap
+//! generations and serves the learned planner needed to return to
+//! expert p95 parity. Served-result identity against the freshly
+//! planned expert reference is asserted inside the harness on every
+//! single serve, before any latency is recorded or reported.
+//!
+//! The criterion group times the drift machinery in isolation: one
+//! append-growth batch, one skew shift, one bulk delete (each on a
+//! fresh clone, including the index rebuild), and one mid-traffic
+//! statistics refresh (`refresh_after_mutation`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hfqo_catalog::{ColumnId, TableId};
+use hfqo_serve::QuerySession;
+use hfqo_workload::synth::{SynthConfig, SynthDb};
+use hfqo_workload::{apply_mutation, DriftScenario, Mutation, RecoveryReport};
+
+/// The shock→recovery experiment, printed round by round. Runs once —
+/// the scenario is deterministic, so repetitions would report the
+/// identical numbers the golden log already pins.
+fn drift_recovery_experiment() {
+    let scenario = DriftScenario::imdb_job();
+    assert!(
+        scenario.shocks.len() >= 3,
+        "the battery must cover at least three shock kinds"
+    );
+    eprintln!(
+        "drift/experiment: {} templates over the IMDB-like db ({} rows), {} shocks",
+        scenario.queries.len(),
+        scenario.db.total_rows(),
+        scenario.shocks.len()
+    );
+    let outcome = scenario.run();
+    let line = |r: &RecoveryReport| {
+        eprintln!(
+            "drift/{:<14} expert p95 {:>8.2} ms | drift {:>5.2} | serves {:>3} | {}",
+            r.label,
+            r.expert_p95_ms,
+            r.drift.max_shift(),
+            r.serves,
+            match r.generations_to_parity {
+                Some(g) => format!("recovered in {g} swap generation(s)"),
+                None => format!("NOT recovered (last p95 {:.2} ms)", r.final_p95_ms()),
+            }
+        );
+    };
+    line(&outcome.warmup);
+    for shock in &outcome.shocks {
+        line(shock);
+    }
+    assert!(
+        outcome.all_parity(),
+        "every shock must recover to expert parity"
+    );
+}
+
+fn bench_drift(c: &mut Criterion) {
+    drift_recovery_experiment();
+
+    let synth = SynthDb::build(SynthConfig {
+        tables: 6,
+        rows: 400,
+        seed: 21,
+    });
+    let mut group = c.benchmark_group("drift");
+
+    // Each mutation benches on a fresh clone: the timed region is the
+    // full operator — value sampling, column rebuild, re-encode, and
+    // the index rebuild that keeps scans correct.
+    group.bench_function("append_200_rows", |b| {
+        let m = Mutation::append(TableId(0), 200, 7);
+        b.iter(|| {
+            let mut db = synth.db.clone();
+            std::hint::black_box(apply_mutation(&mut db, &m).expect("append applies"))
+        })
+    });
+    group.bench_function("skew_shift_column", |b| {
+        let m = Mutation::skew_shift(TableId(1), ColumnId(2), 0.6, 7);
+        b.iter(|| {
+            let mut db = synth.db.clone();
+            std::hint::black_box(apply_mutation(&mut db, &m).expect("skew applies"))
+        })
+    });
+    group.bench_function("bulk_delete_30pct", |b| {
+        let m = Mutation::bulk_delete(TableId(2), 0.3, 7);
+        b.iter(|| {
+            let mut db = synth.db.clone();
+            std::hint::black_box(apply_mutation(&mut db, &m).expect("delete applies"))
+        })
+    });
+    // The mid-traffic refresh a serving session pays after a shock:
+    // index rebuild + statistics rebuild + plan-cache epoch fence.
+    group.bench_function("refresh_after_mutation", |b| {
+        let mut session = QuerySession::traditional(synth.db.clone(), synth.stats.clone());
+        b.iter(|| session.refresh_after_mutation().expect("refresh"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_drift);
+criterion_main!(benches);

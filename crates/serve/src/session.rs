@@ -293,6 +293,21 @@ impl QuerySession {
         self.invalidate_cache();
     }
 
+    /// The one-call drift path after mutating the owned database
+    /// through [`Self::db_mut`] (or the drift harness's mutation
+    /// operators): rebuilds every index from the current table data
+    /// (index row ids are positional, so any append/delete/skew leaves
+    /// them stale), re-scans statistics, and invalidates the plan
+    /// cache. Because planning happens outside the cache locks, the
+    /// invalidation bumps the epoch and in-flight plans computed under
+    /// the pre-mutation statistics are served once but never cached —
+    /// the same fence policy swaps rely on.
+    pub fn refresh_after_mutation(&mut self) -> Result<(), hfqo_storage::StorageError> {
+        self.db.build_indexes()?;
+        self.rebuild_stats();
+        Ok(())
+    }
+
     /// Plans `graph`, going through the cache. Returns the planned
     /// query and how the cache answered. On a hit the `planning_time`
     /// is the lookup's wall-clock.
@@ -557,6 +572,30 @@ mod tests {
         session.rebuild_stats();
         let after = session.serve_graph(&graph).unwrap();
         assert!(!after.cache_hit, "stats rebuild must invalidate");
+        assert_eq!(session.cache_metrics().invalidations, 1);
+    }
+
+    #[test]
+    fn refresh_after_mutation_rebuilds_indexes_stats_and_cache() {
+        use hfqo_catalog::TableId;
+        use hfqo_storage::Value;
+        let (mut session, graph) = session(2, 100);
+        let _ = session.serve_graph(&graph).unwrap();
+        assert!(session.serve_graph(&graph).unwrap().cache_hit);
+        let t = TableId(0);
+        let before = session.stats().table(t).row_count;
+        // TestDb chains: t0(id, val).
+        let next_id = session.db().table(t).unwrap().row_count() as i64;
+        session
+            .db_mut()
+            .table_mut(t)
+            .unwrap()
+            .append_row(&[Value::Int(next_id), Value::Int(5)])
+            .unwrap();
+        session.refresh_after_mutation().unwrap();
+        assert_eq!(session.stats().table(t).row_count, before + 1.0);
+        let after = session.serve_graph(&graph).unwrap();
+        assert!(!after.cache_hit, "mutation refresh must invalidate");
         assert_eq!(session.cache_metrics().invalidations, 1);
     }
 

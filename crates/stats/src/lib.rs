@@ -15,12 +15,14 @@
 pub mod builder;
 pub mod cardinality;
 pub mod column_stats;
+pub mod drift;
 pub mod histogram;
 pub mod selectivity;
 
 pub use builder::{build_database_stats, build_table_stats};
 pub use cardinality::{CardinalitySource, EstimatedCardinality, StatsCatalog};
 pub use column_stats::{ColumnStats, TableStats};
+pub use drift::{column_shift, stats_drift, DriftMagnitude, TableDrift};
 pub use histogram::Histogram;
 pub use selectivity::{
     param_selectivities, selection_selectivities, selection_selectivity, DEFAULT_EQ_SELECTIVITY,

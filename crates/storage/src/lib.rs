@@ -37,7 +37,7 @@ pub mod table;
 pub mod value;
 
 pub use btree::BTreeIndex;
-pub use column::{coalesce_spans, ColumnVector, RleColumn, RleValues};
+pub use column::{coalesce_spans, ColumnVector, Encoding, RleColumn, RleValues};
 pub use csv::{read_csv_into, CsvLoadStats, CsvOptions};
 pub use database::Database;
 pub use datagen::{ColumnGen, Distribution, TableGen};

@@ -1,6 +1,6 @@
 //! In-memory tables.
 
-use crate::column::ColumnVector;
+use crate::column::{ColumnVector, Encoding};
 use crate::error::StorageError;
 use crate::value::Value;
 use hfqo_catalog::{ColumnId, TableSchema};
@@ -194,6 +194,80 @@ impl Table {
             *col = col.decoded();
         }
     }
+
+    /// Per-column physical encodings, in schema order.
+    pub fn encodings(&self) -> Vec<Encoding> {
+        self.columns.iter().map(ColumnVector::encoding).collect()
+    }
+
+    /// Keeps only the rows where `keep` is `true`, rebuilding every
+    /// column and re-encoding it to the physical layout it had before
+    /// the call — the bulk-delete path of the drift harness. `keep`
+    /// must hold exactly one entry per row; on error the table is
+    /// unchanged. Returns the surviving row count. Indexes built over
+    /// this table refer to the *old* row ids afterwards; callers must
+    /// rebuild them (`Database::build_indexes`).
+    pub fn retain_rows(&mut self, keep: &[bool]) -> Result<usize, StorageError> {
+        if keep.len() != self.row_count() {
+            return Err(StorageError::SchemaMismatch(format!(
+                "retain mask for table `{}` has {} entries, expected {}",
+                self.schema.name(),
+                keep.len(),
+                self.row_count()
+            )));
+        }
+        let sel: Vec<u32> = keep
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &k)| k.then_some(i as u32))
+            .collect();
+        for col in &mut self.columns {
+            let mut out = ColumnVector::with_capacity(col.ty(), sel.len());
+            col.append_selected(&sel, &mut out);
+            *col = out.reencoded(col.encoding());
+        }
+        Ok(sel.len())
+    }
+
+    /// Rewrites one column by mapping every row's current value through
+    /// `f`, with the same type/nullability validation as
+    /// [`Table::append_row`], then re-encodes the result to the
+    /// column's previous physical layout — the skew-shift path of the
+    /// drift harness. On error the table is unchanged.
+    pub fn rebuild_column(
+        &mut self,
+        col: ColumnId,
+        mut f: impl FnMut(usize, Value) -> Value,
+    ) -> Result<(), StorageError> {
+        let col_def = self.schema.columns().get(col.index()).ok_or_else(|| {
+            StorageError::SchemaMismatch(format!(
+                "table `{}` has no column #{}",
+                self.schema.name(),
+                col.index()
+            ))
+        })?;
+        let src = &self.columns[col.index()];
+        let mut out = ColumnVector::with_capacity(col_def.ty(), src.len());
+        for row in 0..src.len() {
+            let value = f(row, src.get(row));
+            if value.is_null() && !col_def.is_nullable() {
+                return Err(StorageError::NullViolation {
+                    table: self.schema.name().to_string(),
+                    column: col_def.name().to_string(),
+                });
+            }
+            if !out.push(&value) {
+                return Err(StorageError::SchemaMismatch(format!(
+                    "value {value} does not fit column `{}.{}` of type {}",
+                    self.schema.name(),
+                    col_def.name(),
+                    col_def.ty().name()
+                )));
+            }
+        }
+        self.columns[col.index()] = out.reencoded(src.encoding());
+        Ok(())
+    }
 }
 
 fn type_matches(ty: hfqo_catalog::ColumnType, v: &Value) -> bool {
@@ -247,6 +321,66 @@ mod tests {
         let mut t = Table::new(schema());
         let err = t.append_row(&[Value::Null, Value::Null]).unwrap_err();
         assert!(matches!(err, StorageError::NullViolation { .. }));
+    }
+
+    #[test]
+    fn retain_rows_keeps_survivors_and_encoding() {
+        let mut t = Table::new(schema());
+        for i in 0..8 {
+            let b = if i % 3 == 0 {
+                Value::Null
+            } else {
+                Value::str(if i % 2 == 0 { "even" } else { "odd" })
+            };
+            t.append_row(&[Value::Int(i), b]).unwrap();
+        }
+        assert_eq!(t.dictionary_encode_strings(16), 1);
+        let before = t.encodings();
+        let keep: Vec<bool> = (0..8).map(|i| i % 2 == 0).collect();
+        assert_eq!(t.retain_rows(&keep).unwrap(), 4);
+        assert_eq!(t.row_count(), 4);
+        assert_eq!(t.encodings(), before, "layout preserved");
+        assert_eq!(t.value_at(1, ColumnId(0)), Value::Int(2));
+        assert_eq!(t.value_at(1, ColumnId(1)), Value::str("even"));
+        assert!(t.value_at(3, ColumnId(1)).is_null());
+        // Wrong mask length is rejected without mutating.
+        let err = t.retain_rows(&[true]).unwrap_err();
+        assert!(matches!(err, StorageError::SchemaMismatch(_)));
+        assert_eq!(t.row_count(), 4);
+    }
+
+    #[test]
+    fn rebuild_column_validates_and_preserves_layout() {
+        let mut t = Table::new(schema());
+        for i in 0..6 {
+            t.append_row(&[Value::Int(i), Value::str("x")]).unwrap();
+        }
+        t.rebuild_column(
+            ColumnId(0),
+            |row, v| {
+                if row % 2 == 0 {
+                    Value::Int(99)
+                } else {
+                    v
+                }
+            },
+        )
+        .unwrap();
+        assert_eq!(t.value_at(0, ColumnId(0)), Value::Int(99));
+        assert_eq!(t.value_at(1, ColumnId(0)), Value::Int(1));
+        // NULL into the non-nullable column `a` is rejected atomically.
+        let err = t
+            .rebuild_column(ColumnId(0), |_, _| Value::Null)
+            .unwrap_err();
+        assert!(matches!(err, StorageError::NullViolation { .. }));
+        assert_eq!(t.value_at(0, ColumnId(0)), Value::Int(99), "unchanged");
+        // Type mismatches are rejected too.
+        let err = t
+            .rebuild_column(ColumnId(0), |_, _| Value::str("no"))
+            .unwrap_err();
+        assert!(matches!(err, StorageError::SchemaMismatch(_)));
+        // Missing column id.
+        assert!(t.rebuild_column(ColumnId(9), |_, v| v).is_err());
     }
 
     #[test]

@@ -14,8 +14,12 @@
 //!   the planning-time sweep (Figure 3c) and the incremental-learning
 //!   curricula,
 //! * [`suite`] — bundles (database + statistics + queries) ready for the
-//!   environments.
+//!   environments,
+//! * [`drift`] — deterministic data-mutation operators and the
+//!   shock→recovery harness that proves the online loop stays
+//!   hands-free while the data underneath it moves.
 
+pub mod drift;
 pub mod imdb;
 pub mod job;
 pub mod loader;
@@ -23,5 +27,10 @@ pub mod suite;
 pub mod synth;
 pub mod tpch;
 
+pub use drift::{
+    apply_mutation, shock_battery_for, synth_shock_battery, with_count_root, DbSnapshots,
+    DriftConfig, DriftError, DriftHarness, DriftOutcome, DriftScenario, Mutation, MutationOp,
+    MutationReport, RecoveryReport, RecoveryRound, Shock, ShockKind,
+};
 pub use loader::{load_imdb_csv_dir, CsvLoadReport, LoaderOptions};
 pub use suite::WorkloadBundle;

@@ -1,0 +1,55 @@
+//! The drift harness end to end: shock the data, watch the online loop
+//! recover to expert parity — hands-free.
+//!
+//! Runs the standard scripted scenario ([`DriftScenario::imdb_job`]):
+//! JOB-like templates served over the IMDB-like database with online
+//! training attached, hit by the full shock battery (append growth,
+//! skew shift, a new template arriving mid-run, bulk delete). Every
+//! number is deterministic: latencies derive from the executor's work
+//! counter, and every mutation is seeded — the printed golden log is
+//! the exact content of `tests/golden/drift_recovery_seed41.txt`.
+//!
+//! ```sh
+//! cargo run --release --example drift_recovery
+//! ```
+
+use hfqo::prelude::*;
+
+fn main() {
+    let scenario = DriftScenario::imdb_job();
+    println!(
+        "world: IMDB-like database ({} rows), {} JOB-like templates; {} shocks inbound\n",
+        scenario.db.total_rows(),
+        scenario.queries.len(),
+        scenario.shocks.len()
+    );
+
+    let outcome = scenario.run();
+
+    let report = |r: &RecoveryReport| {
+        println!(
+            "{:>14}: expert p95 {:>9.2} ms | rounds {:>2} | serves {:>3} | drift {:>5.2} | {}",
+            r.label,
+            r.expert_p95_ms,
+            r.rounds.len(),
+            r.serves,
+            r.drift.max_shift(),
+            match r.generations_to_parity {
+                Some(0) => "parity at the serving generation (shock absorbed)".to_string(),
+                Some(g) => format!("parity after {g} swap generation(s)"),
+                None => format!("NO parity (last p95 {:.2} ms)", r.final_p95_ms()),
+            }
+        );
+    };
+    report(&outcome.warmup);
+    for shock in &outcome.shocks {
+        report(shock);
+    }
+
+    println!("\ngolden log:\n{}", outcome.golden_log());
+    assert!(
+        outcome.all_parity(),
+        "the hands-free loop must recover from every shock"
+    );
+    println!("all shocks recovered — the loop never needed a human.");
+}

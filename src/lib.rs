@@ -94,5 +94,9 @@ pub mod prelude {
     pub use hfqo_stats::{param_selectivities, selection_selectivities};
     pub use hfqo_storage::{Database, Value};
     pub use hfqo_workload::imdb::ImdbConfig;
-    pub use hfqo_workload::WorkloadBundle;
+    pub use hfqo_workload::{
+        apply_mutation, shock_battery_for, synth_shock_battery, with_count_root, DbSnapshots,
+        DriftConfig, DriftHarness, DriftOutcome, DriftScenario, Mutation, MutationOp,
+        RecoveryReport, Shock, ShockKind, WorkloadBundle,
+    };
 }
